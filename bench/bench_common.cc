@@ -1,0 +1,177 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace metaprox::bench {
+
+bool FullScale() {
+  const char* scale = std::getenv("METAPROX_BENCH_SCALE");
+  return scale != nullptr && std::strcmp(scale, "full") == 0;
+}
+
+namespace {
+
+Bundle FinishBundle(datagen::Dataset ds, int max_nodes) {
+  Bundle b;
+  b.ds = std::move(ds);
+  EngineOptions options;
+  options.miner.anchor_type = b.ds.user_type;
+  options.miner.min_support = 5;
+  options.miner.max_nodes = max_nodes;
+  b.engine = std::make_unique<SearchEngine>(b.ds.graph, options);
+  b.engine->Mine();
+  auto pool = b.ds.graph.NodesOfType(b.ds.user_type);
+  b.user_pool.assign(pool.begin(), pool.end());
+  return b;
+}
+
+}  // namespace
+
+Bundle MakeFacebook(int max_nodes, uint32_t users_small, uint32_t users_full,
+                    uint64_t seed) {
+  datagen::FacebookConfig cfg;
+  cfg.num_users = FullScale() ? users_full : users_small;
+  return FinishBundle(datagen::GenerateFacebook(cfg, seed), max_nodes);
+}
+
+Bundle MakeLinkedIn(int max_nodes, uint32_t users_small, uint32_t users_full,
+                    uint64_t seed) {
+  datagen::LinkedInConfig cfg;
+  cfg.num_users = FullScale() ? users_full : users_small;
+  return FinishBundle(datagen::GenerateLinkedIn(cfg, seed), max_nodes);
+}
+
+Scores EvalWeights(const SearchEngine& engine, const GroundTruth& gt,
+                   std::span<const NodeId> test_queries,
+                   const std::vector<double>& weights, size_t k) {
+  Ranker ranker = [&](NodeId q) {
+    auto scored = engine.Query(MgpModel{weights}, q, k);
+    std::vector<NodeId> out;
+    out.reserve(scored.size());
+    for (auto& [node, score] : scored) out.push_back(node);
+    return out;
+  };
+  EvalResult r = EvaluateRanker(gt, test_queries, ranker, k);
+  return {r.ndcg, r.map};
+}
+
+Scores EvalSrw(const Graph& graph, TypeId user_type, const GroundTruth& gt,
+               std::span<const Example> examples,
+               std::span<const NodeId> test_queries, size_t max_queries,
+               size_t k) {
+  // Subsample examples to at most `max_queries` distinct queries: SRW's
+  // gradient costs a differentiated power iteration per distinct query.
+  std::vector<Example> subset;
+  std::unordered_map<NodeId, size_t> seen;
+  for (const Example& e : examples) {
+    auto it = seen.find(e.q);
+    if (it == seen.end()) {
+      if (seen.size() >= max_queries) continue;
+      seen.emplace(e.q, 1);
+    }
+    subset.push_back(e);
+  }
+
+  SrwOptions options;
+  options.train_iterations = 8;
+  options.power_iterations = 10;
+  SupervisedRandomWalk srw(graph, options);
+  srw.Train(subset);
+
+  Ranker ranker = [&](NodeId q) {
+    auto scored = srw.Rank(q, user_type, k);
+    std::vector<NodeId> out;
+    out.reserve(scored.size());
+    for (auto& [node, score] : scored) out.push_back(node);
+    return out;
+  };
+  EvalResult r = EvaluateRanker(gt, test_queries, ranker, k);
+  return {r.ndcg, r.map};
+}
+
+const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kMgp:
+      return "MGP";
+    case Method::kMpp:
+      return "MPP";
+    case Method::kMgpU:
+      return "MGP-U";
+    case Method::kMgpB:
+      return "MGP-B";
+    case Method::kSrw:
+      return "SRW";
+  }
+  return "?";
+}
+
+std::vector<uint32_t> PathIndices(const SearchEngine& engine) {
+  std::vector<uint32_t> paths;
+  const auto& metagraphs = engine.metagraphs();
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    if (metagraphs[i].is_path) paths.push_back(i);
+  }
+  return paths;
+}
+
+SweepContext PrepareSweep(Bundle& b) {
+  SweepContext ctx;
+  const size_t m = b.engine->metagraphs().size();
+  ctx.per_metagraph_seconds.resize(m, 0.0);
+  for (uint32_t i = 0; i < m; ++i) {
+    uint32_t index[1] = {i};
+    b.engine->MatchSubset(index);
+    ctx.per_metagraph_seconds[i] = b.engine->MatchSecondsOfLastSubset();
+    ctx.total_seconds += ctx.per_metagraph_seconds[i];
+  }
+  b.engine->FinalizeIndex();
+  ctx.seeds = PathIndices(*b.engine);
+  for (uint32_t s : ctx.seeds) {
+    ctx.seed_seconds += ctx.per_metagraph_seconds[s];
+  }
+  return ctx;
+}
+
+SweepPoint EvalActiveSet(const Bundle& b, const SweepContext& ctx,
+                         const GroundTruth& gt,
+                         std::span<const Example> examples,
+                         std::span<const NodeId> test_queries,
+                         const std::vector<uint32_t>& active) {
+  TrainOptions options = DefaultTrainOptions();
+  options.active = active;
+  TrainResult r = TrainMgp(b.engine->index(), examples, options);
+  Scores s = EvalWeights(*b.engine, gt, test_queries, r.weights);
+  SweepPoint point;
+  point.ndcg = s.ndcg;
+  point.map = s.map;
+  for (uint32_t i : active) point.seconds += ctx.per_metagraph_seconds[i];
+  return point;
+}
+
+std::vector<uint32_t> RankCandidates(const Bundle& b, SweepContext& ctx,
+                                     const std::vector<double>& seed_weights,
+                                     bool reversed) {
+  std::vector<double> h = ComputeCandidateHeuristic(
+      b.engine->metagraphs(), ctx.seeds, seed_weights, &ctx.ss_cache);
+  std::vector<uint32_t> ranked;
+  for (uint32_t j = 0; j < h.size(); ++j) {
+    if (h[j] >= 0.0) ranked.push_back(j);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](uint32_t a, uint32_t c) { return h[a] > h[c]; });
+  if (reversed) std::reverse(ranked.begin(), ranked.end());
+  return ranked;
+}
+
+TrainOptions DefaultTrainOptions() {
+  TrainOptions options;
+  options.max_iterations = FullScale() ? 500 : 300;
+  options.restarts = FullScale() ? 5 : 3;
+  return options;
+}
+
+}  // namespace metaprox::bench

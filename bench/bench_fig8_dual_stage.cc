@@ -1,0 +1,106 @@
+// Reproduces Fig. 8: impact of dual-stage training. For each class, the
+// number of candidate metagraphs |K| is swept from 0 (seeds only) to "all";
+// accuracy (NDCG/MAP) and matching time are reported as the percentage
+// increase between those endpoints. The paper's shape: accuracy approaches
+// 100% with a small |K| while time stays far below 100% (83% overall
+// matching-cost reduction).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+using namespace metaprox;        // NOLINT
+using namespace metaprox::bench; // NOLINT
+
+namespace {
+
+void RunClass(const Bundle& b, SweepContext& ctx, const GroundTruth& gt,
+              std::span<const size_t> ks, util::TablePrinter& table) {
+  util::Rng rng(31);
+  QuerySplit split = SplitQueries(gt, 0.2, rng);
+  const size_t num_examples = FullScale() ? 1000 : 400;
+  auto examples =
+      SampleExamples(gt, split.train, b.user_pool, num_examples, rng);
+
+  // Endpoints: seeds only (0%) and all metagraphs (100%).
+  SweepPoint seed_pt =
+      EvalActiveSet(b, ctx, gt, examples, split.test, ctx.seeds);
+  std::vector<uint32_t> all(b.engine->metagraphs().size());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  SweepPoint all_pt = EvalActiveSet(b, ctx, gt, examples, split.test, all);
+
+  // Per-seed usefulness scores drive the candidate heuristic.
+  std::vector<double> seed_scores = PerMetagraphPairwiseAccuracy(
+      b.engine->index(), examples, ctx.seeds);
+  std::vector<uint32_t> ranked =
+      RankCandidates(b, ctx, seed_scores, /*reversed=*/false);
+
+  auto pct = [](double v, double lo, double hi) {
+    if (hi <= lo) return 100.0;
+    return 100.0 * std::clamp((v - lo) / (hi - lo), 0.0, 1.2);
+  };
+
+  for (size_t k : ks) {
+    std::vector<uint32_t> active = ctx.seeds;
+    for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+      active.push_back(ranked[i]);
+    }
+    SweepPoint pt = EvalActiveSet(b, ctx, gt, examples, split.test, active);
+    table.AddRow({gt.class_name(), std::to_string(k),
+                  util::FormatDouble(pct(pt.ndcg, seed_pt.ndcg, all_pt.ndcg),
+                                     1) + "%",
+                  util::FormatDouble(pct(pt.map, seed_pt.map, all_pt.map),
+                                     1) + "%",
+                  util::FormatDouble(
+                      pct(pt.seconds, seed_pt.seconds, all_pt.seconds), 1) +
+                      "%"});
+  }
+  table.AddRow({gt.class_name(), "all", "100.0%", "100.0%", "100.0%"});
+
+  // Headline number: matching-time reduction at the largest swept |K|.
+  size_t k_star = ks.empty() ? 0 : ks.back();
+  std::vector<uint32_t> active = ctx.seeds;
+  for (size_t i = 0; i < std::min(k_star, ranked.size()); ++i) {
+    active.push_back(ranked[i]);
+  }
+  double spent = 0.0;
+  for (uint32_t i : active) spent += ctx.per_metagraph_seconds[i];
+  std::printf("  %s: overall matching-cost reduction at |K|=%zu: %s "
+              "(paper: 83%% on average)\n",
+              gt.class_name().c_str(), k_star,
+              util::FormatPercent(1.0 - spent / ctx.total_seconds).c_str());
+}
+
+void RunDataset(Bundle& b, std::span<const size_t> ks) {
+  SweepContext ctx = PrepareSweep(b);
+  std::printf("\n-- %s (|M|=%zu, seeds=%zu) --\n", b.ds.name.c_str(),
+              b.engine->metagraphs().size(), ctx.seeds.size());
+  util::TablePrinter table({"class", "|K|", "NDCG incr.", "MAP incr.",
+                            "time incr."});
+  for (const GroundTruth& gt : b.ds.classes) {
+    RunClass(b, ctx, gt, ks, table);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 8: impact of dual-stage training ==\n");
+  std::printf("expected shape: accuracy rises much faster than time as |K| "
+              "grows.\n");
+
+  {
+    Bundle li = MakeLinkedIn(5, 600, 2500);
+    const std::vector<size_t> ks = {10, 20, 30, 40, 50};
+    RunDataset(li, ks);
+  }
+  {
+    Bundle fb = MakeFacebook(5, 400, 1200);
+    const std::vector<size_t> ks = {30, 60, 90, 120, 150};
+    RunDataset(fb, ks);
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Google-benchmark microbenchmarks for the library's hot kernels: graph
+// primitives, canonicalization/symmetry analysis, matcher kernels, vector
+// index lookups and the MGP proximity evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "datagen/facebook.h"
+#include "index/metagraph_vectors.h"
+#include "learning/proximity.h"
+#include "matching/matcher.h"
+#include "metagraph/automorphism.h"
+#include "metagraph/canonical.h"
+#include "metagraph/mcs.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace metaprox;  // NOLINT
+
+const Graph& SharedGraph() {
+  static const Graph* g = [] {
+    datagen::FacebookConfig cfg;
+    cfg.num_users = 800;
+    static datagen::Dataset ds = GenerateFacebook(cfg, 3);
+    return &ds.graph;
+  }();
+  return *g;
+}
+
+Metagraph SampleMetagraph(int nodes) {
+  // user-school-user / +degree / +major chain on the Facebook type ids
+  // (user=0, school=4, degree=5, major=6).
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(0);
+  MetaNodeId u2 = m.AddNode(0);
+  MetaNodeId s = m.AddNode(4);
+  m.AddEdge(u1, s);
+  m.AddEdge(u2, s);
+  if (nodes >= 4) {
+    MetaNodeId d = m.AddNode(5);
+    m.AddEdge(u1, d);
+    m.AddEdge(u2, d);
+  }
+  if (nodes >= 5) {
+    MetaNodeId j = m.AddNode(6);
+    m.AddEdge(u1, j);
+    m.AddEdge(u2, j);
+  }
+  return m;
+}
+
+void BM_GraphHasEdge(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(g.HasEdge(u, v));
+  }
+}
+BENCHMARK(BM_GraphHasEdge);
+
+void BM_GraphTypedNeighborSlice(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  util::Rng rng(2);
+  for (auto _ : state) {
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    TypeId t = static_cast<TypeId>(rng.UniformInt(g.num_types()));
+    benchmark::DoNotOptimize(g.NeighborsOfType(v, t).size());
+  }
+}
+BENCHMARK(BM_GraphTypedNeighborSlice);
+
+void BM_Canonicalize(benchmark::State& state) {
+  Metagraph m = SampleMetagraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Canonicalize(m));
+  }
+}
+BENCHMARK(BM_Canonicalize)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_AnalyzeSymmetry(benchmark::State& state) {
+  Metagraph m = SampleMetagraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeSymmetry(m));
+  }
+}
+BENCHMARK(BM_AnalyzeSymmetry)->Arg(3)->Arg(5);
+
+void BM_StructuralSimilarity(benchmark::State& state) {
+  Metagraph a = SampleMetagraph(4);
+  Metagraph b = SampleMetagraph(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StructuralSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_StructuralSimilarity);
+
+void BM_MatcherKernel(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  Metagraph m = SampleMetagraph(static_cast<int>(state.range(1)));
+  auto matcher = CreateMatcher(static_cast<MatcherKind>(state.range(0)));
+  uint64_t embeddings = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    matcher->Match(g, m, &sink);
+    embeddings = sink.count();
+    benchmark::DoNotOptimize(embeddings);
+  }
+  state.counters["embeddings"] = static_cast<double>(embeddings);
+  state.SetLabel(matcher->name());
+}
+BENCHMARK(BM_MatcherKernel)
+    ->ArgsProduct({{static_cast<int64_t>(MatcherKind::kQuickSI),
+                    static_cast<int64_t>(MatcherKind::kBoostISO),
+                    static_cast<int64_t>(MatcherKind::kSymISO)},
+                   {3, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+struct IndexFixture {
+  std::unique_ptr<MetagraphVectorIndex> index;
+  std::vector<NodeId> users;
+  std::vector<double> weights;
+};
+
+IndexFixture& SharedIndex() {
+  static IndexFixture* f = [] {
+    auto* fx = new IndexFixture();
+    const Graph& g = SharedGraph();
+    std::vector<Metagraph> metagraphs = {SampleMetagraph(3),
+                                         SampleMetagraph(4),
+                                         SampleMetagraph(5)};
+    fx->index = std::make_unique<MetagraphVectorIndex>(
+        metagraphs.size(), g.num_nodes(), CountTransform::kLog1p);
+    auto matcher = CreateMatcher(MatcherKind::kSymISO);
+    for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+      SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
+      SymPairCountingSink sink(sym, 5'000'000);
+      matcher->Match(g, metagraphs[i], &sink);
+      fx->index->Commit(i, sink, sym.aut_size());
+    }
+    fx->index->Finalize();
+    auto users = g.NodesOfType(0);
+    fx->users.assign(users.begin(), users.end());
+    fx->weights.assign(metagraphs.size(), 0.7);
+    return fx;
+  }();
+  return *f;
+}
+
+void BM_IndexPairDot(benchmark::State& state) {
+  IndexFixture& f = SharedIndex();
+  util::Rng rng(5);
+  for (auto _ : state) {
+    NodeId x = f.users[rng.UniformInt(f.users.size())];
+    NodeId y = f.users[rng.UniformInt(f.users.size())];
+    benchmark::DoNotOptimize(f.index->PairDot(x, y, f.weights));
+  }
+}
+BENCHMARK(BM_IndexPairDot);
+
+void BM_MgpProximity(benchmark::State& state) {
+  IndexFixture& f = SharedIndex();
+  util::Rng rng(6);
+  for (auto _ : state) {
+    NodeId x = f.users[rng.UniformInt(f.users.size())];
+    NodeId y = f.users[rng.UniformInt(f.users.size())];
+    benchmark::DoNotOptimize(MgpProximity(*f.index, f.weights, x, y));
+  }
+}
+BENCHMARK(BM_MgpProximity);
+
+void BM_OnlineQueryTopK(benchmark::State& state) {
+  IndexFixture& f = SharedIndex();
+  util::Rng rng(7);
+  for (auto _ : state) {
+    NodeId q = f.users[rng.UniformInt(f.users.size())];
+    benchmark::DoNotOptimize(
+        RankByProximity(*f.index, f.weights, q, f.index->Candidates(q), 10));
+  }
+}
+BENCHMARK(BM_OnlineQueryTopK);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Reproduces Table II: description of the (synthetic) datasets — node,
+// edge, type, metagraph and query counts for each graph and class.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+using namespace metaprox;        // NOLINT
+using namespace metaprox::bench; // NOLINT
+
+int main() {
+  std::printf("== Table II: description of datasets ==\n");
+  std::printf("(synthetic substitutes; see DESIGN.md for the mapping)\n\n");
+
+  util::TablePrinter table({"dataset", "#Nodes", "#Edges", "#Types",
+                            "#Metagraphs", "#Metapaths", "#Queries"});
+
+  auto add_row = [&](const Bundle& b) {
+    std::string queries;
+    for (size_t c = 0; c < b.ds.classes.size(); ++c) {
+      if (c) queries += ", ";
+      queries += std::to_string(b.ds.classes[c].queries().size()) + " (" +
+                 b.ds.classes[c].class_name() + ")";
+    }
+    table.AddRow({b.ds.name, std::to_string(b.ds.graph.num_nodes()),
+                  std::to_string(b.ds.graph.num_edges()),
+                  std::to_string(b.ds.graph.num_types()),
+                  std::to_string(b.engine->metagraphs().size()),
+                  std::to_string(PathIndices(*b.engine).size()), queries});
+  };
+
+  Bundle li = MakeLinkedIn();
+  add_row(li);
+  Bundle fb = MakeFacebook();
+  add_row(fb);
+
+  table.Print(std::cout);
+
+  std::printf(
+      "\npaper reference: LinkedIn 65925 nodes / 220812 edges / 4 types / "
+      "164 metagraphs;\n                 Facebook 5025 nodes / 100356 edges "
+      "/ 10 types / 954 metagraphs.\n");
+  std::printf(
+      "expected shape: few types => few metagraphs (LinkedIn); many types "
+      "=> many metagraphs (Facebook); metapaths are a small fraction "
+      "(paper: 2-3%%).\n");
+  return 0;
+}

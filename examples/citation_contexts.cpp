@@ -1,0 +1,79 @@
+// Context-aware citation search (the paper's second motivating scenario):
+// on a citation graph of papers, authors, venues and keywords, distinguish
+// citations that address the *same core problem* from mere
+// *same-community* (background) citations — two semantic classes of
+// paper-paper proximity learned from examples.
+//
+// Run: ./citation_contexts [num_papers] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "datagen/citation.h"
+#include "eval/evaluate.h"
+#include "eval/splits.h"
+
+using namespace metaprox;  // NOLINT
+
+int main(int argc, char** argv) {
+  const uint32_t num_papers =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 500;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  datagen::CitationConfig cfg;
+  cfg.num_papers = num_papers;
+  datagen::Dataset ds = datagen::GenerateCitation(cfg, seed);
+  std::printf("citation graph: %s\n", ds.graph.Summary().c_str());
+
+  EngineOptions options;
+  options.miner.anchor_type = ds.user_type;  // anchor = paper
+  options.miner.min_support = 4;
+  options.miner.max_nodes = 4;
+  SearchEngine engine(ds.graph, options);
+  engine.Mine();
+  engine.MatchAll();
+  std::printf("%zu paper-pair metagraphs mined & indexed\n\n",
+              engine.metagraphs().size());
+
+  auto pool_span = ds.graph.NodesOfType(ds.user_type);
+  std::vector<NodeId> pool(pool_span.begin(), pool_span.end());
+
+  for (const GroundTruth& gt : ds.classes) {
+    util::Rng rng(seed + 1);
+    QuerySplit split = SplitQueries(gt, 0.2, rng);
+    auto examples = SampleExamples(gt, split.train, pool, 300, rng);
+    TrainOptions train;
+    train.max_iterations = 300;
+    MgpModel model = engine.Train(examples, train);
+
+    Ranker ranker = [&](NodeId q) {
+      auto scored = engine.Query(model, q, 10);
+      std::vector<NodeId> out;
+      for (auto& [node, s] : scored) out.push_back(node);
+      return out;
+    };
+    EvalResult eval = EvaluateRanker(gt, split.test, ranker, 10);
+    std::printf("context '%s': NDCG@10 = %.3f, MAP@10 = %.3f over %zu test "
+                "queries\n",
+                gt.class_name().c_str(), eval.ndcg, eval.map,
+                eval.num_queries);
+
+    // Interpretability: the top characteristic metagraphs per context.
+    std::vector<std::pair<double, uint32_t>> ranked;
+    for (uint32_t i = 0; i < model.weights.size(); ++i) {
+      ranked.emplace_back(model.weights[i], i);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("  top characteristic metagraphs:\n");
+    for (size_t i = 0; i < 3 && i < ranked.size(); ++i) {
+      std::printf("    %.3f  %s\n", ranked[i].first,
+                  engine.metagraphs()[ranked[i].second]
+                      .graph.ToString(ds.graph.type_registry())
+                      .c_str());
+    }
+  }
+  std::printf(
+      "\nexpected: 'same-problem' favors keyword-sharing structures while "
+      "'same-community' favors author/venue-sharing structures.\n");
+  return 0;
+}

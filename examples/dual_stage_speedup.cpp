@@ -1,0 +1,91 @@
+// Dual-stage training in practice: trains a LinkedIn-like "coworker" model
+// twice — once matching every mined metagraph, once with Alg. 1's
+// seed-then-candidates schedule — and reports the matching-time saving at
+// (nearly) equal accuracy. A minimal end-to-end demonstration of the
+// paper's 83%-cost-reduction result.
+//
+// Run: ./dual_stage_speedup [num_users] [num_candidates]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "datagen/linkedin.h"
+#include "eval/evaluate.h"
+#include "eval/splits.h"
+
+using namespace metaprox;  // NOLINT
+
+namespace {
+
+double Evaluate(SearchEngine& engine, const GroundTruth& gt,
+                std::span<const NodeId> test, const MgpModel& model) {
+  Ranker ranker = [&](NodeId q) {
+    auto scored = engine.Query(model, q, 10);
+    std::vector<NodeId> out;
+    for (auto& [node, s] : scored) out.push_back(node);
+    return out;
+  };
+  return EvaluateRanker(gt, test, ranker, 10).ndcg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t num_users =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 600;
+  const size_t num_candidates =
+      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 30;
+
+  datagen::LinkedInConfig cfg;
+  cfg.num_users = num_users;
+  datagen::Dataset ds = datagen::GenerateLinkedIn(cfg, 3);
+  std::printf("professional network: %s\n", ds.graph.Summary().c_str());
+
+  EngineOptions options;
+  options.miner.anchor_type = ds.user_type;
+  options.miner.min_support = 5;
+  options.miner.max_nodes = 5;
+
+  const GroundTruth* coworker = ds.FindClass("coworker");
+  util::Rng rng(9);
+  QuerySplit split = SplitQueries(*coworker, 0.2, rng);
+  auto pool_span = ds.graph.NodesOfType(ds.user_type);
+  std::vector<NodeId> pool(pool_span.begin(), pool_span.end());
+  auto examples = SampleExamples(*coworker, split.train, pool, 400, rng);
+
+  TrainOptions train;
+  train.max_iterations = 300;
+
+  // ---- full matching ----------------------------------------------------
+  SearchEngine full(ds.graph, options);
+  full.Mine();
+  full.MatchAll();
+  MgpModel full_model = full.Train(examples, train);
+  double full_ndcg = Evaluate(full, *coworker, split.test, full_model);
+  std::printf("\nfull matching:     %zu metagraphs matched in %.1fs, "
+              "NDCG@10 = %.3f\n",
+              full.metagraphs().size(), full.timings().match_seconds,
+              full_ndcg);
+
+  // ---- dual-stage --------------------------------------------------------
+  SearchEngine dual(ds.graph, options);
+  dual.Mine();
+  DualStageOptions ds_options;
+  ds_options.num_candidates = num_candidates;
+  ds_options.train = train;
+  DualStageResult result = dual.TrainDualStage(examples, ds_options);
+  dual.FinalizeIndex();
+  MgpModel dual_model{result.final_stage.weights};
+  double dual_ndcg = Evaluate(dual, *coworker, split.test, dual_model);
+  std::printf("dual-stage (K=%zu): %zu metagraphs matched in %.1fs, "
+              "NDCG@10 = %.3f\n",
+              num_candidates,
+              result.seeds.size() + result.candidates.size(),
+              dual.timings().match_seconds, dual_ndcg);
+
+  std::printf("\nmatching-time saving: %.1f%%  |  NDCG change: %+.3f\n",
+              100.0 * (1.0 - dual.timings().match_seconds /
+                                 full.timings().match_seconds),
+              dual_ndcg - full_ndcg);
+  return 0;
+}

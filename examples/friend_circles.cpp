@@ -1,0 +1,91 @@
+// Circle-based friend suggestion (the paper's first motivating scenario):
+// on a Facebook-like social network, suggest friends *by circle* — family
+// members vs classmates — by learning one MGP model per semantic class and
+// ranking with each.
+//
+// Run: ./friend_circles [num_users] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "datagen/facebook.h"
+#include "eval/evaluate.h"
+#include "eval/splits.h"
+
+using namespace metaprox;  // NOLINT
+
+int main(int argc, char** argv) {
+  const uint32_t num_users =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 400;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  datagen::FacebookConfig cfg;
+  cfg.num_users = num_users;
+  datagen::Dataset ds = datagen::GenerateFacebook(cfg, seed);
+  std::printf("social network: %s\n", ds.graph.Summary().c_str());
+
+  EngineOptions options;
+  options.miner.anchor_type = ds.user_type;
+  options.miner.min_support = 4;
+  options.miner.max_nodes = 4;
+  SearchEngine engine(ds.graph, options);
+  engine.Mine();
+  engine.MatchAll();
+  std::printf("offline phase done: %zu metagraphs mined & indexed "
+              "(mine %.1fs, match %.1fs)\n\n",
+              engine.metagraphs().size(), engine.timings().mine_seconds,
+              engine.timings().match_seconds);
+
+  auto pool_span = ds.graph.NodesOfType(ds.user_type);
+  std::vector<NodeId> pool(pool_span.begin(), pool_span.end());
+
+  // Learn one model per circle and report suggestion quality.
+  std::vector<MgpModel> models;
+  std::vector<const GroundTruth*> classes;
+  for (const GroundTruth& gt : ds.classes) {
+    util::Rng rng(seed);
+    QuerySplit split = SplitQueries(gt, 0.2, rng);
+    auto examples = SampleExamples(gt, split.train, pool, 300, rng);
+    TrainOptions train;
+    train.max_iterations = 300;
+    MgpModel model = engine.Train(examples, train);
+
+    Ranker ranker = [&](NodeId q) {
+      auto scored = engine.Query(model, q, 10);
+      std::vector<NodeId> out;
+      for (auto& [node, s] : scored) out.push_back(node);
+      return out;
+    };
+    EvalResult eval = EvaluateRanker(gt, split.test, ranker, 10);
+    std::printf("circle '%s': %zu labeled pairs, NDCG@10 = %.3f, "
+                "MAP@10 = %.3f over %zu test queries\n",
+                gt.class_name().c_str(), gt.num_positive_pairs(), eval.ndcg,
+                eval.map, eval.num_queries);
+    models.push_back(std::move(model));
+    classes.push_back(&gt);
+  }
+
+  // Demo: per-circle suggestions for one user who has both kinds of
+  // relations.
+  NodeId demo = kInvalidNode;
+  for (NodeId q : classes[0]->queries()) {
+    if (!classes[1]->RelevantTo(q).empty()) {
+      demo = q;
+      break;
+    }
+  }
+  if (demo != kInvalidNode) {
+    std::printf("\nper-circle suggestions for user #%u:\n", demo);
+    for (size_t c = 0; c < models.size(); ++c) {
+      std::printf("  circle '%s':", classes[c]->class_name().c_str());
+      for (const auto& [node, score] : engine.Query(models[c], demo, 5)) {
+        std::printf(" #%u(%.2f%s)", node, score,
+                    classes[c]->IsPositive(demo, node) ? ",true" : "");
+      }
+      std::printf("\n");
+    }
+    std::printf("(\"true\" marks suggestions the ground truth confirms; "
+                "note how the two circles surface different users)\n");
+  }
+  return 0;
+}

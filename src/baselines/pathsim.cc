@@ -1,0 +1,98 @@
+#include "baselines/pathsim.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace metaprox {
+
+PathSim::PathSim(const Graph& g, std::vector<TypeId> type_path)
+    : g_(g), type_path_(std::move(type_path)) {
+  MX_CHECK_MSG(type_path_.size() >= 2, "metapath needs >= 2 types");
+  MX_CHECK_MSG(type_path_.front() == type_path_.back(),
+               "PathSim requires a symmetric (round-trip) metapath");
+  const TypeId anchor = type_path_.front();
+  auto anchors = g_.NodesOfType(anchor);
+
+  anchor_position_.assign(g_.num_nodes(), -1);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    anchor_position_[anchors[i]] = static_cast<int64_t>(i);
+  }
+  rows_.resize(anchors.size());
+
+  // For each anchor, walk the metapath with a sparse frontier of
+  // (node, path count) pairs.
+  std::unordered_map<NodeId, uint64_t> frontier, next;
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    frontier.clear();
+    frontier.emplace(anchors[i], 1);
+    for (size_t step = 1; step < type_path_.size(); ++step) {
+      next.clear();
+      for (const auto& [v, count] : frontier) {
+        for (NodeId w : g_.NeighborsOfType(v, type_path_[step])) {
+          next[w] += count;
+        }
+      }
+      std::swap(frontier, next);
+    }
+    Row& row = rows_[i];
+    row.entries.reserve(frontier.size());
+    for (const auto& [v, count] : frontier) {
+      if (v == anchors[i]) {
+        row.self_count = count;
+      } else {
+        row.entries.emplace_back(v, count);
+      }
+    }
+    std::sort(row.entries.begin(), row.entries.end());
+  }
+}
+
+const PathSim::Row& PathSim::RowOf(NodeId x) const {
+  MX_CHECK_MSG(x < anchor_position_.size() && anchor_position_[x] >= 0,
+               "node is not of the metapath's anchor type");
+  return rows_[static_cast<size_t>(anchor_position_[x])];
+}
+
+uint64_t PathSim::PathCount(NodeId x, NodeId y) const {
+  const Row& row = RowOf(x);
+  if (x == y) return row.self_count;
+  auto it = std::lower_bound(
+      row.entries.begin(), row.entries.end(), y,
+      [](const auto& entry, NodeId node) { return entry.first < node; });
+  if (it == row.entries.end() || it->first != y) return 0;
+  return it->second;
+}
+
+double PathSim::Similarity(NodeId x, NodeId y) const {
+  const uint64_t xy = PathCount(x, y);
+  if (xy == 0) return x == y ? 1.0 : 0.0;
+  const uint64_t xx = RowOf(x).self_count;
+  const uint64_t yy = RowOf(y).self_count;
+  const double denom = static_cast<double>(xx) + static_cast<double>(yy);
+  if (denom == 0.0) return 0.0;
+  return 2.0 * static_cast<double>(xy) / denom;
+}
+
+std::vector<std::pair<NodeId, double>> PathSim::Rank(NodeId q,
+                                                     size_t k) const {
+  const Row& row = RowOf(q);
+  std::vector<std::pair<NodeId, double>> scored;
+  scored.reserve(row.entries.size());
+  for (const auto& [y, count] : row.entries) {
+    if (y == q) continue;
+    scored.emplace_back(y, Similarity(q, y));
+  }
+  const size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<int64_t>(take), scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,97 @@
+#include "baselines/simple.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+
+namespace metaprox {
+
+std::vector<double> UniformWeights(const MetagraphVectorIndex& index) {
+  std::vector<double> w(index.num_metagraphs(), 0.0);
+  for (uint32_t i = 0; i < w.size(); ++i) {
+    if (index.IsCommitted(i)) w[i] = 1.0;
+  }
+  return w;
+}
+
+std::vector<double> BestSingleMetagraphWeights(
+    const MetagraphVectorIndex& index, const GroundTruth& gt,
+    std::span<const NodeId> train_queries, size_t k) {
+  const size_t m = index.num_metagraphs();
+  std::vector<double> ndcg_sum(m, 0.0);
+
+  // Dense scratch for node vectors with a touched-list reset.
+  std::vector<double> scratch(m, 0.0);
+  std::vector<uint32_t> touched;
+  std::vector<std::pair<uint32_t, double>> sparse;
+
+  // Per metagraph: (score, candidate) lists for the current query.
+  std::vector<std::vector<std::pair<double, NodeId>>> per_mg(m);
+
+  for (NodeId q : train_queries) {
+    const auto& relevant = gt.RelevantTo(q);
+    if (relevant.empty()) continue;
+    for (auto& v : per_mg) v.clear();
+
+    sparse.clear();
+    index.SparseNodeVector(q, &sparse);
+    std::vector<std::pair<uint32_t, double>> q_vec = sparse;
+
+    for (NodeId y : index.Candidates(q)) {
+      if (y == q) continue;
+      // Load y's node vector into the scratch.
+      sparse.clear();
+      index.SparseNodeVector(y, &sparse);
+      for (const auto& [i, c] : sparse) {
+        scratch[i] = c;
+        touched.push_back(i);
+      }
+      // Score each metagraph that the pair shares.
+      sparse.clear();
+      index.SparsePairVector(q, y, &sparse);
+      for (const auto& [i, c] : sparse) {
+        double mq_i = 0.0;
+        for (const auto& [j, cq] : q_vec) {
+          if (j == i) {
+            mq_i = cq;
+            break;
+          }
+        }
+        const double denom = mq_i + scratch[i];
+        if (denom > 0.0) per_mg[i].emplace_back(2.0 * c / denom, y);
+      }
+      for (uint32_t i : touched) scratch[i] = 0.0;
+      touched.clear();
+    }
+
+    for (uint32_t i = 0; i < m; ++i) {
+      if (per_mg[i].empty()) continue;
+      auto& scored = per_mg[i];
+      const size_t take = std::min(k, scored.size());
+      std::partial_sort(scored.begin(),
+                        scored.begin() + static_cast<int64_t>(take),
+                        scored.end(), [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
+                        });
+      std::vector<NodeId> ranked;
+      ranked.reserve(take);
+      for (size_t j = 0; j < take; ++j) ranked.push_back(scored[j].second);
+      ndcg_sum[i] += NdcgAtK(ranked, relevant, relevant.size(), k);
+    }
+  }
+
+  uint32_t best = 0;
+  double best_score = -1.0;
+  for (uint32_t i = 0; i < m; ++i) {
+    if (index.IsCommitted(i) && ndcg_sum[i] > best_score) {
+      best_score = ndcg_sum[i];
+      best = i;
+    }
+  }
+  std::vector<double> w(m, 0.0);
+  if (best_score >= 0.0) w[best] = 1.0;
+  return w;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,26 @@
+// The two degenerate MGP baselines of Sect. V-B:
+//   MGP-U — uniform weights (no learning),
+//   MGP-B — the single best metagraph picked on the training queries.
+#ifndef METAPROX_BASELINES_SIMPLE_H_
+#define METAPROX_BASELINES_SIMPLE_H_
+
+#include <span>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "index/metagraph_vectors.h"
+
+namespace metaprox {
+
+/// MGP-U: weight 1 for every committed metagraph.
+std::vector<double> UniformWeights(const MetagraphVectorIndex& index);
+
+/// MGP-B: one-hot weights on the metagraph whose one-hot ranking maximizes
+/// mean NDCG@k over `train_queries`. Requires index.Finalize().
+std::vector<double> BestSingleMetagraphWeights(
+    const MetagraphVectorIndex& index, const GroundTruth& gt,
+    std::span<const NodeId> train_queries, size_t k);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_BASELINES_SIMPLE_H_

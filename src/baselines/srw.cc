@@ -1,0 +1,210 @@
+#include "baselines/srw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace metaprox {
+
+SupervisedRandomWalk::SupervisedRandomWalk(const Graph& g, SrwOptions options)
+    : g_(g), options_(options) {
+  const size_t t = g.num_types();
+  // Enumerate unordered type pairs that actually occur as edges.
+  feature_of_pair_.assign(t * t, -1);
+  uint32_t next_feature = 0;
+  for (TypeId a = 0; a < t; ++a) {
+    for (TypeId b = a; b < t; ++b) {
+      if (g.EdgeCountBetweenTypes(a, b) > 0) {
+        feature_of_pair_[a * t + b] = static_cast<int32_t>(next_feature);
+        feature_of_pair_[b * t + a] = static_cast<int32_t>(next_feature);
+        ++next_feature;
+      }
+    }
+  }
+  theta_.assign(next_feature, 0.0);
+
+  // Arc layout mirrors the graph's adjacency.
+  arc_offsets_.assign(g.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    arc_offsets_[v + 1] = arc_offsets_[v] + g.Degree(v);
+  }
+  arc_prob_.assign(arc_offsets_.back(), 0.0);
+  arc_feature_.assign(arc_offsets_.back(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint64_t base = arc_offsets_[v];
+    auto nbrs = g.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      arc_feature_[base + i] = FeatureOf(v, nbrs[i]);
+    }
+  }
+  RebuildTransitions();
+}
+
+uint32_t SupervisedRandomWalk::FeatureOf(NodeId u, NodeId v) const {
+  int32_t f = feature_of_pair_[static_cast<size_t>(g_.TypeOf(u)) *
+                                   g_.num_types() +
+                               g_.TypeOf(v)];
+  MX_DCHECK(f >= 0);
+  return static_cast<uint32_t>(f);
+}
+
+void SupervisedRandomWalk::RebuildTransitions() {
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    const uint64_t begin = arc_offsets_[v], end = arc_offsets_[v + 1];
+    double sum = 0.0;
+    for (uint64_t a = begin; a < end; ++a) {
+      arc_prob_[a] = std::exp(theta_[arc_feature_[a]]);
+      sum += arc_prob_[a];
+    }
+    if (sum > 0.0) {
+      for (uint64_t a = begin; a < end; ++a) arc_prob_[a] /= sum;
+    }
+  }
+}
+
+std::vector<double> SupervisedRandomWalk::Ppr(NodeId q) const {
+  const size_t n = g_.num_nodes();
+  const double alpha = options_.restart;
+  std::vector<double> p(n, 0.0), next(n, 0.0);
+  p[q] = 1.0;
+  for (int iter = 0; iter < options_.power_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    next[q] += alpha;
+    for (NodeId v = 0; v < n; ++v) {
+      const double pv = p[v];
+      if (pv == 0.0) continue;
+      const uint64_t begin = arc_offsets_[v], end = arc_offsets_[v + 1];
+      if (begin == end) {
+        next[q] += (1.0 - alpha) * pv;  // dangling mass restarts
+        continue;
+      }
+      const double mass = (1.0 - alpha) * pv;
+      auto nbrs = g_.Neighbors(v);
+      for (uint64_t a = begin; a < end; ++a) {
+        next[nbrs[a - begin]] += mass * arc_prob_[a];
+      }
+    }
+    std::swap(p, next);
+  }
+  // Scale so pairwise differences are O(1) for the sigmoid loss.
+  const double scale = static_cast<double>(n);
+  for (double& v : p) v *= scale;
+  return p;
+}
+
+void SupervisedRandomWalk::Train(std::span<const Example> examples) {
+  if (examples.empty() || theta_.empty()) return;
+  const size_t n = g_.num_nodes();
+  const size_t k = theta_.size();
+  const double alpha = options_.restart;
+
+  // Group examples by query.
+  std::unordered_map<NodeId, std::vector<const Example*>> by_query;
+  for (const Example& e : examples) by_query[e.q].push_back(&e);
+
+  std::vector<double> grad(k);
+  // Per-node feature expectation s_u[f] = sum over arcs of P_uv [f_uv = f].
+  std::vector<double> s(n * k);
+
+  for (int iter = 0; iter < options_.train_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+
+    std::fill(s.begin(), s.end(), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      for (uint64_t a = arc_offsets_[v]; a < arc_offsets_[v + 1]; ++a) {
+        s[v * k + arc_feature_[a]] += arc_prob_[a];
+      }
+    }
+
+    for (const auto& [q, exs] : by_query) {
+      // Differentiated power iteration: p (n) and dp (n x k).
+      std::vector<double> p(n, 0.0), pnext(n, 0.0);
+      std::vector<double> dp(n * k, 0.0), dpnext(n * k, 0.0);
+      p[q] = 1.0;
+      for (int it = 0; it < options_.power_iterations; ++it) {
+        std::fill(pnext.begin(), pnext.end(), 0.0);
+        std::fill(dpnext.begin(), dpnext.end(), 0.0);
+        pnext[q] += alpha;
+        for (NodeId v = 0; v < n; ++v) {
+          const double pv = p[v];
+          const double* dpv = &dp[v * k];
+          bool dp_zero = true;
+          for (size_t f = 0; f < k; ++f) {
+            if (dpv[f] != 0.0) {
+              dp_zero = false;
+              break;
+            }
+          }
+          if (pv == 0.0 && dp_zero) continue;
+          const uint64_t begin = arc_offsets_[v], end = arc_offsets_[v + 1];
+          if (begin == end) {
+            pnext[q] += (1.0 - alpha) * pv;
+            double* dq = &dpnext[static_cast<size_t>(q) * k];
+            for (size_t f = 0; f < k; ++f) dq[f] += (1.0 - alpha) * dpv[f];
+            continue;
+          }
+          auto nbrs = g_.Neighbors(v);
+          const double* sv = &s[v * k];
+          for (uint64_t a = begin; a < end; ++a) {
+            const NodeId w = nbrs[a - begin];
+            const double puv = arc_prob_[a];
+            const uint32_t f_uv = arc_feature_[a];
+            pnext[w] += (1.0 - alpha) * pv * puv;
+            double* dw = &dpnext[static_cast<size_t>(w) * k];
+            // d(P_uv)/dtheta_f = P_uv ([f == f_uv] - s_v[f])
+            for (size_t f = 0; f < k; ++f) {
+              double dP = puv * ((f == f_uv ? 1.0 : 0.0) - sv[f]);
+              dw[f] += (1.0 - alpha) * (dpv[f] * puv + pv * dP);
+            }
+          }
+        }
+        std::swap(p, pnext);
+        std::swap(dp, dpnext);
+      }
+      const double scale = static_cast<double>(n);
+      for (const Example* e : exs) {
+        const double px = p[e->x] * scale;
+        const double py = p[e->y] * scale;
+        const double prob =
+            1.0 / (1.0 + std::exp(-options_.mu * (px - py)));
+        const double c = options_.mu * (1.0 - prob) /
+                         static_cast<double>(examples.size());
+        const double* dx = &dp[static_cast<size_t>(e->x) * k];
+        const double* dy = &dp[static_cast<size_t>(e->y) * k];
+        for (size_t f = 0; f < k; ++f) {
+          grad[f] += c * scale * (dx[f] - dy[f]);
+        }
+      }
+    }
+
+    for (size_t f = 0; f < k; ++f) {
+      theta_[f] += options_.learning_rate * grad[f];
+      theta_[f] = std::clamp(theta_[f], -6.0, 6.0);
+    }
+    RebuildTransitions();
+  }
+}
+
+std::vector<std::pair<NodeId, double>> SupervisedRandomWalk::Rank(
+    NodeId q, TypeId candidate_type, size_t k) const {
+  std::vector<double> p = Ppr(q);
+  std::vector<std::pair<NodeId, double>> scored;
+  for (NodeId v : g_.NodesOfType(candidate_type)) {
+    if (v == q) continue;
+    scored.emplace_back(v, p[v]);
+  }
+  const size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<int64_t>(take), scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,72 @@
+// Supervised Random Walks (Backstrom & Leskovec, WSDM'11) — the strongest
+// external baseline in Sect. V-B.
+//
+// Edge strengths are a function of edge features: here, as in the paper's
+// setup, the features of an edge are derived from its endpoint *types*
+// (one-hot over unordered type pairs), so a_uv = exp(theta[f(u,v)]). The
+// transition matrix of a personalized-PageRank walk is biased by these
+// strengths, and theta is learned from the same pairwise preferences
+// (q, x, y) by gradient ascent on a sigmoid pairwise loss; the gradient of
+// the stationary probabilities w.r.t. theta is computed by differentiated
+// power iteration.
+#ifndef METAPROX_BASELINES_SRW_H_
+#define METAPROX_BASELINES_SRW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "learning/trainer.h"  // Example
+
+namespace metaprox {
+
+struct SrwOptions {
+  double restart = 0.15;        // PPR restart probability
+  int power_iterations = 12;    // per PPR / gradient evaluation
+  double learning_rate = 0.5;
+  int train_iterations = 20;
+  double mu = 5.0;              // pairwise sigmoid scale
+  uint64_t seed = 11;
+};
+
+class SupervisedRandomWalk {
+ public:
+  SupervisedRandomWalk(const Graph& g, SrwOptions options);
+
+  /// Learns the edge-feature weights theta from ranking triplets.
+  void Train(std::span<const Example> examples);
+
+  /// Personalized PageRank scores of all nodes w.r.t. q under the current
+  /// theta.
+  std::vector<double> Ppr(NodeId q) const;
+
+  /// Top-k nodes of `candidate_type` by PPR score (query excluded).
+  std::vector<std::pair<NodeId, double>> Rank(NodeId q, TypeId candidate_type,
+                                              size_t k) const;
+
+  const std::vector<double>& theta() const { return theta_; }
+  size_t num_features() const { return theta_.size(); }
+
+ private:
+  // Feature id of the unordered type pair of edge (u, v).
+  uint32_t FeatureOf(NodeId u, NodeId v) const;
+
+  // Recomputes per-edge transition weights from theta_.
+  void RebuildTransitions();
+
+  const Graph& g_;
+  SrwOptions options_;
+  std::vector<double> theta_;
+  std::vector<int32_t> feature_of_pair_;  // |T|^2 -> feature id or -1
+
+  // CSR-aligned transition data: for each directed arc (v -> neighbor),
+  // its probability and feature id.
+  std::vector<double> arc_prob_;
+  std::vector<uint32_t> arc_feature_;
+  std::vector<uint64_t> arc_offsets_;  // == graph CSR offsets
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_BASELINES_SRW_H_

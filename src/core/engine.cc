@@ -1,0 +1,117 @@
+#include "core/engine.h"
+
+#include <fstream>
+#include <numeric>
+
+#include "mining/mined_set_io.h"
+#include "util/macros.h"
+#include "util/stopwatch.h"
+
+namespace metaprox {
+
+SearchEngine::SearchEngine(const Graph& graph, EngineOptions options)
+    : graph_(graph),
+      options_(options),
+      matcher_(CreateMatcher(options.matcher)) {}
+
+void SearchEngine::Mine() {
+  util::Stopwatch timer;
+  metagraphs_ = MineMetagraphs(graph_, options_.miner, &mining_stats_);
+  timings_.mine_seconds = timer.ElapsedSeconds();
+  index_ = std::make_unique<MetagraphVectorIndex>(
+      metagraphs_.size(), graph_.num_nodes(), options_.transform);
+}
+
+void SearchEngine::MatchAll() {
+  MX_CHECK_MSG(index_ != nullptr, "Mine() must run before MatchAll()");
+  std::vector<uint32_t> all(metagraphs_.size());
+  std::iota(all.begin(), all.end(), 0);
+  MatchSubset(all);
+  FinalizeIndex();
+}
+
+void SearchEngine::MatchSubset(std::span<const uint32_t> indices) {
+  MX_CHECK_MSG(index_ != nullptr, "Mine() must run before MatchSubset()");
+  util::Stopwatch timer;
+  for (uint32_t i : indices) {
+    MX_CHECK(i < metagraphs_.size());
+    if (index_->IsCommitted(i)) continue;
+    const MinedMetagraph& mined = metagraphs_[i];
+    SymPairCountingSink sink(mined.symmetry, options_.embedding_cap);
+    matcher_->Match(graph_, mined.graph, &sink);
+    index_->Commit(i, sink, mined.symmetry.aut_size());
+  }
+  last_subset_seconds_ = timer.ElapsedSeconds();
+  timings_.match_seconds += last_subset_seconds_;
+}
+
+void SearchEngine::FinalizeIndex() {
+  MX_CHECK(index_ != nullptr);
+  index_->Finalize();
+}
+
+MgpModel SearchEngine::Train(std::span<const Example> examples,
+                             const TrainOptions& options) const {
+  MX_CHECK(index_ != nullptr);
+  TrainResult result = TrainMgp(*index_, examples, options);
+  return MgpModel{std::move(result.weights)};
+}
+
+DualStageResult SearchEngine::TrainDualStage(
+    std::span<const Example> examples, const DualStageOptions& options,
+    StructuralSimilarityCache* ss_cache) {
+  MX_CHECK(index_ != nullptr);
+  return metaprox::TrainDualStage(
+      metagraphs_, *index_, examples, options,
+      [this](std::span<const uint32_t> indices) { MatchSubset(indices); },
+      ss_cache);
+}
+
+std::vector<std::pair<NodeId, double>> SearchEngine::Query(
+    const MgpModel& model, NodeId q, size_t k) const {
+  MX_CHECK(index_ != nullptr);
+  return RankByProximity(*index_, model.weights, q, index_->Candidates(q), k);
+}
+
+double SearchEngine::Proximity(const MgpModel& model, NodeId x,
+                               NodeId y) const {
+  MX_CHECK(index_ != nullptr);
+  return MgpProximity(*index_, model.weights, x, y);
+}
+
+util::Status SearchEngine::SaveOffline(const std::string& path_prefix) const {
+  MX_CHECK_MSG(index_ != nullptr, "nothing to save before Mine()");
+  {
+    std::ofstream out(path_prefix + ".metagraphs");
+    if (!out) return util::Status::IoError("cannot write metagraph set");
+    MX_RETURN_IF_ERROR(WriteMinedMetagraphs(metagraphs_, out));
+  }
+  {
+    std::ofstream out(path_prefix + ".index");
+    if (!out) return util::Status::IoError("cannot write index");
+    MX_RETURN_IF_ERROR(index_->WriteTo(out));
+  }
+  return util::Status::Ok();
+}
+
+util::Status SearchEngine::LoadOffline(const std::string& path_prefix) {
+  std::ifstream mg_in(path_prefix + ".metagraphs");
+  if (!mg_in) return util::Status::IoError("cannot read metagraph set");
+  auto mined = ReadMinedMetagraphs(mg_in);
+  if (!mined.ok()) return mined.status();
+
+  std::ifstream idx_in(path_prefix + ".index");
+  if (!idx_in) return util::Status::IoError("cannot read index");
+  auto index = MetagraphVectorIndex::ReadFrom(idx_in);
+  if (!index.ok()) return index.status();
+  if (index->num_metagraphs() != mined->size()) {
+    return util::Status::InvalidArgument(
+        "index/metagraph-set cardinality mismatch");
+  }
+
+  metagraphs_ = std::move(*mined);
+  index_ = std::make_unique<MetagraphVectorIndex>(std::move(*index));
+  return util::Status::Ok();
+}
+
+}  // namespace metaprox

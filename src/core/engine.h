@@ -1,0 +1,107 @@
+// SearchEngine: the public facade implementing the paper's overall
+// framework (Fig. 3).
+//
+// Offline phase:   Mine() -> MatchAll()/MatchSubset() -> (Finalize)
+// Learning:        Train() (Sect. III-B) or TrainDualStage() (Sect. III-C)
+// Online phase:    Query(): evaluates pi(q, .) against the precomputed
+//                  metagraph vectors and ranks candidates.
+#ifndef METAPROX_CORE_ENGINE_H_
+#define METAPROX_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "index/metagraph_vectors.h"
+#include "learning/dual_stage.h"
+#include "learning/proximity.h"
+#include "learning/trainer.h"
+#include "matching/matcher.h"
+#include "mining/miner.h"
+
+namespace metaprox {
+
+struct EngineOptions {
+  MinerOptions miner;
+  MatcherKind matcher = MatcherKind::kSymISO;
+  CountTransform transform = CountTransform::kLog1p;
+  /// Embedding cap per metagraph while indexing; instances beyond it are
+  /// dropped (counts of a saturated metagraph are a lower bound).
+  uint64_t embedding_cap = 3'000'000;
+};
+
+/// End-to-end semantic proximity search over one graph.
+class SearchEngine {
+ public:
+  SearchEngine(const Graph& graph, EngineOptions options);
+
+  /// Offline subproblem 1: mines the metagraph set M.
+  void Mine();
+
+  /// Offline subproblem 2: matches every mined metagraph and builds the
+  /// vector index. Finalizes the index (ready for queries).
+  void MatchAll();
+
+  /// Matches only the given metagraphs (dual-stage workflows). Does not
+  /// finalize; call FinalizeIndex() before querying.
+  void MatchSubset(std::span<const uint32_t> indices);
+
+  void FinalizeIndex();
+
+  /// Offline subproblem 3 (Sect. III-B): learns w* from examples.
+  MgpModel Train(std::span<const Example> examples,
+                 const TrainOptions& options) const;
+
+  /// Dual-stage training (Sect. III-C, Alg. 1). Matches seeds/candidates on
+  /// demand through this engine.
+  DualStageResult TrainDualStage(std::span<const Example> examples,
+                                 const DualStageOptions& options,
+                                 StructuralSimilarityCache* ss_cache = nullptr);
+
+  /// Online phase: top-k nodes by pi(q, .; w). Requires a finalized index.
+  std::vector<std::pair<NodeId, double>> Query(const MgpModel& model, NodeId q,
+                                               size_t k) const;
+
+  /// Proximity between two specific nodes.
+  double Proximity(const MgpModel& model, NodeId x, NodeId y) const;
+
+  // ---- introspection ----------------------------------------------------
+  const Graph& graph() const { return graph_; }
+  const std::vector<MinedMetagraph>& metagraphs() const { return metagraphs_; }
+  const MetagraphVectorIndex& index() const { return *index_; }
+  const MiningStats& mining_stats() const { return mining_stats_; }
+
+  struct Timings {
+    double mine_seconds = 0.0;
+    double match_seconds = 0.0;
+  };
+  const Timings& timings() const { return timings_; }
+
+  /// Wall-clock cost of matching just the given subset (accumulated into
+  /// timings().match_seconds as well).
+  double MatchSecondsOfLastSubset() const { return last_subset_seconds_; }
+
+  /// Persists the offline phase (mined metagraphs + vector index) to
+  /// `<path_prefix>.metagraphs` and `<path_prefix>.index`.
+  util::Status SaveOffline(const std::string& path_prefix) const;
+
+  /// Restores a persisted offline phase; replaces any mined/matched state.
+  /// The graph must be the same one the artifacts were built from.
+  util::Status LoadOffline(const std::string& path_prefix);
+
+ private:
+  const Graph& graph_;
+  EngineOptions options_;
+  std::unique_ptr<Matcher> matcher_;
+  std::vector<MinedMetagraph> metagraphs_;
+  std::unique_ptr<MetagraphVectorIndex> index_;
+  MiningStats mining_stats_;
+  Timings timings_;
+  double last_subset_seconds_ = 0.0;
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_CORE_ENGINE_H_

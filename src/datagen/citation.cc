@@ -1,0 +1,133 @@
+#include "datagen/citation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace metaprox::datagen {
+namespace {
+
+struct PaperProfile {
+  uint32_t topic;
+  uint32_t community;  // latent: authors/venue cluster
+  uint32_t venue;
+  std::vector<uint32_t> keywords;
+  std::vector<uint32_t> authors;
+};
+
+}  // namespace
+
+Dataset GenerateCitation(const CitationConfig& cfg, uint64_t seed) {
+  util::Rng rng(seed);
+  const uint32_t n = cfg.num_papers;
+  const uint32_t num_communities = cfg.num_venues;  // one community per venue
+
+  std::vector<PaperProfile> papers(n);
+  for (auto& p : papers) {
+    p.topic = static_cast<uint32_t>(rng.Zipf(cfg.num_topics, 0.8));
+    p.community = static_cast<uint32_t>(rng.UniformInt(num_communities));
+    // Venue mostly determined by the community.
+    p.venue = rng.Bernoulli(0.8)
+                  ? p.community % cfg.num_venues
+                  : static_cast<uint32_t>(rng.UniformInt(cfg.num_venues));
+    // Keywords cluster by topic.
+    for (uint32_t kw = 0; kw < cfg.keywords_per_paper; ++kw) {
+      uint32_t keyword =
+          rng.Bernoulli(0.7)
+              ? (p.topic * 5 + static_cast<uint32_t>(rng.UniformInt(5))) %
+                    cfg.num_keywords
+              : static_cast<uint32_t>(rng.UniformInt(cfg.num_keywords));
+      if (std::find(p.keywords.begin(), p.keywords.end(), keyword) ==
+          p.keywords.end()) {
+        p.keywords.push_back(keyword);
+      }
+    }
+    // Authors cluster by community.
+    for (uint32_t a = 0; a < cfg.authors_per_paper; ++a) {
+      uint32_t author =
+          rng.Bernoulli(0.8)
+              ? (p.community * 23 +
+                 static_cast<uint32_t>(rng.UniformInt(20))) %
+                    cfg.num_authors
+              : static_cast<uint32_t>(rng.UniformInt(cfg.num_authors));
+      if (std::find(p.authors.begin(), p.authors.end(), author) ==
+          p.authors.end()) {
+        p.authors.push_back(author);
+      }
+    }
+  }
+
+  GraphBuilder builder;
+  TypeId paper_t = builder.InternType("paper");
+  TypeId author_t = builder.InternType("author");
+  TypeId venue_t = builder.InternType("venue");
+  TypeId keyword_t = builder.InternType("keyword");
+
+  std::vector<NodeId> paper_ids(n);
+  for (uint32_t i = 0; i < n; ++i) paper_ids[i] = builder.AddNode(paper_t);
+  std::vector<NodeId> author_ids(cfg.num_authors);
+  for (auto& id : author_ids) id = builder.AddNode(author_t);
+  std::vector<NodeId> venue_ids(cfg.num_venues);
+  for (auto& id : venue_ids) id = builder.AddNode(venue_t);
+  std::vector<NodeId> keyword_ids(cfg.num_keywords);
+  for (auto& id : keyword_ids) id = builder.AddNode(keyword_t);
+
+  std::vector<std::vector<uint32_t>> by_topic(cfg.num_topics);
+  std::vector<std::vector<uint32_t>> by_community(num_communities);
+  for (uint32_t i = 0; i < n; ++i) {
+    const PaperProfile& p = papers[i];
+    builder.AddEdge(paper_ids[i], venue_ids[p.venue]);
+    for (uint32_t kw : p.keywords) {
+      builder.AddEdge(paper_ids[i], keyword_ids[kw]);
+    }
+    for (uint32_t a : p.authors) {
+      builder.AddEdge(paper_ids[i], author_ids[a]);
+    }
+    by_topic[p.topic].push_back(i);
+    by_community[p.community].push_back(i);
+  }
+  // Citation edges: papers cite within their topic and community.
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto& topic_peers = by_topic[papers[i].topic];
+    for (int c = 0; c < 3 && topic_peers.size() > 1; ++c) {
+      uint32_t j = topic_peers[rng.UniformInt(topic_peers.size())];
+      if (j != i) builder.AddEdge(paper_ids[i], paper_ids[j]);
+    }
+    const auto& community_peers = by_community[papers[i].community];
+    for (int c = 0; c < 2 && community_peers.size() > 1; ++c) {
+      uint32_t j = community_peers[rng.UniformInt(community_peers.size())];
+      if (j != i) builder.AddEdge(paper_ids[i], paper_ids[j]);
+    }
+  }
+
+  Dataset ds;
+  ds.name = "citation-synthetic";
+  ds.graph = builder.Build();
+  ds.user_type = paper_t;
+
+  GroundTruth same_problem("same-problem");
+  GroundTruth same_community("same-community");
+  auto label_groups = [&](const std::vector<std::vector<uint32_t>>& groups,
+                          GroundTruth& gt, double p) {
+    for (const auto& members : groups) {
+      for (size_t x = 0; x < members.size(); ++x) {
+        for (size_t y = x + 1; y < members.size(); ++y) {
+          if (members[x] != members[y] && rng.Bernoulli(p)) {
+            gt.AddPositivePair(paper_ids[members[x]], paper_ids[members[y]]);
+          }
+        }
+      }
+    }
+  };
+  label_groups(by_topic, same_problem, cfg.same_topic_label);
+  label_groups(by_community, same_community, cfg.same_community_label);
+  same_problem.Finalize();
+  same_community.Finalize();
+  ds.classes.push_back(std::move(same_problem));
+  ds.classes.push_back(std::move(same_community));
+  return ds;
+}
+
+}  // namespace metaprox::datagen

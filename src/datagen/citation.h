@@ -1,0 +1,34 @@
+// Synthetic citation graph for the "context-aware citation search" scenario
+// motivated in the paper's introduction: papers, authors, venues and
+// keywords, with two semantic classes of paper-paper proximity:
+//   same-problem — papers attacking the same core problem (same topic
+//                  cluster: heavily overlapping keywords);
+//   same-community — papers from the same research community (shared
+//                  authors / venue), which may be mere background citations.
+#ifndef METAPROX_DATAGEN_CITATION_H_
+#define METAPROX_DATAGEN_CITATION_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace metaprox::datagen {
+
+struct CitationConfig {
+  uint32_t num_papers = 1500;
+  uint32_t num_authors = 600;
+  uint32_t num_venues = 25;
+  uint32_t num_keywords = 300;
+  uint32_t num_topics = 60;  // latent topic clusters
+
+  uint32_t keywords_per_paper = 4;
+  uint32_t authors_per_paper = 2;
+  double same_topic_label = 0.9;
+  double same_community_label = 0.75;
+};
+
+Dataset GenerateCitation(const CitationConfig& config, uint64_t seed);
+
+}  // namespace metaprox::datagen
+
+#endif  // METAPROX_DATAGEN_CITATION_H_

@@ -1,0 +1,30 @@
+// A generated benchmark dataset: the typed object graph plus labeled ground
+// truth for each semantic class of proximity.
+#ifndef METAPROX_DATAGEN_DATASET_H_
+#define METAPROX_DATAGEN_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "graph/graph.h"
+
+namespace metaprox::datagen {
+
+struct Dataset {
+  std::string name;
+  Graph graph;
+  TypeId user_type = 0;  // the anchor type whose proximity is measured
+  std::vector<GroundTruth> classes;
+
+  const GroundTruth* FindClass(const std::string& class_name) const {
+    for (const auto& gt : classes) {
+      if (gt.class_name() == class_name) return &gt;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace metaprox::datagen
+
+#endif  // METAPROX_DATAGEN_DATASET_H_

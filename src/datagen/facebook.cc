@@ -1,0 +1,252 @@
+#include "datagen/facebook.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace metaprox::datagen {
+namespace {
+
+struct UserProfile {
+  uint32_t family;
+  uint32_t surname;
+  int32_t location = -1;
+  int32_t hometown = -1;
+  uint32_t school;
+  uint32_t degree;
+  std::vector<uint32_t> majors;
+  uint32_t employer;
+  uint32_t work_location;
+  std::vector<uint32_t> work_projects;
+};
+
+}  // namespace
+
+Dataset GenerateFacebook(const FacebookConfig& cfg, uint64_t seed) {
+  util::Rng rng(seed);
+  const uint32_t n = cfg.num_users;
+
+  // ---- latent profiles -------------------------------------------------
+  std::vector<UserProfile> users(n);
+
+  // Families: contiguous blocks of size 1-5.
+  uint32_t num_families = 0;
+  {
+    uint32_t i = 0;
+    while (i < n) {
+      uint32_t size = 1 + static_cast<uint32_t>(rng.UniformInt(5));
+      size = std::min(size, n - i);
+      uint32_t surname = static_cast<uint32_t>(
+          rng.UniformInt(cfg.num_surnames));
+      int32_t fam_location = static_cast<int32_t>(
+          rng.UniformInt(cfg.num_locations));
+      int32_t fam_hometown = static_cast<int32_t>(
+          rng.UniformInt(cfg.num_hometowns));
+      for (uint32_t j = 0; j < size; ++j) {
+        UserProfile& u = users[i + j];
+        u.family = num_families;
+        u.surname = surname;
+        u.location = rng.Bernoulli(cfg.family_share_location)
+                         ? fam_location
+                         : static_cast<int32_t>(
+                               rng.UniformInt(cfg.num_locations));
+        u.hometown = rng.Bernoulli(cfg.family_share_hometown)
+                         ? fam_hometown
+                         : static_cast<int32_t>(
+                               rng.UniformInt(cfg.num_hometowns));
+      }
+      i += size;
+      ++num_families;
+    }
+  }
+
+  // Education: Zipf-ish school popularity; degree/major correlate weakly
+  // with the school.
+  for (auto& u : users) {
+    u.school = static_cast<uint32_t>(rng.Zipf(cfg.num_schools, 0.8));
+    u.degree = static_cast<uint32_t>(rng.UniformInt(cfg.num_degrees));
+    uint32_t num_majors = 1 + static_cast<uint32_t>(rng.UniformInt(2));
+    for (uint32_t j = 0; j < num_majors; ++j) {
+      // Schools have "popular" majors: bias toward school-dependent offset.
+      uint32_t major = rng.Bernoulli(0.6)
+                           ? (u.school * 7 + static_cast<uint32_t>(
+                                                 rng.UniformInt(4))) %
+                                 cfg.num_majors
+                           : static_cast<uint32_t>(
+                                 rng.UniformInt(cfg.num_majors));
+      if (std::find(u.majors.begin(), u.majors.end(), major) ==
+          u.majors.end()) {
+        u.majors.push_back(major);
+      }
+    }
+  }
+
+  // Work: employers with 1-2 locations and a project pool.
+  std::vector<std::array<uint32_t, 2>> employer_locations(cfg.num_employers);
+  for (auto& locs : employer_locations) {
+    locs[0] = static_cast<uint32_t>(rng.UniformInt(cfg.num_work_locations));
+    locs[1] = static_cast<uint32_t>(rng.UniformInt(cfg.num_work_locations));
+  }
+  for (auto& u : users) {
+    u.employer = static_cast<uint32_t>(rng.Zipf(cfg.num_employers, 0.7));
+    u.work_location = employer_locations[u.employer][rng.UniformInt(2)];
+    uint32_t num_projects = 1 + static_cast<uint32_t>(rng.UniformInt(3));
+    for (uint32_t j = 0; j < num_projects; ++j) {
+      uint32_t project = (u.employer * 11 + static_cast<uint32_t>(
+                                                rng.UniformInt(6))) %
+                         cfg.num_work_projects;
+      if (std::find(u.work_projects.begin(), u.work_projects.end(),
+                    project) == u.work_projects.end()) {
+        u.work_projects.push_back(project);
+      }
+    }
+  }
+
+  // ---- build the typed object graph ------------------------------------
+  GraphBuilder builder;
+  TypeId user_t = builder.InternType("user");
+  TypeId surname_t = builder.InternType("surname");
+  TypeId location_t = builder.InternType("location");
+  TypeId hometown_t = builder.InternType("hometown");
+  TypeId school_t = builder.InternType("school");
+  TypeId degree_t = builder.InternType("degree");
+  TypeId major_t = builder.InternType("major");
+  TypeId employer_t = builder.InternType("employer");
+  TypeId work_location_t = builder.InternType("work-location");
+  TypeId work_project_t = builder.InternType("work-project");
+
+  std::vector<NodeId> user_ids(n);
+  for (uint32_t i = 0; i < n; ++i) user_ids[i] = builder.AddNode(user_t);
+
+  auto add_values = [&](TypeId type, uint32_t count) {
+    std::vector<NodeId> ids(count);
+    for (uint32_t i = 0; i < count; ++i) ids[i] = builder.AddNode(type);
+    return ids;
+  };
+  auto surname_ids = add_values(surname_t, cfg.num_surnames);
+  auto location_ids = add_values(location_t, cfg.num_locations);
+  auto hometown_ids = add_values(hometown_t, cfg.num_hometowns);
+  auto school_ids = add_values(school_t, cfg.num_schools);
+  auto degree_ids = add_values(degree_t, cfg.num_degrees);
+  auto major_ids = add_values(major_t, cfg.num_majors);
+  auto employer_ids = add_values(employer_t, cfg.num_employers);
+  auto work_location_ids = add_values(work_location_t, cfg.num_work_locations);
+  auto work_project_ids = add_values(work_project_t, cfg.num_work_projects);
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const UserProfile& u = users[i];
+    builder.AddEdge(user_ids[i], surname_ids[u.surname]);
+    builder.AddEdge(user_ids[i], location_ids[u.location]);
+    builder.AddEdge(user_ids[i], hometown_ids[u.hometown]);
+    builder.AddEdge(user_ids[i], school_ids[u.school]);
+    builder.AddEdge(user_ids[i], degree_ids[u.degree]);
+    for (uint32_t m : u.majors) builder.AddEdge(user_ids[i], major_ids[m]);
+    builder.AddEdge(user_ids[i], employer_ids[u.employer]);
+    builder.AddEdge(user_ids[i], work_location_ids[u.work_location]);
+    for (uint32_t p : u.work_projects) {
+      builder.AddEdge(user_ids[i], work_project_ids[p]);
+    }
+  }
+
+  // Friendship edges: dense within families, sparser within schools and
+  // workplaces, plus random noise.
+  std::vector<std::vector<uint32_t>> by_school(cfg.num_schools);
+  std::vector<std::vector<uint32_t>> by_employer(cfg.num_employers);
+  for (uint32_t i = 0; i < n; ++i) {
+    by_school[users[i].school].push_back(i);
+    by_employer[users[i].employer].push_back(i);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n && users[j].family == users[i].family;
+         ++j) {
+      if (rng.Bernoulli(cfg.friend_same_family)) {
+        builder.AddEdge(user_ids[i], user_ids[j]);
+      }
+    }
+  }
+  auto sprinkle = [&](const std::vector<std::vector<uint32_t>>& groups,
+                      double p) {
+    for (const auto& members : groups) {
+      if (members.size() < 2) continue;
+      // Expected p * |pairs| edges, sampled without enumerating all pairs.
+      double expected = p * 0.5 * static_cast<double>(members.size()) *
+                        static_cast<double>(members.size() - 1);
+      uint64_t count = static_cast<uint64_t>(expected + 0.5);
+      count = std::min<uint64_t>(count, 20ull * members.size());
+      for (uint64_t e = 0; e < count; ++e) {
+        uint32_t a = members[rng.UniformInt(members.size())];
+        uint32_t b = members[rng.UniformInt(members.size())];
+        if (a != b) builder.AddEdge(user_ids[a], user_ids[b]);
+      }
+    }
+  };
+  sprinkle(by_school, cfg.friend_same_school / 10.0);
+  sprinkle(by_employer, cfg.friend_same_employer / 10.0);
+  uint64_t random_edges =
+      static_cast<uint64_t>(cfg.random_friends_per_user * n);
+  for (uint64_t e = 0; e < random_edges; ++e) {
+    uint32_t a = static_cast<uint32_t>(rng.UniformInt(n));
+    uint32_t b = static_cast<uint32_t>(rng.UniformInt(n));
+    if (a != b) builder.AddEdge(user_ids[a], user_ids[b]);
+  }
+
+  Dataset ds;
+  ds.name = "facebook-synthetic";
+  ds.graph = builder.Build();
+  ds.user_type = user_t;
+
+  // ---- ground truth: the paper's rules with 5% noise --------------------
+  GroundTruth family("family");
+  GroundTruth classmate("classmate");
+  auto shares_major = [&](const UserProfile& a, const UserProfile& b) {
+    for (uint32_t m : a.majors) {
+      if (std::find(b.majors.begin(), b.majors.end(), m) != b.majors.end()) {
+        return true;
+      }
+    }
+    return false;
+  };
+  uint64_t family_positives = 0, classmate_positives = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const UserProfile& a = users[i];
+      const UserProfile& b = users[j];
+      if (a.surname == b.surname &&
+          (a.location == b.location || a.hometown == b.hometown)) {
+        if (!rng.Bernoulli(cfg.label_noise)) {
+          family.AddPositivePair(user_ids[i], user_ids[j]);
+          ++family_positives;
+        }
+      }
+      if (a.school == b.school &&
+          (a.degree == b.degree || shares_major(a, b))) {
+        if (!rng.Bernoulli(cfg.label_noise)) {
+          classmate.AddPositivePair(user_ids[i], user_ids[j]);
+          ++classmate_positives;
+        }
+      }
+    }
+  }
+  // The noisy 5%: random pairs labeled positive.
+  auto add_noise = [&](GroundTruth& gt, uint64_t positives) {
+    uint64_t noise = static_cast<uint64_t>(
+        cfg.label_noise * static_cast<double>(positives));
+    for (uint64_t e = 0; e < noise; ++e) {
+      uint32_t a = static_cast<uint32_t>(rng.UniformInt(n));
+      uint32_t b = static_cast<uint32_t>(rng.UniformInt(n));
+      if (a != b) gt.AddPositivePair(user_ids[a], user_ids[b]);
+    }
+  };
+  add_noise(family, family_positives);
+  add_noise(classmate, classmate_positives);
+  family.Finalize();
+  classmate.Finalize();
+  ds.classes.push_back(std::move(family));
+  ds.classes.push_back(std::move(classmate));
+  return ds;
+}
+
+}  // namespace metaprox::datagen

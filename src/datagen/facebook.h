@@ -1,0 +1,49 @@
+// Synthetic Facebook-like ego-network graph (substitute for the McAuley &
+// Leskovec dataset used in Sect. V-A, which is not redistributable here).
+//
+// Ten node types: user plus nine attribute types. Users are organized into
+// families (shared surname, usually shared location/hometown), school
+// cohorts (school, degree, majors) and workplaces (employer, work-location,
+// work-projects); friendship edges are denser inside those groups.
+//
+// Ground truth follows the paper's own published rules verbatim:
+//   family    — two users share the same surname AND the same location or
+//               hometown;
+//   classmate — two users share the same school AND the same degree or
+//               major;
+// with a 5% chance of random label noise.
+#ifndef METAPROX_DATAGEN_FACEBOOK_H_
+#define METAPROX_DATAGEN_FACEBOOK_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace metaprox::datagen {
+
+struct FacebookConfig {
+  uint32_t num_users = 1200;
+  uint32_t num_surnames = 220;
+  uint32_t num_locations = 60;
+  uint32_t num_hometowns = 80;
+  uint32_t num_schools = 40;
+  uint32_t num_degrees = 5;
+  uint32_t num_majors = 30;
+  uint32_t num_employers = 120;
+  uint32_t num_work_locations = 50;
+  uint32_t num_work_projects = 150;
+
+  double family_share_location = 0.75;
+  double family_share_hometown = 0.75;
+  double friend_same_family = 0.6;
+  double friend_same_school = 0.08;
+  double friend_same_employer = 0.10;
+  double random_friends_per_user = 1.5;
+  double label_noise = 0.05;  // the paper's 5% random-label chance
+};
+
+Dataset GenerateFacebook(const FacebookConfig& config, uint64_t seed);
+
+}  // namespace metaprox::datagen
+
+#endif  // METAPROX_DATAGEN_FACEBOOK_H_

@@ -1,0 +1,208 @@
+#include "datagen/linkedin.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace metaprox::datagen {
+namespace {
+
+struct Stint {
+  uint32_t employer;
+  uint32_t start;  // latent years
+  uint32_t end;
+};
+
+struct UserProfile {
+  std::vector<uint32_t> colleges;
+  std::vector<uint32_t> eras;  // aligned with colleges
+  std::vector<Stint> stints;
+  uint32_t location;
+};
+
+}  // namespace
+
+Dataset GenerateLinkedIn(const LinkedInConfig& cfg, uint64_t seed) {
+  util::Rng rng(seed);
+  const uint32_t n = cfg.num_users;
+
+  // Employers cluster in locations (company towns) — this creates the
+  // confusable shared-location signal for coworkers.
+  std::vector<uint32_t> employer_location(cfg.num_employers);
+  for (auto& loc : employer_location) {
+    loc = static_cast<uint32_t>(rng.UniformInt(cfg.num_locations));
+  }
+
+  std::vector<UserProfile> users(n);
+  for (auto& u : users) {
+    uint32_t num_colleges =
+        1 + static_cast<uint32_t>(rng.UniformInt(cfg.max_colleges_per_user));
+    for (uint32_t c = 0; c < num_colleges; ++c) {
+      uint32_t college =
+          static_cast<uint32_t>(rng.Zipf(cfg.num_colleges, 0.9));
+      if (std::find(u.colleges.begin(), u.colleges.end(), college) !=
+          u.colleges.end()) {
+        continue;
+      }
+      u.colleges.push_back(college);
+      u.eras.push_back(static_cast<uint32_t>(rng.UniformInt(cfg.num_eras)));
+    }
+    uint32_t num_stints =
+        1 + static_cast<uint32_t>(rng.UniformInt(cfg.max_employers_per_user));
+    uint32_t year = static_cast<uint32_t>(rng.UniformInt(10));
+    for (uint32_t s = 0; s < num_stints; ++s) {
+      uint32_t employer =
+          static_cast<uint32_t>(rng.Zipf(cfg.num_employers, 0.8));
+      uint32_t len = 1 + static_cast<uint32_t>(rng.UniformInt(6));
+      u.stints.push_back({employer, year, year + len});
+      year += len;
+    }
+    // Users usually live where their latest employer is.
+    u.location = rng.Bernoulli(0.7)
+                     ? employer_location[u.stints.back().employer]
+                     : static_cast<uint32_t>(
+                           rng.UniformInt(cfg.num_locations));
+  }
+
+  GraphBuilder builder;
+  TypeId user_t = builder.InternType("user");
+  TypeId employer_t = builder.InternType("employer");
+  TypeId location_t = builder.InternType("location");
+  TypeId college_t = builder.InternType("college");
+
+  std::vector<NodeId> user_ids(n);
+  for (uint32_t i = 0; i < n; ++i) user_ids[i] = builder.AddNode(user_t);
+  std::vector<NodeId> employer_ids(cfg.num_employers);
+  for (auto& id : employer_ids) id = builder.AddNode(employer_t);
+  std::vector<NodeId> location_ids(cfg.num_locations);
+  for (auto& id : location_ids) id = builder.AddNode(location_t);
+  std::vector<NodeId> college_ids(cfg.num_colleges);
+  for (auto& id : college_ids) id = builder.AddNode(college_t);
+
+  std::vector<std::vector<uint32_t>> by_college(cfg.num_colleges);
+  std::vector<std::vector<uint32_t>> by_employer(cfg.num_employers);
+  for (uint32_t i = 0; i < n; ++i) {
+    const UserProfile& u = users[i];
+    for (uint32_t c : u.colleges) {
+      builder.AddEdge(user_ids[i], college_ids[c]);
+      by_college[c].push_back(i);
+    }
+    for (const Stint& s : u.stints) {
+      builder.AddEdge(user_ids[i], employer_ids[s.employer]);
+      by_employer[s.employer].push_back(i);
+    }
+    builder.AddEdge(user_ids[i], location_ids[u.location]);
+  }
+
+  // Professional connections.
+  auto sprinkle = [&](const std::vector<std::vector<uint32_t>>& groups,
+                      double p) {
+    for (const auto& members : groups) {
+      if (members.size() < 2) continue;
+      double expected = p * 0.5 * static_cast<double>(members.size()) *
+                        static_cast<double>(members.size() - 1);
+      uint64_t count = static_cast<uint64_t>(expected + 0.5);
+      count = std::min<uint64_t>(count, 15ull * members.size());
+      for (uint64_t e = 0; e < count; ++e) {
+        uint32_t a = members[rng.UniformInt(members.size())];
+        uint32_t b = members[rng.UniformInt(members.size())];
+        if (a != b) builder.AddEdge(user_ids[a], user_ids[b]);
+      }
+    }
+  };
+  sprinkle(by_college, cfg.connect_same_college / 10.0);
+  sprinkle(by_employer, cfg.connect_same_employer / 10.0);
+  uint64_t random_edges =
+      static_cast<uint64_t>(cfg.random_connections_per_user * n);
+  for (uint64_t e = 0; e < random_edges; ++e) {
+    uint32_t a = static_cast<uint32_t>(rng.UniformInt(n));
+    uint32_t b = static_cast<uint32_t>(rng.UniformInt(n));
+    if (a != b) builder.AddEdge(user_ids[a], user_ids[b]);
+  }
+
+  Dataset ds;
+  ds.name = "linkedin-synthetic";
+  ds.graph = builder.Build();
+  ds.user_type = user_t;
+
+  // ---- ground truth with latent gates ----------------------------------
+  GroundTruth college_gt("college");
+  GroundTruth coworker_gt("coworker");
+
+  // Iterate shared-college pairs via the college buckets (cheaper than all
+  // pairs and exactly the support of the label rules).
+  auto label_college = [&](uint32_t i, uint32_t j) {
+    const UserProfile& a = users[i];
+    const UserProfile& b = users[j];
+    for (size_t ca = 0; ca < a.colleges.size(); ++ca) {
+      for (size_t cb = 0; cb < b.colleges.size(); ++cb) {
+        if (a.colleges[ca] != b.colleges[cb]) continue;
+        // Conjunctive rule: shared college AND shared location.
+        double p = a.location == b.location
+                       ? cfg.college_label_with_location
+                       : cfg.college_label_alone;
+        // Latent era gate: large enrollment gaps attenuate the label.
+        int era_gap = std::abs(static_cast<int>(a.eras[ca]) -
+                               static_cast<int>(b.eras[cb]));
+        if (era_gap > 2) p *= cfg.era_gate_attenuation;
+        if (rng.Bernoulli(p)) return true;
+      }
+    }
+    return false;
+  };
+  auto label_coworker = [&](uint32_t i, uint32_t j) {
+    const UserProfile& a = users[i];
+    const UserProfile& b = users[j];
+    int shared_employers = 0;
+    for (const Stint& sa : a.stints) {
+      for (const Stint& sb : b.stints) {
+        if (sa.employer == sb.employer) {
+          ++shared_employers;
+          break;
+        }
+      }
+    }
+    if (shared_employers == 0) return false;
+    double p;
+    if (shared_employers >= 2) {
+      p = cfg.coworker_label_two_employers;  // careers moved together
+    } else if (a.location == b.location) {
+      p = cfg.coworker_label_with_location;  // same site
+    } else {
+      p = cfg.coworker_label_alone;
+    }
+    return rng.Bernoulli(p);
+  };
+
+  auto label_groups = [&](const std::vector<std::vector<uint32_t>>& groups,
+                          GroundTruth& gt, auto&& label_fn) {
+    std::unordered_set<uint64_t> considered;
+    for (const auto& members : groups) {
+      for (size_t x = 0; x < members.size(); ++x) {
+        for (size_t y = x + 1; y < members.size(); ++y) {
+          uint32_t i = members[x], j = members[y];
+          if (i == j) continue;
+          if (!considered.insert(PairKey(user_ids[i], user_ids[j])).second) {
+            continue;
+          }
+          if (label_fn(i, j)) {
+            gt.AddPositivePair(user_ids[i], user_ids[j]);
+          }
+        }
+      }
+    }
+  };
+  label_groups(by_college, college_gt, label_college);
+  label_groups(by_employer, coworker_gt, label_coworker);
+
+  college_gt.Finalize();
+  coworker_gt.Finalize();
+  ds.classes.push_back(std::move(college_gt));
+  ds.classes.push_back(std::move(coworker_gt));
+  return ds;
+}
+
+}  // namespace metaprox::datagen

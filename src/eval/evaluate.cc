@@ -1,0 +1,26 @@
+#include "eval/evaluate.h"
+
+#include "eval/metrics.h"
+
+namespace metaprox {
+
+EvalResult EvaluateRanker(const GroundTruth& gt,
+                          std::span<const NodeId> test_queries,
+                          const Ranker& ranker, size_t k) {
+  EvalResult result;
+  for (NodeId q : test_queries) {
+    const auto& relevant = gt.RelevantTo(q);
+    if (relevant.empty()) continue;
+    std::vector<NodeId> ranked = ranker(q);
+    result.ndcg += NdcgAtK(ranked, relevant, relevant.size(), k);
+    result.map += AveragePrecisionAtK(ranked, relevant, relevant.size(), k);
+    ++result.num_queries;
+  }
+  if (result.num_queries > 0) {
+    result.ndcg /= static_cast<double>(result.num_queries);
+    result.map /= static_cast<double>(result.num_queries);
+  }
+  return result;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,30 @@
+// Test-time evaluation: runs a ranker over the test queries of a class and
+// averages NDCG@k / MAP@k against the ideal ranking (Sect. V-A).
+#ifndef METAPROX_EVAL_EVALUATE_H_
+#define METAPROX_EVAL_EVALUATE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "eval/ground_truth.h"
+
+namespace metaprox {
+
+/// A ranker returns the top nodes (best first) for a query.
+using Ranker = std::function<std::vector<NodeId>(NodeId q)>;
+
+struct EvalResult {
+  double ndcg = 0.0;
+  double map = 0.0;
+  size_t num_queries = 0;
+};
+
+/// Mean NDCG@k and MAP@k of `ranker` over `test_queries`.
+EvalResult EvaluateRanker(const GroundTruth& gt,
+                          std::span<const NodeId> test_queries,
+                          const Ranker& ranker, size_t k);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_EVAL_EVALUATE_H_

@@ -1,0 +1,33 @@
+#include "eval/ground_truth.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace metaprox {
+
+void GroundTruth::AddPositivePair(NodeId x, NodeId y) {
+  MX_CHECK(x != y);
+  finalized_ = false;
+  if (!positive_pairs_.insert(PairKey(x, y)).second) return;
+  relevant_[x].insert(y);
+  relevant_[y].insert(x);
+}
+
+const std::unordered_set<NodeId>& GroundTruth::RelevantTo(NodeId q) const {
+  static const std::unordered_set<NodeId> kEmpty;
+  auto it = relevant_.find(q);
+  return it == relevant_.end() ? kEmpty : it->second;
+}
+
+void GroundTruth::Finalize() {
+  queries_.clear();
+  queries_.reserve(relevant_.size());
+  for (const auto& [node, partners] : relevant_) {
+    if (!partners.empty()) queries_.push_back(node);
+  }
+  std::sort(queries_.begin(), queries_.end());
+  finalized_ = true;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,53 @@
+// Ground truth for one semantic class of proximity: the set of positive
+// node pairs, the derived per-query relevant sets, and the query nodes
+// (Sect. V-A "Training and testing": a node is a query iff it has at least
+// one same-class partner).
+#ifndef METAPROX_EVAL_GROUND_TRUTH_H_
+#define METAPROX_EVAL_GROUND_TRUTH_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+#include "index/metagraph_vectors.h"  // PairKey
+
+namespace metaprox {
+
+class GroundTruth {
+ public:
+  explicit GroundTruth(std::string class_name)
+      : class_name_(std::move(class_name)) {}
+
+  const std::string& class_name() const { return class_name_; }
+
+  void AddPositivePair(NodeId x, NodeId y);
+
+  bool IsPositive(NodeId x, NodeId y) const {
+    return positive_pairs_.contains(PairKey(x, y));
+  }
+
+  size_t num_positive_pairs() const { return positive_pairs_.size(); }
+
+  /// Nodes with at least one positive partner, ascending.
+  const std::vector<NodeId>& queries() const { return queries_; }
+
+  /// The positive partners of `q` (empty set if none).
+  const std::unordered_set<NodeId>& RelevantTo(NodeId q) const;
+
+  /// Rebuilds queries() / RelevantTo() views; call after the last
+  /// AddPositivePair.
+  void Finalize();
+
+ private:
+  std::string class_name_;
+  std::unordered_set<uint64_t> positive_pairs_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> relevant_;
+  std::vector<NodeId> queries_;
+  bool finalized_ = false;
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_EVAL_GROUND_TRUTH_H_

@@ -1,0 +1,44 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metaprox {
+
+double NdcgAtK(std::span<const NodeId> ranked,
+               const std::unordered_set<NodeId>& relevant,
+               size_t num_relevant, size_t k) {
+  if (num_relevant == 0) return 0.0;
+  const size_t depth = std::min(k, ranked.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < depth; ++i) {
+    if (relevant.contains(ranked[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  const size_t ideal_depth = std::min(k, num_relevant);
+  for (size_t i = 0; i < ideal_depth; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+double AveragePrecisionAtK(std::span<const NodeId> ranked,
+                           const std::unordered_set<NodeId>& relevant,
+                           size_t num_relevant, size_t k) {
+  if (num_relevant == 0) return 0.0;
+  const size_t depth = std::min(k, ranked.size());
+  double hits = 0.0;
+  double sum_precision = 0.0;
+  for (size_t i = 0; i < depth; ++i) {
+    if (relevant.contains(ranked[i])) {
+      hits += 1.0;
+      sum_precision += hits / static_cast<double>(i + 1);
+    }
+  }
+  const double norm = static_cast<double>(std::min(k, num_relevant));
+  return norm > 0.0 ? sum_precision / norm : 0.0;
+}
+
+}  // namespace metaprox

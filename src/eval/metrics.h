@@ -1,0 +1,28 @@
+// Ranking quality metrics used in Sect. V: NDCG@k and (M)AP@k with binary
+// relevance against an ideal ranking that places all same-class nodes first.
+#ifndef METAPROX_EVAL_METRICS_H_
+#define METAPROX_EVAL_METRICS_H_
+
+#include <span>
+#include <unordered_set>
+
+#include "graph/types.h"
+
+namespace metaprox {
+
+/// NDCG@k of `ranked` (best first) against binary relevance. `num_relevant`
+/// is the total number of relevant nodes (for the ideal DCG); returns 0 when
+/// there are none.
+double NdcgAtK(std::span<const NodeId> ranked,
+               const std::unordered_set<NodeId>& relevant,
+               size_t num_relevant, size_t k);
+
+/// Average precision at k; the normalizer is min(k, num_relevant), so a
+/// perfect prefix scores 1.
+double AveragePrecisionAtK(std::span<const NodeId> ranked,
+                           const std::unordered_set<NodeId>& relevant,
+                           size_t num_relevant, size_t k);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_EVAL_METRICS_H_

@@ -1,0 +1,51 @@
+#include "eval/splits.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace metaprox {
+
+QuerySplit SplitQueries(const GroundTruth& gt, double train_fraction,
+                        util::Rng& rng) {
+  std::vector<NodeId> all = gt.queries();
+  rng.Shuffle(all);
+  QuerySplit split;
+  if (all.empty()) return split;
+  size_t n_train = static_cast<size_t>(
+      train_fraction * static_cast<double>(all.size()) + 0.5);
+  n_train = std::clamp<size_t>(n_train, 1, all.size() - (all.size() > 1));
+  split.train.assign(all.begin(), all.begin() + static_cast<int64_t>(n_train));
+  split.test.assign(all.begin() + static_cast<int64_t>(n_train), all.end());
+  return split;
+}
+
+std::vector<Example> SampleExamples(const GroundTruth& gt,
+                                    std::span<const NodeId> train_queries,
+                                    std::span<const NodeId> pool, size_t count,
+                                    util::Rng& rng) {
+  std::vector<Example> examples;
+  if (train_queries.empty() || pool.size() < 3) return examples;
+  examples.reserve(count);
+
+  size_t attempts = 0;
+  const size_t max_attempts = count * 50 + 1000;
+  while (examples.size() < count && attempts < max_attempts) {
+    ++attempts;
+    NodeId q = train_queries[rng.UniformInt(train_queries.size())];
+    const auto& relevant = gt.RelevantTo(q);
+    if (relevant.empty()) continue;
+    // Pick a uniform positive partner.
+    size_t pick = static_cast<size_t>(rng.UniformInt(relevant.size()));
+    auto it = relevant.begin();
+    std::advance(it, static_cast<int64_t>(pick));
+    NodeId x = *it;
+    // Pick a non-positive y.
+    NodeId y = pool[rng.UniformInt(pool.size())];
+    if (y == q || y == x || gt.IsPositive(q, y)) continue;
+    examples.push_back({q, x, y});
+  }
+  return examples;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,35 @@
+// Query splitting and training-triplet sampling (Sect. V-A): queries are
+// split 20/80 into train/test; training examples (q, x, y) pair a positive
+// partner x of a training query q with a non-positive node y.
+#ifndef METAPROX_EVAL_SPLITS_H_
+#define METAPROX_EVAL_SPLITS_H_
+
+#include <span>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "learning/trainer.h"
+#include "util/rng.h"
+
+namespace metaprox {
+
+struct QuerySplit {
+  std::vector<NodeId> train;
+  std::vector<NodeId> test;
+};
+
+/// Randomly assigns `train_fraction` of the class's queries to the training
+/// split (at least one query on each side when possible).
+QuerySplit SplitQueries(const GroundTruth& gt, double train_fraction,
+                        util::Rng& rng);
+
+/// Samples `count` triplets (q, x, y): q ∈ train_queries, x positive for q,
+/// y drawn from `pool` with (q, y) non-positive and y ∉ {q, x}.
+std::vector<Example> SampleExamples(const GroundTruth& gt,
+                                    std::span<const NodeId> train_queries,
+                                    std::span<const NodeId> pool, size_t count,
+                                    util::Rng& rng);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_EVAL_SPLITS_H_

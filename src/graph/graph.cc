@@ -1,0 +1,58 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace metaprox {
+
+std::span<const NodeId> Graph::NeighborsOfType(NodeId v, TypeId t) const {
+  auto nbrs = Neighbors(v);
+  // Adjacency is sorted by (type, id); find the [lo, hi) slice of type t.
+  auto lo = std::lower_bound(nbrs.begin(), nbrs.end(), t,
+                             [&](NodeId n, TypeId type) {
+                               return types_[n] < type;
+                             });
+  auto hi = std::upper_bound(lo, nbrs.end(), t,
+                             [&](TypeId type, NodeId n) {
+                               return type < types_[n];
+                             });
+  return {lo, hi};
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  MX_DCHECK(u < num_nodes() && v < num_nodes());
+  auto nbrs = Neighbors(u);
+  if (nbrs.size() > Degree(v)) {
+    std::swap(u, v);
+    nbrs = Neighbors(u);
+  }
+  const TypeId vt = types_[v];
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v,
+                             [&](NodeId n, NodeId target) {
+                               if (types_[n] != vt) return types_[n] < vt;
+                               return n < target;
+                             });
+  return it != nbrs.end() && *it == v;
+}
+
+uint64_t Graph::EdgeCountBetweenTypes(TypeId a, TypeId b) const {
+  MX_DCHECK(a < num_types() && b < num_types());
+  return type_pair_edge_counts_[static_cast<size_t>(a) * num_types() + b];
+}
+
+const std::string& Graph::NameOf(NodeId v) const {
+  static const std::string kEmpty;
+  if (v >= names_.size()) return kEmpty;
+  return names_[v];
+}
+
+std::string Graph::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "graph{nodes=%zu, edges=%zu, types=%zu}",
+                num_nodes(), num_edges(), num_types());
+  return buf;
+}
+
+}  // namespace metaprox

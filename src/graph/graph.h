@@ -1,0 +1,86 @@
+// Immutable typed object graph G = (V, E) with a type mapping τ: V → T
+// (Sect. II). Stored in CSR form with each adjacency list sorted by
+// (neighbor type, neighbor id), which gives:
+//   - O(log deg) edge-existence tests,
+//   - O(log deg) typed-neighbor slices (the hot operation in every
+//     subgraph-matching kernel),
+//   - cache-friendly sequential scans.
+#ifndef METAPROX_GRAPH_GRAPH_H_
+#define METAPROX_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/type_registry.h"
+#include "graph/types.h"
+
+namespace metaprox {
+
+class GraphBuilder;
+
+/// Immutable heterogeneous graph. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t num_nodes() const { return types_.size(); }
+  size_t num_edges() const { return adjacency_.size() / 2; }
+  size_t num_types() const { return registry_.size(); }
+
+  /// τ(v): the type of node v.
+  TypeId TypeOf(NodeId v) const { return types_[v]; }
+
+  const TypeRegistry& type_registry() const { return registry_; }
+
+  /// All neighbors of v, sorted by (type, id).
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Neighbors of v whose type is `t` (contiguous slice of Neighbors(v)).
+  std::span<const NodeId> NeighborsOfType(NodeId v, TypeId t) const;
+
+  /// True iff {u, v} ∈ E. O(log deg(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// All nodes of type `t`, ascending.
+  std::span<const NodeId> NodesOfType(TypeId t) const {
+    return {type_buckets_.data() + type_offsets_[t],
+            type_buckets_.data() + type_offsets_[t + 1]};
+  }
+
+  size_t CountOfType(TypeId t) const {
+    return type_offsets_[t + 1] - type_offsets_[t];
+  }
+
+  /// Number of edges whose endpoint types are {a, b} (unordered).
+  /// Precomputed at build time; used by matching-order heuristics.
+  uint64_t EdgeCountBetweenTypes(TypeId a, TypeId b) const;
+
+  /// Optional display name of a node ("" if none was provided).
+  const std::string& NameOf(NodeId v) const;
+
+  /// Human-readable one-line summary: nodes/edges/types.
+  std::string Summary() const;
+
+ private:
+  friend class GraphBuilder;
+
+  TypeRegistry registry_;
+  std::vector<TypeId> types_;          // node -> type
+  std::vector<uint64_t> offsets_;      // CSR offsets, size num_nodes + 1
+  std::vector<NodeId> adjacency_;      // CSR neighbor array
+  std::vector<NodeId> type_buckets_;   // nodes grouped by type
+  std::vector<uint64_t> type_offsets_; // size num_types + 1
+  std::vector<uint64_t> type_pair_edge_counts_;  // row-major |T| x |T|
+  std::vector<std::string> names_;     // optional, may be empty
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_GRAPH_GRAPH_H_

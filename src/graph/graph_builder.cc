@@ -1,0 +1,99 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace metaprox {
+
+TypeId GraphBuilder::InternType(const std::string& name) {
+  return registry_.Intern(name);
+}
+
+NodeId GraphBuilder::AddNode(TypeId type, std::string name) {
+  MX_CHECK(type < registry_.size());
+  MX_CHECK_MSG(types_.size() < kInvalidNode, "too many nodes");
+  NodeId id = static_cast<NodeId>(types_.size());
+  types_.push_back(type);
+  if (!name.empty()) any_name_ = true;
+  names_.push_back(std::move(name));
+  return id;
+}
+
+NodeId GraphBuilder::AddNode(const std::string& type_name, std::string name) {
+  return AddNode(InternType(type_name), std::move(name));
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  MX_CHECK(u < types_.size() && v < types_.size());
+  if (u == v) return;  // no self-loops
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::Build() {
+  const size_t n = types_.size();
+  const size_t t = registry_.size();
+
+  // Deduplicate edges.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.registry_ = std::move(registry_);
+  g.types_ = std::move(types_);
+  if (any_name_) g.names_ = std::move(names_);
+
+  // CSR construction: count degrees, prefix-sum, fill, sort per node.
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.adjacency_.resize(edges_.size() * 2);
+  {
+    std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const auto& [u, v] : edges_) {
+      g.adjacency_[cursor[u]++] = v;
+      g.adjacency_[cursor[v]++] = u;
+    }
+  }
+  // Sort each adjacency list by (type, id).
+  for (size_t v = 0; v < n; ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[v + 1]);
+    std::sort(begin, end, [&](NodeId a, NodeId b) {
+      if (g.types_[a] != g.types_[b]) return g.types_[a] < g.types_[b];
+      return a < b;
+    });
+  }
+
+  // Per-type node buckets.
+  g.type_offsets_.assign(t + 1, 0);
+  for (TypeId type : g.types_) ++g.type_offsets_[type + 1];
+  for (size_t i = 0; i < t; ++i) g.type_offsets_[i + 1] += g.type_offsets_[i];
+  g.type_buckets_.resize(n);
+  {
+    std::vector<uint64_t> cursor(g.type_offsets_.begin(),
+                                 g.type_offsets_.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      g.type_buckets_[cursor[g.types_[v]]++] = v;
+    }
+  }
+
+  // Type-pair edge counts (symmetric matrix).
+  g.type_pair_edge_counts_.assign(t * t, 0);
+  for (const auto& [u, v] : edges_) {
+    TypeId a = g.types_[u], b = g.types_[v];
+    ++g.type_pair_edge_counts_[static_cast<size_t>(a) * t + b];
+    if (a != b) ++g.type_pair_edge_counts_[static_cast<size_t>(b) * t + a];
+  }
+
+  edges_.clear();
+  names_.clear();
+  any_name_ = false;
+  return g;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,44 @@
+// Mutable builder producing an immutable Graph. Deduplicates parallel edges
+// and drops self-loops (the paper's object graphs are simple undirected
+// graphs).
+#ifndef METAPROX_GRAPH_GRAPH_BUILDER_H_
+#define METAPROX_GRAPH_GRAPH_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace metaprox {
+
+class GraphBuilder {
+ public:
+  /// Registers (or looks up) a type name.
+  TypeId InternType(const std::string& name);
+
+  /// Adds a node of the given type; returns its id. Optionally records a
+  /// display name (useful for examples / debugging; not used by algorithms).
+  NodeId AddNode(TypeId type, std::string name = "");
+  NodeId AddNode(const std::string& type_name, std::string name = "");
+
+  /// Records an undirected edge {u, v}. Parallel edges and self-loops are
+  /// silently dropped at Build() time.
+  void AddEdge(NodeId u, NodeId v);
+
+  size_t num_nodes() const { return types_.size(); }
+
+  /// Finalizes into an immutable Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  TypeRegistry registry_;
+  std::vector<TypeId> types_;
+  std::vector<std::string> names_;
+  bool any_name_ = false;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,137 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/graph_builder.h"
+
+namespace metaprox {
+namespace {
+
+constexpr char kMagic[] = "metaprox-graph v1";
+
+// Reads the next non-empty, non-comment line into `line`.
+bool NextLine(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos) continue;
+    if (line[i] == '#') continue;
+    if (i > 0 || line.back() == '\r') {
+      size_t j = line.find_last_not_of(" \t\r");
+      line = line.substr(i, j - i + 1);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Status WriteGraph(const Graph& g, std::ostream& os) {
+  os << kMagic << '\n';
+  os << "types " << g.num_types() << '\n';
+  for (size_t t = 0; t < g.num_types(); ++t) {
+    os << g.type_registry().Name(static_cast<TypeId>(t)) << '\n';
+  }
+  os << "nodes " << g.num_nodes() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << g.TypeOf(v);
+    const std::string& name = g.NameOf(v);
+    if (!name.empty()) os << ' ' << name;
+    os << '\n';
+  }
+  os << "edges " << g.num_edges() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.Neighbors(v)) {
+      if (v < u) os << v << ' ' << u << '\n';
+    }
+  }
+  if (!os.good()) return util::Status::IoError("write failed");
+  return util::Status::Ok();
+}
+
+util::Status WriteGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  return WriteGraph(g, out);
+}
+
+util::StatusOr<Graph> ReadGraph(std::istream& is) {
+  std::string line;
+  if (!NextLine(is, line) || line != kMagic) {
+    return util::Status::InvalidArgument("missing metaprox-graph v1 header");
+  }
+
+  auto expect_section = [&](const char* keyword,
+                            size_t& count) -> util::Status {
+    if (!NextLine(is, line)) {
+      return util::Status::InvalidArgument(std::string("missing section: ") +
+                                           keyword);
+    }
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word >> count;
+    if (word != keyword || ss.fail()) {
+      return util::Status::InvalidArgument(
+          std::string("malformed section header, expected: ") + keyword);
+    }
+    return util::Status::Ok();
+  };
+
+  GraphBuilder builder;
+
+  size_t num_types = 0;
+  MX_RETURN_IF_ERROR(expect_section("types", num_types));
+  std::vector<TypeId> type_ids;
+  type_ids.reserve(num_types);
+  for (size_t i = 0; i < num_types; ++i) {
+    if (!NextLine(is, line)) {
+      return util::Status::InvalidArgument("truncated types section");
+    }
+    type_ids.push_back(builder.InternType(line));
+  }
+
+  size_t num_nodes = 0;
+  MX_RETURN_IF_ERROR(expect_section("nodes", num_nodes));
+  for (size_t i = 0; i < num_nodes; ++i) {
+    if (!NextLine(is, line)) {
+      return util::Status::InvalidArgument("truncated nodes section");
+    }
+    std::istringstream ss(line);
+    size_t type = 0;
+    std::string name;
+    ss >> type;
+    if (ss.fail() || type >= num_types) {
+      return util::Status::InvalidArgument("bad node type on line: " + line);
+    }
+    std::getline(ss, name);
+    if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+    builder.AddNode(type_ids[type], std::move(name));
+  }
+
+  size_t num_edges = 0;
+  MX_RETURN_IF_ERROR(expect_section("edges", num_edges));
+  for (size_t i = 0; i < num_edges; ++i) {
+    if (!NextLine(is, line)) {
+      return util::Status::InvalidArgument("truncated edges section");
+    }
+    std::istringstream ss(line);
+    uint64_t u = 0, v = 0;
+    ss >> u >> v;
+    if (ss.fail() || u >= num_nodes || v >= num_nodes || u == v) {
+      return util::Status::InvalidArgument("bad edge on line: " + line);
+    }
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+
+  return builder.Build();
+}
+
+util::StatusOr<Graph> ReadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  return ReadGraph(in);
+}
+
+}  // namespace metaprox

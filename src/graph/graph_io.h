@@ -1,0 +1,36 @@
+// Plain-text serialization of typed object graphs.
+//
+// Format (line-oriented, '#' comments allowed between sections):
+//   metaprox-graph v1
+//   types <T>
+//   <type name>            x T
+//   nodes <N>
+//   <type id> [name]       x N
+//   edges <M>
+//   <u> <v>                x M
+#ifndef METAPROX_GRAPH_GRAPH_IO_H_
+#define METAPROX_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace metaprox {
+
+/// Writes `g` to `os` in the metaprox-graph v1 text format.
+util::Status WriteGraph(const Graph& g, std::ostream& os);
+
+/// Writes `g` to `path`, overwriting.
+util::Status WriteGraphToFile(const Graph& g, const std::string& path);
+
+/// Parses a metaprox-graph v1 stream.
+util::StatusOr<Graph> ReadGraph(std::istream& is);
+
+/// Reads a graph from `path`.
+util::StatusOr<Graph> ReadGraphFromFile(const std::string& path);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_GRAPH_GRAPH_IO_H_

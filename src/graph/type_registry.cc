@@ -1,0 +1,27 @@
+#include "graph/type_registry.h"
+
+#include "util/macros.h"
+
+namespace metaprox {
+
+TypeId TypeRegistry::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  MX_CHECK_MSG(names_.size() < kInvalidType, "too many types");
+  TypeId id = static_cast<TypeId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+TypeId TypeRegistry::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidType : it->second;
+}
+
+const std::string& TypeRegistry::Name(TypeId id) const {
+  MX_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace metaprox

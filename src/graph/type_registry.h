@@ -1,0 +1,37 @@
+// Bidirectional mapping between human-readable type names ("user",
+// "school", ...) and dense TypeId values.
+#ifndef METAPROX_GRAPH_TYPE_REGISTRY_H_
+#define METAPROX_GRAPH_TYPE_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace metaprox {
+
+/// Registers type names and hands out dense TypeIds in registration order.
+class TypeRegistry {
+ public:
+  /// Returns the id for `name`, registering it if unseen.
+  TypeId Intern(const std::string& name);
+
+  /// Returns the id for `name` or kInvalidType if not registered.
+  TypeId Find(const std::string& name) const;
+
+  /// Returns the name for `id`. Dies on out-of-range ids.
+  const std::string& Name(TypeId id) const;
+
+  size_t size() const { return names_.size(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TypeId> ids_;
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_GRAPH_TYPE_REGISTRY_H_

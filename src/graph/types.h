@@ -1,0 +1,23 @@
+// Fundamental identifier types for the typed object graph (Sect. II of the
+// paper): nodes model objects, and every node carries exactly one type drawn
+// from a small heterogeneous type set T.
+#ifndef METAPROX_GRAPH_TYPES_H_
+#define METAPROX_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace metaprox {
+
+/// Identifier of an object (node) in the object graph.
+using NodeId = uint32_t;
+
+/// Identifier of an object type (user, school, hobby, ...).
+using TypeId = uint16_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr TypeId kInvalidType = std::numeric_limits<TypeId>::max();
+
+}  // namespace metaprox
+
+#endif  // METAPROX_GRAPH_TYPES_H_

@@ -1,0 +1,275 @@
+#include "index/metagraph_vectors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/macros.h"
+
+namespace metaprox {
+
+SymPairCountingSink::SymPairCountingSink(const SymmetryInfo& sym,
+                                         uint64_t embedding_cap)
+    : sym_(sym), cap_(embedding_cap) {
+  uint8_t seen = 0;
+  for (auto [a, b] : sym_.symmetric_pairs) {
+    if (!((seen >> a) & 1u)) sym_nodes_.push_back(a);
+    if (!((seen >> b) & 1u)) sym_nodes_.push_back(b);
+    seen |= static_cast<uint8_t>((1u << a) | (1u << b));
+  }
+}
+
+bool SymPairCountingSink::OnEmbedding(std::span<const NodeId> embedding) {
+  ++num_embeddings_;
+  for (auto [a, b] : sym_.symmetric_pairs) {
+    ++pair_counts_[PairKey(embedding[a], embedding[b])];
+  }
+  // Injectivity of embeddings means each graph node occupies exactly one
+  // position, so no within-embedding dedup is needed for Eq. 2.
+  for (MetaNodeId u : sym_nodes_) ++node_counts_[embedding[u]];
+  return num_embeddings_ < cap_;
+}
+
+MetagraphVectorIndex::MetagraphVectorIndex(size_t num_metagraphs,
+                                           size_t num_graph_nodes,
+                                           CountTransform transform)
+    : num_metagraphs_(num_metagraphs),
+      transform_(transform),
+      committed_(num_metagraphs, false),
+      node_vectors_(num_graph_nodes) {}
+
+void MetagraphVectorIndex::Commit(uint32_t metagraph_index,
+                                  const SymPairCountingSink& sink,
+                                  size_t aut_size) {
+  MX_CHECK(metagraph_index < num_metagraphs_);
+  MX_CHECK_MSG(!committed_[metagraph_index], "metagraph committed twice");
+  MX_CHECK(aut_size > 0);
+  MX_CHECK(!finalized_);
+  committed_[metagraph_index] = true;
+
+  const double inv_aut = 1.0 / static_cast<double>(aut_size);
+  for (const auto& [key, count] : sink.pair_counts()) {
+    auto [it, inserted] =
+        pair_slots_.try_emplace(key, static_cast<uint32_t>(
+                                         pair_vectors_.size()));
+    if (inserted) pair_vectors_.emplace_back();
+    pair_vectors_[it->second].emplace_back(
+        metagraph_index, static_cast<float>(count * inv_aut));
+  }
+  for (const auto& [node, count] : sink.node_counts()) {
+    MX_CHECK(node < node_vectors_.size());
+    node_vectors_[node].emplace_back(metagraph_index,
+                                     static_cast<float>(count * inv_aut));
+  }
+}
+
+void MetagraphVectorIndex::Finalize() {
+  MX_CHECK(!finalized_);
+  const size_t n = node_vectors_.size();
+  std::vector<uint32_t> degree(n, 0);
+  for (const auto& [key, slot] : pair_slots_) {
+    ++degree[static_cast<NodeId>(key >> 32)];
+    ++degree[static_cast<NodeId>(key & 0xffffffffu)];
+  }
+  cand_offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) cand_offsets_[i + 1] = cand_offsets_[i] + degree[i];
+  candidates_.resize(cand_offsets_[n]);
+  std::vector<uint64_t> cursor(cand_offsets_.begin(), cand_offsets_.end() - 1);
+  for (const auto& [key, slot] : pair_slots_) {
+    NodeId x = static_cast<NodeId>(key >> 32);
+    NodeId y = static_cast<NodeId>(key & 0xffffffffu);
+    candidates_[cursor[x]++] = y;
+    candidates_[cursor[y]++] = x;
+  }
+  finalized_ = true;
+}
+
+double MetagraphVectorIndex::Transform(double raw) const {
+  switch (transform_) {
+    case CountTransform::kRaw:
+      return raw;
+    case CountTransform::kLog1p:
+      return std::log1p(raw);
+  }
+  return raw;
+}
+
+const MetagraphVectorIndex::SparseVec* MetagraphVectorIndex::FindPairVec(
+    NodeId x, NodeId y) const {
+  auto it = pair_slots_.find(PairKey(x, y));
+  if (it == pair_slots_.end()) return nullptr;
+  return &pair_vectors_[it->second];
+}
+
+double MetagraphVectorIndex::NodeDot(NodeId x,
+                                     std::span<const double> w) const {
+  MX_DCHECK(w.size() == num_metagraphs_);
+  double dot = 0.0;
+  for (const auto& [i, c] : node_vectors_[x]) dot += w[i] * Transform(c);
+  return dot;
+}
+
+double MetagraphVectorIndex::PairDot(NodeId x, NodeId y,
+                                     std::span<const double> w) const {
+  const SparseVec* vec = FindPairVec(x, y);
+  if (vec == nullptr) return 0.0;
+  double dot = 0.0;
+  for (const auto& [i, c] : *vec) dot += w[i] * Transform(c);
+  return dot;
+}
+
+void MetagraphVectorIndex::DenseNodeVector(NodeId x,
+                                           std::vector<double>* out) const {
+  out->assign(num_metagraphs_, 0.0);
+  for (const auto& [i, c] : node_vectors_[x]) (*out)[i] = Transform(c);
+}
+
+void MetagraphVectorIndex::DensePairVector(NodeId x, NodeId y,
+                                           std::vector<double>* out) const {
+  out->assign(num_metagraphs_, 0.0);
+  const SparseVec* vec = FindPairVec(x, y);
+  if (vec == nullptr) return;
+  for (const auto& [i, c] : *vec) (*out)[i] = Transform(c);
+}
+
+void MetagraphVectorIndex::SparseNodeVector(
+    NodeId x, std::vector<std::pair<uint32_t, double>>* out) const {
+  for (const auto& [i, c] : node_vectors_[x]) {
+    out->emplace_back(i, Transform(c));
+  }
+}
+
+void MetagraphVectorIndex::SparsePairVector(
+    NodeId x, NodeId y,
+    std::vector<std::pair<uint32_t, double>>* out) const {
+  const SparseVec* vec = FindPairVec(x, y);
+  if (vec == nullptr) return;
+  for (const auto& [i, c] : *vec) out->emplace_back(i, Transform(c));
+}
+
+std::span<const NodeId> MetagraphVectorIndex::Candidates(NodeId x) const {
+  MX_CHECK_MSG(finalized_, "Finalize() must be called before Candidates()");
+  return {candidates_.data() + cand_offsets_[x],
+          candidates_.data() + cand_offsets_[x + 1]};
+}
+
+namespace {
+constexpr char kIndexMagic[] = "metaprox-index v1";
+}  // namespace
+
+util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
+  os << kIndexMagic << '\n';
+  os << num_metagraphs_ << ' ' << node_vectors_.size() << ' '
+     << static_cast<int>(transform_) << '\n';
+  os << "committed";
+  for (size_t i = 0; i < num_metagraphs_; ++i) {
+    os << ' ' << (committed_[i] ? 1 : 0);
+  }
+  os << '\n';
+  size_t nonempty_nodes = 0;
+  for (const auto& vec : node_vectors_) nonempty_nodes += !vec.empty();
+  os << "nodes " << nonempty_nodes << '\n';
+  for (NodeId v = 0; v < node_vectors_.size(); ++v) {
+    const SparseVec& vec = node_vectors_[v];
+    if (vec.empty()) continue;
+    os << v << ' ' << vec.size();
+    for (const auto& [i, c] : vec) os << ' ' << i << ' ' << c;
+    os << '\n';
+  }
+  os << "pairs " << pair_slots_.size() << '\n';
+  for (const auto& [key, slot] : pair_slots_) {
+    const SparseVec& vec = pair_vectors_[slot];
+    os << key << ' ' << vec.size();
+    for (const auto& [i, c] : vec) os << ' ' << i << ' ' << c;
+    os << '\n';
+  }
+  if (!os.good()) return util::Status::IoError("index write failed");
+  return util::Status::Ok();
+}
+
+util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadFrom(
+    std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kIndexMagic) {
+    return util::Status::InvalidArgument("missing metaprox-index v1 header");
+  }
+  size_t num_metagraphs = 0, num_nodes = 0;
+  int transform = 0;
+  is >> num_metagraphs >> num_nodes >> transform;
+  if (!is || transform < 0 || transform > 1) {
+    return util::Status::InvalidArgument("bad index dimensions");
+  }
+  MetagraphVectorIndex index(num_metagraphs, num_nodes,
+                             static_cast<CountTransform>(transform));
+  std::string word;
+  is >> word;
+  if (word != "committed") {
+    return util::Status::InvalidArgument("missing committed section");
+  }
+  for (size_t i = 0; i < num_metagraphs; ++i) {
+    int flag = 0;
+    is >> flag;
+    index.committed_[i] = flag != 0;
+  }
+  size_t count = 0;
+  is >> word >> count;
+  if (!is || word != "nodes") {
+    return util::Status::InvalidArgument("missing nodes section");
+  }
+  for (size_t n = 0; n < count; ++n) {
+    uint64_t v = 0;
+    size_t entries = 0;
+    is >> v >> entries;
+    if (!is || v >= num_nodes) {
+      return util::Status::InvalidArgument("bad node vector row");
+    }
+    SparseVec vec;
+    vec.reserve(entries);
+    for (size_t e = 0; e < entries; ++e) {
+      uint32_t i = 0;
+      float c = 0;
+      is >> i >> c;
+      if (!is || i >= num_metagraphs) {
+        return util::Status::InvalidArgument("bad node vector entry");
+      }
+      vec.emplace_back(i, c);
+    }
+    index.node_vectors_[v] = std::move(vec);
+  }
+  is >> word >> count;
+  if (!is || word != "pairs") {
+    return util::Status::InvalidArgument("missing pairs section");
+  }
+  for (size_t n = 0; n < count; ++n) {
+    uint64_t key = 0;
+    size_t entries = 0;
+    is >> key >> entries;
+    if (!is) return util::Status::InvalidArgument("bad pair vector row");
+    NodeId x = static_cast<NodeId>(key >> 32);
+    NodeId y = static_cast<NodeId>(key & 0xffffffffu);
+    if (x >= num_nodes || y >= num_nodes) {
+      return util::Status::InvalidArgument("pair key out of range");
+    }
+    SparseVec vec;
+    vec.reserve(entries);
+    for (size_t e = 0; e < entries; ++e) {
+      uint32_t i = 0;
+      float c = 0;
+      is >> i >> c;
+      if (!is || i >= num_metagraphs) {
+        return util::Status::InvalidArgument("bad pair vector entry");
+      }
+      vec.emplace_back(i, c);
+    }
+    index.pair_slots_.emplace(key,
+                              static_cast<uint32_t>(index.pair_vectors_.size()));
+    index.pair_vectors_.push_back(std::move(vec));
+  }
+  index.Finalize();
+  return index;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,144 @@
+// Metagraph vectors (Sect. II, Eq. 1-2) and their sparse index.
+//
+// For a set of metagraphs M = {M_1, ..., M_|M|}:
+//   m_xy[i] = #instances of M_i containing x and y at symmetric positions,
+//   m_x[i]  = #instances of M_i containing x at a symmetric position.
+//
+// Matchers enumerate embeddings; each instance of M_i is hit by exactly
+// |Aut(M_i)| embeddings and the "symmetric position" predicates are
+// invariant under automorphisms, so we accumulate per-embedding counts and
+// divide by |Aut(M_i)| on commit.
+//
+// Storage is sparse: a pair slot table keyed by (min(x,y), max(x,y)) plus
+// per-node postings, which is what makes the online phase (Fig. 3) a pure
+// lookup: the candidates for query q are exactly the nodes sharing a pair
+// slot with q.
+#ifndef METAPROX_INDEX_METAGRAPH_VECTORS_H_
+#define METAPROX_INDEX_METAGRAPH_VECTORS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "matching/instance_sink.h"
+#include "metagraph/automorphism.h"
+#include "util/status.h"
+
+namespace metaprox {
+
+/// Packs an unordered node pair into a 64-bit key.
+inline uint64_t PairKey(NodeId x, NodeId y) {
+  if (x > y) std::swap(x, y);
+  return (static_cast<uint64_t>(x) << 32) | y;
+}
+
+/// Count transform applied when vectors are read (the paper suggests e.g.
+/// logarithmic transforms of the raw counts).
+enum class CountTransform { kRaw, kLog1p };
+
+/// Accumulates the per-embedding contributions of one metagraph's matching
+/// run (to be committed into MetagraphVectorIndex afterwards).
+class SymPairCountingSink : public InstanceSink {
+ public:
+  /// `sym` must outlive the sink. `embedding_cap` bounds the number of
+  /// embeddings processed; the run aborts (saturated) beyond it.
+  SymPairCountingSink(const SymmetryInfo& sym, uint64_t embedding_cap);
+
+  bool OnEmbedding(std::span<const NodeId> embedding) override;
+
+  const std::unordered_map<uint64_t, uint64_t>& pair_counts() const {
+    return pair_counts_;
+  }
+  const std::unordered_map<NodeId, uint64_t>& node_counts() const {
+    return node_counts_;
+  }
+  uint64_t num_embeddings() const { return num_embeddings_; }
+  bool saturated() const { return num_embeddings_ >= cap_; }
+
+ private:
+  const SymmetryInfo& sym_;
+  uint64_t cap_;
+  uint64_t num_embeddings_ = 0;
+  std::vector<MetaNodeId> sym_nodes_;  // nodes in >= 1 symmetric pair
+  std::unordered_map<uint64_t, uint64_t> pair_counts_;
+  std::unordered_map<NodeId, uint64_t> node_counts_;
+};
+
+/// The committed, queryable index of metagraph vectors.
+class MetagraphVectorIndex {
+ public:
+  MetagraphVectorIndex(size_t num_metagraphs, size_t num_graph_nodes,
+                       CountTransform transform = CountTransform::kLog1p);
+
+  /// Commits one metagraph's accumulated counts, dividing by aut_size.
+  void Commit(uint32_t metagraph_index, const SymPairCountingSink& sink,
+              size_t aut_size);
+
+  /// Builds per-node postings. Call once after all Commits.
+  void Finalize();
+
+  size_t num_metagraphs() const { return num_metagraphs_; }
+  size_t num_pairs() const { return pair_vectors_.size(); }
+  bool IsCommitted(uint32_t metagraph_index) const {
+    return committed_[metagraph_index];
+  }
+
+  /// m_x . w (transformed counts).
+  double NodeDot(NodeId x, std::span<const double> w) const;
+
+  /// m_xy . w (transformed counts).
+  double PairDot(NodeId x, NodeId y, std::span<const double> w) const;
+
+  /// Writes the transformed dense m_x into `out` (resized to |M|, zeroed).
+  void DenseNodeVector(NodeId x, std::vector<double>* out) const;
+
+  /// Writes the transformed dense m_xy into `out`.
+  void DensePairVector(NodeId x, NodeId y, std::vector<double>* out) const;
+
+  /// Appends (metagraph index, transformed count) entries of m_x to `out`.
+  /// Sparse accessor used by the trainer's hot loop.
+  void SparseNodeVector(NodeId x,
+                        std::vector<std::pair<uint32_t, double>>* out) const;
+
+  /// Appends (metagraph index, transformed count) entries of m_xy to `out`.
+  void SparsePairVector(NodeId x, NodeId y,
+                        std::vector<std::pair<uint32_t, double>>* out) const;
+
+  /// Nodes that co-occur with x in at least one instance at symmetric
+  /// positions — the online candidate set for query x.
+  std::span<const NodeId> Candidates(NodeId x) const;
+
+  double Transform(double raw) const;
+
+  /// Serializes the committed vectors (finalized or not) to a text stream.
+  /// The postings are rebuilt on load, so only the raw stores are written.
+  util::Status WriteTo(std::ostream& os) const;
+
+  /// Reads an index written by WriteTo. The result is finalized.
+  static util::StatusOr<MetagraphVectorIndex> ReadFrom(std::istream& is);
+
+ private:
+  using SparseVec = std::vector<std::pair<uint32_t, float>>;
+
+  const SparseVec* FindPairVec(NodeId x, NodeId y) const;
+
+  size_t num_metagraphs_;
+  CountTransform transform_;
+  std::vector<bool> committed_;
+
+  std::unordered_map<uint64_t, uint32_t> pair_slots_;
+  std::vector<SparseVec> pair_vectors_;
+  std::vector<SparseVec> node_vectors_;  // indexed by NodeId
+
+  // CSR postings: candidates_[cand_offsets_[x] .. cand_offsets_[x+1])
+  std::vector<uint64_t> cand_offsets_;
+  std::vector<NodeId> candidates_;
+  bool finalized_ = false;
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_INDEX_METAGRAPH_VECTORS_H_

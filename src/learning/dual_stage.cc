@@ -1,0 +1,156 @@
+#include "learning/dual_stage.h"
+
+#include <algorithm>
+
+#include "metagraph/mcs.h"
+#include "util/macros.h"
+
+namespace metaprox {
+
+double StructuralSimilarityCache::Get(
+    const std::vector<MinedMetagraph>& metagraphs, uint32_t i, uint32_t j) {
+  if (i > j) std::swap(i, j);
+  uint64_t key = (static_cast<uint64_t>(i) << 32) | j;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  double ss = StructuralSimilarity(metagraphs[i].graph, metagraphs[j].graph);
+  cache_.emplace(key, ss);
+  return ss;
+}
+
+double FunctionalSimilarity(std::span<const double> weights, uint32_t i,
+                            uint32_t j) {
+  return 1.0 - std::abs(weights[i] - weights[j]);
+}
+
+std::vector<double> PerMetagraphPairwiseAccuracy(
+    const MetagraphVectorIndex& index, std::span<const Example> examples,
+    std::span<const uint32_t> indices) {
+  const size_t m = index.num_metagraphs();
+  std::vector<double> correct(m, 0.0);
+  std::vector<double> scores(m, 0.0);
+  if (examples.empty() || indices.empty()) return scores;
+
+  // Dense scratch vectors with reuse across examples.
+  std::vector<double> qx(m), qy(m), nq(m), nx(m), ny(m);
+  std::vector<std::pair<uint32_t, double>> sparse;
+  auto load = [&](std::vector<double>& dst, auto&& fetch) {
+    std::fill(dst.begin(), dst.end(), 0.0);
+    sparse.clear();
+    fetch();
+    for (const auto& [i, c] : sparse) dst[i] = c;
+  };
+
+  for (const Example& e : examples) {
+    load(qx, [&] { index.SparsePairVector(e.q, e.x, &sparse); });
+    load(qy, [&] { index.SparsePairVector(e.q, e.y, &sparse); });
+    load(nq, [&] { index.SparseNodeVector(e.q, &sparse); });
+    load(nx, [&] { index.SparseNodeVector(e.x, &sparse); });
+    load(ny, [&] { index.SparseNodeVector(e.y, &sparse); });
+    for (uint32_t i : indices) {
+      const double bx = nq[i] + nx[i];
+      const double by = nq[i] + ny[i];
+      const double pix = bx > 0.0 ? 2.0 * qx[i] / bx : 0.0;
+      const double piy = by > 0.0 ? 2.0 * qy[i] / by : 0.0;
+      if (pix > piy) {
+        correct[i] += 1.0;
+      } else if (pix == piy) {
+        correct[i] += 0.5;
+      }
+    }
+  }
+  const double n = static_cast<double>(examples.size());
+  for (uint32_t i : indices) {
+    const double acc = correct[i] / n;
+    scores[i] = std::clamp(2.0 * (acc - 0.5), 0.0, 1.0);
+  }
+  return scores;
+}
+
+std::vector<double> ComputeCandidateHeuristic(
+    const std::vector<MinedMetagraph>& metagraphs,
+    std::span<const uint32_t> seeds, std::span<const double> seed_weights,
+    StructuralSimilarityCache* cache) {
+  std::vector<bool> is_seed(metagraphs.size(), false);
+  for (uint32_t s : seeds) is_seed[s] = true;
+
+  std::vector<double> scores(metagraphs.size(), -1.0);
+  for (uint32_t j = 0; j < metagraphs.size(); ++j) {
+    if (is_seed[j]) continue;
+    double h = 0.0;
+    for (uint32_t i : seeds) {
+      const double w0 = seed_weights[i];
+      if (w0 <= 0.0) continue;
+      h = std::max(h, w0 * cache->Get(metagraphs, i, j));
+    }
+    scores[j] = h;
+  }
+  return scores;
+}
+
+DualStageResult TrainDualStage(
+    const std::vector<MinedMetagraph>& metagraphs, MetagraphVectorIndex& index,
+    std::span<const Example> examples, const DualStageOptions& options,
+    const std::function<void(std::span<const uint32_t>)>& match_and_commit,
+    StructuralSimilarityCache* ss_cache) {
+  MX_CHECK(metagraphs.size() == index.num_metagraphs());
+  DualStageResult result;
+
+  // Seed stage: K0 = all metapaths (Alg. 1, line 1).
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    if (metagraphs[i].is_path) result.seeds.push_back(i);
+  }
+  std::vector<uint32_t> to_match;
+  for (uint32_t i : result.seeds) {
+    if (!index.IsCommitted(i)) to_match.push_back(i);
+  }
+  if (!to_match.empty()) match_and_commit(to_match);
+
+  // Seed model (reported; jointly trained as in Alg. 1 line 3).
+  TrainOptions seed_train = options.train;
+  seed_train.active = result.seeds;
+  result.seed_stage = TrainMgp(index, examples, seed_train);
+
+  // Candidate stage: rank M \ K0 by H (Alg. 1, lines 4-5). The per-seed
+  // usefulness driving H comes from one-hot pairwise accuracy (see header):
+  // it preserves every useful seed direction where joint training would
+  // keep only one arbitrary winner among correlated seeds.
+  std::vector<double> seed_scores =
+      PerMetagraphPairwiseAccuracy(index, examples, result.seeds);
+  StructuralSimilarityCache local_cache;
+  StructuralSimilarityCache* cache =
+      ss_cache != nullptr ? ss_cache : &local_cache;
+  result.heuristic_scores =
+      ComputeCandidateHeuristic(metagraphs, result.seeds, seed_scores, cache);
+
+  std::vector<uint32_t> ranked;
+  for (uint32_t j = 0; j < metagraphs.size(); ++j) {
+    if (result.heuristic_scores[j] >= 0.0) ranked.push_back(j);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [&](uint32_t a, uint32_t b) {
+    return result.heuristic_scores[a] > result.heuristic_scores[b];
+  });
+  if (options.reverse_heuristic) {
+    std::reverse(ranked.begin(), ranked.end());
+  }
+  const size_t take = std::min(options.num_candidates, ranked.size());
+  result.candidates.assign(ranked.begin(),
+                           ranked.begin() + static_cast<int64_t>(take));
+
+  to_match.clear();
+  for (uint32_t i : result.candidates) {
+    if (!index.IsCommitted(i)) to_match.push_back(i);
+  }
+  if (!to_match.empty()) match_and_commit(to_match);
+
+  // Final stage: train over K0 ∪ K (Alg. 1, line 7).
+  TrainOptions final_train = options.train;
+  final_train.active = result.seeds;
+  final_train.active.insert(final_train.active.end(),
+                            result.candidates.begin(),
+                            result.candidates.end());
+  result.final_stage = TrainMgp(index, examples, final_train);
+  return result;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,87 @@
+// Dual-stage training (Sect. III-C, Alg. 1).
+//
+// Stage 1 (seed stage): the seeds K0 are all metapaths — they are cheap to
+// recognize, fast to match, and few. Their weights w0 are trained first.
+// Stage 2 (candidate stage): the remaining metagraphs are ranked by the
+// candidate heuristic (Eq. 7)
+//
+//   H(Mj) = max over seeds Mi of { w0[i] * SS(Mi, Mj) }
+//
+// (structurally similar metagraphs tend to be functionally similar, Fig. 9);
+// only the top-|K| candidates are matched, and the final model is trained
+// on K0 ∪ K. Everything else is never matched — this is where the paper's
+// 83% matching-cost reduction comes from.
+#ifndef METAPROX_LEARNING_DUAL_STAGE_H_
+#define METAPROX_LEARNING_DUAL_STAGE_H_
+
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "learning/trainer.h"
+#include "mining/miner.h"
+
+namespace metaprox {
+
+/// Memoizes SS(Mi, Mj) across dual-stage invocations (Fig. 8/10 sweep many
+/// candidate-set sizes over the same metagraph set).
+class StructuralSimilarityCache {
+ public:
+  double Get(const std::vector<MinedMetagraph>& metagraphs, uint32_t i,
+             uint32_t j);
+
+ private:
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+struct DualStageOptions {
+  size_t num_candidates = 50;      // |K|
+  bool reverse_heuristic = false;  // RCH ablation (Fig. 10)
+  TrainOptions train;
+};
+
+struct DualStageResult {
+  std::vector<uint32_t> seeds;       // K0 (metapath indices)
+  std::vector<uint32_t> candidates;  // K (selected by H)
+  TrainResult seed_stage;            // w0
+  TrainResult final_stage;           // w* over K0 ∪ K
+  /// H score per metagraph (global index); -1 for seeds.
+  std::vector<double> heuristic_scores;
+};
+
+/// Functional similarity FS(Mi, Mj) = 1 - |w[i] - w[j]| (Sect. III-C).
+double FunctionalSimilarity(std::span<const double> weights, uint32_t i,
+                            uint32_t j);
+
+/// Per-metagraph usefulness scores in [0, 1] from the training triplets:
+/// the one-hot pairwise accuracy of each metagraph alone (fraction of
+/// examples where pi_i(q,x) > pi_i(q,y)), rescaled so that chance level
+/// (0.5) maps to 0. This is the seed "function" estimate that drives the
+/// candidate heuristic: joint gradient training of correlated seeds is
+/// winner-take-all (one of several interchangeable seeds absorbs all the
+/// weight), whereas H needs every useful seed direction to score high.
+/// Entries not in `indices` are 0.
+std::vector<double> PerMetagraphPairwiseAccuracy(
+    const MetagraphVectorIndex& index, std::span<const Example> examples,
+    std::span<const uint32_t> indices);
+
+/// Computes H(Mj) for every non-seed metagraph given seed weights w0
+/// (full-length weight vector). Seeds get -1.
+std::vector<double> ComputeCandidateHeuristic(
+    const std::vector<MinedMetagraph>& metagraphs,
+    std::span<const uint32_t> seeds, std::span<const double> seed_weights,
+    StructuralSimilarityCache* cache);
+
+/// Runs Alg. 1. `match_and_commit` must match the given metagraphs (global
+/// indices) into `index`; it is called once for the not-yet-committed seeds
+/// and once for the selected candidates.
+DualStageResult TrainDualStage(
+    const std::vector<MinedMetagraph>& metagraphs, MetagraphVectorIndex& index,
+    std::span<const Example> examples, const DualStageOptions& options,
+    const std::function<void(std::span<const uint32_t>)>& match_and_commit,
+    StructuralSimilarityCache* ss_cache = nullptr);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_LEARNING_DUAL_STAGE_H_

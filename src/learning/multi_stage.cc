@@ -1,0 +1,116 @@
+#include "learning/multi_stage.h"
+
+#include <algorithm>
+
+#include "learning/proximity.h"
+#include "util/macros.h"
+
+namespace metaprox {
+
+double PairwiseAccuracy(const MetagraphVectorIndex& index,
+                        std::span<const Example> examples,
+                        std::span<const double> weights) {
+  if (examples.empty()) return 0.0;
+  double correct = 0.0;
+  for (const Example& e : examples) {
+    double px = MgpProximity(index, weights, e.q, e.x);
+    double py = MgpProximity(index, weights, e.q, e.y);
+    if (px > py) {
+      correct += 1.0;
+    } else if (px == py) {
+      correct += 0.5;
+    }
+  }
+  return correct / static_cast<double>(examples.size());
+}
+
+MultiStageResult TrainMultiStage(
+    const std::vector<MinedMetagraph>& metagraphs, MetagraphVectorIndex& index,
+    std::span<const Example> examples, const MultiStageOptions& options,
+    const std::function<void(std::span<const uint32_t>)>& match_and_commit,
+    StructuralSimilarityCache* ss_cache) {
+  MX_CHECK(metagraphs.size() == index.num_metagraphs());
+  MultiStageResult result;
+
+  // Train/validation split of the examples (deterministic: trailing slice).
+  const size_t n_val = std::min(
+      examples.size(),
+      std::max<size_t>(1, static_cast<size_t>(options.validation_fraction *
+                                              static_cast<double>(
+                                                  examples.size()))));
+  auto train_ex = examples.subspan(0, examples.size() - n_val);
+  auto val_ex = examples.subspan(examples.size() - n_val);
+  if (train_ex.empty()) train_ex = examples;
+
+  // Seed stage: metapaths, exactly as in dual-stage.
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    if (metagraphs[i].is_path) result.seeds.push_back(i);
+  }
+  std::vector<uint32_t> to_match;
+  for (uint32_t i : result.seeds) {
+    if (!index.IsCommitted(i)) to_match.push_back(i);
+  }
+  if (!to_match.empty()) match_and_commit(to_match);
+
+  std::vector<uint32_t> active = result.seeds;
+  TrainOptions train = options.train;
+  train.active = active;
+  TrainResult model = TrainMgp(index, train_ex, train);
+  double accuracy = PairwiseAccuracy(index, val_ex, model.weights);
+  result.accuracy_trace.push_back(accuracy);
+
+  StructuralSimilarityCache local_cache;
+  StructuralSimilarityCache* cache =
+      ss_cache != nullptr ? ss_cache : &local_cache;
+
+  std::vector<bool> taken(metagraphs.size(), false);
+  for (uint32_t s : result.seeds) taken[s] = true;
+
+  for (size_t stage = 0; stage < options.max_stages; ++stage) {
+    if (accuracy >= options.target_accuracy) break;
+
+    // Re-score the remaining metagraphs against the enlarged seed set: the
+    // per-metagraph usefulness of everything matched so far drives H.
+    std::vector<double> scores =
+        PerMetagraphPairwiseAccuracy(index, train_ex, active);
+    std::vector<double> h = ComputeCandidateHeuristic(
+        metagraphs, active, scores, cache);
+
+    std::vector<uint32_t> ranked;
+    for (uint32_t j = 0; j < metagraphs.size(); ++j) {
+      if (!taken[j] && h[j] >= 0.0) ranked.push_back(j);
+    }
+    if (ranked.empty()) break;
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&](uint32_t a, uint32_t b) { return h[a] > h[b]; });
+
+    std::vector<uint32_t> batch(
+        ranked.begin(),
+        ranked.begin() +
+            static_cast<int64_t>(std::min(options.batch_size, ranked.size())));
+    to_match.clear();
+    for (uint32_t i : batch) {
+      taken[i] = true;
+      if (!index.IsCommitted(i)) to_match.push_back(i);
+    }
+    if (!to_match.empty()) match_and_commit(to_match);
+
+    active.insert(active.end(), batch.begin(), batch.end());
+    result.batches.push_back(std::move(batch));
+
+    train.active = active;
+    model = TrainMgp(index, train_ex, train);
+    double new_accuracy = PairwiseAccuracy(index, val_ex, model.weights);
+    result.accuracy_trace.push_back(new_accuracy);
+    const double improvement = new_accuracy - accuracy;
+    accuracy = std::max(accuracy, new_accuracy);
+    if (improvement < options.min_improvement && stage > 0) break;
+  }
+
+  // Final model over everything matched.
+  train.active = active;
+  result.final_stage = TrainMgp(index, examples, train);
+  return result;
+}
+
+}  // namespace metaprox

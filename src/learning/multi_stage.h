@@ -1,0 +1,69 @@
+// Multi-stage training — the progressive generalization of dual-stage
+// training the paper sketches at the end of Sect. III-C:
+//
+//   "we can extend this approach to a multi-stage process, such that the
+//    candidates K are identified not all in one stage, but progressively in
+//    multiple stages. In each stage, we identify a small batch of
+//    candidates K_i, treating K0 and previously identified candidates
+//    K_1 ... K_{i-1} as the new seeds. Essentially, we gradually add more
+//    candidates, and stop once the training accuracy becomes acceptable."
+//
+// The stop criterion here is the trained model's pairwise accuracy on a
+// held-out validation slice of the training triplets; each stage re-scores
+// the not-yet-matched metagraphs against the enlarged seed set.
+#ifndef METAPROX_LEARNING_MULTI_STAGE_H_
+#define METAPROX_LEARNING_MULTI_STAGE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "learning/dual_stage.h"
+#include "learning/trainer.h"
+#include "mining/miner.h"
+
+namespace metaprox {
+
+struct MultiStageOptions {
+  size_t batch_size = 15;        // |K_i| per stage
+  size_t max_stages = 8;         // excluding the seed stage
+  /// Stop once validation pairwise accuracy reaches this level.
+  double target_accuracy = 0.95;
+  /// Stop when a stage improves validation accuracy by less than this.
+  double min_improvement = 0.002;
+  /// Fraction of the examples held out for the stop criterion.
+  double validation_fraction = 0.25;
+  TrainOptions train;
+};
+
+struct MultiStageResult {
+  std::vector<uint32_t> seeds;
+  /// Candidate batches, one per executed stage.
+  std::vector<std::vector<uint32_t>> batches;
+  TrainResult final_stage;
+  /// Validation pairwise accuracy after the seed stage and each batch.
+  std::vector<double> accuracy_trace;
+  size_t total_matched() const {
+    size_t n = seeds.size();
+    for (const auto& b : batches) n += b.size();
+    return n;
+  }
+};
+
+/// Pairwise accuracy of a full weight vector on examples: the fraction with
+/// pi(q,x;w) > pi(q,y;w) (ties count 1/2).
+double PairwiseAccuracy(const MetagraphVectorIndex& index,
+                        std::span<const Example> examples,
+                        std::span<const double> weights);
+
+/// Runs the multi-stage process. `match_and_commit` matches the given
+/// metagraphs into `index` (same contract as TrainDualStage).
+MultiStageResult TrainMultiStage(
+    const std::vector<MinedMetagraph>& metagraphs, MetagraphVectorIndex& index,
+    std::span<const Example> examples, const MultiStageOptions& options,
+    const std::function<void(std::span<const uint32_t>)>& match_and_commit,
+    StructuralSimilarityCache* ss_cache = nullptr);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_LEARNING_MULTI_STAGE_H_

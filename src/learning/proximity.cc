@@ -1,0 +1,41 @@
+#include "learning/proximity.h"
+
+#include <algorithm>
+
+namespace metaprox {
+
+double MgpProximity(const MetagraphVectorIndex& index,
+                    std::span<const double> weights, NodeId x, NodeId y) {
+  if (x == y) return 1.0;
+  const double numer = 2.0 * index.PairDot(x, y, weights);
+  if (numer <= 0.0) return 0.0;
+  const double denom = index.NodeDot(x, weights) + index.NodeDot(y, weights);
+  if (denom <= 0.0) return 0.0;
+  return numer / denom;
+}
+
+std::vector<std::pair<NodeId, double>> RankByProximity(
+    const MetagraphVectorIndex& index, std::span<const double> weights,
+    NodeId q, std::span<const NodeId> candidates, size_t k) {
+  std::vector<std::pair<NodeId, double>> scored;
+  scored.reserve(candidates.size());
+  const double q_dot = index.NodeDot(q, weights);
+  for (NodeId y : candidates) {
+    if (y == q) continue;
+    const double numer = 2.0 * index.PairDot(q, y, weights);
+    if (numer <= 0.0) continue;
+    const double denom = q_dot + index.NodeDot(y, weights);
+    if (denom <= 0.0) continue;
+    scored.emplace_back(y, numer / denom);
+  }
+  const size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<int64_t>(take),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,259 @@
+#include "learning/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+// Sparse vector over *local* (active-set) dimensions.
+using Sparse = std::vector<std::pair<uint32_t, double>>;
+
+// Training working set: deduplicated sparse pair/node vectors plus the
+// examples expressed as indices into them.
+struct Prepared {
+  std::vector<Sparse> pair_vecs;
+  std::vector<Sparse> node_vecs;
+  struct Ex {
+    uint32_t qx;      // pair vec index of (q, x)
+    uint32_t qy;      // pair vec index of (q, y)
+    uint32_t q, x, y; // node vec indices
+  };
+  std::vector<Ex> examples;
+};
+
+double Dot(const Sparse& v, const std::vector<double>& w) {
+  double dot = 0.0;
+  for (const auto& [i, c] : v) dot += w[i] * c;
+  return dot;
+}
+
+Prepared PrepareExamples(const MetagraphVectorIndex& index,
+                         std::span<const Example> examples,
+                         const std::vector<int32_t>& local_of) {
+  Prepared prep;
+  std::unordered_map<uint64_t, uint32_t> pair_ids;
+  std::unordered_map<NodeId, uint32_t> node_ids;
+  std::vector<std::pair<uint32_t, double>> scratch;
+
+  auto remap = [&](Sparse& out) {
+    out.clear();
+    for (const auto& [gi, c] : scratch) {
+      int32_t li = local_of[gi];
+      if (li >= 0) out.emplace_back(static_cast<uint32_t>(li), c);
+    }
+  };
+  auto intern_pair = [&](NodeId a, NodeId b) -> uint32_t {
+    uint64_t key = PairKey(a, b);
+    auto [it, inserted] =
+        pair_ids.try_emplace(key, static_cast<uint32_t>(prep.pair_vecs.size()));
+    if (inserted) {
+      scratch.clear();
+      index.SparsePairVector(a, b, &scratch);
+      prep.pair_vecs.emplace_back();
+      remap(prep.pair_vecs.back());
+    }
+    return it->second;
+  };
+  auto intern_node = [&](NodeId v) -> uint32_t {
+    auto [it, inserted] =
+        node_ids.try_emplace(v, static_cast<uint32_t>(prep.node_vecs.size()));
+    if (inserted) {
+      scratch.clear();
+      index.SparseNodeVector(v, &scratch);
+      prep.node_vecs.emplace_back();
+      remap(prep.node_vecs.back());
+    }
+    return it->second;
+  };
+
+  prep.examples.reserve(examples.size());
+  for (const Example& e : examples) {
+    Prepared::Ex ex;
+    ex.qx = intern_pair(e.q, e.x);
+    ex.qy = intern_pair(e.q, e.y);
+    ex.q = intern_node(e.q);
+    ex.x = intern_node(e.x);
+    ex.y = intern_node(e.y);
+    prep.examples.push_back(ex);
+  }
+  return prep;
+}
+
+// One ascent run from `w0`; returns final (w, L, iters).
+struct RunResult {
+  std::vector<double> w;
+  double ll = -1e300;
+  int iters = 0;
+};
+
+RunResult RunAscent(const Prepared& prep, std::vector<double> w,
+                    const TrainOptions& opt) {
+  const size_t d = w.size();
+  const double inv_n =
+      prep.examples.empty() ? 0.0 : 1.0 / static_cast<double>(
+                                              prep.examples.size());
+
+  std::vector<double> pair_dots(prep.pair_vecs.size());
+  std::vector<double> node_dots(prep.node_vecs.size());
+  std::vector<double> pair_coef(prep.pair_vecs.size());
+  std::vector<double> node_coef(prep.node_vecs.size());
+  std::vector<double> grad(d);
+
+  double lr = opt.learning_rate;
+  double prev_ll = -1e300;
+  RunResult result;
+  result.w = w;
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    for (size_t i = 0; i < prep.pair_vecs.size(); ++i) {
+      pair_dots[i] = Dot(prep.pair_vecs[i], w);
+    }
+    for (size_t i = 0; i < prep.node_vecs.size(); ++i) {
+      node_dots[i] = Dot(prep.node_vecs[i], w);
+    }
+    std::fill(pair_coef.begin(), pair_coef.end(), 0.0);
+    std::fill(node_coef.begin(), node_coef.end(), 0.0);
+
+    double ll = 0.0;
+    for (const auto& ex : prep.examples) {
+      const double a1 = pair_dots[ex.qx];
+      const double b1 = node_dots[ex.q] + node_dots[ex.x];
+      const double a2 = pair_dots[ex.qy];
+      const double b2 = node_dots[ex.q] + node_dots[ex.y];
+      const double pi1 = b1 > 0.0 ? 2.0 * a1 / b1 : 0.0;
+      const double pi2 = b2 > 0.0 ? 2.0 * a2 / b2 : 0.0;
+      const double p =
+          1.0 / (1.0 + std::exp(-opt.mu * (pi1 - pi2)));
+      ll += std::log(std::max(p, 1e-300));
+
+      // dL/dw = mu (1 - P) (dpi1/dw - dpi2/dw); accumulate scalar
+      // coefficients on the shared sparse vectors.
+      const double c = opt.mu * (1.0 - p) * inv_n;
+      if (b1 > 0.0) {
+        pair_coef[ex.qx] += c * 2.0 / b1;
+        const double nc = -c * 2.0 * a1 / (b1 * b1);
+        node_coef[ex.q] += nc;
+        node_coef[ex.x] += nc;
+      }
+      if (b2 > 0.0) {
+        pair_coef[ex.qy] -= c * 2.0 / b2;
+        const double nc = c * 2.0 * a2 / (b2 * b2);
+        node_coef[ex.q] += nc;
+        node_coef[ex.y] += nc;
+      }
+    }
+
+    if (ll > result.ll) {
+      result.ll = ll;
+      result.w = w;
+      result.iters = iter;
+    }
+    if (std::abs(ll - prev_ll) <=
+        opt.tolerance * (std::abs(prev_ll) + 1e-12)) {
+      break;
+    }
+    prev_ll = ll;
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < prep.pair_vecs.size(); ++i) {
+      if (pair_coef[i] == 0.0) continue;
+      for (const auto& [j, c] : prep.pair_vecs[i]) grad[j] += pair_coef[i] * c;
+    }
+    for (size_t i = 0; i < prep.node_vecs.size(); ++i) {
+      if (node_coef[i] == 0.0) continue;
+      for (const auto& [j, c] : prep.node_vecs[i]) grad[j] += node_coef[i] * c;
+    }
+
+    for (size_t j = 0; j < d; ++j) {
+      w[j] = std::clamp(w[j] + lr * grad[j], 0.0, 1.0);
+    }
+    if ((iter + 1) % opt.decay_every == 0) lr *= opt.lr_decay;
+  }
+  return result;
+}
+
+}  // namespace
+
+TrainResult TrainMgp(const MetagraphVectorIndex& index,
+                     std::span<const Example> examples,
+                     const TrainOptions& options) {
+  const size_t total = index.num_metagraphs();
+
+  // Resolve the active set: requested indices that are actually committed,
+  // or all committed metagraphs.
+  std::vector<uint32_t> active;
+  if (options.active.empty()) {
+    for (uint32_t i = 0; i < total; ++i) {
+      if (index.IsCommitted(i)) active.push_back(i);
+    }
+  } else {
+    for (uint32_t i : options.active) {
+      MX_CHECK(i < total);
+      if (index.IsCommitted(i)) active.push_back(i);
+    }
+  }
+
+  TrainResult out;
+  out.weights.assign(total, 0.0);
+  if (active.empty() || examples.empty()) return out;
+
+  std::vector<int32_t> local_of(total, -1);
+  for (size_t li = 0; li < active.size(); ++li) {
+    local_of[active[li]] = static_cast<int32_t>(li);
+  }
+
+  Prepared prep = PrepareExamples(index, examples, local_of);
+
+  util::Rng rng(options.seed);
+  RunResult best;
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    // Low-biased initialization: weights rise toward 1 only on positive
+    // evidence and sink to 0 on negative evidence, while metagraphs that
+    // never appear in the training examples keep their (small-ish) initial
+    // value. This reproduces the paper's Fig. 4 profile: a short head of
+    // large weights decaying into a long low tail.
+    std::vector<double> w0(active.size());
+    for (double& v : w0) v = rng.UniformDouble(0.0, 0.5);
+    RunResult run = RunAscent(prep, std::move(w0), options);
+    if (run.ll > best.ll) best = std::move(run);
+  }
+
+  for (size_t li = 0; li < active.size(); ++li) {
+    out.weights[active[li]] = best.w[li];
+  }
+  out.log_likelihood = best.ll;
+  out.iterations = best.iters;
+  return out;
+}
+
+TrainResult TrainMgpAveraged(const MetagraphVectorIndex& index,
+                             std::span<const Example> examples,
+                             const TrainOptions& options, int runs) {
+  MX_CHECK(runs >= 1);
+  TrainResult mean;
+  for (int run = 0; run < runs; ++run) {
+    TrainOptions run_options = options;
+    run_options.seed = options.seed + 0x9e3779b9u * static_cast<uint64_t>(run);
+    TrainResult r = TrainMgp(index, examples, run_options);
+    if (run == 0) {
+      mean = std::move(r);
+      continue;
+    }
+    for (size_t i = 0; i < mean.weights.size(); ++i) {
+      mean.weights[i] += r.weights[i];
+    }
+    mean.log_likelihood += r.log_likelihood;
+  }
+  if (runs > 1) {
+    for (double& w : mean.weights) w /= runs;
+    mean.log_likelihood /= runs;
+  }
+  return mean;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,67 @@
+// Supervised learning of the characteristic weights w* (Sect. III-B).
+//
+// Training examples are ranking triplets (q, x, y): x should rank above y
+// w.r.t. query q. The example probability (Eq. 4) is
+//   P(q, x, y; w) = sigmoid(mu * (pi(q,x;w) - pi(q,y;w)))
+// and the trainer maximizes the log-likelihood (Eq. 5) by projected gradient
+// ascent (Eq. 6) with the closed-form MGP partials, a decaying learning
+// rate, random restarts, and weights constrained to [0, 1] (legitimate by
+// scale-invariance, Theorem 1).
+#ifndef METAPROX_LEARNING_TRAINER_H_
+#define METAPROX_LEARNING_TRAINER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/metagraph_vectors.h"
+
+namespace metaprox {
+
+/// One pairwise training example: x ranks above y w.r.t. query q.
+struct Example {
+  NodeId q;
+  NodeId x;
+  NodeId y;
+};
+
+struct TrainOptions {
+  double mu = 5.0;               // sigmoid scale (paper Sect. V-B)
+  double learning_rate = 2.0;    // initial gradient-ascent step
+  double lr_decay = 0.95;        // multiplied in every `decay_every` iters
+  int decay_every = 100;
+  double tolerance = 1e-6;       // relative log-likelihood change
+  int max_iterations = 400;
+  int restarts = 3;              // random re-initializations (paper uses 5)
+  uint64_t seed = 7;
+
+  /// Metagraph indices allowed a non-zero weight. Empty = all committed
+  /// metagraphs. Used by MPP (paths only) and dual-stage training.
+  std::vector<uint32_t> active;
+};
+
+struct TrainResult {
+  std::vector<double> weights;  // full length |M|; zero outside `active`
+  double log_likelihood = 0.0;
+  int iterations = 0;  // of the best restart
+};
+
+/// Learns w* from `examples` against the committed metagraph vectors.
+TrainResult TrainMgp(const MetagraphVectorIndex& index,
+                     std::span<const Example> examples,
+                     const TrainOptions& options);
+
+/// Averages the weights of `runs` independent TrainMgp solutions (differing
+/// RNG seeds). Gradient ascent on correlated metagraphs is winner-take-all
+/// — any one of several interchangeable structures may end up with the
+/// weight — so the *averaged* weights are a better estimate of how
+/// characteristic each metagraph is. Used for the dual-stage candidate
+/// heuristic (Eq. 7), where H scores must reflect expected usefulness
+/// rather than one arbitrary optimum.
+TrainResult TrainMgpAveraged(const MetagraphVectorIndex& index,
+                             std::span<const Example> examples,
+                             const TrainOptions& options, int runs);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_LEARNING_TRAINER_H_

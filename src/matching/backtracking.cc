@@ -1,0 +1,106 @@
+#include "matching/backtracking.h"
+
+#include <array>
+
+#include "util/macros.h"
+
+namespace metaprox {
+namespace {
+
+class BacktrackState {
+ public:
+  BacktrackState(const Graph& g, const Metagraph& m,
+                 const std::vector<MetaNodeId>& order, InstanceSink* sink,
+                 const CandidateFilter* filter)
+      : g_(g), m_(m), order_(order), sink_(sink), filter_(filter) {
+    embedding_.fill(kInvalidNode);
+  }
+
+  // Returns false if the sink aborted.
+  bool Search(size_t pos) {
+    if (pos == order_.size()) {
+      ++stats_.embeddings;
+      return sink_->OnEmbedding(
+          {embedding_.data(), static_cast<size_t>(m_.num_nodes())});
+    }
+    const MetaNodeId u = order_[pos];
+    const TypeId ut = m_.TypeOf(u);
+    const uint8_t matched_nbrs =
+        static_cast<uint8_t>(m_.NeighborMask(u) & matched_mask_);
+
+    // Candidate source: the typed adjacency slice of the matched neighbor
+    // with the fewest type-ut neighbors, else all nodes of the type.
+    std::span<const NodeId> candidates;
+    int pivot = -1;
+    if (matched_nbrs) {
+      size_t best = SIZE_MAX;
+      for (int w = 0; w < m_.num_nodes(); ++w) {
+        if (!((matched_nbrs >> w) & 1u)) continue;
+        auto slice = g_.NeighborsOfType(embedding_[w], ut);
+        if (slice.size() < best) {
+          best = slice.size();
+          candidates = slice;
+          pivot = w;
+        }
+      }
+    } else {
+      candidates = g_.NodesOfType(ut);
+    }
+
+    for (NodeId c : candidates) {
+      ++stats_.search_nodes;
+      if (filter_ && !filter_->Allows(c, u)) continue;
+      if (IsUsed(c, pos)) continue;
+      // Verify edges to all matched metagraph neighbors except the pivot.
+      bool ok = true;
+      for (int w = 0; w < m_.num_nodes() && ok; ++w) {
+        if (w == pivot || !((matched_nbrs >> w) & 1u)) continue;
+        ok = g_.HasEdge(c, embedding_[w]);
+      }
+      if (!ok) continue;
+      embedding_[u] = c;
+      matched_mask_ |= static_cast<uint8_t>(1u << u);
+      bool keep_going = Search(pos + 1);
+      matched_mask_ &= static_cast<uint8_t>(~(1u << u));
+      embedding_[u] = kInvalidNode;
+      if (!keep_going) {
+        stats_.aborted = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  MatchStats stats() const { return stats_; }
+
+ private:
+  bool IsUsed(NodeId c, size_t pos) const {
+    for (size_t i = 0; i < pos; ++i) {
+      if (embedding_[order_[i]] == c) return true;
+    }
+    return false;
+  }
+
+  const Graph& g_;
+  const Metagraph& m_;
+  const std::vector<MetaNodeId>& order_;
+  InstanceSink* sink_;
+  const CandidateFilter* filter_;
+  std::array<NodeId, Metagraph::kMaxNodes> embedding_{};
+  uint8_t matched_mask_ = 0;
+  MatchStats stats_;
+};
+
+}  // namespace
+
+MatchStats BacktrackMatch(const Graph& g, const Metagraph& m,
+                          const std::vector<MetaNodeId>& order,
+                          InstanceSink* sink, const CandidateFilter* filter) {
+  MX_CHECK(static_cast<int>(order.size()) == m.num_nodes());
+  if (m.num_nodes() == 0) return {};
+  BacktrackState state(g, m, order, sink, filter);
+  state.Search(0);
+  return state.stats();
+}
+
+}  // namespace metaprox

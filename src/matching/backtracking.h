@@ -1,0 +1,25 @@
+// The shared backtracking framework of Sect. IV-A: matches one metagraph
+// node at a time along a given order, generating candidates from the typed
+// adjacency slice of an already-matched pivot neighbor.
+#ifndef METAPROX_MATCHING_BACKTRACKING_H_
+#define METAPROX_MATCHING_BACKTRACKING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "matching/candidate_filter.h"
+#include "matching/instance_sink.h"
+#include "matching/matcher.h"
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+/// Enumerates all embeddings of `m` in `g`, matching nodes in `order`.
+/// `filter` may be null (no pruning beyond type/edge checks).
+MatchStats BacktrackMatch(const Graph& g, const Metagraph& m,
+                          const std::vector<MetaNodeId>& order,
+                          InstanceSink* sink, const CandidateFilter* filter);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MATCHING_BACKTRACKING_H_

@@ -1,0 +1,31 @@
+#include "matching/baseline_matchers.h"
+
+#include "matching/backtracking.h"
+#include "matching/candidate_filter.h"
+#include "matching/order.h"
+
+namespace metaprox {
+
+MatchStats QuickSIMatcher::Match(const Graph& g, const Metagraph& m,
+                                 InstanceSink* sink) const {
+  auto order = GreedyNodeOrder(g, m);
+  return BacktrackMatch(g, m, order, sink, /*filter=*/nullptr);
+}
+
+MatchStats TurboISOMatcher::Match(const Graph& g, const Metagraph& m,
+                                  InstanceSink* sink) const {
+  auto order = GreedyNodeOrder(g, m);
+  CandidateFilter filter = BuildTypeDegreeFilter(g, m);
+  RefineFilter(g, m, filter, /*rounds=*/2);
+  return BacktrackMatch(g, m, order, sink, &filter);
+}
+
+MatchStats BoostISOMatcher::Match(const Graph& g, const Metagraph& m,
+                                  InstanceSink* sink) const {
+  auto order = GreedyNodeOrder(g, m);
+  CandidateFilter filter = BuildTypeDegreeFilter(g, m);
+  RefineFilter(g, m, filter, /*rounds=*/-1);  // fixpoint
+  return BacktrackMatch(g, m, order, sink, &filter);
+}
+
+}  // namespace metaprox

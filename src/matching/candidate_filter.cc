@@ -1,0 +1,83 @@
+#include "matching/candidate_filter.h"
+
+#include <array>
+
+namespace metaprox {
+
+uint64_t CandidateFilter::CountAllowed(MetaNodeId u) const {
+  uint64_t count = 0;
+  for (uint8_t bits : allow_) count += (bits >> u) & 1u;
+  return count;
+}
+
+CandidateFilter BuildTypeDegreeFilter(const Graph& g, const Metagraph& m) {
+  CandidateFilter filter(g.num_nodes());
+  const int n = m.num_nodes();
+
+  for (MetaNodeId u = 0; u < n; ++u) {
+    // Typed-degree requirement of u: counts of metagraph neighbors per type.
+    std::array<std::pair<TypeId, int>, Metagraph::kMaxNodes> req{};
+    int num_req = 0;
+    for (MetaNodeId w = 0; w < n; ++w) {
+      if (!m.HasEdge(u, w)) continue;
+      TypeId t = m.TypeOf(w);
+      bool found = false;
+      for (int i = 0; i < num_req; ++i) {
+        if (req[i].first == t) {
+          ++req[i].second;
+          found = true;
+          break;
+        }
+      }
+      if (!found) req[num_req++] = {t, 1};
+    }
+
+    for (NodeId v : g.NodesOfType(m.TypeOf(u))) {
+      bool ok = true;
+      for (int i = 0; i < num_req; ++i) {
+        if (static_cast<int>(g.NeighborsOfType(v, req[i].first).size()) <
+            req[i].second) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) filter.Set(v, u);
+    }
+  }
+  return filter;
+}
+
+uint64_t RefineFilter(const Graph& g, const Metagraph& m,
+                      CandidateFilter& filter, int rounds) {
+  const int n = m.num_nodes();
+  uint64_t total_removed = 0;
+  for (int round = 0; rounds < 0 || round < rounds; ++round) {
+    uint64_t removed = 0;
+    for (MetaNodeId u = 0; u < n; ++u) {
+      for (NodeId v : g.NodesOfType(m.TypeOf(u))) {
+        if (!filter.Allows(v, u)) continue;
+        bool ok = true;
+        for (MetaNodeId w = 0; w < n && ok; ++w) {
+          if (!m.HasEdge(u, w)) continue;
+          bool has_support = false;
+          for (NodeId nb : g.NeighborsOfType(v, m.TypeOf(w))) {
+            if (filter.Allows(nb, w)) {
+              has_support = true;
+              break;
+            }
+          }
+          ok = has_support;
+        }
+        if (!ok) {
+          filter.Clear(v, u);
+          ++removed;
+        }
+      }
+    }
+    total_removed += removed;
+    if (removed == 0) break;
+  }
+  return total_removed;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,53 @@
+// Per-metagraph-node candidate allowlists, the pruning vocabulary shared by
+// the TurboISO- and BoostISO-like kernels (and SymISO's inner matching).
+//
+// Storage is one byte per graph node: bit u set means the graph node may
+// match metagraph node u (metagraphs have at most 8 nodes).
+#ifndef METAPROX_MATCHING_CANDIDATE_FILTER_H_
+#define METAPROX_MATCHING_CANDIDATE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+class CandidateFilter {
+ public:
+  CandidateFilter() = default;
+  explicit CandidateFilter(size_t num_graph_nodes)
+      : allow_(num_graph_nodes, 0) {}
+
+  bool Allows(NodeId v, MetaNodeId u) const { return (allow_[v] >> u) & 1u; }
+  void Set(NodeId v, MetaNodeId u) {
+    allow_[v] |= static_cast<uint8_t>(1u << u);
+  }
+  void Clear(NodeId v, MetaNodeId u) {
+    allow_[v] &= static_cast<uint8_t>(~(1u << u));
+  }
+
+  bool empty() const { return allow_.empty(); }
+
+  /// Number of graph nodes currently allowed for metagraph node u.
+  uint64_t CountAllowed(MetaNodeId u) const;
+
+ private:
+  std::vector<uint8_t> allow_;
+};
+
+/// Static filter: type match plus typed-degree requirements — a graph node
+/// can match metagraph node u only if, for every type t, it has at least as
+/// many type-t neighbors as u has in the metagraph.
+CandidateFilter BuildTypeDegreeFilter(const Graph& g, const Metagraph& m);
+
+/// Neighborhood refinement: removes v from u's list when some metagraph
+/// neighbor u' of u has no allowed graph neighbor of v. `rounds < 0` runs to
+/// a fixpoint. Returns the number of removals performed.
+uint64_t RefineFilter(const Graph& g, const Metagraph& m,
+                      CandidateFilter& filter, int rounds);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MATCHING_CANDIDATE_FILTER_H_

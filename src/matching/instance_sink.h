@@ -1,0 +1,66 @@
+// Consumers of subgraph-matching results.
+//
+// Matchers enumerate *embeddings* (injective maps V_M → V carrying every
+// metagraph edge to a graph edge). Each instance of M (Def. 2) is discovered
+// by exactly |Aut(M)| embeddings, so counting sinks divide by the
+// automorphism count at the end (see index/metagraph_vectors.h).
+#ifndef METAPROX_MATCHING_INSTANCE_SINK_H_
+#define METAPROX_MATCHING_INSTANCE_SINK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace metaprox {
+
+/// Receives embeddings as they are produced. `embedding[u]` is the graph
+/// node matched to metagraph node u. Return false to abort the search
+/// (e.g., an instance cap was reached).
+class InstanceSink {
+ public:
+  virtual ~InstanceSink() = default;
+  virtual bool OnEmbedding(std::span<const NodeId> embedding) = 0;
+};
+
+/// Counts embeddings, optionally aborting after `cap`.
+class CountingSink : public InstanceSink {
+ public:
+  explicit CountingSink(uint64_t cap = UINT64_MAX) : cap_(cap) {}
+
+  bool OnEmbedding(std::span<const NodeId>) override {
+    ++count_;
+    return count_ < cap_;
+  }
+
+  uint64_t count() const { return count_; }
+  bool saturated() const { return count_ >= cap_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t cap_;
+};
+
+/// Materializes embeddings (tests and small workloads only).
+class CollectingSink : public InstanceSink {
+ public:
+  explicit CollectingSink(uint64_t cap = UINT64_MAX) : cap_(cap) {}
+
+  bool OnEmbedding(std::span<const NodeId> embedding) override {
+    embeddings_.emplace_back(embedding.begin(), embedding.end());
+    return embeddings_.size() < cap_;
+  }
+
+  const std::vector<std::vector<NodeId>>& embeddings() const {
+    return embeddings_;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> embeddings_;
+  uint64_t cap_;
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MATCHING_INSTANCE_SINK_H_

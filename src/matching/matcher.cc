@@ -1,0 +1,42 @@
+#include "matching/matcher.h"
+
+#include "matching/baseline_matchers.h"
+#include "matching/symiso.h"
+#include "util/macros.h"
+
+namespace metaprox {
+
+const char* MatcherKindName(MatcherKind kind) {
+  switch (kind) {
+    case MatcherKind::kQuickSI:
+      return "QuickSI";
+    case MatcherKind::kTurboISO:
+      return "TurboISO";
+    case MatcherKind::kBoostISO:
+      return "BoostISO";
+    case MatcherKind::kSymISO:
+      return "SymISO";
+    case MatcherKind::kSymISORandom:
+      return "SymISO-R";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Matcher> CreateMatcher(MatcherKind kind, uint64_t seed) {
+  switch (kind) {
+    case MatcherKind::kQuickSI:
+      return std::make_unique<QuickSIMatcher>();
+    case MatcherKind::kTurboISO:
+      return std::make_unique<TurboISOMatcher>();
+    case MatcherKind::kBoostISO:
+      return std::make_unique<BoostISOMatcher>();
+    case MatcherKind::kSymISO:
+      return std::make_unique<SymISOMatcher>(/*random_order=*/false, seed);
+    case MatcherKind::kSymISORandom:
+      return std::make_unique<SymISOMatcher>(/*random_order=*/true, seed);
+  }
+  MX_CHECK_MSG(false, "unreachable matcher kind");
+  return nullptr;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,57 @@
+// Matcher interface and registry for the subgraph-isomorphism kernels
+// compared in Fig. 11: QuickSI-, TurboISO-, BoostISO-like baselines and the
+// paper's SymISO (+ SymISO-R ablation).
+//
+// All kernels enumerate non-induced embeddings (Def. 2 instances choose
+// their own edge set, so extra graph edges among matched nodes are
+// permitted) and share the backtracking framework of Sect. IV-A; they differ
+// in ordering and pruning exactly as the respective papers do.
+#ifndef METAPROX_MATCHING_MATCHER_H_
+#define METAPROX_MATCHING_MATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "matching/instance_sink.h"
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+enum class MatcherKind {
+  kQuickSI,
+  kTurboISO,
+  kBoostISO,
+  kSymISO,
+  kSymISORandom,  // SymISO with a random component order (ablation)
+};
+
+const char* MatcherKindName(MatcherKind kind);
+
+/// Counters reported by a matching run.
+struct MatchStats {
+  uint64_t embeddings = 0;    // embeddings delivered to the sink
+  uint64_t search_nodes = 0;  // candidate extensions attempted
+  bool aborted = false;       // sink requested early stop
+};
+
+/// A subgraph-matching kernel. Stateless w.r.t. the graph; safe to reuse
+/// across calls.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Enumerates all embeddings of `m` in `g` into `sink`.
+  virtual MatchStats Match(const Graph& g, const Metagraph& m,
+                           InstanceSink* sink) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Factory. `seed` only affects randomized kernels (SymISO-R).
+std::unique_ptr<Matcher> CreateMatcher(MatcherKind kind, uint64_t seed = 17);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MATCHING_MATCHER_H_

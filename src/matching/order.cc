@@ -1,0 +1,266 @@
+#include "matching/order.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace metaprox {
+namespace {
+
+double EdgeSelectivity(const Graph& g, const Metagraph& m, MetaNodeId a,
+                       MetaNodeId b) {
+  return static_cast<double>(
+      g.EdgeCountBetweenTypes(m.TypeOf(a), m.TypeOf(b)));
+}
+
+double NodeFrequency(const Graph& g, const Metagraph& m, MetaNodeId v) {
+  return static_cast<double>(std::max<size_t>(1, g.CountOfType(m.TypeOf(v))));
+}
+
+}  // namespace
+
+std::vector<MetaNodeId> GreedyNodeOrder(const Graph& g, const Metagraph& m) {
+  const int n = m.num_nodes();
+  std::vector<MetaNodeId> order;
+  order.reserve(n);
+  if (n == 0) return order;
+  if (n == 1) {
+    order.push_back(0);
+    return order;
+  }
+
+  uint8_t in_order = 0;
+  auto push = [&](MetaNodeId v) {
+    order.push_back(v);
+    in_order |= static_cast<uint8_t>(1u << v);
+  };
+
+  // Start with the most selective edge; break ties toward the rarer
+  // endpoint type first.
+  double best = std::numeric_limits<double>::infinity();
+  MetaNodeId ba = 0, bb = 1;
+  for (auto [a, b] : m.Edges()) {
+    double s = EdgeSelectivity(g, m, a, b);
+    if (s < best) {
+      best = s;
+      ba = a;
+      bb = b;
+    }
+  }
+  if (NodeFrequency(g, m, bb) < NodeFrequency(g, m, ba)) std::swap(ba, bb);
+  push(ba);
+  push(bb);
+
+  // Greedily extend: among nodes adjacent to the ordered prefix, pick the
+  // one minimizing the estimated growth factor min over matched neighbors
+  // of |I(<u,next>)| / |I(u)|.
+  while (static_cast<int>(order.size()) < n) {
+    double best_factor = std::numeric_limits<double>::infinity();
+    int best_node = -1;
+    for (int v = 0; v < n; ++v) {
+      if ((in_order >> v) & 1u) continue;
+      uint8_t matched_nbrs = static_cast<uint8_t>(
+          m.NeighborMask(static_cast<MetaNodeId>(v)) & in_order);
+      if (!matched_nbrs) continue;
+      double factor = std::numeric_limits<double>::infinity();
+      for (int u = 0; u < n; ++u) {
+        if (!((matched_nbrs >> u) & 1u)) continue;
+        double f = EdgeSelectivity(g, m, static_cast<MetaNodeId>(u),
+                                   static_cast<MetaNodeId>(v)) /
+                   NodeFrequency(g, m, static_cast<MetaNodeId>(u));
+        factor = std::min(factor, f);
+      }
+      if (factor < best_factor) {
+        best_factor = factor;
+        best_node = v;
+      }
+    }
+    if (best_node < 0) {
+      // Disconnected metagraph: fall back to the rarest remaining node.
+      double best_freq = std::numeric_limits<double>::infinity();
+      for (int v = 0; v < n; ++v) {
+        if ((in_order >> v) & 1u) continue;
+        double f = NodeFrequency(g, m, static_cast<MetaNodeId>(v));
+        if (f < best_freq) {
+          best_freq = f;
+          best_node = v;
+        }
+      }
+    }
+    MX_CHECK(best_node >= 0);
+    push(static_cast<MetaNodeId>(best_node));
+  }
+  return order;
+}
+
+std::vector<MetaNodeId> RandomNodeOrder(const Metagraph& m, util::Rng& rng) {
+  const int n = m.num_nodes();
+  std::vector<MetaNodeId> order;
+  order.reserve(n);
+  if (n == 0) return order;
+
+  uint8_t in_order = 0;
+  std::vector<MetaNodeId> frontier;
+  MetaNodeId start = static_cast<MetaNodeId>(rng.UniformInt(n));
+  frontier.push_back(start);
+  while (!frontier.empty()) {
+    size_t pick = static_cast<size_t>(rng.UniformInt(frontier.size()));
+    MetaNodeId v = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<int64_t>(pick));
+    if ((in_order >> v) & 1u) continue;
+    order.push_back(v);
+    in_order |= static_cast<uint8_t>(1u << v);
+    uint8_t nbrs = static_cast<uint8_t>(m.NeighborMask(v) & ~in_order);
+    for (int u = 0; u < n; ++u) {
+      if ((nbrs >> u) & 1u) frontier.push_back(static_cast<MetaNodeId>(u));
+    }
+  }
+  // Disconnected leftovers (shouldn't happen for mined metagraphs).
+  for (int v = 0; v < n; ++v) {
+    if (!((in_order >> v) & 1u)) order.push_back(static_cast<MetaNodeId>(v));
+  }
+  return order;
+}
+
+std::vector<ComponentGroup> CostOrderGroups(
+    const Graph& g, const Metagraph& m,
+    const ComponentDecomposition& decomposition) {
+  const int n = m.num_nodes();
+  // Independence-model edge probability per type pair.
+  auto edge_prob = [&](TypeId a, TypeId b) {
+    double ca = static_cast<double>(std::max<size_t>(1, g.CountOfType(a)));
+    double cb = static_cast<double>(std::max<size_t>(1, g.CountOfType(b)));
+    double e = static_cast<double>(g.EdgeCountBetweenTypes(a, b));
+    return std::min(1.0, e / (ca * cb));
+  };
+
+  // Expected candidates for `u` given the node-level matched mask.
+  auto node_cost = [&](MetaNodeId u, uint8_t matched) {
+    double cands = static_cast<double>(
+        std::max<size_t>(1, g.CountOfType(m.TypeOf(u))));
+    uint8_t nbrs = static_cast<uint8_t>(m.NeighborMask(u) & matched);
+    for (int v = 0; v < n; ++v) {
+      if ((nbrs >> v) & 1u) {
+        cands *= edge_prob(m.TypeOf(u), m.TypeOf(static_cast<MetaNodeId>(v)));
+      }
+    }
+    return std::max(cands, 1e-6);
+  };
+
+  // Growth estimate of matching a whole group given `matched`; also returns
+  // the rep-node sequence ordered most-constrained-first.
+  auto group_cost = [&](const ComponentGroup& group, uint8_t matched,
+                        std::vector<MetaNodeId>* rep_order) {
+    std::vector<MetaNodeId> remaining = group.rep;
+    std::vector<MetaNodeId> order;
+    uint8_t local = matched;
+    double growth = 1.0;
+    while (!remaining.empty()) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_i = 0;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        double c = node_cost(remaining[i], local);
+        if (c < best) {
+          best = c;
+          best_i = i;
+        }
+      }
+      growth *= best;
+      local |= static_cast<uint8_t>(1u << remaining[best_i]);
+      order.push_back(remaining[best_i]);
+      remaining.erase(remaining.begin() + static_cast<int64_t>(best_i));
+    }
+    if (group.has_mirror()) {
+      // The mirror half re-uses the rep candidates: the result multiplies
+      // by roughly the same factor again (ordered pairs), though each pair
+      // costs only a disjointness test.
+      growth *= std::max(growth, 1.0);
+    }
+    if (rep_order != nullptr) *rep_order = std::move(order);
+    return growth;
+  };
+
+  std::vector<ComponentGroup> pending = decomposition.groups;
+  std::vector<ComponentGroup> ordered;
+  uint8_t matched = 0;
+  while (!pending.empty()) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_i = 0;
+    std::vector<MetaNodeId> best_rep_order;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      std::vector<MetaNodeId> rep_order;
+      double c = group_cost(pending[i], matched, &rep_order);
+      if (c < best) {
+        best = c;
+        best_i = i;
+        best_rep_order = std::move(rep_order);
+      }
+    }
+    ComponentGroup group = std::move(pending[best_i]);
+    pending.erase(pending.begin() + static_cast<int64_t>(best_i));
+    // Reorder rep (and aligned mirror) nodes most-constrained-first.
+    if (group.has_mirror()) {
+      std::vector<MetaNodeId> mirror;
+      mirror.reserve(group.mirror.size());
+      for (MetaNodeId r : best_rep_order) {
+        for (size_t i = 0; i < group.rep.size(); ++i) {
+          if (group.rep[i] == r) {
+            mirror.push_back(group.mirror[i]);
+            break;
+          }
+        }
+      }
+      group.mirror = std::move(mirror);
+    }
+    group.rep = std::move(best_rep_order);
+    for (MetaNodeId v : group.rep) {
+      matched |= static_cast<uint8_t>(1u << v);
+    }
+    for (MetaNodeId v : group.mirror) {
+      matched |= static_cast<uint8_t>(1u << v);
+    }
+    ordered.push_back(std::move(group));
+  }
+  return ordered;
+}
+
+std::vector<ComponentGroup> OrderGroups(
+    const ComponentDecomposition& decomposition,
+    const std::vector<MetaNodeId>& node_order) {
+  std::array<int, Metagraph::kMaxNodes> pos{};
+  pos.fill(Metagraph::kMaxNodes);
+  for (size_t i = 0; i < node_order.size(); ++i) {
+    pos[node_order[i]] = static_cast<int>(i);
+  }
+
+  std::vector<ComponentGroup> groups = decomposition.groups;
+  for (auto& g : groups) {
+    // Order rep nodes (and their aligned mirrors) by node_order position.
+    std::vector<size_t> idx(g.rep.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return pos[g.rep[a]] < pos[g.rep[b]];
+    });
+    ComponentGroup reordered;
+    reordered.rep.reserve(g.rep.size());
+    reordered.mirror.reserve(g.mirror.size());
+    for (size_t i : idx) {
+      reordered.rep.push_back(g.rep[i]);
+      if (g.has_mirror()) reordered.mirror.push_back(g.mirror[i]);
+    }
+    g = std::move(reordered);
+  }
+  std::stable_sort(groups.begin(), groups.end(),
+                   [&](const ComponentGroup& a, const ComponentGroup& b) {
+                     int pa = Metagraph::kMaxNodes, pb = Metagraph::kMaxNodes;
+                     for (MetaNodeId v : a.rep) pa = std::min(pa, pos[v]);
+                     for (MetaNodeId v : a.mirror) pa = std::min(pa, pos[v]);
+                     for (MetaNodeId v : b.rep) pb = std::min(pb, pos[v]);
+                     for (MetaNodeId v : b.mirror) pb = std::min(pb, pos[v]);
+                     return pa < pb;
+                   });
+  return groups;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,51 @@
+// Matching-order heuristics (Sect. IV-C "Matching order").
+//
+// Following the paper (and QuickSI / Lin et al. [23]), the next node to
+// match is chosen to minimize the estimated number of intermediate
+// instances: extending a partial pattern M(i) along metagraph edge <u, u'>
+// (u already ordered) multiplies the estimate by |I(<u,u'>)| / |I(u)|, where
+// |I(<u,u'>)| is the number of graph edges between the endpoint types and
+// |I(u)| the number of graph nodes of u's type.
+#ifndef METAPROX_MATCHING_ORDER_H_
+#define METAPROX_MATCHING_ORDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "metagraph/decomposition.h"
+#include "metagraph/metagraph.h"
+#include "util/rng.h"
+
+namespace metaprox {
+
+/// Greedy connectivity-preserving node order minimizing the estimated
+/// intermediate-instance count. The first two nodes are the endpoints of
+/// the most selective edge.
+std::vector<MetaNodeId> GreedyNodeOrder(const Graph& g, const Metagraph& m);
+
+/// Connectivity-preserving but otherwise uniformly random order (ablation
+/// baseline for SymISO-R).
+std::vector<MetaNodeId> RandomNodeOrder(const Metagraph& m, util::Rng& rng);
+
+/// Orders the component groups of a decomposition by the position of their
+/// earliest node in `node_order`, and orders each group's rep nodes the same
+/// way. Used by SymISO-R and as a fallback.
+std::vector<ComponentGroup> OrderGroups(
+    const ComponentDecomposition& decomposition,
+    const std::vector<MetaNodeId>& node_order);
+
+/// Selectivity-driven group ordering for SymISO (Alg. 2, step 3): greedily
+/// picks the next group with the smallest estimated growth of the
+/// intermediate result, where a node's expected candidate count is
+/// |V_t| * prod over already-matched neighbors of p(edge) under an
+/// independence model (p = #edges(t_u,t_v) / (|V_tu| * |V_tv|)). Mirror
+/// groups are estimated over both halves, so they are naturally delayed
+/// until their attachment context is matched — which is exactly when the
+/// candidate-reuse pair loop is cheapest.
+std::vector<ComponentGroup> CostOrderGroups(
+    const Graph& g, const Metagraph& m,
+    const ComponentDecomposition& decomposition);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MATCHING_ORDER_H_

@@ -1,0 +1,385 @@
+#include "matching/symiso.h"
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/backtracking.h"
+#include "matching/candidate_filter.h"
+#include "matching/order.h"
+#include "metagraph/automorphism.h"
+#include "metagraph/decomposition.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+// First and second moments of the typed-degree distribution: over nodes v
+// of type s, the mean and mean-square of |N_t(v)|. The second moment drives
+// the cost estimate of the mirror pair loop (E[|C|^2], which under hub skew
+// is much larger than E[|C|]^2).
+class DegreeMoments {
+ public:
+  explicit DegreeMoments(const Graph& g) : g_(g) {}
+
+  std::pair<double, double> Get(TypeId s, TypeId t) {
+    uint32_t key = (static_cast<uint32_t>(s) << 16) | t;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    double sum = 0.0, sum_sq = 0.0;
+    auto nodes = g_.NodesOfType(s);
+    for (NodeId v : nodes) {
+      double d = static_cast<double>(g_.NeighborsOfType(v, t).size());
+      sum += d;
+      sum_sq += d * d;
+    }
+    double n = std::max<double>(1.0, static_cast<double>(nodes.size()));
+    auto moments = std::make_pair(sum / n, sum_sq / n);
+    cache_.emplace(key, moments);
+    return moments;
+  }
+
+ private:
+  const Graph& g_;
+  std::unordered_map<uint32_t, std::pair<double, double>> cache_;
+};
+
+// Independence-model estimates shared by the two plan costers.
+// cands(u): expected candidates *tried* for u (tightest pivot slice; the
+//           whole type when blind).
+// survive(u): expected candidates that satisfy *all* matched-neighbor
+//           edges: |V_tu| * prod p(edge), p = E(s,t) / (|V_s| |V_t|).
+struct NodeEstimates {
+  double cands;
+  double survive;
+};
+
+NodeEstimates EstimateNode(const Graph& g, const Metagraph& m, MetaNodeId u,
+                           uint8_t matched, DegreeMoments& moments) {
+  const uint8_t nbrs = static_cast<uint8_t>(m.NeighborMask(u) & matched);
+  const double cu = static_cast<double>(
+      std::max<size_t>(1, g.CountOfType(m.TypeOf(u))));
+  if (!nbrs) return {cu, cu};
+  double cands = std::numeric_limits<double>::infinity();
+  double survive = cu;
+  for (int v = 0; v < m.num_nodes(); ++v) {
+    if (!((nbrs >> v) & 1u)) continue;
+    TypeId tv = m.TypeOf(static_cast<MetaNodeId>(v));
+    cands = std::min(cands, moments.Get(tv, m.TypeOf(u)).first);
+    double cv = static_cast<double>(std::max<size_t>(1, g.CountOfType(tv)));
+    double e = static_cast<double>(g.EdgeCountBetweenTypes(tv, m.TypeOf(u)));
+    survive *= std::min(1.0, e / (cu * cv));
+  }
+  return {std::max(1.0, cands), std::max(1e-9, survive)};
+}
+
+// Estimated total work of the interleaved (plain backtracking) plan over
+// `order`: sum over steps of (intermediate embeddings x candidates tried).
+double EstimatePlainCost(const Graph& g, const Metagraph& m,
+                         const std::vector<MetaNodeId>& order,
+                         DegreeMoments& moments) {
+  double intermediates = 1.0;
+  double work = 0.0;
+  uint8_t matched = 0;
+  for (MetaNodeId u : order) {
+    NodeEstimates est = EstimateNode(g, m, u, matched, moments);
+    work += intermediates * est.cands;
+    intermediates *= est.survive;
+    matched |= static_cast<uint8_t>(1u << u);
+  }
+  return work;
+}
+
+// Estimated total work of the component plan: like the plain estimate, but
+// a mirror group's pair loop costs E[|C|^2] ~= E[|C|]^2 * skew iterations,
+// where skew is the second-moment correction of the rep's first node — hub
+// skew is exactly what makes the pair loop explode.
+double EstimateGroupCost(const Graph& g, const Metagraph& m,
+                         const std::vector<ComponentGroup>& groups,
+                         DegreeMoments& moments) {
+  double intermediates = 1.0;
+  double work = 0.0;
+  uint8_t matched = 0;
+
+  auto skew_of = [&](MetaNodeId u, uint8_t mask) {
+    uint8_t nbrs = static_cast<uint8_t>(m.NeighborMask(u) & mask);
+    if (!nbrs) return 1.0;
+    // Use the pivot (tightest-mean) constraint's m2 / mean^2.
+    double best_mean = std::numeric_limits<double>::infinity();
+    double best_m2 = 1.0;
+    for (int v = 0; v < m.num_nodes(); ++v) {
+      if (!((nbrs >> v) & 1u)) continue;
+      auto [mean, m2] =
+          moments.Get(m.TypeOf(static_cast<MetaNodeId>(v)), m.TypeOf(u));
+      if (mean < best_mean) {
+        best_mean = mean;
+        best_m2 = m2;
+      }
+    }
+    if (best_mean <= 0.0) return 1.0;
+    return std::max(1.0, best_m2 / (best_mean * best_mean));
+  };
+
+  for (const ComponentGroup& group : groups) {
+    double c_survive = 1.0;
+    uint8_t local = matched;
+    for (MetaNodeId u : group.rep) {
+      NodeEstimates est = EstimateNode(g, m, u, local, moments);
+      work += intermediates * est.cands;
+      c_survive *= est.survive;
+      local |= static_cast<uint8_t>(1u << u);
+    }
+    if (group.has_mirror()) {
+      const double skew =
+          group.rep.empty() ? 1.0 : skew_of(group.rep[0], matched);
+      const double pairs = c_survive * c_survive * skew;
+      work += intermediates * pairs;  // pair-loop iterations (cheap each)
+      intermediates *= std::max(1e-9, pairs);
+      for (MetaNodeId u : group.mirror) {
+        local |= static_cast<uint8_t>(1u << u);
+      }
+    } else {
+      intermediates *= std::max(1e-9, c_survive);
+    }
+    matched = local;
+  }
+  return work;
+}
+
+// A matching of one component: graph nodes aligned with the component's
+// rep-node list. Components are small (<= kMaxNodes), inline storage.
+struct ComponentMatch {
+  std::array<NodeId, Metagraph::kMaxNodes> nodes;
+};
+
+class SymISOState {
+ public:
+  SymISOState(const Graph& g, const Metagraph& m,
+              const std::vector<ComponentGroup>& groups, InstanceSink* sink,
+              const CandidateFilter* filter)
+      : g_(g), m_(m), groups_(groups), sink_(sink), filter_(filter) {
+    embedding_.fill(kInvalidNode);
+  }
+
+  bool SearchGroup(size_t gi) {
+    if (gi == groups_.size()) {
+      ++stats_.embeddings;
+      return sink_->OnEmbedding(
+          {embedding_.data(), static_cast<size_t>(m_.num_nodes())});
+    }
+    const ComponentGroup& group = groups_[gi];
+    if (!group.has_mirror()) {
+      return MatchComponentNodes(group.rep, 0, [&]() {
+        return SearchGroup(gi + 1);
+      });
+    }
+    return MatchMirrorPair(group, gi);
+  }
+
+  MatchStats stats() const { return stats_; }
+
+ private:
+  // Backtracks over the nodes of one component (Alg. 3's C(S|D) expansion),
+  // invoking `on_complete` for every full component matching. Returns false
+  // if the sink aborted.
+  template <typename Fn>
+  bool MatchComponentNodes(const std::vector<MetaNodeId>& nodes, size_t idx,
+                           Fn&& on_complete) {
+    if (idx == nodes.size()) return on_complete();
+    const MetaNodeId u = nodes[idx];
+    const TypeId ut = m_.TypeOf(u);
+    const uint8_t matched_nbrs =
+        static_cast<uint8_t>(m_.NeighborMask(u) & matched_mask_);
+
+    std::span<const NodeId> candidates;
+    int pivot = -1;
+    if (matched_nbrs) {
+      size_t best = SIZE_MAX;
+      for (int w = 0; w < m_.num_nodes(); ++w) {
+        if (!((matched_nbrs >> w) & 1u)) continue;
+        auto slice = g_.NeighborsOfType(embedding_[w], ut);
+        if (slice.size() < best) {
+          best = slice.size();
+          candidates = slice;
+          pivot = w;
+        }
+      }
+    } else {
+      candidates = g_.NodesOfType(ut);
+    }
+
+    for (NodeId c : candidates) {
+      ++stats_.search_nodes;
+      if (filter_ && !filter_->Allows(c, u)) continue;
+      if (IsUsed(c)) continue;
+      bool ok = true;
+      for (int w = 0; w < m_.num_nodes() && ok; ++w) {
+        if (w == pivot || !((matched_nbrs >> w) & 1u)) continue;
+        ok = g_.HasEdge(c, embedding_[w]);
+      }
+      if (!ok) continue;
+      Assign(u, c);
+      bool keep_going = MatchComponentNodes(nodes, idx + 1,
+                                            std::forward<Fn>(on_complete));
+      Unassign(u);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  // Matches a mirror pair: enumerate C(S|D) once, then instantiate (S, S')
+  // from all ordered node-disjoint pairs, verifying cross edges.
+  bool MatchMirrorPair(const ComponentGroup& group, size_t gi) {
+    const size_t k = group.rep.size();
+
+    // Collect C(S|D).
+    std::vector<ComponentMatch> cands;
+    bool sink_ok = MatchComponentNodes(group.rep, 0, [&]() {
+      ComponentMatch cm;
+      for (size_t i = 0; i < k; ++i) cm.nodes[i] = embedding_[group.rep[i]];
+      cands.push_back(cm);
+      return true;
+    });
+    MX_CHECK(sink_ok);  // collection never aborts
+
+    // Cross edges (rep[i], mirror[j]) that need per-pair verification.
+    std::array<std::pair<uint8_t, uint8_t>, 16> cross{};
+    size_t num_cross = 0;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (m_.HasEdge(group.rep[i], group.mirror[j])) {
+          MX_CHECK(num_cross < cross.size());
+          cross[num_cross++] = {static_cast<uint8_t>(i),
+                                static_cast<uint8_t>(j)};
+        }
+      }
+    }
+
+    // Instantiating the mirror from re-used candidates performs no fresh
+    // candidate generation, so the pair loop does not add search_nodes —
+    // that is precisely the work symmetry saves (Sect. IV-C).
+    auto try_pair = [&](size_t a, size_t b) -> bool {
+      // Node-disjointness of the two component matchings.
+      for (size_t i = 0; i < k; ++i) {
+        for (size_t j = 0; j < k; ++j) {
+          if (cands[a].nodes[i] == cands[b].nodes[j]) return true;
+        }
+      }
+      // Cross-edge verification.
+      for (size_t e = 0; e < num_cross; ++e) {
+        if (!g_.HasEdge(cands[a].nodes[cross[e].first],
+                        cands[b].nodes[cross[e].second])) {
+          return true;
+        }
+      }
+      for (size_t i = 0; i < k; ++i) {
+        Assign(group.rep[i], cands[a].nodes[i]);
+        Assign(group.mirror[i], cands[b].nodes[i]);
+      }
+      bool keep_going = SearchGroup(gi + 1);
+      for (size_t i = 0; i < k; ++i) {
+        Unassign(group.rep[i]);
+        Unassign(group.mirror[i]);
+      }
+      return keep_going;
+    };
+
+    if (num_cross > 0 && cands.size() > 16) {
+      // Hash join on the first cross edge: for candidate a, the mirror
+      // candidate's node at position cross[0].second must be a graph
+      // neighbor of a's node at cross[0].first — enumerate only those.
+      const uint8_t ci = cross[0].first, cj = cross[0].second;
+      const TypeId join_type = m_.TypeOf(group.rep[cj]);
+      std::unordered_multimap<NodeId, size_t> by_join_node;
+      by_join_node.reserve(cands.size());
+      for (size_t b = 0; b < cands.size(); ++b) {
+        by_join_node.emplace(cands[b].nodes[cj], b);
+      }
+      for (size_t a = 0; a < cands.size(); ++a) {
+        for (NodeId w : g_.NeighborsOfType(cands[a].nodes[ci], join_type)) {
+          auto [lo, hi] = by_join_node.equal_range(w);
+          for (auto it = lo; it != hi; ++it) {
+            if (it->second == a) continue;
+            if (!try_pair(a, it->second)) return false;
+          }
+        }
+      }
+      return true;
+    }
+
+    for (size_t a = 0; a < cands.size(); ++a) {
+      for (size_t b = 0; b < cands.size(); ++b) {
+        if (a == b) continue;
+        if (!try_pair(a, b)) return false;
+      }
+    }
+    return true;
+  }
+
+  void Assign(MetaNodeId u, NodeId c) {
+    embedding_[u] = c;
+    matched_mask_ |= static_cast<uint8_t>(1u << u);
+  }
+  void Unassign(MetaNodeId u) {
+    embedding_[u] = kInvalidNode;
+    matched_mask_ &= static_cast<uint8_t>(~(1u << u));
+  }
+
+  bool IsUsed(NodeId c) const {
+    for (int v = 0; v < m_.num_nodes(); ++v) {
+      if (((matched_mask_ >> v) & 1u) && embedding_[v] == c) return true;
+    }
+    return false;
+  }
+
+  const Graph& g_;
+  const Metagraph& m_;
+  const std::vector<ComponentGroup>& groups_;
+  InstanceSink* sink_;
+  const CandidateFilter* filter_;
+  std::array<NodeId, Metagraph::kMaxNodes> embedding_{};
+  uint8_t matched_mask_ = 0;
+  MatchStats stats_;
+};
+
+}  // namespace
+
+MatchStats SymISOMatcher::Match(const Graph& g, const Metagraph& m,
+                                InstanceSink* sink) const {
+  if (m.num_nodes() == 0) return {};
+
+  SymmetryInfo sym = AnalyzeSymmetry(m);
+  ComponentDecomposition decomp = DecomposeSymmetricComponents(m, sym);
+
+  std::vector<ComponentGroup> groups;
+  if (random_order_) {
+    util::Rng rng(seed_);
+    groups = OrderGroups(decomp, RandomNodeOrder(m, rng));
+  } else {
+    groups = CostOrderGroups(g, m, decomp);
+  }
+
+  // Cost-based fallback (the paper notes SymISO can "fall back to existing
+  // matching algorithms whenever needed"): when the component plan's
+  // estimated work exceeds the interleaved plan's — e.g. a skew-heavy pair
+  // loop that node-at-a-time ordering would prune between the two halves —
+  // run the plain backtracking kernel instead of component matching.
+  if (!random_order_) {
+    DegreeMoments moments(g);
+    auto node_order = GreedyNodeOrder(g, m);
+    const double plain = EstimatePlainCost(g, m, node_order, moments);
+    const double grouped = EstimateGroupCost(g, m, groups, moments);
+    if (grouped > 1.5 * plain) {
+      return BacktrackMatch(g, m, node_order, sink, /*filter=*/nullptr);
+    }
+  }
+
+  SymISOState state(g, m, groups, sink, /*filter=*/nullptr);
+  bool completed = state.SearchGroup(0);
+  MatchStats stats = state.stats();
+  stats.aborted = !completed;
+  return stats;
+}
+
+}  // namespace metaprox

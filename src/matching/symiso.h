@@ -1,0 +1,44 @@
+// SymISO: symmetry-based metagraph matching (Sect. IV-C, Alg. 2 and 3).
+//
+// The metagraph is decomposed into component groups (see
+// metagraph/decomposition.h). Plain components are matched by ordinary
+// backtracking; for a mirror pair (S, S') the matcher enumerates the
+// candidate matchings C(S|D) of the representative *once* and instantiates
+// both components from ordered pairs of node-disjoint entries of C(S|D) —
+// this is sound because the pairing involution fixes every matched node
+// pointwise, so C(S'|D) = C(S|D) exactly. Only the cross edges between S
+// and S' still need verification per pair.
+//
+// SymISO-R is the ablation of Fig. 11: identical machinery with a random
+// (connectivity-preserving) component order instead of the selectivity-
+// driven one.
+#ifndef METAPROX_MATCHING_SYMISO_H_
+#define METAPROX_MATCHING_SYMISO_H_
+
+#include <cstdint>
+
+#include "matching/matcher.h"
+
+namespace metaprox {
+
+class SymISOMatcher : public Matcher {
+ public:
+  /// `random_order` selects the SymISO-R ablation; `seed` drives its RNG.
+  explicit SymISOMatcher(bool random_order = false, uint64_t seed = 17)
+      : random_order_(random_order), seed_(seed) {}
+
+  MatchStats Match(const Graph& g, const Metagraph& m,
+                   InstanceSink* sink) const override;
+
+  const char* name() const override {
+    return random_order_ ? "SymISO-R" : "SymISO";
+  }
+
+ private:
+  bool random_order_;
+  uint64_t seed_;
+};
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MATCHING_SYMISO_H_

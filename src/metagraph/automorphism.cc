@@ -1,0 +1,125 @@
+#include "metagraph/automorphism.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace metaprox {
+namespace {
+
+// True iff perm o perm = identity.
+bool IsInvolution(const MetaPermutation& perm, int n) {
+  for (int v = 0; v < n; ++v) {
+    if (perm[perm[v]] != v) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SymmetryInfo::IsSymmetricPair(MetaNodeId u, MetaNodeId v) const {
+  if (u > v) std::swap(u, v);
+  for (auto [a, b] : symmetric_pairs) {
+    if (a == u && b == v) return true;
+  }
+  return false;
+}
+
+bool SymmetryInfo::IsSymmetricNode(MetaNodeId u) const {
+  for (auto [a, b] : symmetric_pairs) {
+    if (a == u || b == u) return true;
+  }
+  return false;
+}
+
+bool IsAutomorphism(const Metagraph& m, const MetaPermutation& perm) {
+  const int n = m.num_nodes();
+  for (int v = 0; v < n; ++v) {
+    if (m.TypeOf(perm[v]) != m.TypeOf(static_cast<MetaNodeId>(v))) {
+      return false;
+    }
+    for (int u = v + 1; u < n; ++u) {
+      if (m.HasEdge(static_cast<MetaNodeId>(v), static_cast<MetaNodeId>(u)) !=
+          m.HasEdge(perm[v], perm[u])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+SymmetryInfo AnalyzeSymmetry(const Metagraph& m) {
+  SymmetryInfo info;
+  const int n = m.num_nodes();
+  if (n == 0) {
+    info.num_orbits = 0;
+    return info;
+  }
+
+  // Enumerate candidate permutations: only type-preserving ones can be
+  // automorphisms, so permute within same-type groups. We generate all
+  // permutations of [0, n) and filter by type first (n <= 8; fine), with a
+  // quick reject on the type check before the O(n^2) edge check.
+  MetaPermutation perm{};
+  std::iota(perm.begin(), perm.begin() + n, 0);
+  // Pre-sort so next_permutation enumerates everything from the identity's
+  // sorted order.
+  do {
+    bool types_ok = true;
+    for (int v = 0; v < n; ++v) {
+      if (m.TypeOf(perm[v]) != m.TypeOf(static_cast<MetaNodeId>(v))) {
+        types_ok = false;
+        break;
+      }
+    }
+    if (!types_ok) continue;
+    if (!IsAutomorphism(m, perm)) continue;
+    info.automorphisms.push_back(perm);
+    if (IsInvolution(perm, n)) {
+      for (int v = 0; v < n; ++v) {
+        if (perm[v] > v) {
+          auto pair = std::make_pair(static_cast<MetaNodeId>(v),
+                                     static_cast<MetaNodeId>(perm[v]));
+          if (std::find(info.symmetric_pairs.begin(),
+                        info.symmetric_pairs.end(),
+                        pair) == info.symmetric_pairs.end()) {
+            info.symmetric_pairs.push_back(pair);
+          }
+        }
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.begin() + n));
+
+  std::sort(info.symmetric_pairs.begin(), info.symmetric_pairs.end());
+  info.is_symmetric = !info.symmetric_pairs.empty();
+
+  // Orbits: union nodes connected by any automorphism image.
+  std::array<uint8_t, Metagraph::kMaxNodes> parent{};
+  std::iota(parent.begin(), parent.begin() + n, 0);
+  std::function<uint8_t(uint8_t)> find = [&](uint8_t x) -> uint8_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& aut : info.automorphisms) {
+    for (int v = 0; v < n; ++v) {
+      uint8_t a = find(static_cast<uint8_t>(v));
+      uint8_t b = find(aut[v]);
+      if (a != b) parent[a] = b;
+    }
+  }
+  std::array<int8_t, Metagraph::kMaxNodes> label{};
+  label.fill(-1);
+  int next = 0;
+  for (int v = 0; v < n; ++v) {
+    uint8_t root = find(static_cast<uint8_t>(v));
+    if (label[root] < 0) label[root] = static_cast<int8_t>(next++);
+    info.orbit[v] = static_cast<uint8_t>(label[root]);
+  }
+  info.num_orbits = next;
+  return info;
+}
+
+}  // namespace metaprox

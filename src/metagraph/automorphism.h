@@ -1,0 +1,58 @@
+// Automorphism-group analysis of metagraphs, used for:
+//   * Def. 1 (metagraph symmetry): a metagraph is symmetric iff some
+//     non-identity *involution* automorphism exists; the pairs it exchanges
+//     are the "symmetric pairs".
+//   * Eq. 1-2: instance counting restricted to symmetric node pairs.
+//   * Sect. IV-C: symmetric-component decomposition for SymISO.
+//   * Deduplicating instance counts: every instance of M is discovered by
+//     exactly |Aut(M)| embeddings.
+#ifndef METAPROX_METAGRAPH_AUTOMORPHISM_H_
+#define METAPROX_METAGRAPH_AUTOMORPHISM_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+/// A permutation of metagraph nodes: perm[v] = image of v.
+using MetaPermutation = std::array<uint8_t, Metagraph::kMaxNodes>;
+
+/// Precomputed symmetry facts about one metagraph.
+struct SymmetryInfo {
+  /// The full automorphism group (type-preserving, edge-preserving
+  /// permutations), identity included.
+  std::vector<MetaPermutation> automorphisms;
+
+  /// Unordered pairs (u, u') with u < u' that are exchanged by some
+  /// involution automorphism — the symmetric pairs of Def. 1.
+  std::vector<std::pair<MetaNodeId, MetaNodeId>> symmetric_pairs;
+
+  /// orbit[v]: index of v's orbit under the full automorphism group.
+  std::array<uint8_t, Metagraph::kMaxNodes> orbit{};
+  int num_orbits = 0;
+
+  /// True iff symmetric_pairs is non-empty (Def. 1).
+  bool is_symmetric = false;
+
+  size_t aut_size() const { return automorphisms.size(); }
+
+  /// True iff (u, u') or (u', u) is a symmetric pair.
+  bool IsSymmetricPair(MetaNodeId u, MetaNodeId v) const;
+
+  /// True iff u participates in at least one symmetric pair.
+  bool IsSymmetricNode(MetaNodeId u) const;
+};
+
+/// Computes the automorphism group and symmetry facts of `m` by enumerating
+/// type-stable permutations (metagraphs have at most 8 nodes).
+SymmetryInfo AnalyzeSymmetry(const Metagraph& m);
+
+/// True iff `perm` (over the first `n` entries) is an automorphism of `m`.
+bool IsAutomorphism(const Metagraph& m, const MetaPermutation& perm);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_METAGRAPH_AUTOMORPHISM_H_

@@ -1,0 +1,105 @@
+#include "metagraph/canonical.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace metaprox {
+namespace {
+
+// Packs the adjacency of `m` under node ordering `perm` (perm[i] = original
+// node placed at canonical position i) into upper-triangle bits.
+uint32_t PackAdjacency(const Metagraph& m,
+                       const std::array<uint8_t, Metagraph::kMaxNodes>& perm) {
+  uint32_t bits = 0;
+  int bit = 0;
+  const int n = m.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j, ++bit) {
+      if (m.HasEdge(perm[i], perm[j])) bits |= 1u << bit;
+    }
+  }
+  return bits;
+}
+
+// Enumerates permutations of positions that keep the sorted type sequence
+// fixed (i.e., permute only within same-type runs), invoking `fn` with each
+// full permutation (as position -> original node).
+template <typename Fn>
+void ForEachTypeStablePermutation(
+    const Metagraph& m, const std::array<uint8_t, Metagraph::kMaxNodes>& base,
+    Fn&& fn) {
+  const int n = m.num_nodes();
+  // Identify same-type runs in `base` (which is sorted by type).
+  std::array<uint8_t, Metagraph::kMaxNodes> perm = base;
+  // Recursive permutation of each run.
+  std::function<void(int)> rec = [&](int run_start) {
+    if (run_start >= n) {
+      fn(perm);
+      return;
+    }
+    int run_end = run_start + 1;
+    while (run_end < n &&
+           m.TypeOf(base[run_end]) == m.TypeOf(base[run_start])) {
+      ++run_end;
+    }
+    // Permute positions [run_start, run_end).
+    std::array<uint8_t, Metagraph::kMaxNodes> run{};
+    int len = run_end - run_start;
+    for (int i = 0; i < len; ++i) run[i] = base[run_start + i];
+    std::sort(run.begin(), run.begin() + len);
+    do {
+      for (int i = 0; i < len; ++i) perm[run_start + i] = run[i];
+      rec(run_end);
+    } while (std::next_permutation(run.begin(), run.begin() + len));
+  };
+  rec(0);
+}
+
+}  // namespace
+
+CanonicalCode Canonicalize(const Metagraph& m) {
+  const int n = m.num_nodes();
+  CanonicalCode code;
+  code.n = static_cast<uint8_t>(n);
+  if (n == 0) return code;
+
+  // Base ordering: nodes sorted by type (stable by original id).
+  std::array<uint8_t, Metagraph::kMaxNodes> base{};
+  std::iota(base.begin(), base.begin() + n, 0);
+  std::stable_sort(base.begin(), base.begin() + n,
+                   [&](uint8_t a, uint8_t b) {
+                     return m.TypeOf(a) < m.TypeOf(b);
+                   });
+  for (int i = 0; i < n; ++i) code.types[i] = m.TypeOf(base[i]);
+
+  uint32_t best = ~0u;
+  ForEachTypeStablePermutation(
+      m, base, [&](const std::array<uint8_t, Metagraph::kMaxNodes>& perm) {
+        best = std::min(best, PackAdjacency(m, perm));
+      });
+  code.adj_bits = best;
+  return code;
+}
+
+bool AreIsomorphic(const Metagraph& a, const Metagraph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  return Canonicalize(a) == Canonicalize(b);
+}
+
+Metagraph FromCanonicalCode(const CanonicalCode& code) {
+  Metagraph m;
+  for (int i = 0; i < code.n; ++i) m.AddNode(code.types[i]);
+  int bit = 0;
+  for (int i = 0; i < code.n; ++i) {
+    for (int j = i + 1; j < code.n; ++j, ++bit) {
+      if ((code.adj_bits >> bit) & 1u) {
+        m.AddEdge(static_cast<MetaNodeId>(i), static_cast<MetaNodeId>(j));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,60 @@
+// Canonical forms and isomorphism tests for metagraphs.
+//
+// Because metagraphs are capped at kMaxNodes = 8 nodes, we canonicalize by
+// direct enumeration: the canonical code is the lexicographically smallest
+// (type sequence, adjacency bitstring) over all node orderings. Orderings
+// that do not sort types ascending can never be minimal, so we only permute
+// within same-type groups — at most 8! permutations, in practice a handful.
+#ifndef METAPROX_METAGRAPH_CANONICAL_H_
+#define METAPROX_METAGRAPH_CANONICAL_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+/// A total, relabeling-invariant key for a metagraph. Two metagraphs have
+/// equal codes iff they are isomorphic (respecting node types).
+struct CanonicalCode {
+  uint8_t n = 0;
+  std::array<TypeId, Metagraph::kMaxNodes> types{};  // sorted ascending
+  uint32_t adj_bits = 0;  // upper-triangle bits, row-major, canonical order
+
+  bool operator==(const CanonicalCode& o) const {
+    return n == o.n && adj_bits == o.adj_bits && types == o.types;
+  }
+  bool operator<(const CanonicalCode& o) const {
+    if (n != o.n) return n < o.n;
+    if (types != o.types) return types < o.types;
+    return adj_bits < o.adj_bits;
+  }
+};
+
+struct CanonicalCodeHash {
+  size_t operator()(const CanonicalCode& c) const {
+    uint64_t h = c.n;
+    for (int i = 0; i < c.n; ++i) h = h * 1000003u + c.types[i];
+    h = h * 1000003u + c.adj_bits;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Computes the canonical code of `m`.
+CanonicalCode Canonicalize(const Metagraph& m);
+
+/// True iff `a` and `b` are isomorphic as typed graphs.
+bool AreIsomorphic(const Metagraph& a, const Metagraph& b);
+
+/// Rebuilds a concrete metagraph from a canonical code (nodes in canonical
+/// order). Useful for deduplicated storage.
+Metagraph FromCanonicalCode(const CanonicalCode& code);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_METAGRAPH_CANONICAL_H_

@@ -1,0 +1,141 @@
+#include "metagraph/decomposition.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace metaprox {
+namespace {
+
+// Connected components of the subgraph of `m` induced on `mask`.
+std::vector<uint8_t> ConnectedComponentMasks(const Metagraph& m,
+                                             uint8_t mask) {
+  std::vector<uint8_t> comps;
+  uint8_t remaining = mask;
+  while (remaining) {
+    uint8_t seed = remaining & static_cast<uint8_t>(-remaining);
+    uint8_t comp = seed;
+    for (;;) {
+      uint8_t frontier = 0;
+      for (int v = 0; v < m.num_nodes(); ++v) {
+        if ((comp >> v) & 1u) {
+          frontier |= static_cast<uint8_t>(m.NeighborMask(
+                          static_cast<MetaNodeId>(v)) & mask);
+        }
+      }
+      uint8_t next = comp | frontier;
+      if (next == comp) break;
+      comp = next;
+    }
+    comps.push_back(comp);
+    remaining = static_cast<uint8_t>(remaining & ~comp);
+  }
+  return comps;
+}
+
+std::vector<MetaNodeId> MaskToNodes(uint8_t mask) {
+  std::vector<MetaNodeId> nodes;
+  for (int v = 0; v < 8; ++v) {
+    if ((mask >> v) & 1u) nodes.push_back(static_cast<MetaNodeId>(v));
+  }
+  return nodes;
+}
+
+bool IsInvolution(const MetaPermutation& perm, int n) {
+  for (int v = 0; v < n; ++v) {
+    if (perm[perm[v]] != v) return false;
+  }
+  return true;
+}
+
+struct MirrorCandidate {
+  uint8_t rep_mask;
+  uint8_t mirror_mask;
+  MetaPermutation sigma;
+};
+
+}  // namespace
+
+ComponentDecomposition DecomposeSymmetricComponents(const Metagraph& m,
+                                                    const SymmetryInfo& sym) {
+  const int n = m.num_nodes();
+  ComponentDecomposition out;
+  if (n == 0) return out;
+
+  // Collect usable mirror candidates from involution automorphisms whose
+  // moved set splits into exactly two connected components mapped onto each
+  // other. (Such an involution necessarily fixes everything else pointwise.)
+  std::vector<MirrorCandidate> candidates;
+  for (const auto& sigma : sym.automorphisms) {
+    if (!IsInvolution(sigma, n)) continue;
+    uint8_t moved = 0;
+    for (int v = 0; v < n; ++v) {
+      if (sigma[v] != v) moved |= static_cast<uint8_t>(1u << v);
+    }
+    if (!moved) continue;  // identity
+    auto comps = ConnectedComponentMasks(m, moved);
+    if (comps.size() == 2) {
+      // sigma must map one component onto the other.
+      uint8_t image0 = 0;
+      for (int v = 0; v < n; ++v) {
+        if ((comps[0] >> v) & 1u) {
+          image0 |= static_cast<uint8_t>(1u << sigma[v]);
+        }
+      }
+      if (image0 != comps[1]) continue;
+      candidates.push_back({comps[0], comps[1], sigma});
+    } else if (comps.size() == 1) {
+      // The two mirror halves are adjacent (e.g. a user-user edge between
+      // swapped users) and fuse into one connected moved set. Split by the
+      // canonical half {v : v < sigma(v)}; the cross edges between the
+      // halves are verified per candidate pair at match time.
+      uint8_t rep = 0;
+      for (int v = 0; v < n; ++v) {
+        if (sigma[v] != v && v < sigma[v]) {
+          rep |= static_cast<uint8_t>(1u << v);
+        }
+      }
+      candidates.push_back(
+          {rep, static_cast<uint8_t>(moved & ~rep), sigma});
+    }
+    // Moved sets splitting into >2 components (several independent mirror
+    // pairs swapped by one involution) are skipped; tighter per-pair
+    // involutions almost always exist and are preferred.
+  }
+
+  // Prefer larger mirror pairs (more re-used work), then stable order.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const MirrorCandidate& a, const MirrorCandidate& b) {
+                     return __builtin_popcount(a.rep_mask) >
+                            __builtin_popcount(b.rep_mask);
+                   });
+
+  uint8_t used = 0;
+  for (const auto& cand : candidates) {
+    uint8_t both = static_cast<uint8_t>(cand.rep_mask | cand.mirror_mask);
+    if (used & both) continue;
+    used |= both;
+    ComponentGroup group;
+    group.rep = MaskToNodes(cand.rep_mask);
+    group.mirror.reserve(group.rep.size());
+    for (MetaNodeId v : group.rep) group.mirror.push_back(cand.sigma[v]);
+    out.groups.push_back(std::move(group));
+  }
+
+  // Remaining nodes: singleton components (as in the paper — every node not
+  // in a mirror pair is its own component, so the matching order can
+  // interleave them freely around the mirror groups).
+  uint8_t rest = static_cast<uint8_t>(((1u << n) - 1) & ~used);
+  for (int v = 0; v < n; ++v) {
+    if ((rest >> v) & 1u) {
+      ComponentGroup group;
+      group.rep.push_back(static_cast<MetaNodeId>(v));
+      out.groups.push_back(std::move(group));
+    }
+  }
+
+  MX_CHECK(out.num_covered_nodes() == static_cast<size_t>(n));
+  return out;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,60 @@
+// Symmetric-component decomposition of a metagraph (Sect. IV-C).
+//
+// The node set V_M is partitioned into connected components such that every
+// component is either:
+//   * a plain component (no exploitable symmetry), or
+//   * the representative of a *mirror pair*: a component S together with a
+//     disjoint component S' = σ(S) for some involution automorphism σ that
+//     fixes every node outside S ∪ S' pointwise.
+//
+// The pointwise-fixing requirement is what makes SymISO's candidate re-use
+// sound: when the matcher reaches the pair, every already-matched node is
+// fixed by σ, so the constraint set of S' given the partial embedding D is
+// *identical* to that of S, and C(S'|D) = C(S|D) can be re-used verbatim
+// (Alg. 3 in the paper).
+#ifndef METAPROX_METAGRAPH_DECOMPOSITION_H_
+#define METAPROX_METAGRAPH_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "metagraph/automorphism.h"
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+/// One unit of SymISO's component-at-a-time matching.
+struct ComponentGroup {
+  /// Nodes of the representative component, in matching order.
+  std::vector<MetaNodeId> rep;
+
+  /// Nodes of the mirror component, aligned index-wise with `rep`
+  /// (mirror[i] = σ(rep[i])). Empty for plain components.
+  std::vector<MetaNodeId> mirror;
+
+  bool has_mirror() const { return !mirror.empty(); }
+  size_t size() const { return rep.size() + mirror.size(); }
+};
+
+/// The decomposition of a metagraph into component groups. Groups cover V_M
+/// exactly once; group order is unspecified (matching-order selection is a
+/// separate concern, see matching/order.h).
+struct ComponentDecomposition {
+  std::vector<ComponentGroup> groups;
+
+  size_t num_covered_nodes() const {
+    size_t n = 0;
+    for (const auto& g : groups) n += g.size();
+    return n;
+  }
+};
+
+/// Decomposes `m` using its symmetry facts. Mirror pairs are selected
+/// greedily by descending component size among all involutions whose moved
+/// set splits into exactly two connected components; remaining nodes become
+/// plain connected components.
+ComponentDecomposition DecomposeSymmetricComponents(const Metagraph& m,
+                                                    const SymmetryInfo& sym);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_METAGRAPH_DECOMPOSITION_H_

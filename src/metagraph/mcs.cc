@@ -1,0 +1,118 @@
+#include "metagraph/mcs.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace metaprox {
+namespace {
+
+// Backtracking monomorphism test: maps pattern node `next` onward into
+// `host`, given partial map `map` and used-host mask.
+bool MonoSearch(const Metagraph& pattern, const Metagraph& host, int next,
+                std::array<int8_t, Metagraph::kMaxNodes>& map,
+                uint8_t used_host) {
+  if (next == pattern.num_nodes()) return true;
+  const MetaNodeId p = static_cast<MetaNodeId>(next);
+  for (int h = 0; h < host.num_nodes(); ++h) {
+    if ((used_host >> h) & 1u) continue;
+    if (host.TypeOf(static_cast<MetaNodeId>(h)) != pattern.TypeOf(p)) continue;
+    bool ok = true;
+    for (int q = 0; q < next; ++q) {
+      if (pattern.HasEdge(p, static_cast<MetaNodeId>(q)) &&
+          !host.HasEdge(static_cast<MetaNodeId>(h),
+                        static_cast<MetaNodeId>(map[q]))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    map[next] = static_cast<int8_t>(h);
+    if (MonoSearch(pattern, host, next + 1, map,
+                   static_cast<uint8_t>(used_host | (1u << h)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Builds the subgraph of `m` on node set `node_mask` with edge subset
+// `edge_subset` (bit i = i-th edge within the node set, in Edges() order
+// restricted to the mask).
+Metagraph BuildSubgraph(
+    const Metagraph& m, uint8_t node_mask,
+    const std::vector<std::pair<MetaNodeId, MetaNodeId>>& inner_edges,
+    uint32_t edge_subset) {
+  Metagraph sub;
+  std::array<int8_t, Metagraph::kMaxNodes> remap{};
+  remap.fill(-1);
+  for (int v = 0; v < m.num_nodes(); ++v) {
+    if ((node_mask >> v) & 1u) {
+      remap[v] =
+          static_cast<int8_t>(sub.AddNode(m.TypeOf(static_cast<MetaNodeId>(v))));
+    }
+  }
+  for (size_t i = 0; i < inner_edges.size(); ++i) {
+    if ((edge_subset >> i) & 1u) {
+      sub.AddEdge(static_cast<MetaNodeId>(remap[inner_edges[i].first]),
+                  static_cast<MetaNodeId>(remap[inner_edges[i].second]));
+    }
+  }
+  return sub;
+}
+
+}  // namespace
+
+bool IsSubgraphIsomorphic(const Metagraph& pattern, const Metagraph& host) {
+  if (pattern.num_nodes() > host.num_nodes()) return false;
+  if (pattern.num_edges() > host.num_edges()) return false;
+  std::array<int8_t, Metagraph::kMaxNodes> map{};
+  map.fill(-1);
+  return MonoSearch(pattern, host, 0, map, 0);
+}
+
+int MaxCommonSubgraphSize(const Metagraph& a, const Metagraph& b) {
+  const Metagraph& small = a.num_nodes() <= b.num_nodes() ? a : b;
+  const Metagraph& large = a.num_nodes() <= b.num_nodes() ? b : a;
+  const int n = small.num_nodes();
+  int best = 0;
+
+  for (uint32_t node_mask = 1; node_mask < (1u << n); ++node_mask) {
+    const int nodes = __builtin_popcount(node_mask);
+    // Upper bound check: even with all edges, can this beat `best`?
+    std::vector<std::pair<MetaNodeId, MetaNodeId>> inner;
+    for (MetaNodeId x = 0; x < n; ++x) {
+      if (!((node_mask >> x) & 1u)) continue;
+      for (MetaNodeId y = x + 1; y < n; ++y) {
+        if (((node_mask >> y) & 1u) && small.HasEdge(x, y)) {
+          inner.emplace_back(x, y);
+        }
+      }
+    }
+    if (nodes + static_cast<int>(inner.size()) <= best) continue;
+
+    // Enumerate edge subsets, largest first is not easy; iterate all and
+    // skip those that cannot beat `best`.
+    const uint32_t edge_count = static_cast<uint32_t>(inner.size());
+    for (uint32_t es = 0; es < (1u << edge_count); ++es) {
+      const int score = nodes + __builtin_popcount(es);
+      if (score <= best) continue;
+      Metagraph sub = BuildSubgraph(small, static_cast<uint8_t>(node_mask),
+                                    inner, es);
+      if (!sub.IsConnected()) continue;
+      if (IsSubgraphIsomorphic(sub, large)) best = score;
+    }
+  }
+  return best;
+}
+
+double StructuralSimilarity(const Metagraph& a, const Metagraph& b) {
+  const int mcs = MaxCommonSubgraphSize(a, b);
+  if (mcs == 0) return 0.0;
+  const double sa = a.num_nodes() + a.num_edges();
+  const double sb = b.num_nodes() + b.num_edges();
+  return (static_cast<double>(mcs) * mcs) / (sa * sb);
+}
+
+}  // namespace metaprox

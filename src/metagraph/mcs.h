@@ -1,0 +1,34 @@
+// Maximum common subgraph (MCS) and the structural-similarity score
+// SS(Mi, Mj) used by the dual-stage candidate heuristic (Sect. III-C):
+//
+//   SS(Mi, Mj) = (|V_M| + |E_M|)^2 / ((|V_Mi| + |E_Mi|) * (|V_Mj| + |E_Mj|))
+//
+// where M is the MCS of Mi and Mj. We take the MCS to be the largest
+// *connected* common subgraph by |V| + |E| (the connected variant is the
+// standard choice for similarity in van Berlo et al. [18], and disconnected
+// fragments carry no shared semantics in a metagraph).
+//
+// Metagraphs are at most 5 nodes in mining, so MCS is computed exactly by
+// enumerating connected subgraphs of the smaller side and testing
+// monomorphism into the other.
+#ifndef METAPROX_METAGRAPH_MCS_H_
+#define METAPROX_METAGRAPH_MCS_H_
+
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+/// Size (|V| + |E|) of the maximum connected common subgraph of a and b.
+/// Returns 0 when they share no common node type.
+int MaxCommonSubgraphSize(const Metagraph& a, const Metagraph& b);
+
+/// SS(a, b) in [0, 1]; 1 iff a and b are isomorphic.
+double StructuralSimilarity(const Metagraph& a, const Metagraph& b);
+
+/// True iff there is a monomorphism from `pattern` into `host`: an injective
+/// type-preserving node map carrying every pattern edge to a host edge.
+bool IsSubgraphIsomorphic(const Metagraph& pattern, const Metagraph& host);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_METAGRAPH_MCS_H_

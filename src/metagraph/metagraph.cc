@@ -1,0 +1,103 @@
+#include "metagraph/metagraph.h"
+
+#include <sstream>
+
+namespace metaprox {
+
+int Metagraph::num_edges() const {
+  int total = 0;
+  for (int i = 0; i < n_; ++i) total += __builtin_popcount(adj_[i]);
+  return total / 2;
+}
+
+std::vector<std::pair<MetaNodeId, MetaNodeId>> Metagraph::Edges() const {
+  std::vector<std::pair<MetaNodeId, MetaNodeId>> out;
+  for (MetaNodeId a = 0; a < n_; ++a) {
+    for (MetaNodeId b = a + 1; b < n_; ++b) {
+      if (HasEdge(a, b)) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+bool Metagraph::IsConnected() const {
+  if (n_ == 0) return false;
+  uint8_t visited = 1;  // start from node 0
+  for (;;) {
+    uint8_t frontier = 0;
+    for (int v = 0; v < n_; ++v) {
+      if ((visited >> v) & 1u) frontier |= adj_[v];
+    }
+    uint8_t next = visited | frontier;
+    if (next == visited) break;
+    visited = next;
+  }
+  return visited == static_cast<uint8_t>((1u << n_) - 1);
+}
+
+bool Metagraph::IsPath() const {
+  if (n_ == 0) return false;
+  if (n_ == 1) return true;
+  int deg1 = 0;
+  for (int v = 0; v < n_; ++v) {
+    int d = Degree(v);
+    if (d == 1) {
+      ++deg1;
+    } else if (d != 2) {
+      return false;
+    }
+  }
+  return deg1 == 2 && IsConnected();
+}
+
+int Metagraph::CountType(TypeId t) const {
+  int c = 0;
+  for (int i = 0; i < n_; ++i) c += (types_[i] == t);
+  return c;
+}
+
+std::string Metagraph::ToString(const TypeRegistry& reg) const {
+  std::ostringstream os;
+  if (IsPath() && n_ >= 2) {
+    // Walk the path from one endpoint.
+    MetaNodeId cur = 0;
+    for (MetaNodeId v = 0; v < n_; ++v) {
+      if (Degree(v) == 1) {
+        cur = v;
+        break;
+      }
+    }
+    uint8_t seen = 0;
+    for (int step = 0; step < n_; ++step) {
+      if (step) os << "-";
+      os << reg.Name(types_[cur]);
+      seen |= static_cast<uint8_t>(1u << cur);
+      uint8_t next = adj_[cur] & static_cast<uint8_t>(~seen);
+      if (!next) break;
+      cur = static_cast<MetaNodeId>(__builtin_ctz(next));
+    }
+    return os.str();
+  }
+  os << "{";
+  for (int v = 0; v < n_; ++v) {
+    if (v) os << ",";
+    os << v << ":" << reg.Name(types_[v]);
+  }
+  os << " |";
+  for (auto [a, b] : Edges()) {
+    os << " " << static_cast<int>(a) << "-" << static_cast<int>(b);
+  }
+  os << "}";
+  return os.str();
+}
+
+Metagraph MakePath(const std::vector<TypeId>& types) {
+  Metagraph m;
+  for (TypeId t : types) m.AddNode(t);
+  for (size_t i = 0; i + 1 < types.size(); ++i) {
+    m.AddEdge(static_cast<MetaNodeId>(i), static_cast<MetaNodeId>(i + 1));
+  }
+  return m;
+}
+
+}  // namespace metaprox

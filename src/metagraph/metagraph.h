@@ -1,0 +1,110 @@
+// Metagraph M = (V_M, E_M): a small graph whose nodes denote object *types*
+// (Sect. II, Def. of metagraph). Metagraphs in this system are tiny (the
+// paper caps them at 5 nodes; we support up to 8), so adjacency is stored as
+// one bitmask byte per node and all whole-graph algorithms (canonicalization,
+// automorphisms, MCS) enumerate permutations directly.
+#ifndef METAPROX_METAGRAPH_METAGRAPH_H_
+#define METAPROX_METAGRAPH_METAGRAPH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/type_registry.h"
+#include "graph/types.h"
+#include "util/macros.h"
+
+namespace metaprox {
+
+/// Index of a node within a metagraph.
+using MetaNodeId = uint8_t;
+
+/// Small typed graph over object types. Value-semantic and cheap to copy.
+class Metagraph {
+ public:
+  static constexpr int kMaxNodes = 8;
+
+  Metagraph() = default;
+
+  /// Adds a node of type `t`; returns its index.
+  MetaNodeId AddNode(TypeId t) {
+    MX_CHECK_MSG(n_ < kMaxNodes, "metagraph node limit exceeded");
+    types_[n_] = t;
+    adj_[n_] = 0;
+    return n_++;
+  }
+
+  /// Adds the undirected edge {a, b}. Idempotent; self-loops forbidden.
+  void AddEdge(MetaNodeId a, MetaNodeId b) {
+    MX_CHECK(a < n_ && b < n_ && a != b);
+    adj_[a] |= static_cast<uint8_t>(1u << b);
+    adj_[b] |= static_cast<uint8_t>(1u << a);
+  }
+
+  void RemoveEdge(MetaNodeId a, MetaNodeId b) {
+    MX_CHECK(a < n_ && b < n_);
+    adj_[a] &= static_cast<uint8_t>(~(1u << b));
+    adj_[b] &= static_cast<uint8_t>(~(1u << a));
+  }
+
+  int num_nodes() const { return n_; }
+  int num_edges() const;
+
+  TypeId TypeOf(MetaNodeId v) const {
+    MX_DCHECK(v < n_);
+    return types_[v];
+  }
+
+  bool HasEdge(MetaNodeId a, MetaNodeId b) const {
+    MX_DCHECK(a < n_ && b < n_);
+    return (adj_[a] >> b) & 1u;
+  }
+
+  /// Bitmask of neighbors of v.
+  uint8_t NeighborMask(MetaNodeId v) const {
+    MX_DCHECK(v < n_);
+    return adj_[v];
+  }
+
+  int Degree(MetaNodeId v) const { return __builtin_popcount(adj_[v]); }
+
+  /// All edges as (a, b) pairs with a < b.
+  std::vector<std::pair<MetaNodeId, MetaNodeId>> Edges() const;
+
+  /// True iff the metagraph is connected (the empty metagraph is not).
+  bool IsConnected() const;
+
+  /// True iff the metagraph is a simple path (the "metapath" special case
+  /// from Sun et al. [4]; used as dual-stage seeds, Sect. III-C).
+  bool IsPath() const;
+
+  /// Number of nodes whose type equals `t`.
+  int CountType(TypeId t) const;
+
+  /// Renders e.g. "user-school-user" style description using `reg` for type
+  /// names; non-path structures are listed as V/E sets.
+  std::string ToString(const TypeRegistry& reg) const;
+
+  bool operator==(const Metagraph& other) const {
+    if (n_ != other.n_) return false;
+    for (int i = 0; i < n_; ++i) {
+      if (types_[i] != other.types_[i] || adj_[i] != other.adj_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  uint8_t n_ = 0;
+  std::array<uint8_t, kMaxNodes> adj_{};
+  std::array<TypeId, kMaxNodes> types_{};
+};
+
+/// Convenience: builds a metapath t0 - t1 - ... - tk.
+Metagraph MakePath(const std::vector<TypeId>& types);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_METAGRAPH_METAGRAPH_H_

@@ -1,0 +1,78 @@
+#include "mining/mined_set_io.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace metaprox {
+namespace {
+constexpr char kMagic[] = "metaprox-metagraphs v1";
+}  // namespace
+
+util::Status WriteMinedMetagraphs(const std::vector<MinedMetagraph>& mined,
+                                  std::ostream& os) {
+  os << kMagic << '\n' << mined.size() << '\n';
+  for (const MinedMetagraph& m : mined) {
+    os << static_cast<int>(m.graph.num_nodes());
+    for (int v = 0; v < m.graph.num_nodes(); ++v) {
+      os << ' ' << m.graph.TypeOf(static_cast<MetaNodeId>(v));
+    }
+    auto edges = m.graph.Edges();
+    os << ' ' << edges.size();
+    for (auto [a, b] : edges) {
+      os << ' ' << static_cast<int>(a) << ' ' << static_cast<int>(b);
+    }
+    os << ' ' << m.support << '\n';
+  }
+  if (!os.good()) return util::Status::IoError("metagraph set write failed");
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::vector<MinedMetagraph>> ReadMinedMetagraphs(
+    std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagic) {
+    return util::Status::InvalidArgument(
+        "missing metaprox-metagraphs v1 header");
+  }
+  size_t count = 0;
+  is >> count;
+  if (!is) return util::Status::InvalidArgument("bad metagraph count");
+  std::vector<MinedMetagraph> mined;
+  mined.reserve(count);
+  for (size_t n = 0; n < count; ++n) {
+    int nodes = 0;
+    is >> nodes;
+    if (!is || nodes < 1 || nodes > Metagraph::kMaxNodes) {
+      return util::Status::InvalidArgument("bad metagraph node count");
+    }
+    MinedMetagraph m;
+    for (int v = 0; v < nodes; ++v) {
+      uint32_t type = 0;
+      is >> type;
+      if (!is || type > kInvalidType) {
+        return util::Status::InvalidArgument("bad metagraph node type");
+      }
+      m.graph.AddNode(static_cast<TypeId>(type));
+    }
+    size_t edges = 0;
+    is >> edges;
+    for (size_t e = 0; e < edges; ++e) {
+      int a = 0, b = 0;
+      is >> a >> b;
+      if (!is || a < 0 || b < 0 || a >= nodes || b >= nodes || a == b) {
+        return util::Status::InvalidArgument("bad metagraph edge");
+      }
+      m.graph.AddEdge(static_cast<MetaNodeId>(a), static_cast<MetaNodeId>(b));
+    }
+    is >> m.support;
+    if (!is) return util::Status::InvalidArgument("bad metagraph support");
+    m.is_path = m.graph.IsPath();
+    m.symmetry = AnalyzeSymmetry(m.graph);
+    mined.push_back(std::move(m));
+  }
+  return mined;
+}
+
+}  // namespace metaprox

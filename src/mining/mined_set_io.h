@@ -1,0 +1,27 @@
+// Serialization of a mined metagraph set, so the offline mining phase can
+// be persisted together with the vector index (index/metagraph_vectors.h)
+// and reused across processes — mining and matching only ever need to run
+// once per graph (Sect. II-B).
+#ifndef METAPROX_MINING_MINED_SET_IO_H_
+#define METAPROX_MINING_MINED_SET_IO_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "mining/miner.h"
+#include "util/status.h"
+
+namespace metaprox {
+
+/// Writes the structural part of each mined metagraph (nodes, edges,
+/// support, path flag). Symmetry facts are recomputed on load.
+util::Status WriteMinedMetagraphs(const std::vector<MinedMetagraph>& mined,
+                                  std::ostream& os);
+
+/// Reads a set written by WriteMinedMetagraphs.
+util::StatusOr<std::vector<MinedMetagraph>> ReadMinedMetagraphs(
+    std::istream& is);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MINING_MINED_SET_IO_H_

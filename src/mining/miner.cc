@@ -1,0 +1,196 @@
+#include "mining/miner.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "matching/backtracking.h"
+#include "matching/candidate_filter.h"
+#include "matching/order.h"
+#include "metagraph/canonical.h"
+#include "util/macros.h"
+#include "util/stopwatch.h"
+
+namespace metaprox {
+namespace {
+
+// Tracks distinct images per pattern node; stops the matcher as soon as
+// every node has >= threshold images (pattern provably frequent) or the
+// embedding cap is hit.
+class MniSink : public InstanceSink {
+ public:
+  MniSink(int num_nodes, uint64_t threshold, uint64_t cap)
+      : images_(num_nodes), threshold_(threshold), cap_(cap) {}
+
+  bool OnEmbedding(std::span<const NodeId> embedding) override {
+    ++embeddings_;
+    bool all_frequent = true;
+    for (size_t u = 0; u < images_.size(); ++u) {
+      images_[u].insert(embedding[u]);
+      all_frequent &= images_[u].size() >= threshold_;
+    }
+    if (all_frequent) {
+      proven_frequent_ = true;
+      return false;
+    }
+    return embeddings_ < cap_;
+  }
+
+  /// MNI lower bound (exact when neither early-stop fired).
+  uint64_t Mni() const {
+    uint64_t mni = UINT64_MAX;
+    for (const auto& s : images_) {
+      mni = std::min(mni, static_cast<uint64_t>(s.size()));
+    }
+    return mni == UINT64_MAX ? 0 : mni;
+  }
+
+  bool proven_frequent() const { return proven_frequent_; }
+  bool capped() const { return embeddings_ >= cap_; }
+
+ private:
+  std::vector<std::unordered_set<NodeId>> images_;
+  uint64_t threshold_;
+  uint64_t cap_;
+  uint64_t embeddings_ = 0;
+  bool proven_frequent_ = false;
+};
+
+// Computes whether `m` is frequent in `g` (MNI >= min_support). Uses the
+// BoostISO-style filter so infrequent patterns fail fast.
+bool IsFrequent(const Graph& g, const Metagraph& m,
+                const MinerOptions& options) {
+  CandidateFilter filter = BuildTypeDegreeFilter(g, m);
+  RefineFilter(g, m, filter, /*rounds=*/-1);
+  // Cheap necessary condition: every pattern node needs enough candidates.
+  for (MetaNodeId u = 0; u < m.num_nodes(); ++u) {
+    if (filter.CountAllowed(u) < options.min_support) return false;
+  }
+  MniSink sink(m.num_nodes(), options.min_support,
+               options.support_embedding_cap);
+  auto order = GreedyNodeOrder(g, m);
+  BacktrackMatch(g, m, order, &sink, &filter);
+  if (sink.proven_frequent() || sink.capped()) return true;
+  return sink.Mni() >= options.min_support;
+}
+
+// Returns the (best-effort) support value for reporting: exact MNI when the
+// enumeration finished, else min_support (a certified lower bound).
+uint64_t ReportedSupport(const Graph& g, const Metagraph& m,
+                         const MinerOptions& options) {
+  CandidateFilter filter = BuildTypeDegreeFilter(g, m);
+  RefineFilter(g, m, filter, /*rounds=*/-1);
+  MniSink sink(m.num_nodes(), UINT64_MAX, options.support_embedding_cap);
+  auto order = GreedyNodeOrder(g, m);
+  BacktrackMatch(g, m, order, &sink, &filter);
+  return sink.Mni();
+}
+
+}  // namespace
+
+std::vector<MinedMetagraph> MineMetagraphs(const Graph& g,
+                                           const MinerOptions& options,
+                                           MiningStats* stats) {
+  util::Stopwatch timer;
+  const size_t t = g.num_types();
+
+  // Feasible unordered type pairs: those with at least one graph edge.
+  std::vector<std::pair<TypeId, TypeId>> feasible;
+  for (TypeId a = 0; a < t; ++a) {
+    for (TypeId b = a; b < t; ++b) {
+      if (g.EdgeCountBetweenTypes(a, b) > 0) feasible.emplace_back(a, b);
+    }
+  }
+  auto edge_feasible = [&](TypeId a, TypeId b) {
+    return g.EdgeCountBetweenTypes(a, b) > 0;
+  };
+
+  std::unordered_set<CanonicalCode, CanonicalCodeHash> seen;
+  std::deque<Metagraph> frontier;
+  std::vector<MinedMetagraph> output;
+  MiningStats local_stats;
+
+  auto consider = [&](const Metagraph& candidate) {
+    CanonicalCode code = Canonicalize(candidate);
+    if (!seen.insert(code).second) return;
+    ++local_stats.patterns_enumerated;
+    if (local_stats.patterns_enumerated > options.max_patterns) return;
+    if (!IsFrequent(g, candidate, options)) return;
+    ++local_stats.patterns_frequent;
+    frontier.push_back(candidate);
+  };
+
+  // Seeds: all feasible single-edge patterns.
+  for (auto [a, b] : feasible) {
+    Metagraph m;
+    MetaNodeId x = m.AddNode(a);
+    MetaNodeId y = m.AddNode(b);
+    m.AddEdge(x, y);
+    consider(m);
+  }
+
+  // BFS pattern growth.
+  while (!frontier.empty()) {
+    Metagraph m = frontier.front();
+    frontier.pop_front();
+
+    // Output check.
+    const int anchors = m.CountType(options.anchor_type);
+    const int non_anchors = m.num_nodes() - anchors;
+    bool emit = anchors >= options.min_anchor_nodes &&
+                non_anchors >= options.min_non_anchor_nodes;
+    SymmetryInfo sym;
+    if (emit) {
+      sym = AnalyzeSymmetry(m);
+      if (options.require_symmetric && !sym.is_symmetric) emit = false;
+      if (emit && options.require_symmetric_anchor_pair) {
+        bool anchor_pair = false;
+        for (auto [a, b] : sym.symmetric_pairs) {
+          if (m.TypeOf(a) == options.anchor_type) {
+            anchor_pair = true;
+            break;
+          }
+        }
+        emit = anchor_pair;
+      }
+    }
+    if (emit) {
+      MinedMetagraph mined;
+      mined.graph = m;
+      mined.symmetry = std::move(sym);
+      mined.support = ReportedSupport(g, m, options);
+      mined.is_path = m.IsPath();
+      output.push_back(std::move(mined));
+      ++local_stats.patterns_output;
+    }
+
+    // Extensions: (a) close an edge between existing non-adjacent nodes.
+    for (MetaNodeId x = 0; x < m.num_nodes(); ++x) {
+      for (MetaNodeId y = x + 1; y < m.num_nodes(); ++y) {
+        if (m.HasEdge(x, y)) continue;
+        if (!edge_feasible(m.TypeOf(x), m.TypeOf(y))) continue;
+        Metagraph ext = m;
+        ext.AddEdge(x, y);
+        consider(ext);
+      }
+    }
+    // (b) grow a new node attached to one existing node.
+    if (m.num_nodes() < options.max_nodes) {
+      for (MetaNodeId x = 0; x < m.num_nodes(); ++x) {
+        for (TypeId nt = 0; nt < t; ++nt) {
+          if (!edge_feasible(m.TypeOf(x), nt)) continue;
+          Metagraph ext = m;
+          MetaNodeId y = ext.AddNode(nt);
+          ext.AddEdge(x, y);
+          consider(ext);
+        }
+      }
+    }
+  }
+
+  local_stats.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
+  return output;
+}
+
+}  // namespace metaprox

@@ -1,0 +1,63 @@
+// GRAMI-style metagraph mining on a single large graph (the paper's offline
+// subproblem 1, delegated to Elseidy et al. [9]).
+//
+// Pattern-growth enumeration over the graph's type schema with
+// canonical-form deduplication and MNI (minimum-node-image) frequency
+// pruning. MNI — the measure GRAMI uses — is anti-monotone on a single
+// graph, so infrequent patterns prune their entire extension subtree.
+// Support is computed by subgraph matching with two accelerations:
+//   * early termination once every pattern node has >= min_support distinct
+//     images (the pattern is then provably frequent), and
+//   * an embedding cap for pathological patterns (treated as frequent).
+//
+// Output filters reproduce the paper's setup (Sect. V-A): symmetric
+// metagraphs only, at least two anchor-type (user) nodes, at least one node
+// of another type, at most `max_nodes` nodes.
+#ifndef METAPROX_MINING_MINER_H_
+#define METAPROX_MINING_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metagraph/automorphism.h"
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+struct MinerOptions {
+  int max_nodes = 5;
+  uint64_t min_support = 3;      // MNI threshold
+  TypeId anchor_type = 0;        // typically "user"
+  int min_anchor_nodes = 2;      // >= 2 users (proximity is between users)
+  int min_non_anchor_nodes = 1;  // >= 1 node of another type
+  bool require_symmetric = true;
+  // The anchor pair whose proximity we measure must itself be symmetric:
+  // at least one symmetric pair of anchor-type nodes.
+  bool require_symmetric_anchor_pair = true;
+  uint64_t support_embedding_cap = 300'000;
+  size_t max_patterns = 200'000;  // enumeration safety valve
+};
+
+struct MinedMetagraph {
+  Metagraph graph;
+  SymmetryInfo symmetry;
+  uint64_t support = 0;  // MNI lower bound (exact when small)
+  bool is_path = false;
+};
+
+struct MiningStats {
+  size_t patterns_enumerated = 0;
+  size_t patterns_frequent = 0;
+  size_t patterns_output = 0;
+  double seconds = 0.0;
+};
+
+/// Mines the metagraph set M of `g`. Deterministic for a given graph.
+std::vector<MinedMetagraph> MineMetagraphs(const Graph& g,
+                                           const MinerOptions& options,
+                                           MiningStats* stats = nullptr);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MINING_MINER_H_

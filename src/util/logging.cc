@@ -1,0 +1,34 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace metaprox::util {
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+}
+}  // namespace internal
+
+}  // namespace metaprox::util

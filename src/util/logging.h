@@ -1,0 +1,40 @@
+// Tiny leveled logger for harness/CLI output. Not thread-safe by design:
+// metaprox's experiment pipelines are single-threaded (as in the paper's
+// "one thread" evaluation environment).
+#ifndef METAPROX_UTIL_LOGGING_H_
+#define METAPROX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace metaprox::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Emit(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define MX_LOG(level)                                                 \
+  ::metaprox::util::internal::LogMessage(::metaprox::util::LogLevel:: \
+                                             k##level)                \
+      .stream()
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_LOGGING_H_

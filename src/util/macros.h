@@ -1,0 +1,44 @@
+// Core assertion and utility macros used across metaprox.
+//
+// Invariant violations abort the process (Google-style CHECK); recoverable
+// errors flow through util::Status instead. Library code never throws across
+// the public API boundary.
+#ifndef METAPROX_UTIL_MACROS_H_
+#define METAPROX_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `cond` does not hold. Always on (also in
+// release builds): the cost is negligible in this codebase's hot loops and
+// silent corruption in a research artifact is worse than an abort.
+#define MX_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MX_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define MX_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MX_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define MX_DCHECK(cond) ((void)0)
+#else
+#define MX_DCHECK(cond) MX_CHECK(cond)
+#endif
+
+#define MX_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;         \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // METAPROX_UTIL_MACROS_H_

@@ -1,0 +1,23 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <vector>
+
+namespace metaprox::util {
+
+uint64_t Rng::Zipf(uint64_t n, double alpha) {
+  MX_CHECK(n > 0);
+  // Inverse-CDF sampling over the truncated zeta distribution. This is O(n)
+  // per draw in the worst case; acceptable for datagen-sized n.
+  double norm = 0.0;
+  for (uint64_t k = 0; k < n; ++k) norm += std::pow(k + 1.0, -alpha);
+  double u = UniformDouble() * norm;
+  double acc = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    acc += std::pow(k + 1.0, -alpha);
+    if (u <= acc) return k;
+  }
+  return n - 1;
+}
+
+}  // namespace metaprox::util

@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in metaprox takes an explicit 64-bit seed so
+// experiments are reproducible bit-for-bit. We use xoshiro256** seeded via
+// SplitMix64, the conventional pairing recommended by the xoshiro authors.
+#ifndef METAPROX_UTIL_RNG_H_
+#define METAPROX_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace metaprox::util {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection.
+  uint64_t UniformInt(uint64_t bound) {
+    MX_DCHECK(bound > 0);
+    // Debiased via rejection on the low word.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t threshold = -bound % bound;
+      while (l < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void Shuffle(Container& c) {
+    for (size_t i = c.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Draws from a Zipf-like distribution over [0, n): P(k) ~ 1/(k+1)^alpha.
+  /// Computed by inversion on the cached CDF is overkill here; we use
+  /// rejection-free discrete sampling via partial sums only for small n, so
+  /// callers with large n should precompute their own tables. For datagen
+  /// purposes n is at most a few thousand.
+  uint64_t Zipf(uint64_t n, double alpha);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_RNG_H_

@@ -1,0 +1,112 @@
+// Minimal Status / StatusOr error-handling vocabulary.
+//
+// Fallible operations (file I/O, config validation, user-supplied inputs)
+// return Status or StatusOr<T>; programmer errors use MX_CHECK.
+#ifndef METAPROX_UTIL_STATUS_H_
+#define METAPROX_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace metaprox::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+/// Lightweight error-or-success result carrying a code and a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status)                         // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    MX_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                 "StatusOr must not hold an OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    MX_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    MX_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    MX_CHECK_MSG(ok(), status().message().c_str());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+#define MX_RETURN_IF_ERROR(expr)               \
+  do {                                         \
+    ::metaprox::util::Status _st = (expr);     \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harnesses and Table III.
+#ifndef METAPROX_UTIL_STOPWATCH_H_
+#define METAPROX_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace metaprox::util {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_STOPWATCH_H_

@@ -1,0 +1,42 @@
+// Console table / CSV emitters used by the benchmark harnesses to print the
+// paper's tables and figure series in a uniform, diff-friendly format.
+#ifndef METAPROX_UTIL_TABLE_PRINTER_H_
+#define METAPROX_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace metaprox::util {
+
+/// Collects rows of string cells and renders them as an aligned ASCII table
+/// (and optionally CSV). Numeric formatting is the caller's responsibility;
+/// helpers below cover the common cases.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders an aligned table with a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders comma-separated values, header first.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double v, int digits = 4);
+
+/// Formats a fraction as a percentage string, e.g. 0.834 -> "83.4%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_TABLE_PRINTER_H_

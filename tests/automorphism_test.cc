@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "metagraph/automorphism.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+// M1 from Fig. 2: two users joined through a shared school and major.
+Metagraph MakeM1() {
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(0);  // user
+  MetaNodeId u2 = m.AddNode(0);  // user
+  MetaNodeId s = m.AddNode(1);   // school
+  MetaNodeId j = m.AddNode(2);   // major
+  m.AddEdge(u1, s);
+  m.AddEdge(u2, s);
+  m.AddEdge(u1, j);
+  m.AddEdge(u2, j);
+  return m;
+}
+
+// M5 from Fig. 5: 6 nodes, users u0,u2,u4 (u2 center), school, majors.
+// Layout per the paper: u0-u1(major), u0-u2(user), u2-u3(school),
+// u4-u3, u4-u5(major), u4-u2. Symmetric pairs: (u0,u4), (u1,u5).
+Metagraph MakeM5() {
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(0);     // user (left)
+  MetaNodeId mj1 = m.AddNode(2);    // major (left)
+  MetaNodeId u3 = m.AddNode(0);     // user (center)
+  MetaNodeId sc = m.AddNode(1);     // school
+  MetaNodeId u5 = m.AddNode(0);     // user (right)
+  MetaNodeId mj2 = m.AddNode(2);    // major (right)
+  m.AddEdge(u1, mj1);
+  m.AddEdge(u1, u3);
+  m.AddEdge(u1, sc);
+  m.AddEdge(u5, mj2);
+  m.AddEdge(u5, u3);
+  m.AddEdge(u5, sc);
+  return m;
+}
+
+TEST(Automorphism, PathUserSchoolUser) {
+  Metagraph m = MakePath({0, 1, 0});
+  SymmetryInfo info = AnalyzeSymmetry(m);
+  EXPECT_EQ(info.aut_size(), 2u);  // identity + endpoint swap
+  EXPECT_TRUE(info.is_symmetric);
+  ASSERT_EQ(info.symmetric_pairs.size(), 1u);
+  EXPECT_EQ(info.symmetric_pairs[0], std::make_pair(MetaNodeId{0},
+                                                    MetaNodeId{2}));
+  EXPECT_TRUE(info.IsSymmetricPair(0, 2));
+  EXPECT_TRUE(info.IsSymmetricPair(2, 0));
+  EXPECT_FALSE(info.IsSymmetricPair(0, 1));
+  EXPECT_TRUE(info.IsSymmetricNode(0));
+  EXPECT_FALSE(info.IsSymmetricNode(1));
+}
+
+TEST(Automorphism, AsymmetricPath) {
+  Metagraph m = MakePath({0, 1, 2});
+  SymmetryInfo info = AnalyzeSymmetry(m);
+  EXPECT_EQ(info.aut_size(), 1u);
+  EXPECT_FALSE(info.is_symmetric);
+  EXPECT_TRUE(info.symmetric_pairs.empty());
+  EXPECT_EQ(info.num_orbits, 3);
+}
+
+TEST(Automorphism, M1HasUserSwap) {
+  SymmetryInfo info = AnalyzeSymmetry(MakeM1());
+  EXPECT_EQ(info.aut_size(), 2u);
+  EXPECT_TRUE(info.IsSymmetricPair(0, 1));
+  EXPECT_EQ(info.num_orbits, 3);  // {u1,u2}, {school}, {major}
+}
+
+TEST(Automorphism, SameTypeTriangle) {
+  Metagraph m;
+  m.AddNode(0);
+  m.AddNode(0);
+  m.AddNode(0);
+  m.AddEdge(0, 1);
+  m.AddEdge(1, 2);
+  m.AddEdge(0, 2);
+  SymmetryInfo info = AnalyzeSymmetry(m);
+  EXPECT_EQ(info.aut_size(), 6u);  // S3
+  // All three transpositions are involutions.
+  EXPECT_EQ(info.symmetric_pairs.size(), 3u);
+  EXPECT_EQ(info.num_orbits, 1);
+}
+
+TEST(Automorphism, M5PairsAndOrbits) {
+  SymmetryInfo info = AnalyzeSymmetry(MakeM5());
+  EXPECT_TRUE(info.is_symmetric);
+  EXPECT_TRUE(info.IsSymmetricPair(0, 4));  // left/right user
+  EXPECT_TRUE(info.IsSymmetricPair(1, 5));  // left/right major
+  EXPECT_FALSE(info.IsSymmetricNode(2));    // center user fixed
+  EXPECT_FALSE(info.IsSymmetricNode(3));    // school fixed
+  EXPECT_EQ(info.aut_size(), 2u);
+}
+
+TEST(Automorphism, StarOfSameTypedLeaves) {
+  Metagraph m;
+  MetaNodeId center = m.AddNode(1);
+  for (int i = 0; i < 3; ++i) m.AddEdge(center, m.AddNode(0));
+  SymmetryInfo info = AnalyzeSymmetry(m);
+  EXPECT_EQ(info.aut_size(), 6u);  // permute 3 leaves
+  EXPECT_EQ(info.symmetric_pairs.size(), 3u);
+  EXPECT_EQ(info.num_orbits, 2);
+}
+
+TEST(Automorphism, TypePreservationRequired) {
+  // Path 0-1-2 with distinct leaf types has no swap even though the
+  // structure is mirror-symmetric.
+  Metagraph m = MakePath({1, 0, 2});
+  SymmetryInfo info = AnalyzeSymmetry(m);
+  EXPECT_EQ(info.aut_size(), 1u);
+}
+
+TEST(Automorphism, IsAutomorphismChecksEdges) {
+  Metagraph m = MakePath({0, 0, 0});  // path of 3 same-type nodes
+  MetaPermutation ident{0, 1, 2};
+  MetaPermutation swap_ends{2, 1, 0};
+  MetaPermutation rotate{1, 2, 0};
+  EXPECT_TRUE(IsAutomorphism(m, ident));
+  EXPECT_TRUE(IsAutomorphism(m, swap_ends));
+  EXPECT_FALSE(IsAutomorphism(m, rotate));
+}
+
+TEST(AutomorphismProperty, GroupClosureUnderComposition) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)), 2, rng);
+    SymmetryInfo info = AnalyzeSymmetry(m);
+    const int n = m.num_nodes();
+    // Composition of any two automorphisms is an automorphism.
+    for (size_t i = 0; i < info.automorphisms.size(); ++i) {
+      for (size_t j = 0; j < info.automorphisms.size(); ++j) {
+        MetaPermutation comp{};
+        for (int v = 0; v < n; ++v) {
+          comp[v] = info.automorphisms[i][info.automorphisms[j][v]];
+        }
+        EXPECT_TRUE(IsAutomorphism(m, comp));
+      }
+    }
+    // Group size divides n! and includes identity.
+    bool has_identity = false;
+    for (const auto& p : info.automorphisms) {
+      bool ident = true;
+      for (int v = 0; v < n; ++v) ident &= (p[v] == v);
+      has_identity |= ident;
+    }
+    EXPECT_TRUE(has_identity);
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

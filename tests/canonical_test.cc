@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <unordered_set>
+
+#include "metagraph/canonical.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+// Relabels the nodes of `m` by permutation `perm` (new index of old node i).
+Metagraph Relabel(const Metagraph& m, const std::array<int, 8>& perm) {
+  std::array<TypeId, 8> types{};
+  for (int i = 0; i < m.num_nodes(); ++i) {
+    types[perm[i]] = m.TypeOf(static_cast<MetaNodeId>(i));
+  }
+  Metagraph out;
+  for (int i = 0; i < m.num_nodes(); ++i) out.AddNode(types[i]);
+  for (auto [a, b] : m.Edges()) {
+    out.AddEdge(static_cast<MetaNodeId>(perm[a]),
+                static_cast<MetaNodeId>(perm[b]));
+  }
+  return out;
+}
+
+TEST(Canonical, InvariantUnderRelabeling) {
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(0);
+  MetaNodeId u2 = m.AddNode(0);
+  MetaNodeId s = m.AddNode(1);
+  MetaNodeId j = m.AddNode(2);
+  m.AddEdge(u1, s);
+  m.AddEdge(u2, s);
+  m.AddEdge(u1, j);
+  m.AddEdge(u2, j);
+
+  CanonicalCode base = Canonicalize(m);
+  std::array<int, 8> perm{};
+  std::iota(perm.begin(), perm.begin() + 4, 0);
+  do {
+    EXPECT_EQ(Canonicalize(Relabel(m, perm)), base);
+  } while (std::next_permutation(perm.begin(), perm.begin() + 4));
+}
+
+TEST(Canonical, DistinguishesNonIsomorphic) {
+  // Path 0-1-0 vs path 0-0-1: same multiset of types, different structure.
+  Metagraph a = MakePath({0, 1, 0});
+  Metagraph b = MakePath({0, 0, 1});
+  EXPECT_FALSE(Canonicalize(a) == Canonicalize(b));
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+TEST(Canonical, DistinguishesTypes) {
+  Metagraph a = MakePath({0, 1});
+  Metagraph b = MakePath({0, 2});
+  EXPECT_FALSE(Canonicalize(a) == Canonicalize(b));
+}
+
+TEST(Canonical, DistinguishesEdgeCounts) {
+  Metagraph tri;
+  tri.AddNode(0);
+  tri.AddNode(0);
+  tri.AddNode(0);
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  Metagraph cyc = tri;
+  cyc.AddEdge(0, 2);
+  EXPECT_FALSE(AreIsomorphic(tri, cyc));
+}
+
+TEST(Canonical, FromCanonicalCodeRoundTrips) {
+  util::Rng rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)), 3, rng);
+    CanonicalCode code = Canonicalize(m);
+    Metagraph rebuilt = FromCanonicalCode(code);
+    EXPECT_TRUE(AreIsomorphic(m, rebuilt));
+    EXPECT_EQ(Canonicalize(rebuilt), code);
+  }
+}
+
+TEST(CanonicalProperty, RandomRelabelingsAgree) {
+  util::Rng rng(654);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = 2 + static_cast<int>(rng.UniformInt(4));
+    Metagraph m = testing::MakeRandomMetagraph(n, 3, rng);
+    CanonicalCode base = Canonicalize(m);
+
+    std::array<int, 8> perm{};
+    std::iota(perm.begin(), perm.begin() + n, 0);
+    for (int i = n - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.UniformInt(i + 1)]);
+    }
+    EXPECT_EQ(Canonicalize(Relabel(m, perm)), base);
+  }
+}
+
+TEST(CanonicalProperty, HashConsistentWithEquality) {
+  util::Rng rng(777);
+  CanonicalCodeHash hasher;
+  for (int trial = 0; trial < 100; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(4, 3, rng);
+    CanonicalCode a = Canonicalize(m);
+    CanonicalCode b = Canonicalize(FromCanonicalCode(a));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(hasher(a), hasher(b));
+  }
+}
+
+TEST(Canonical, CodesAreUsableAsSetKeys) {
+  std::unordered_set<CanonicalCode, CanonicalCodeHash> seen;
+  Metagraph a = MakePath({0, 1, 0});
+  Metagraph b = MakePath({0, 1, 0});
+  Metagraph c = MakePath({1, 0, 1});
+  EXPECT_TRUE(seen.insert(Canonicalize(a)).second);
+  EXPECT_FALSE(seen.insert(Canonicalize(b)).second);
+  EXPECT_TRUE(seen.insert(Canonicalize(c)).second);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/citation.h"
+#include "datagen/facebook.h"
+#include "datagen/linkedin.h"
+
+namespace metaprox::datagen {
+namespace {
+
+TEST(Facebook, StructureMatchesConfig) {
+  FacebookConfig cfg;
+  cfg.num_users = 300;
+  Dataset ds = GenerateFacebook(cfg, 1);
+  EXPECT_EQ(ds.graph.num_types(), 10u);
+  EXPECT_EQ(ds.graph.CountOfType(ds.user_type), 300u);
+  EXPECT_GT(ds.graph.num_edges(), 300u * 5);  // >= attribute edges
+  ASSERT_EQ(ds.classes.size(), 2u);
+  EXPECT_EQ(ds.classes[0].class_name(), "family");
+  EXPECT_EQ(ds.classes[1].class_name(), "classmate");
+}
+
+TEST(Facebook, GroundTruthNonTrivial) {
+  FacebookConfig cfg;
+  cfg.num_users = 400;
+  Dataset ds = GenerateFacebook(cfg, 2);
+  for (const auto& gt : ds.classes) {
+    EXPECT_GT(gt.num_positive_pairs(), 10u) << gt.class_name();
+    EXPECT_GT(gt.queries().size(), 10u) << gt.class_name();
+    // Positive pairs are between users.
+    for (NodeId q : gt.queries()) {
+      EXPECT_EQ(ds.graph.TypeOf(q), ds.user_type);
+    }
+  }
+}
+
+TEST(Facebook, DeterministicPerSeed) {
+  FacebookConfig cfg;
+  cfg.num_users = 200;
+  Dataset a = GenerateFacebook(cfg, 7);
+  Dataset b = GenerateFacebook(cfg, 7);
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.classes[0].num_positive_pairs(),
+            b.classes[0].num_positive_pairs());
+  // A different seed must produce a structurally different graph (compare
+  // adjacency, not just counts — counts can coincide).
+  Dataset c = GenerateFacebook(cfg, 8);
+  bool differs = a.graph.num_edges() != c.graph.num_edges();
+  for (NodeId v = 0; !differs && v < a.graph.num_nodes(); ++v) {
+    auto na = a.graph.Neighbors(v);
+    auto nc = c.graph.Neighbors(v);
+    differs = na.size() != nc.size() ||
+              !std::equal(na.begin(), na.end(), nc.begin());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Facebook, FamilyRuleHoldsModuloNoise) {
+  FacebookConfig cfg;
+  cfg.num_users = 300;
+  cfg.label_noise = 0.0;  // exact rules
+  Dataset ds = GenerateFacebook(cfg, 3);
+  const GroundTruth* family = ds.FindClass("family");
+  ASSERT_NE(family, nullptr);
+  // With zero noise every positive pair shares a surname node in the graph.
+  const Graph& g = ds.graph;
+  TypeId surname_t = g.type_registry().Find("surname");
+  ASSERT_NE(surname_t, kInvalidType);
+  size_t checked = 0;
+  for (NodeId q : family->queries()) {
+    for (NodeId other : family->RelevantTo(q)) {
+      if (q > other) continue;
+      auto sq = g.NeighborsOfType(q, surname_t);
+      auto so = g.NeighborsOfType(other, surname_t);
+      ASSERT_EQ(sq.size(), 1u);
+      ASSERT_EQ(so.size(), 1u);
+      EXPECT_EQ(sq[0], so[0]);
+      if (++checked > 200) return;
+    }
+  }
+}
+
+TEST(LinkedIn, StructureMatchesConfig) {
+  LinkedInConfig cfg;
+  cfg.num_users = 500;
+  Dataset ds = GenerateLinkedIn(cfg, 1);
+  EXPECT_EQ(ds.graph.num_types(), 4u);
+  EXPECT_EQ(ds.graph.CountOfType(ds.user_type), 500u);
+  ASSERT_EQ(ds.classes.size(), 2u);
+  EXPECT_EQ(ds.classes[0].class_name(), "college");
+  EXPECT_EQ(ds.classes[1].class_name(), "coworker");
+  for (const auto& gt : ds.classes) {
+    EXPECT_GT(gt.queries().size(), 20u) << gt.class_name();
+  }
+}
+
+TEST(LinkedIn, CollegePositivesShareCollege) {
+  LinkedInConfig cfg;
+  cfg.num_users = 400;
+  Dataset ds = GenerateLinkedIn(cfg, 5);
+  const GroundTruth* college = ds.FindClass("college");
+  ASSERT_NE(college, nullptr);
+  TypeId college_t = ds.graph.type_registry().Find("college");
+  size_t checked = 0;
+  for (NodeId q : college->queries()) {
+    for (NodeId other : college->RelevantTo(q)) {
+      if (q > other) continue;
+      auto ca = ds.graph.NeighborsOfType(q, college_t);
+      auto cb = ds.graph.NeighborsOfType(other, college_t);
+      bool shared = false;
+      for (NodeId x : ca) {
+        for (NodeId y : cb) shared |= (x == y);
+      }
+      EXPECT_TRUE(shared);
+      if (++checked > 200) return;
+    }
+  }
+}
+
+TEST(LinkedIn, DeterministicPerSeed) {
+  LinkedInConfig cfg;
+  cfg.num_users = 300;
+  Dataset a = GenerateLinkedIn(cfg, 9);
+  Dataset b = GenerateLinkedIn(cfg, 9);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.classes[1].num_positive_pairs(),
+            b.classes[1].num_positive_pairs());
+}
+
+TEST(Citation, StructureAndClasses) {
+  CitationConfig cfg;
+  cfg.num_papers = 400;
+  Dataset ds = GenerateCitation(cfg, 1);
+  EXPECT_EQ(ds.graph.num_types(), 4u);
+  EXPECT_EQ(ds.graph.CountOfType(ds.user_type), 400u);
+  ASSERT_EQ(ds.classes.size(), 2u);
+  EXPECT_EQ(ds.classes[0].class_name(), "same-problem");
+  for (const auto& gt : ds.classes) {
+    EXPECT_GT(gt.num_positive_pairs(), 10u);
+  }
+}
+
+TEST(Citation, PapersCiteEachOther) {
+  CitationConfig cfg;
+  cfg.num_papers = 300;
+  Dataset ds = GenerateCitation(cfg, 2);
+  // paper-paper edges exist (citations).
+  EXPECT_GT(ds.graph.EdgeCountBetweenTypes(ds.user_type, ds.user_type), 0u);
+}
+
+TEST(AllGenerators, FindClassHelper) {
+  FacebookConfig cfg;
+  cfg.num_users = 100;
+  Dataset ds = GenerateFacebook(cfg, 4);
+  EXPECT_NE(ds.FindClass("family"), nullptr);
+  EXPECT_EQ(ds.FindClass("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace metaprox::datagen

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metagraph/decomposition.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+ComponentDecomposition Decompose(const Metagraph& m) {
+  return DecomposeSymmetricComponents(m, AnalyzeSymmetry(m));
+}
+
+// Counts nodes covered and checks disjointness.
+void CheckPartition(const Metagraph& m, const ComponentDecomposition& d) {
+  uint8_t covered = 0;
+  for (const auto& g : d.groups) {
+    for (MetaNodeId v : g.rep) {
+      EXPECT_FALSE((covered >> v) & 1u) << "node covered twice";
+      covered |= static_cast<uint8_t>(1u << v);
+    }
+    for (MetaNodeId v : g.mirror) {
+      EXPECT_FALSE((covered >> v) & 1u) << "node covered twice";
+      covered |= static_cast<uint8_t>(1u << v);
+    }
+  }
+  EXPECT_EQ(covered, static_cast<uint8_t>((1u << m.num_nodes()) - 1));
+}
+
+TEST(Decomposition, PathUserSchoolUser) {
+  Metagraph m = MakePath({0, 1, 0});
+  auto d = Decompose(m);
+  CheckPartition(m, d);
+  // One mirror pair {0}<->{2} and one singleton {1}.
+  int mirrors = 0, plain = 0;
+  for (const auto& g : d.groups) {
+    if (g.has_mirror()) {
+      ++mirrors;
+      EXPECT_EQ(g.rep.size(), 1u);
+    } else {
+      ++plain;
+    }
+  }
+  EXPECT_EQ(mirrors, 1);
+  EXPECT_EQ(plain, 1);
+}
+
+TEST(Decomposition, M5PaperExample) {
+  // The metagraph of Fig. 5: mirror components {u_left, major_left} and
+  // {u_right, major_right}, singletons for the center user and school.
+  Metagraph m;
+  MetaNodeId ul = m.AddNode(0);
+  MetaNodeId jl = m.AddNode(2);
+  MetaNodeId uc = m.AddNode(0);
+  MetaNodeId sc = m.AddNode(1);
+  MetaNodeId ur = m.AddNode(0);
+  MetaNodeId jr = m.AddNode(2);
+  m.AddEdge(ul, jl);
+  m.AddEdge(ul, uc);
+  m.AddEdge(ul, sc);
+  m.AddEdge(ur, jr);
+  m.AddEdge(ur, uc);
+  m.AddEdge(ur, sc);
+
+  auto d = Decompose(m);
+  CheckPartition(m, d);
+
+  const ComponentGroup* mirror_group = nullptr;
+  int singletons = 0;
+  for (const auto& g : d.groups) {
+    if (g.has_mirror()) {
+      EXPECT_EQ(mirror_group, nullptr) << "expected exactly one mirror pair";
+      mirror_group = &g;
+    } else {
+      EXPECT_EQ(g.rep.size(), 1u);
+      ++singletons;
+    }
+  }
+  ASSERT_NE(mirror_group, nullptr);
+  EXPECT_EQ(singletons, 2);
+  EXPECT_EQ(mirror_group->rep.size(), 2u);
+  // The mirror map must pair (ul <-> ur) and (jl <-> jr).
+  for (size_t i = 0; i < mirror_group->rep.size(); ++i) {
+    MetaNodeId r = mirror_group->rep[i];
+    MetaNodeId s = mirror_group->mirror[i];
+    EXPECT_EQ(m.TypeOf(r), m.TypeOf(s));
+    EXPECT_NE(r, s);
+  }
+}
+
+TEST(Decomposition, AsymmetricGraphAllPlain) {
+  Metagraph m = MakePath({0, 1, 2});
+  auto d = Decompose(m);
+  CheckPartition(m, d);
+  for (const auto& g : d.groups) EXPECT_FALSE(g.has_mirror());
+}
+
+TEST(Decomposition, AdjacentMirrorNodes) {
+  // Two users joined by an edge sharing an address: user-user edge between
+  // the mirrored singletons.
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(0);
+  MetaNodeId u2 = m.AddNode(0);
+  MetaNodeId a = m.AddNode(1);
+  m.AddEdge(u1, u2);
+  m.AddEdge(u1, a);
+  m.AddEdge(u2, a);
+  auto d = Decompose(m);
+  CheckPartition(m, d);
+  bool found_mirror = false;
+  for (const auto& g : d.groups) found_mirror |= g.has_mirror();
+  EXPECT_TRUE(found_mirror);
+}
+
+TEST(Decomposition, MirrorMapIsTypePreserving) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)), 2, rng);
+    auto d = Decompose(m);
+    CheckPartition(m, d);
+    for (const auto& g : d.groups) {
+      if (!g.has_mirror()) continue;
+      ASSERT_EQ(g.rep.size(), g.mirror.size());
+      for (size_t i = 0; i < g.rep.size(); ++i) {
+        EXPECT_EQ(m.TypeOf(g.rep[i]), m.TypeOf(g.mirror[i]));
+      }
+      // Rep and mirror are disjoint.
+      for (MetaNodeId r : g.rep) {
+        EXPECT_EQ(std::find(g.mirror.begin(), g.mirror.end(), r),
+                  g.mirror.end());
+      }
+    }
+  }
+}
+
+TEST(Decomposition, MirrorEdgesCorrespond) {
+  // The sigma pairing rep->mirror must carry intra-rep edges to intra-mirror
+  // edges (it comes from an automorphism).
+  util::Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        3 + static_cast<int>(rng.UniformInt(3)), 2, rng);
+    auto d = Decompose(m);
+    for (const auto& g : d.groups) {
+      if (!g.has_mirror()) continue;
+      for (size_t i = 0; i < g.rep.size(); ++i) {
+        for (size_t j = i + 1; j < g.rep.size(); ++j) {
+          EXPECT_EQ(m.HasEdge(g.rep[i], g.rep[j]),
+                    m.HasEdge(g.mirror[i], g.mirror[j]));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

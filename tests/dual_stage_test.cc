@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "learning/dual_stage.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+// Engine over the toy graph with all metagraphs mined at support 1.
+std::unique_ptr<SearchEngine> MakeToyEngine(const testing::ToyGraph& toy) {
+  EngineOptions options;
+  options.miner.anchor_type = toy.user;
+  options.miner.min_support = 1;
+  options.miner.max_nodes = 4;
+  options.transform = CountTransform::kRaw;
+  auto engine = std::make_unique<SearchEngine>(toy.graph, options);
+  engine->Mine();
+  return engine;
+}
+
+std::vector<Example> ClassmateExamples(const testing::ToyGraph& toy) {
+  return {
+      {toy.kate, toy.jay, toy.alice}, {toy.kate, toy.jay, toy.bob},
+      {toy.kate, toy.jay, toy.tom},   {toy.bob, toy.tom, toy.alice},
+      {toy.bob, toy.tom, toy.kate},   {toy.bob, toy.tom, toy.jay},
+  };
+}
+
+TEST(DualStage, SeedsAreExactlyMetapaths) {
+  auto toy = testing::MakeToyGraph();
+  auto engine = MakeToyEngine(toy);
+  auto examples = ClassmateExamples(toy);
+
+  DualStageOptions options;
+  options.num_candidates = 3;
+  DualStageResult result = engine->TrainDualStage(examples, options);
+
+  const auto& metagraphs = engine->metagraphs();
+  std::vector<uint32_t> expected_seeds;
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    if (metagraphs[i].is_path) expected_seeds.push_back(i);
+  }
+  EXPECT_EQ(result.seeds, expected_seeds);
+  EXPECT_FALSE(result.seeds.empty());
+}
+
+TEST(DualStage, CandidatesAreNonSeedsSortedByHeuristic) {
+  auto toy = testing::MakeToyGraph();
+  auto engine = MakeToyEngine(toy);
+  auto examples = ClassmateExamples(toy);
+
+  DualStageOptions options;
+  options.num_candidates = 2;
+  DualStageResult result = engine->TrainDualStage(examples, options);
+
+  EXPECT_LE(result.candidates.size(), 2u);
+  for (uint32_t c : result.candidates) {
+    EXPECT_FALSE(engine->metagraphs()[c].is_path);
+    EXPECT_GE(result.heuristic_scores[c], 0.0);
+  }
+  // Selected candidates have the highest H among non-seeds.
+  double min_selected = 1e300;
+  for (uint32_t c : result.candidates) {
+    min_selected = std::min(min_selected, result.heuristic_scores[c]);
+  }
+  for (uint32_t j = 0; j < result.heuristic_scores.size(); ++j) {
+    if (result.heuristic_scores[j] < 0.0) continue;  // seed
+    if (std::find(result.candidates.begin(), result.candidates.end(), j) !=
+        result.candidates.end()) {
+      continue;
+    }
+    EXPECT_LE(result.heuristic_scores[j], min_selected + 1e-12);
+  }
+}
+
+TEST(DualStage, ReverseHeuristicPicksWorst) {
+  auto toy = testing::MakeToyGraph();
+  auto engine_ch = MakeToyEngine(toy);
+  auto engine_rch = MakeToyEngine(toy);
+  auto examples = ClassmateExamples(toy);
+
+  DualStageOptions ch;
+  ch.num_candidates = 2;
+  DualStageOptions rch = ch;
+  rch.reverse_heuristic = true;
+
+  DualStageResult r_ch = engine_ch->TrainDualStage(examples, ch);
+  DualStageResult r_rch = engine_rch->TrainDualStage(examples, rch);
+  // With enough non-seeds, the two selections should differ.
+  if (r_ch.heuristic_scores.size() > r_ch.seeds.size() + 2) {
+    EXPECT_NE(r_ch.candidates, r_rch.candidates);
+  }
+}
+
+TEST(DualStage, OnlyNeededMetagraphsAreMatched) {
+  auto toy = testing::MakeToyGraph();
+  auto engine = MakeToyEngine(toy);
+  auto examples = ClassmateExamples(toy);
+
+  DualStageOptions options;
+  options.num_candidates = 1;
+  DualStageResult result = engine->TrainDualStage(examples, options);
+
+  size_t committed = 0;
+  for (uint32_t i = 0; i < engine->metagraphs().size(); ++i) {
+    committed += engine->index().IsCommitted(i);
+  }
+  EXPECT_EQ(committed, result.seeds.size() + result.candidates.size());
+  EXPECT_LT(committed, engine->metagraphs().size());
+}
+
+TEST(DualStage, FinalWeightsRestrictedToSeedsAndCandidates) {
+  auto toy = testing::MakeToyGraph();
+  auto engine = MakeToyEngine(toy);
+  auto examples = ClassmateExamples(toy);
+
+  DualStageOptions options;
+  options.num_candidates = 2;
+  DualStageResult result = engine->TrainDualStage(examples, options);
+
+  std::vector<bool> allowed(engine->metagraphs().size(), false);
+  for (uint32_t s : result.seeds) allowed[s] = true;
+  for (uint32_t c : result.candidates) allowed[c] = true;
+  for (uint32_t i = 0; i < result.final_stage.weights.size(); ++i) {
+    if (!allowed[i]) {
+      EXPECT_DOUBLE_EQ(result.final_stage.weights[i], 0.0);
+    }
+  }
+}
+
+TEST(FunctionalSimilarityTest, Formula) {
+  std::vector<double> w = {0.9, 0.1, 0.9};
+  EXPECT_DOUBLE_EQ(FunctionalSimilarity(w, 0, 2), 1.0);
+  EXPECT_NEAR(FunctionalSimilarity(w, 0, 1), 0.2, 1e-12);
+}
+
+TEST(SsCache, MemoizesSymmetrically) {
+  auto toy = testing::MakeToyGraph();
+  auto engine = MakeToyEngine(toy);
+  const auto& metagraphs = engine->metagraphs();
+  if (metagraphs.size() < 2) GTEST_SKIP();
+  StructuralSimilarityCache cache;
+  double a = cache.Get(metagraphs, 0, 1);
+  double b = cache.Get(metagraphs, 1, 0);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 1.0);
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,188 @@
+// End-to-end integration tests: the full Fig. 3 pipeline on a small
+// synthetic Facebook graph — mine, match, index, train, query — and the
+// headline comparisons (learned MGP beats uniform weights; dual-stage
+// matches far fewer metagraphs).
+#include <gtest/gtest.h>
+
+#include "baselines/simple.h"
+#include "core/engine.h"
+#include "datagen/facebook.h"
+#include "eval/evaluate.h"
+#include "eval/splits.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+struct Pipeline {
+  datagen::Dataset ds;
+  std::unique_ptr<SearchEngine> engine;
+};
+
+Pipeline MakePipeline(uint32_t num_users = 250, uint64_t seed = 31) {
+  Pipeline p;
+  datagen::FacebookConfig cfg;
+  cfg.num_users = num_users;
+  p.ds = datagen::GenerateFacebook(cfg, seed);
+
+  EngineOptions options;
+  options.miner.anchor_type = p.ds.user_type;
+  options.miner.min_support = 3;
+  options.miner.max_nodes = 4;
+  p.engine = std::make_unique<SearchEngine>(p.ds.graph, options);
+  p.engine->Mine();
+  return p;
+}
+
+TEST(Engine, MinesNonEmptyMetagraphSet) {
+  Pipeline p = MakePipeline();
+  EXPECT_GT(p.engine->metagraphs().size(), 10u);
+  size_t paths = 0;
+  for (const auto& m : p.engine->metagraphs()) paths += m.is_path;
+  EXPECT_GT(paths, 0u);
+  EXPECT_LT(paths, p.engine->metagraphs().size());
+  EXPECT_GT(p.engine->timings().mine_seconds, 0.0);
+}
+
+TEST(Engine, FullPipelineTrainAndQuery) {
+  Pipeline p = MakePipeline();
+  p.engine->MatchAll();
+  EXPECT_GT(p.engine->timings().match_seconds, 0.0);
+
+  const GroundTruth* family = p.ds.FindClass("family");
+  ASSERT_NE(family, nullptr);
+  util::Rng rng(5);
+  QuerySplit split = SplitQueries(*family, 0.2, rng);
+  auto pool = p.ds.graph.NodesOfType(p.ds.user_type);
+  std::vector<NodeId> pool_vec(pool.begin(), pool.end());
+  auto examples =
+      SampleExamples(*family, split.train, pool_vec, 120, rng);
+  ASSERT_GT(examples.size(), 50u);
+
+  TrainOptions train_options;
+  train_options.max_iterations = 250;
+  train_options.restarts = 2;
+  MgpModel model = p.engine->Train(examples, train_options);
+
+  // Query with the learned model: a test query's top-10 should contain at
+  // least some relatives on average.
+  size_t queries_with_hit = 0, evaluated = 0;
+  for (NodeId q : split.test) {
+    auto top = p.engine->Query(model, q, 10);
+    const auto& relevant = family->RelevantTo(q);
+    if (relevant.empty()) continue;
+    ++evaluated;
+    for (const auto& [node, score] : top) {
+      if (relevant.contains(node)) {
+        ++queries_with_hit;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(evaluated, 10u);
+  EXPECT_GT(static_cast<double>(queries_with_hit) /
+                static_cast<double>(evaluated),
+            0.5);
+}
+
+TEST(Engine, LearnedModelBeatsUniformOnFamily) {
+  Pipeline p = MakePipeline(300, 77);
+  p.engine->MatchAll();
+  const GroundTruth* family = p.ds.FindClass("family");
+  ASSERT_NE(family, nullptr);
+  util::Rng rng(6);
+  QuerySplit split = SplitQueries(*family, 0.2, rng);
+  auto pool = p.ds.graph.NodesOfType(p.ds.user_type);
+  std::vector<NodeId> pool_vec(pool.begin(), pool.end());
+  auto examples =
+      SampleExamples(*family, split.train, pool_vec, 200, rng);
+
+  TrainOptions train_options;
+  train_options.max_iterations = 250;
+  train_options.restarts = 2;
+  MgpModel learned = p.engine->Train(examples, train_options);
+  MgpModel uniform{UniformWeights(p.engine->index())};
+
+  auto ranker_of = [&](const MgpModel& model) {
+    return [&, model](NodeId q) {
+      auto scored = p.engine->Query(model, q, 10);
+      std::vector<NodeId> out;
+      for (auto& [node, score] : scored) out.push_back(node);
+      return out;
+    };
+  };
+  EvalResult learned_eval =
+      EvaluateRanker(*family, split.test, ranker_of(learned), 10);
+  EvalResult uniform_eval =
+      EvaluateRanker(*family, split.test, ranker_of(uniform), 10);
+  EXPECT_GT(learned_eval.ndcg, uniform_eval.ndcg);
+  EXPECT_GT(learned_eval.ndcg, 0.3);
+}
+
+TEST(Engine, DualStageMatchesFarFewerMetagraphs) {
+  Pipeline p = MakePipeline(250, 91);
+  const GroundTruth* classmate = p.ds.FindClass("classmate");
+  ASSERT_NE(classmate, nullptr);
+  util::Rng rng(8);
+  QuerySplit split = SplitQueries(*classmate, 0.2, rng);
+  auto pool = p.ds.graph.NodesOfType(p.ds.user_type);
+  std::vector<NodeId> pool_vec(pool.begin(), pool.end());
+  auto examples =
+      SampleExamples(*classmate, split.train, pool_vec, 100, rng);
+
+  DualStageOptions options;
+  options.num_candidates = 5;
+  options.train.max_iterations = 200;
+  options.train.restarts = 2;
+  DualStageResult result = p.engine->TrainDualStage(examples, options);
+
+  size_t committed = 0;
+  for (uint32_t i = 0; i < p.engine->metagraphs().size(); ++i) {
+    committed += p.engine->index().IsCommitted(i);
+  }
+  EXPECT_EQ(committed, result.seeds.size() + result.candidates.size());
+  EXPECT_LT(committed, p.engine->metagraphs().size() / 2);
+}
+
+TEST(Engine, QueryProximitySelfIsOne) {
+  Pipeline p = MakePipeline(150, 13);
+  p.engine->MatchAll();
+  MgpModel uniform{UniformWeights(p.engine->index())};
+  auto users = p.ds.graph.NodesOfType(p.ds.user_type);
+  EXPECT_DOUBLE_EQ(p.engine->Proximity(uniform, users[0], users[0]), 1.0);
+}
+
+TEST(Engine, MatcherChoiceDoesNotChangeIndex) {
+  // The index contents must be identical whichever matcher built them.
+  datagen::FacebookConfig cfg;
+  cfg.num_users = 120;
+  auto ds = datagen::GenerateFacebook(cfg, 21);
+
+  auto build = [&](MatcherKind kind) {
+    EngineOptions options;
+    options.miner.anchor_type = ds.user_type;
+    options.miner.min_support = 3;
+    options.miner.max_nodes = 4;
+    options.matcher = kind;
+    options.transform = CountTransform::kRaw;
+    auto engine = std::make_unique<SearchEngine>(ds.graph, options);
+    engine->Mine();
+    engine->MatchAll();
+    return engine;
+  };
+  auto a = build(MatcherKind::kQuickSI);
+  auto b = build(MatcherKind::kSymISO);
+  ASSERT_EQ(a->metagraphs().size(), b->metagraphs().size());
+
+  auto users = ds.graph.NodesOfType(ds.user_type);
+  std::vector<double> w(a->metagraphs().size(), 1.0);
+  for (size_t i = 0; i < users.size(); i += 13) {
+    for (size_t j = i + 1; j < users.size(); j += 17) {
+      EXPECT_NEAR(a->index().PairDot(users[i], users[j], w),
+                  b->index().PairDot(users[i], users[j], w), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_io.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  auto toy = testing::MakeToyGraph();
+  std::ostringstream os;
+  ASSERT_TRUE(WriteGraph(toy.graph, os).ok());
+
+  std::istringstream is(os.str());
+  auto loaded = ReadGraph(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const Graph& g = *loaded;
+  EXPECT_EQ(g.num_nodes(), toy.graph.num_nodes());
+  EXPECT_EQ(g.num_edges(), toy.graph.num_edges());
+  EXPECT_EQ(g.num_types(), toy.graph.num_types());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.TypeOf(v), toy.graph.TypeOf(v));
+    EXPECT_EQ(g.NameOf(v), toy.graph.NameOf(v));
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto a = g.Neighbors(v);
+    auto b = toy.graph.Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GraphIo, RoundTripRandomGraph) {
+  Graph g = testing::MakeRandomGraph(500, 6, 5.0, 99);
+  std::ostringstream os;
+  ASSERT_TRUE(WriteGraph(g, os).ok());
+  std::istringstream is(os.str());
+  auto loaded = ReadGraph(is);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::istringstream is("not a graph\n");
+  auto loaded = ReadGraph(is);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIo, RejectsBadNodeType) {
+  std::istringstream is(
+      "metaprox-graph v1\ntypes 1\nuser\nnodes 1\n5\nedges 0\n");
+  auto loaded = ReadGraph(is);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(GraphIo, RejectsOutOfRangeEdge) {
+  std::istringstream is(
+      "metaprox-graph v1\ntypes 1\nuser\nnodes 2\n0\n0\nedges 1\n0 5\n");
+  auto loaded = ReadGraph(is);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(GraphIo, RejectsTruncatedSections) {
+  std::istringstream is("metaprox-graph v1\ntypes 2\nuser\n");
+  auto loaded = ReadGraph(is);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  std::istringstream is(
+      "metaprox-graph v1\n# a comment\ntypes 1\nuser\n\nnodes 2\n0\n0 Bob\n"
+      "# another\nedges 1\n0 1\n");
+  auto loaded = ReadGraph(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 2u);
+  EXPECT_EQ(loaded->NameOf(1), "Bob");
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  auto toy = testing::MakeToyGraph();
+  const std::string path = ::testing::TempDir() + "/toy_graph.txt";
+  ASSERT_TRUE(WriteGraphToFile(toy.graph, path).ok());
+  auto loaded = ReadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), toy.graph.num_edges());
+}
+
+TEST(GraphIo, MissingFileIsIoError) {
+  auto loaded = ReadGraphFromFile("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace metaprox

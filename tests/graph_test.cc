@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+TEST(GraphBuilder, BasicConstruction) {
+  GraphBuilder b;
+  TypeId user = b.InternType("user");
+  TypeId school = b.InternType("school");
+  NodeId a = b.AddNode(user);
+  NodeId s = b.AddNode(school);
+  NodeId c = b.AddNode(user);
+  b.AddEdge(a, s);
+  b.AddEdge(c, s);
+  Graph g = b.Build();
+
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_types(), 2u);
+  EXPECT_EQ(g.TypeOf(a), user);
+  EXPECT_EQ(g.TypeOf(s), school);
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdgesAndSelfLoops) {
+  GraphBuilder b;
+  b.InternType("t");
+  NodeId x = b.AddNode(TypeId{0});
+  NodeId y = b.AddNode(TypeId{0});
+  b.AddEdge(x, y);
+  b.AddEdge(y, x);
+  b.AddEdge(x, y);
+  b.AddEdge(x, x);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(x), 1u);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  auto toy = testing::MakeToyGraph();
+  EXPECT_TRUE(toy.graph.HasEdge(toy.alice, toy.clinton));
+  EXPECT_TRUE(toy.graph.HasEdge(toy.clinton, toy.alice));
+  EXPECT_FALSE(toy.graph.HasEdge(toy.alice, toy.bob));
+  EXPECT_FALSE(toy.graph.HasEdge(toy.tom, toy.music));
+}
+
+TEST(Graph, NeighborsSortedByTypeThenId) {
+  auto toy = testing::MakeToyGraph();
+  auto nbrs = toy.graph.Neighbors(toy.kate);
+  for (size_t i = 1; i < nbrs.size(); ++i) {
+    TypeId t0 = toy.graph.TypeOf(nbrs[i - 1]);
+    TypeId t1 = toy.graph.TypeOf(nbrs[i]);
+    EXPECT_TRUE(t0 < t1 || (t0 == t1 && nbrs[i - 1] < nbrs[i]));
+  }
+}
+
+TEST(Graph, NeighborsOfTypeSlices) {
+  auto toy = testing::MakeToyGraph();
+  auto schools = toy.graph.NeighborsOfType(toy.kate, toy.school);
+  ASSERT_EQ(schools.size(), 1u);
+  EXPECT_EQ(schools[0], toy.college_a);
+
+  auto users = toy.graph.NeighborsOfType(toy.college_b, toy.user);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_TRUE(std::find(users.begin(), users.end(), toy.bob) != users.end());
+  EXPECT_TRUE(std::find(users.begin(), users.end(), toy.tom) != users.end());
+
+  auto none = toy.graph.NeighborsOfType(toy.tom, toy.hobby);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Graph, NodesOfType) {
+  auto toy = testing::MakeToyGraph();
+  auto users = toy.graph.NodesOfType(toy.user);
+  EXPECT_EQ(users.size(), 5u);
+  EXPECT_EQ(toy.graph.CountOfType(toy.address), 2u);
+}
+
+TEST(Graph, EdgeCountBetweenTypes) {
+  auto toy = testing::MakeToyGraph();
+  // user-surname edges: Alice-Clinton, Bob-Clinton.
+  EXPECT_EQ(toy.graph.EdgeCountBetweenTypes(toy.user, toy.surname), 2u);
+  EXPECT_EQ(toy.graph.EdgeCountBetweenTypes(toy.surname, toy.user), 2u);
+  // user-school: 4 edges.
+  EXPECT_EQ(toy.graph.EdgeCountBetweenTypes(toy.user, toy.school), 4u);
+  // no school-school edges.
+  EXPECT_EQ(toy.graph.EdgeCountBetweenTypes(toy.school, toy.school), 0u);
+}
+
+TEST(Graph, NamesPreserved) {
+  auto toy = testing::MakeToyGraph();
+  EXPECT_EQ(toy.graph.NameOf(toy.alice), "Alice");
+  EXPECT_EQ(toy.graph.NameOf(toy.green_st), "123 Green St");
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  auto toy = testing::MakeToyGraph();
+  std::string s = toy.graph.Summary();
+  EXPECT_NE(s.find("nodes=14"), std::string::npos);
+  EXPECT_NE(s.find("types=7"), std::string::npos);
+}
+
+TEST(Graph, DegreeMatchesNeighborCount) {
+  Graph g = testing::MakeRandomGraph(200, 4, 6.0, 123);
+  size_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.Degree(v), g.Neighbors(v).size());
+    total += g.Degree(v);
+  }
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+TEST(Graph, TypedSlicesPartitionNeighbors) {
+  Graph g = testing::MakeRandomGraph(300, 5, 8.0, 77);
+  for (NodeId v = 0; v < g.num_nodes(); v += 7) {
+    size_t sum = 0;
+    for (TypeId t = 0; t < g.num_types(); ++t) {
+      auto slice = g.NeighborsOfType(v, t);
+      for (NodeId u : slice) EXPECT_EQ(g.TypeOf(u), t);
+      sum += slice.size();
+    }
+    EXPECT_EQ(sum, g.Degree(v));
+  }
+}
+
+TEST(TypeRegistry, InternIsIdempotent) {
+  TypeRegistry reg;
+  TypeId a = reg.Intern("user");
+  TypeId b = reg.Intern("school");
+  EXPECT_EQ(reg.Intern("user"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.Name(a), "user");
+  EXPECT_EQ(reg.Find("school"), b);
+  EXPECT_EQ(reg.Find("absent"), kInvalidType);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,152 @@
+// Tests for the dual-stage candidate heuristic's building blocks:
+// per-metagraph pairwise accuracy and the cost-ordered component groups.
+#include <gtest/gtest.h>
+
+#include "learning/dual_stage.h"
+#include "matching/matcher.h"
+#include "matching/order.h"
+#include "metagraph/decomposition.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+struct Fixture {
+  testing::ToyGraph toy;
+  std::unique_ptr<MetagraphVectorIndex> index;
+  // 0=surname 1=address 2=school 3=major 4=employer 5=hobby
+};
+
+Fixture MakeFixture() {
+  Fixture f{testing::MakeToyGraph(), nullptr};
+  std::vector<Metagraph> metagraphs = {
+      MakePath({f.toy.user, f.toy.surname, f.toy.user}),
+      MakePath({f.toy.user, f.toy.address, f.toy.user}),
+      MakePath({f.toy.user, f.toy.school, f.toy.user}),
+      MakePath({f.toy.user, f.toy.major, f.toy.user}),
+      MakePath({f.toy.user, f.toy.employer, f.toy.user}),
+      MakePath({f.toy.user, f.toy.hobby, f.toy.user})};
+  f.index = std::make_unique<MetagraphVectorIndex>(
+      metagraphs.size(), f.toy.graph.num_nodes(), CountTransform::kRaw);
+  auto matcher = CreateMatcher(MatcherKind::kSymISO);
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
+    SymPairCountingSink sink(sym, UINT64_MAX);
+    matcher->Match(f.toy.graph, metagraphs[i], &sink);
+    f.index->Commit(i, sink, sym.aut_size());
+  }
+  f.index->Finalize();
+  return f;
+}
+
+TEST(PerMetagraphAccuracy, ClassmateExamplesFavorSchoolAndMajor) {
+  Fixture f = MakeFixture();
+  std::vector<Example> examples = {
+      {f.toy.kate, f.toy.jay, f.toy.alice},
+      {f.toy.kate, f.toy.jay, f.toy.bob},
+      {f.toy.bob, f.toy.tom, f.toy.alice},
+      {f.toy.bob, f.toy.tom, f.toy.kate},
+  };
+  std::vector<uint32_t> all = {0, 1, 2, 3, 4, 5};
+  auto scores = PerMetagraphPairwiseAccuracy(*f.index, examples, all);
+  ASSERT_EQ(scores.size(), 6u);
+  // School (2) and major (3) separate every example; surname (0) separates
+  // none of them positively.
+  EXPECT_DOUBLE_EQ(scores[2], 1.0);
+  EXPECT_DOUBLE_EQ(scores[3], 1.0);
+  EXPECT_LT(scores[0], 0.5);
+  EXPECT_LT(scores[5], scores[2]);  // hobby only helps Kate, not Bob
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(PerMetagraphAccuracy, RestrictedIndicesOnly) {
+  Fixture f = MakeFixture();
+  std::vector<Example> examples = {{f.toy.kate, f.toy.jay, f.toy.alice}};
+  std::vector<uint32_t> subset = {2};
+  auto scores = PerMetagraphPairwiseAccuracy(*f.index, examples, subset);
+  EXPECT_GT(scores[2], 0.0);
+  for (uint32_t i : {0u, 1u, 3u, 4u, 5u}) {
+    EXPECT_DOUBLE_EQ(scores[i], 0.0);
+  }
+}
+
+TEST(PerMetagraphAccuracy, EmptyInputs) {
+  Fixture f = MakeFixture();
+  std::vector<uint32_t> all = {0, 1};
+  EXPECT_TRUE(PerMetagraphPairwiseAccuracy(*f.index, {}, all)
+                  .empty() == false);  // sized vector of zeros
+  auto scores = PerMetagraphPairwiseAccuracy(*f.index, {}, all);
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(CostOrderGroupsTest, CoversAllNodesOnce) {
+  auto toy = testing::MakeToyGraph();
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)),
+        toy.graph.num_types(), rng);
+    auto decomp = DecomposeSymmetricComponents(m, AnalyzeSymmetry(m));
+    auto groups = CostOrderGroups(toy.graph, m, decomp);
+    uint8_t covered = 0;
+    for (const auto& g : groups) {
+      for (MetaNodeId v : g.rep) {
+        EXPECT_FALSE((covered >> v) & 1u);
+        covered |= static_cast<uint8_t>(1u << v);
+      }
+      for (MetaNodeId v : g.mirror) {
+        EXPECT_FALSE((covered >> v) & 1u);
+        covered |= static_cast<uint8_t>(1u << v);
+      }
+    }
+    EXPECT_EQ(covered, static_cast<uint8_t>((1u << m.num_nodes()) - 1));
+  }
+}
+
+TEST(CostOrderGroupsTest, DelaysMirrorUntilConstrained) {
+  // M1: school + major joining two users. The cheap plan matches both
+  // attribute singletons before the user mirror pair.
+  auto toy = testing::MakeToyGraph();
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(toy.user);
+  MetaNodeId u2 = m.AddNode(toy.user);
+  MetaNodeId s = m.AddNode(toy.school);
+  MetaNodeId j = m.AddNode(toy.major);
+  m.AddEdge(u1, s);
+  m.AddEdge(u2, s);
+  m.AddEdge(u1, j);
+  m.AddEdge(u2, j);
+  auto decomp = DecomposeSymmetricComponents(m, AnalyzeSymmetry(m));
+  auto groups = CostOrderGroups(toy.graph, m, decomp);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_FALSE(groups[0].has_mirror());
+  EXPECT_FALSE(groups[1].has_mirror());
+  EXPECT_TRUE(groups[2].has_mirror());
+}
+
+TEST(CostOrderGroupsTest, MirrorAlignmentPreserved) {
+  auto toy = testing::MakeToyGraph();
+  util::Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        3 + static_cast<int>(rng.UniformInt(3)), 2, rng);
+    auto sym = AnalyzeSymmetry(m);
+    auto decomp = DecomposeSymmetricComponents(m, sym);
+    auto groups = CostOrderGroups(toy.graph, m, decomp);
+    for (const auto& g : groups) {
+      if (!g.has_mirror()) continue;
+      ASSERT_EQ(g.rep.size(), g.mirror.size());
+      for (size_t i = 0; i < g.rep.size(); ++i) {
+        EXPECT_EQ(m.TypeOf(g.rep[i]), m.TypeOf(g.mirror[i]));
+        EXPECT_TRUE(sym.IsSymmetricPair(g.rep[i], g.mirror[i]) ||
+                    sym.IsSymmetricNode(g.rep[i]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/metagraph_vectors.h"
+#include "matching/matcher.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+// Builds an index over the toy graph for the given metagraphs using SymISO.
+MetagraphVectorIndex BuildToyIndex(const testing::ToyGraph& toy,
+                                   const std::vector<Metagraph>& metagraphs,
+                                   CountTransform transform,
+                                   std::vector<SymmetryInfo>* syms = nullptr) {
+  MetagraphVectorIndex index(metagraphs.size(), toy.graph.num_nodes(),
+                             transform);
+  auto matcher = CreateMatcher(MatcherKind::kSymISO);
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
+    SymPairCountingSink sink(sym, UINT64_MAX);
+    matcher->Match(toy.graph, metagraphs[i], &sink);
+    index.Commit(i, sink, sym.aut_size());
+    if (syms != nullptr) syms->push_back(sym);
+  }
+  index.Finalize();
+  return index;
+}
+
+TEST(Index, Eq1CountsOnToyGraph) {
+  auto toy = testing::MakeToyGraph();
+  // M3: user-address-user.
+  std::vector<Metagraph> metagraphs = {
+      MakePath({toy.user, toy.address, toy.user})};
+  MetagraphVectorIndex index =
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+
+  std::vector<double> w = {1.0};
+  // m_{alice,bob}[M3] = 1 (shared Green St) -> PairDot = 1.
+  EXPECT_DOUBLE_EQ(index.PairDot(toy.alice, toy.bob, w), 1.0);
+  EXPECT_DOUBLE_EQ(index.PairDot(toy.kate, toy.jay, w), 1.0);
+  EXPECT_DOUBLE_EQ(index.PairDot(toy.alice, toy.kate, w), 0.0);
+  EXPECT_DOUBLE_EQ(index.PairDot(toy.bob, toy.tom, w), 0.0);
+}
+
+TEST(Index, Eq2CountsOnToyGraph) {
+  auto toy = testing::MakeToyGraph();
+  std::vector<Metagraph> metagraphs = {
+      MakePath({toy.user, toy.school, toy.user})};
+  MetagraphVectorIndex index =
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+
+  std::vector<double> w = {1.0};
+  // Each of Kate, Jay, Bob, Tom appears in exactly one user-school-user
+  // instance at a symmetric position; Alice in none.
+  EXPECT_DOUBLE_EQ(index.NodeDot(toy.kate, w), 1.0);
+  EXPECT_DOUBLE_EQ(index.NodeDot(toy.jay, w), 1.0);
+  EXPECT_DOUBLE_EQ(index.NodeDot(toy.bob, w), 1.0);
+  EXPECT_DOUBLE_EQ(index.NodeDot(toy.tom, w), 1.0);
+  EXPECT_DOUBLE_EQ(index.NodeDot(toy.alice, w), 0.0);
+}
+
+TEST(Index, AutomorphismDivisionYieldsInstanceCounts) {
+  auto toy = testing::MakeToyGraph();
+  // M1 (school+major): Kate-Jay share school AND major; the metagraph has
+  // aut size 2, and the pair count must be 1 instance (not 2 embeddings).
+  Metagraph m1;
+  MetaNodeId u1 = m1.AddNode(toy.user);
+  MetaNodeId u2 = m1.AddNode(toy.user);
+  MetaNodeId s = m1.AddNode(toy.school);
+  MetaNodeId j = m1.AddNode(toy.major);
+  m1.AddEdge(u1, s);
+  m1.AddEdge(u2, s);
+  m1.AddEdge(u1, j);
+  m1.AddEdge(u2, j);
+  MetagraphVectorIndex index =
+      BuildToyIndex(toy, {m1}, CountTransform::kRaw);
+  std::vector<double> w = {1.0};
+  EXPECT_DOUBLE_EQ(index.PairDot(toy.kate, toy.jay, w), 1.0);
+  EXPECT_DOUBLE_EQ(index.PairDot(toy.bob, toy.tom, w), 1.0);
+  EXPECT_DOUBLE_EQ(index.PairDot(toy.alice, toy.bob, w), 0.0);
+}
+
+TEST(Index, MultipleMetagraphVectors) {
+  auto toy = testing::MakeToyGraph();
+  std::vector<Metagraph> metagraphs = {
+      MakePath({toy.user, toy.address, toy.user}),
+      MakePath({toy.user, toy.school, toy.user}),
+      MakePath({toy.user, toy.employer, toy.user})};
+  MetagraphVectorIndex index =
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+
+  std::vector<double> dense;
+  index.DensePairVector(toy.kate, toy.jay, &dense);
+  ASSERT_EQ(dense.size(), 3u);
+  EXPECT_DOUBLE_EQ(dense[0], 1.0);  // shared address
+  EXPECT_DOUBLE_EQ(dense[1], 1.0);  // shared school
+  EXPECT_DOUBLE_EQ(dense[2], 0.0);  // no shared employer
+
+  index.DensePairVector(toy.kate, toy.alice, &dense);
+  EXPECT_DOUBLE_EQ(dense[0], 0.0);
+  EXPECT_DOUBLE_EQ(dense[2], 1.0);  // Company X
+}
+
+TEST(Index, Log1pTransform) {
+  auto toy = testing::MakeToyGraph();
+  std::vector<Metagraph> metagraphs = {
+      MakePath({toy.user, toy.address, toy.user})};
+  MetagraphVectorIndex raw =
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+  MetagraphVectorIndex logged =
+      BuildToyIndex(toy, metagraphs, CountTransform::kLog1p);
+  std::vector<double> w = {1.0};
+  EXPECT_DOUBLE_EQ(raw.PairDot(toy.alice, toy.bob, w), 1.0);
+  EXPECT_DOUBLE_EQ(logged.PairDot(toy.alice, toy.bob, w),
+                   std::log1p(1.0));
+}
+
+TEST(Index, CandidatesPostings) {
+  auto toy = testing::MakeToyGraph();
+  std::vector<Metagraph> metagraphs = {
+      MakePath({toy.user, toy.school, toy.user}),
+      MakePath({toy.user, toy.employer, toy.user})};
+  MetagraphVectorIndex index =
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+
+  auto kate_cands = index.Candidates(toy.kate);
+  // Kate shares a school instance with Jay and an employer instance with
+  // Alice.
+  EXPECT_EQ(kate_cands.size(), 2u);
+  bool has_jay = false, has_alice = false;
+  for (NodeId v : kate_cands) {
+    has_jay |= (v == toy.jay);
+    has_alice |= (v == toy.alice);
+  }
+  EXPECT_TRUE(has_jay);
+  EXPECT_TRUE(has_alice);
+
+  EXPECT_TRUE(index.Candidates(toy.music).empty());
+}
+
+TEST(Index, SparseAccessorsMatchDense) {
+  auto toy = testing::MakeToyGraph();
+  std::vector<Metagraph> metagraphs = {
+      MakePath({toy.user, toy.address, toy.user}),
+      MakePath({toy.user, toy.school, toy.user})};
+  MetagraphVectorIndex index =
+      BuildToyIndex(toy, metagraphs, CountTransform::kLog1p);
+
+  std::vector<double> dense;
+  index.DenseNodeVector(toy.kate, &dense);
+  std::vector<std::pair<uint32_t, double>> sparse;
+  index.SparseNodeVector(toy.kate, &sparse);
+  double sum_dense = 0.0, sum_sparse = 0.0;
+  for (double v : dense) sum_dense += v;
+  for (auto& [i, v] : sparse) sum_sparse += v;
+  EXPECT_DOUBLE_EQ(sum_dense, sum_sparse);
+}
+
+TEST(Index, UncommittedMetagraphsContributeNothing) {
+  auto toy = testing::MakeToyGraph();
+  MetagraphVectorIndex index(2, toy.graph.num_nodes(), CountTransform::kRaw);
+  // Commit only metagraph 0.
+  Metagraph m = MakePath({toy.user, toy.address, toy.user});
+  SymmetryInfo sym = AnalyzeSymmetry(m);
+  SymPairCountingSink sink(sym, UINT64_MAX);
+  CreateMatcher(MatcherKind::kSymISO)->Match(toy.graph, m, &sink);
+  index.Commit(0, sink, sym.aut_size());
+  index.Finalize();
+
+  EXPECT_TRUE(index.IsCommitted(0));
+  EXPECT_FALSE(index.IsCommitted(1));
+  std::vector<double> w = {0.0, 1.0};  // weight only the uncommitted one
+  EXPECT_DOUBLE_EQ(index.PairDot(toy.alice, toy.bob, w), 0.0);
+}
+
+TEST(Index, SinkSaturation) {
+  auto toy = testing::MakeToyGraph();
+  Metagraph m = MakePath({toy.user, toy.school, toy.user});
+  SymmetryInfo sym = AnalyzeSymmetry(m);
+  SymPairCountingSink sink(sym, /*embedding_cap=*/2);
+  CreateMatcher(MatcherKind::kQuickSI)->Match(toy.graph, m, &sink);
+  EXPECT_EQ(sink.num_embeddings(), 2u);
+  EXPECT_TRUE(sink.saturated());
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "matching/backtracking.h"
+#include "matching/baseline_matchers.h"
+#include "matching/candidate_filter.h"
+#include "matching/matcher.h"
+#include "matching/order.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+Metagraph UserSchoolUser(const testing::ToyGraph& t) {
+  return MakePath({t.user, t.school, t.user});
+}
+
+// M2 of Fig. 2: users sharing employer and hobby.
+Metagraph MakeM2(const testing::ToyGraph& t) {
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(t.user);
+  MetaNodeId u2 = m.AddNode(t.user);
+  MetaNodeId e = m.AddNode(t.employer);
+  MetaNodeId h = m.AddNode(t.hobby);
+  m.AddEdge(u1, e);
+  m.AddEdge(u2, e);
+  m.AddEdge(u1, h);
+  m.AddEdge(u2, h);
+  return m;
+}
+
+class MatcherParamTest : public ::testing::TestWithParam<MatcherKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatchers, MatcherParamTest,
+    ::testing::Values(MatcherKind::kQuickSI, MatcherKind::kTurboISO,
+                      MatcherKind::kBoostISO, MatcherKind::kSymISO,
+                      MatcherKind::kSymISORandom),
+    [](const ::testing::TestParamInfo<MatcherKind>& info) {
+      std::string name = MatcherKindName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST_P(MatcherParamTest, ToyGraphUserSchoolUser) {
+  auto toy = testing::MakeToyGraph();
+  auto matcher = CreateMatcher(GetParam());
+  CountingSink sink;
+  MatchStats stats = matcher->Match(toy.graph, UserSchoolUser(toy), &sink);
+  // Instances: {Kate, CollegeA, Jay} and {Bob, CollegeB, Tom}, each found
+  // by 2 embeddings (the user pair can be swapped).
+  EXPECT_EQ(stats.embeddings, 4u);
+  EXPECT_EQ(sink.count(), 4u);
+  EXPECT_FALSE(stats.aborted);
+}
+
+TEST_P(MatcherParamTest, ToyGraphM2CloseFriends) {
+  auto toy = testing::MakeToyGraph();
+  auto matcher = CreateMatcher(GetParam());
+  CountingSink sink;
+  matcher->Match(toy.graph, MakeM2(toy), &sink);
+  // Only {Kate, Alice, CompanyX, Music}: 2 embeddings.
+  EXPECT_EQ(sink.count(), 2u);
+}
+
+TEST_P(MatcherParamTest, EmbeddingsAreValid) {
+  auto toy = testing::MakeToyGraph();
+  Metagraph m = MakeM2(toy);
+  auto matcher = CreateMatcher(GetParam());
+  CollectingSink sink;
+  matcher->Match(toy.graph, m, &sink);
+  for (const auto& e : sink.embeddings()) {
+    ASSERT_EQ(e.size(), static_cast<size_t>(m.num_nodes()));
+    // Injective.
+    std::set<NodeId> uniq(e.begin(), e.end());
+    EXPECT_EQ(uniq.size(), e.size());
+    // Types and edges preserved.
+    for (int u = 0; u < m.num_nodes(); ++u) {
+      EXPECT_EQ(toy.graph.TypeOf(e[u]), m.TypeOf(static_cast<MetaNodeId>(u)));
+      for (int v = u + 1; v < m.num_nodes(); ++v) {
+        if (m.HasEdge(static_cast<MetaNodeId>(u),
+                      static_cast<MetaNodeId>(v))) {
+          EXPECT_TRUE(toy.graph.HasEdge(e[u], e[v]));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MatcherParamTest, AgreesWithBruteForceOnRandomInputs) {
+  util::Rng rng(1234);
+  auto matcher = CreateMatcher(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    Graph g = testing::MakeRandomGraph(24, 3, 3.5, 1000 + trial);
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(3)), 3, rng);
+    uint64_t expected = testing::BruteForceCountEmbeddings(g, m);
+    CountingSink sink;
+    matcher->Match(g, m, &sink);
+    EXPECT_EQ(sink.count(), expected)
+        << "matcher=" << matcher->name() << " trial=" << trial;
+  }
+}
+
+TEST_P(MatcherParamTest, SymmetricPatternsAgreeWithBruteForce) {
+  // Patterns with rich symmetry are SymISO's special-cased path; check the
+  // counts stay exact.
+  auto matcher = CreateMatcher(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = testing::MakeRandomGraph(20, 2, 4.0, 7000 + trial);
+    // Star: center type 1 with three type-0 leaves.
+    Metagraph star;
+    MetaNodeId c = star.AddNode(1);
+    for (int i = 0; i < 3; ++i) star.AddEdge(c, star.AddNode(0));
+    CountingSink sink;
+    matcher->Match(g, star, &sink);
+    EXPECT_EQ(sink.count(), testing::BruteForceCountEmbeddings(g, star));
+
+    // Double-anchored 4-node pattern (M1 shape).
+    Metagraph m1;
+    MetaNodeId u1 = m1.AddNode(0);
+    MetaNodeId u2 = m1.AddNode(0);
+    MetaNodeId s = m1.AddNode(1);
+    MetaNodeId j = m1.AddNode(1);
+    m1.AddEdge(u1, s);
+    m1.AddEdge(u2, s);
+    m1.AddEdge(u1, j);
+    m1.AddEdge(u2, j);
+    CountingSink sink2;
+    matcher->Match(g, m1, &sink2);
+    EXPECT_EQ(sink2.count(), testing::BruteForceCountEmbeddings(g, m1));
+  }
+}
+
+TEST_P(MatcherParamTest, UserUserEdgePatterns) {
+  // Mirror components adjacent to each other (cross edges) — the tricky
+  // case for SymISO's pair instantiation.
+  auto matcher = CreateMatcher(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = testing::MakeRandomGraph(18, 2, 4.5, 9000 + trial);
+    Metagraph m;
+    MetaNodeId u1 = m.AddNode(0);
+    MetaNodeId u2 = m.AddNode(0);
+    MetaNodeId a = m.AddNode(1);
+    m.AddEdge(u1, u2);  // cross edge between mirrored nodes
+    m.AddEdge(u1, a);
+    m.AddEdge(u2, a);
+    CountingSink sink;
+    matcher->Match(g, m, &sink);
+    EXPECT_EQ(sink.count(), testing::BruteForceCountEmbeddings(g, m))
+        << "matcher=" << matcher->name() << " trial=" << trial;
+  }
+}
+
+TEST_P(MatcherParamTest, SinkAbortStopsSearch) {
+  Graph g = testing::MakeRandomGraph(60, 2, 6.0, 4242);
+  Metagraph m = MakePath({0, 1, 0});
+  auto matcher = CreateMatcher(GetParam());
+  CountingSink unlimited;
+  matcher->Match(g, m, &unlimited);
+  if (unlimited.count() > 3) {
+    CountingSink capped(3);
+    MatchStats stats = matcher->Match(g, m, &capped);
+    EXPECT_EQ(capped.count(), 3u);
+    EXPECT_TRUE(stats.aborted);
+  }
+}
+
+TEST_P(MatcherParamTest, NoMatchesForInfeasibleType) {
+  auto toy = testing::MakeToyGraph();
+  // hobby-surname edge never occurs.
+  Metagraph m = MakePath({toy.hobby, toy.surname});
+  auto matcher = CreateMatcher(GetParam());
+  CountingSink sink;
+  matcher->Match(toy.graph, m, &sink);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(CandidateFilter, TypeDegreeFilterIsSound) {
+  // Filtering must never exclude a node that participates in an embedding.
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = testing::MakeRandomGraph(25, 3, 4.0, 5000 + trial);
+    util::Rng rng(trial);
+    Metagraph m = testing::MakeRandomMetagraph(3, 3, rng);
+    CandidateFilter filter = BuildTypeDegreeFilter(g, m);
+    RefineFilter(g, m, filter, -1);
+
+    CollectingSink all;
+    auto order = GreedyNodeOrder(g, m);
+    BacktrackMatch(g, m, order, &all, nullptr);
+    for (const auto& e : all.embeddings()) {
+      for (int u = 0; u < m.num_nodes(); ++u) {
+        EXPECT_TRUE(filter.Allows(e[u], static_cast<MetaNodeId>(u)));
+      }
+    }
+  }
+}
+
+TEST(CandidateFilter, RefinementOnlyShrinks) {
+  Graph g = testing::MakeRandomGraph(40, 3, 4.0, 31);
+  util::Rng rng(31);
+  Metagraph m = testing::MakeRandomMetagraph(4, 3, rng);
+  CandidateFilter filter = BuildTypeDegreeFilter(g, m);
+  std::vector<uint64_t> before(m.num_nodes());
+  for (MetaNodeId u = 0; u < m.num_nodes(); ++u) {
+    before[u] = filter.CountAllowed(u);
+  }
+  RefineFilter(g, m, filter, -1);
+  for (MetaNodeId u = 0; u < m.num_nodes(); ++u) {
+    EXPECT_LE(filter.CountAllowed(u), before[u]);
+  }
+}
+
+TEST(MatchStatsTest, SymISOVisitsFewerSearchNodesOnSymmetricPatterns) {
+  // The headline mechanism: on a symmetric pattern, SymISO's candidate
+  // re-use should not *increase* explored state vs QuickSI.
+  Graph g = testing::MakeRandomGraph(400, 2, 8.0, 606);
+  Metagraph m1;
+  MetaNodeId u1 = m1.AddNode(0);
+  MetaNodeId u2 = m1.AddNode(0);
+  MetaNodeId s = m1.AddNode(1);
+  MetaNodeId j = m1.AddNode(1);
+  m1.AddEdge(u1, s);
+  m1.AddEdge(u2, s);
+  m1.AddEdge(u1, j);
+  m1.AddEdge(u2, j);
+
+  CountingSink s1, s2;
+  MatchStats quick = QuickSIMatcher().Match(g, m1, &s1);
+  MatchStats sym = CreateMatcher(MatcherKind::kSymISO)->Match(g, m1, &s2);
+  EXPECT_EQ(s1.count(), s2.count());
+  EXPECT_GT(s1.count(), 0u);
+  EXPECT_LE(sym.search_nodes, quick.search_nodes);
+}
+
+TEST(MatcherFactory, NamesRoundTrip) {
+  for (MatcherKind kind :
+       {MatcherKind::kQuickSI, MatcherKind::kTurboISO, MatcherKind::kBoostISO,
+        MatcherKind::kSymISO, MatcherKind::kSymISORandom}) {
+    auto matcher = CreateMatcher(kind);
+    EXPECT_STREQ(matcher->name(), MatcherKindName(kind));
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "metagraph/canonical.h"
+#include "metagraph/mcs.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+TEST(Monomorphism, PathIntoLargerStructure) {
+  Metagraph path = MakePath({0, 1, 0});
+  // M1: two users sharing school and major — contains user-school-user.
+  Metagraph m1;
+  MetaNodeId u1 = m1.AddNode(0);
+  MetaNodeId u2 = m1.AddNode(0);
+  MetaNodeId s = m1.AddNode(1);
+  MetaNodeId j = m1.AddNode(2);
+  m1.AddEdge(u1, s);
+  m1.AddEdge(u2, s);
+  m1.AddEdge(u1, j);
+  m1.AddEdge(u2, j);
+  EXPECT_TRUE(IsSubgraphIsomorphic(path, m1));
+  EXPECT_FALSE(IsSubgraphIsomorphic(m1, path));
+}
+
+TEST(Monomorphism, TypeMismatchFails) {
+  Metagraph a = MakePath({0, 3});
+  Metagraph b = MakePath({0, 1, 0});
+  EXPECT_FALSE(IsSubgraphIsomorphic(a, b));
+}
+
+TEST(Monomorphism, SelfIsomorphic) {
+  util::Rng rng(88);
+  for (int trial = 0; trial < 50; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)), 3, rng);
+    EXPECT_TRUE(IsSubgraphIsomorphic(m, m));
+  }
+}
+
+TEST(Mcs, IdenticalGraphsFullSize) {
+  Metagraph m = MakePath({0, 1, 0});
+  EXPECT_EQ(MaxCommonSubgraphSize(m, m), 5);  // 3 nodes + 2 edges
+  EXPECT_DOUBLE_EQ(StructuralSimilarity(m, m), 1.0);
+}
+
+TEST(Mcs, DisjointTypesZero) {
+  Metagraph a = MakePath({0, 1});
+  Metagraph b = MakePath({2, 3});
+  EXPECT_EQ(MaxCommonSubgraphSize(a, b), 0);
+  EXPECT_DOUBLE_EQ(StructuralSimilarity(a, b), 0.0);
+}
+
+TEST(Mcs, SharedPathFragment) {
+  // a: user-school-user; b: user-school-user-major (extra node).
+  Metagraph a = MakePath({0, 1, 0});
+  Metagraph b = MakePath({0, 1, 0});
+  MetaNodeId extra = b.AddNode(2);
+  b.AddEdge(2, extra);
+  // MCS is all of a: size 5.
+  EXPECT_EQ(MaxCommonSubgraphSize(a, b), 5);
+  // SS = 25 / (5 * 7).
+  EXPECT_NEAR(StructuralSimilarity(a, b), 25.0 / 35.0, 1e-12);
+}
+
+TEST(Mcs, SymmetricInArguments) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    Metagraph a = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(3)), 3, rng);
+    Metagraph b = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(3)), 3, rng);
+    EXPECT_EQ(MaxCommonSubgraphSize(a, b), MaxCommonSubgraphSize(b, a));
+    EXPECT_DOUBLE_EQ(StructuralSimilarity(a, b), StructuralSimilarity(b, a));
+  }
+}
+
+TEST(Mcs, BoundedByOne) {
+  util::Rng rng(111);
+  for (int trial = 0; trial < 100; ++trial) {
+    Metagraph a = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)), 2, rng);
+    Metagraph b = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)), 2, rng);
+    double ss = StructuralSimilarity(a, b);
+    EXPECT_GE(ss, 0.0);
+    EXPECT_LE(ss, 1.0);
+  }
+}
+
+TEST(Mcs, IsomorphicGraphsScoreOne) {
+  util::Rng rng(222);
+  for (int trial = 0; trial < 30; ++trial) {
+    Metagraph a = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)), 3, rng);
+    Metagraph b = FromCanonicalCode(Canonicalize(a));
+    EXPECT_DOUBLE_EQ(StructuralSimilarity(a, b), 1.0);
+  }
+}
+
+TEST(Mcs, SingleSharedNodeType) {
+  // Only a user node in common (no shared edges of matching types).
+  Metagraph a = MakePath({0, 1});
+  Metagraph b = MakePath({0, 2});
+  EXPECT_EQ(MaxCommonSubgraphSize(a, b), 1);
+  EXPECT_NEAR(StructuralSimilarity(a, b), 1.0 / 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace metaprox

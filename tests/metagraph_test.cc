@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "metagraph/metagraph.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+TEST(Metagraph, AddNodesAndEdges) {
+  Metagraph m;
+  MetaNodeId a = m.AddNode(0);
+  MetaNodeId b = m.AddNode(1);
+  MetaNodeId c = m.AddNode(0);
+  m.AddEdge(a, b);
+  m.AddEdge(b, c);
+  EXPECT_EQ(m.num_nodes(), 3);
+  EXPECT_EQ(m.num_edges(), 2);
+  EXPECT_TRUE(m.HasEdge(a, b));
+  EXPECT_TRUE(m.HasEdge(b, a));
+  EXPECT_FALSE(m.HasEdge(a, c));
+  EXPECT_EQ(m.Degree(b), 2);
+  EXPECT_EQ(m.CountType(0), 2);
+  EXPECT_EQ(m.CountType(1), 1);
+}
+
+TEST(Metagraph, EdgeIdempotent) {
+  Metagraph m;
+  MetaNodeId a = m.AddNode(0);
+  MetaNodeId b = m.AddNode(0);
+  m.AddEdge(a, b);
+  m.AddEdge(a, b);
+  EXPECT_EQ(m.num_edges(), 1);
+  m.RemoveEdge(a, b);
+  EXPECT_EQ(m.num_edges(), 0);
+}
+
+TEST(Metagraph, EdgesListsUpperTriangle) {
+  Metagraph m = MakePath({0, 1, 0});
+  auto edges = m.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (auto [a, b] : edges) EXPECT_LT(a, b);
+}
+
+TEST(Metagraph, Connectivity) {
+  Metagraph empty;
+  EXPECT_FALSE(empty.IsConnected());
+
+  Metagraph single;
+  single.AddNode(0);
+  EXPECT_TRUE(single.IsConnected());
+
+  Metagraph disconnected;
+  disconnected.AddNode(0);
+  disconnected.AddNode(0);
+  EXPECT_FALSE(disconnected.IsConnected());
+
+  Metagraph path = MakePath({0, 1, 2});
+  EXPECT_TRUE(path.IsConnected());
+}
+
+TEST(Metagraph, IsPathDetection) {
+  EXPECT_TRUE(MakePath({0, 1, 0}).IsPath());
+  EXPECT_TRUE(MakePath({0, 1}).IsPath());
+
+  // A star is not a path.
+  Metagraph star;
+  MetaNodeId c = star.AddNode(0);
+  for (int i = 0; i < 3; ++i) star.AddEdge(c, star.AddNode(1));
+  EXPECT_FALSE(star.IsPath());
+
+  // A cycle is not a path.
+  Metagraph cycle = MakePath({0, 1, 2});
+  cycle.AddEdge(0, 2);
+  EXPECT_FALSE(cycle.IsPath());
+
+  // M1 of Fig. 2 (user-school-user + user-major-user) is not a path.
+  Metagraph m1;
+  MetaNodeId u1 = m1.AddNode(0);
+  MetaNodeId u2 = m1.AddNode(0);
+  MetaNodeId school = m1.AddNode(1);
+  MetaNodeId major = m1.AddNode(2);
+  m1.AddEdge(u1, school);
+  m1.AddEdge(u2, school);
+  m1.AddEdge(u1, major);
+  m1.AddEdge(u2, major);
+  EXPECT_FALSE(m1.IsPath());
+  EXPECT_TRUE(m1.IsConnected());
+}
+
+TEST(Metagraph, ToStringPath) {
+  TypeRegistry reg;
+  TypeId user = reg.Intern("user");
+  TypeId addr = reg.Intern("address");
+  Metagraph m3 = MakePath({user, addr, user});
+  EXPECT_EQ(m3.ToString(reg), "user-address-user");
+}
+
+TEST(Metagraph, ToStringGeneral) {
+  TypeRegistry reg;
+  TypeId user = reg.Intern("user");
+  TypeId school = reg.Intern("school");
+  Metagraph m;
+  MetaNodeId a = m.AddNode(user);
+  MetaNodeId b = m.AddNode(user);
+  MetaNodeId s = m.AddNode(school);
+  m.AddEdge(a, s);
+  m.AddEdge(b, s);
+  m.AddEdge(a, b);  // triangle: not a path
+  std::string str = m.ToString(reg);
+  EXPECT_NE(str.find("user"), std::string::npos);
+  EXPECT_NE(str.find("school"), std::string::npos);
+  EXPECT_NE(str.find("0-1"), std::string::npos);
+}
+
+TEST(Metagraph, NeighborMask) {
+  Metagraph m = MakePath({0, 1, 2});
+  EXPECT_EQ(m.NeighborMask(0), 0b010);
+  EXPECT_EQ(m.NeighborMask(1), 0b101);
+  EXPECT_EQ(m.NeighborMask(2), 0b010);
+}
+
+TEST(Metagraph, EqualityIsStructural) {
+  Metagraph a = MakePath({0, 1, 0});
+  Metagraph b = MakePath({0, 1, 0});
+  EXPECT_EQ(a, b);
+  b.AddEdge(0, 2);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace metaprox

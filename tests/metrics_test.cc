@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/evaluate.h"
+#include "eval/metrics.h"
+
+namespace metaprox {
+namespace {
+
+TEST(Ndcg, PerfectRanking) {
+  std::vector<NodeId> ranked = {1, 2, 3};
+  std::unordered_set<NodeId> relevant = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, relevant, 3, 10), 1.0);
+}
+
+TEST(Ndcg, WorstRankingZero) {
+  std::vector<NodeId> ranked = {4, 5, 6};
+  std::unordered_set<NodeId> relevant = {1, 2};
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, relevant, 2, 10), 0.0);
+}
+
+TEST(Ndcg, KnownPartialValue) {
+  // Relevant at positions 1 and 3 (0-based 0 and 2); one relevant missing.
+  std::vector<NodeId> ranked = {1, 9, 2};
+  std::unordered_set<NodeId> relevant = {1, 2, 3};
+  double dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(4.0);
+  double idcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0) +
+                1.0 / std::log2(4.0);
+  EXPECT_NEAR(NdcgAtK(ranked, relevant, 3, 10), dcg / idcg, 1e-12);
+}
+
+TEST(Ndcg, RespectsCutoff) {
+  // Relevant node beyond k contributes nothing.
+  std::vector<NodeId> ranked = {9, 8, 1};
+  std::unordered_set<NodeId> relevant = {1};
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, relevant, 1, 2), 0.0);
+  EXPECT_GT(NdcgAtK(ranked, relevant, 1, 3), 0.0);
+}
+
+TEST(Ndcg, NoRelevantIsZero) {
+  std::vector<NodeId> ranked = {1};
+  std::unordered_set<NodeId> relevant;
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, relevant, 0, 10), 0.0);
+}
+
+TEST(Ap, PerfectPrefix) {
+  std::vector<NodeId> ranked = {1, 2};
+  std::unordered_set<NodeId> relevant = {1, 2};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(ranked, relevant, 2, 10), 1.0);
+}
+
+TEST(Ap, KnownValue) {
+  // Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  std::vector<NodeId> ranked = {1, 9, 2};
+  std::unordered_set<NodeId> relevant = {1, 2};
+  EXPECT_NEAR(AveragePrecisionAtK(ranked, relevant, 2, 10),
+              (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(Ap, NormalizerCappedByK) {
+  // 5 relevant total but k=2: perfect prefix of 2 scores 1.
+  std::vector<NodeId> ranked = {1, 2};
+  std::unordered_set<NodeId> relevant = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(ranked, relevant, 5, 2), 1.0);
+}
+
+TEST(Ap, MissesScoreZero) {
+  std::vector<NodeId> ranked = {7, 8};
+  std::unordered_set<NodeId> relevant = {1};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(ranked, relevant, 1, 10), 0.0);
+}
+
+TEST(EvaluateRanker, AveragesOverQueries) {
+  GroundTruth gt("test");
+  gt.AddPositivePair(0, 1);
+  gt.AddPositivePair(2, 3);
+  gt.Finalize();
+  // A ranker that answers perfectly for query 0 and wrongly for query 2.
+  Ranker ranker = [](NodeId q) -> std::vector<NodeId> {
+    if (q == 0) return {1};
+    return {9};
+  };
+  std::vector<NodeId> queries = {0, 2};
+  EvalResult result = EvaluateRanker(gt, queries, ranker, 10);
+  EXPECT_EQ(result.num_queries, 2u);
+  EXPECT_DOUBLE_EQ(result.ndcg, 0.5);
+  EXPECT_DOUBLE_EQ(result.map, 0.5);
+}
+
+TEST(GroundTruthTest, PairsAndQueries) {
+  GroundTruth gt("family");
+  gt.AddPositivePair(1, 2);
+  gt.AddPositivePair(2, 5);
+  gt.AddPositivePair(1, 2);  // duplicate ignored
+  gt.Finalize();
+  EXPECT_EQ(gt.num_positive_pairs(), 2u);
+  EXPECT_TRUE(gt.IsPositive(1, 2));
+  EXPECT_TRUE(gt.IsPositive(2, 1));
+  EXPECT_FALSE(gt.IsPositive(1, 5));
+  EXPECT_EQ(gt.queries().size(), 3u);
+  EXPECT_EQ(gt.RelevantTo(2).size(), 2u);
+  EXPECT_TRUE(gt.RelevantTo(9).empty());
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "metagraph/canonical.h"
+#include "mining/miner.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+TEST(Miner, FindsCoreMetapathsOnToyGraph) {
+  auto toy = testing::MakeToyGraph();
+  MinerOptions options;
+  options.anchor_type = toy.user;
+  options.min_support = 1;
+  options.max_nodes = 3;
+  auto mined = MineMetagraphs(toy.graph, options);
+
+  // user-school-user, user-address-user, user-major-user must be found
+  // (each has >= 1 instance); user-hobby-user and user-surname-user and
+  // user-employer-user exist once each too.
+  std::unordered_set<CanonicalCode, CanonicalCodeHash> codes;
+  for (const auto& m : mined) codes.insert(Canonicalize(m.graph));
+  auto has = [&](const Metagraph& m) {
+    return codes.contains(Canonicalize(m));
+  };
+  EXPECT_TRUE(has(MakePath({toy.user, toy.school, toy.user})));
+  EXPECT_TRUE(has(MakePath({toy.user, toy.address, toy.user})));
+  EXPECT_TRUE(has(MakePath({toy.user, toy.major, toy.user})));
+  EXPECT_TRUE(has(MakePath({toy.user, toy.hobby, toy.user})));
+}
+
+TEST(Miner, OutputsAreSymmetricWithAnchorPairs) {
+  auto toy = testing::MakeToyGraph();
+  MinerOptions options;
+  options.anchor_type = toy.user;
+  options.min_support = 1;
+  options.max_nodes = 4;
+  auto mined = MineMetagraphs(toy.graph, options);
+  ASSERT_FALSE(mined.empty());
+  for (const auto& m : mined) {
+    EXPECT_TRUE(m.symmetry.is_symmetric);
+    EXPECT_GE(m.graph.CountType(toy.user), 2);
+    EXPECT_GE(m.graph.num_nodes() - m.graph.CountType(toy.user), 1);
+    EXPECT_LE(m.graph.num_nodes(), 4);
+    EXPECT_TRUE(m.graph.IsConnected());
+    bool anchor_pair = false;
+    for (auto [a, b] : m.symmetry.symmetric_pairs) {
+      anchor_pair |= (m.graph.TypeOf(a) == toy.user);
+    }
+    EXPECT_TRUE(anchor_pair);
+    EXPECT_GE(m.support, options.min_support);
+  }
+}
+
+TEST(Miner, FindsNonPathMetagraphs) {
+  auto toy = testing::MakeToyGraph();
+  MinerOptions options;
+  options.anchor_type = toy.user;
+  options.min_support = 1;
+  options.max_nodes = 4;
+  auto mined = MineMetagraphs(toy.graph, options);
+  // M1 (school+major joint) exists for Kate-Jay; must be discovered.
+  Metagraph m1;
+  MetaNodeId u1 = m1.AddNode(toy.user);
+  MetaNodeId u2 = m1.AddNode(toy.user);
+  MetaNodeId s = m1.AddNode(toy.school);
+  MetaNodeId j = m1.AddNode(toy.major);
+  m1.AddEdge(u1, s);
+  m1.AddEdge(u2, s);
+  m1.AddEdge(u1, j);
+  m1.AddEdge(u2, j);
+  bool found = false;
+  bool any_non_path = false;
+  for (const auto& m : mined) {
+    if (AreIsomorphic(m.graph, m1)) found = true;
+    any_non_path |= !m.is_path;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(any_non_path);
+}
+
+TEST(Miner, NoDuplicateOutputs) {
+  auto toy = testing::MakeToyGraph();
+  MinerOptions options;
+  options.anchor_type = toy.user;
+  options.min_support = 1;
+  options.max_nodes = 4;
+  auto mined = MineMetagraphs(toy.graph, options);
+  std::unordered_set<CanonicalCode, CanonicalCodeHash> codes;
+  for (const auto& m : mined) {
+    EXPECT_TRUE(codes.insert(Canonicalize(m.graph)).second)
+        << "duplicate metagraph in miner output";
+  }
+}
+
+TEST(Miner, SupportThresholdPrunes) {
+  auto toy = testing::MakeToyGraph();
+  MinerOptions loose;
+  loose.anchor_type = toy.user;
+  loose.min_support = 1;
+  loose.max_nodes = 3;
+  MinerOptions strict = loose;
+  strict.min_support = 3;
+  auto all = MineMetagraphs(toy.graph, loose);
+  auto frequent = MineMetagraphs(toy.graph, strict);
+  EXPECT_LT(frequent.size(), all.size());
+  for (const auto& m : frequent) EXPECT_GE(m.support, 3u);
+}
+
+TEST(Miner, PathFlagMatchesStructure) {
+  auto toy = testing::MakeToyGraph();
+  MinerOptions options;
+  options.anchor_type = toy.user;
+  options.min_support = 1;
+  options.max_nodes = 4;
+  auto mined = MineMetagraphs(toy.graph, options);
+  for (const auto& m : mined) {
+    EXPECT_EQ(m.is_path, m.graph.IsPath());
+  }
+}
+
+TEST(Miner, StatsPopulated) {
+  auto toy = testing::MakeToyGraph();
+  MinerOptions options;
+  options.anchor_type = toy.user;
+  options.min_support = 1;
+  options.max_nodes = 3;
+  MiningStats stats;
+  auto mined = MineMetagraphs(toy.graph, options, &stats);
+  EXPECT_EQ(stats.patterns_output, mined.size());
+  EXPECT_GE(stats.patterns_enumerated, stats.patterns_frequent);
+  EXPECT_GE(stats.patterns_frequent, stats.patterns_output);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Miner, DeterministicAcrossRuns) {
+  Graph g = testing::MakeRandomGraph(100, 3, 5.0, 42);
+  MinerOptions options;
+  options.anchor_type = 0;
+  options.min_support = 2;
+  options.max_nodes = 4;
+  auto a = MineMetagraphs(g, options);
+  auto b = MineMetagraphs(g, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].graph == b[i].graph);
+    EXPECT_EQ(a[i].support, b[i].support);
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/facebook.h"
+#include "eval/splits.h"
+#include "learning/multi_stage.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+struct Fixture {
+  datagen::Dataset ds;
+  std::unique_ptr<SearchEngine> engine;
+  std::vector<Example> examples;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  datagen::FacebookConfig cfg;
+  cfg.num_users = 250;
+  f.ds = datagen::GenerateFacebook(cfg, 19);
+
+  EngineOptions options;
+  options.miner.anchor_type = f.ds.user_type;
+  options.miner.min_support = 3;
+  options.miner.max_nodes = 4;
+  f.engine = std::make_unique<SearchEngine>(f.ds.graph, options);
+  f.engine->Mine();
+
+  const GroundTruth& gt = f.ds.classes[1];  // classmate
+  util::Rng rng(4);
+  QuerySplit split = SplitQueries(gt, 0.2, rng);
+  auto pool = f.ds.graph.NodesOfType(f.ds.user_type);
+  std::vector<NodeId> pool_vec(pool.begin(), pool.end());
+  f.examples = SampleExamples(gt, split.train, pool_vec, 150, rng);
+  return f;
+}
+
+MultiStageResult RunStages(Fixture& f, MultiStageOptions options) {
+  return TrainMultiStage(
+      f.engine->metagraphs(),
+      const_cast<MetagraphVectorIndex&>(f.engine->index()), f.examples,
+      options, [&](std::span<const uint32_t> indices) {
+        f.engine->MatchSubset(indices);
+      });
+}
+
+TEST(MultiStage, StopsAtTargetAccuracyOrBudget) {
+  Fixture f = MakeFixture();
+  MultiStageOptions options;
+  options.batch_size = 10;
+  options.max_stages = 4;
+  options.train.max_iterations = 150;
+  options.train.restarts = 2;
+  MultiStageResult result = RunStages(f, options);
+
+  EXPECT_FALSE(result.seeds.empty());
+  EXPECT_LE(result.batches.size(), options.max_stages);
+  // One accuracy point per stage plus the seed stage.
+  EXPECT_EQ(result.accuracy_trace.size(), result.batches.size() + 1);
+  for (double a : result.accuracy_trace) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(MultiStage, MatchesOnlySelectedMetagraphs) {
+  Fixture f = MakeFixture();
+  MultiStageOptions options;
+  options.batch_size = 8;
+  options.max_stages = 2;
+  options.target_accuracy = 2.0;  // never reached: run all stages
+  options.min_improvement = -1.0;
+  options.train.max_iterations = 100;
+  options.train.restarts = 1;
+  MultiStageResult result = RunStages(f, options);
+
+  size_t committed = 0;
+  for (uint32_t i = 0; i < f.engine->metagraphs().size(); ++i) {
+    committed += f.engine->index().IsCommitted(i);
+  }
+  EXPECT_EQ(committed, result.total_matched());
+  EXPECT_LT(committed, f.engine->metagraphs().size());
+  EXPECT_EQ(result.batches.size(), 2u);
+}
+
+TEST(MultiStage, BatchesAreDisjointNonSeeds) {
+  Fixture f = MakeFixture();
+  MultiStageOptions options;
+  options.batch_size = 6;
+  options.max_stages = 3;
+  options.target_accuracy = 2.0;
+  options.min_improvement = -1.0;
+  options.train.max_iterations = 100;
+  options.train.restarts = 1;
+  MultiStageResult result = RunStages(f, options);
+
+  std::vector<bool> seen(f.engine->metagraphs().size(), false);
+  for (uint32_t s : result.seeds) seen[s] = true;
+  for (const auto& batch : result.batches) {
+    for (uint32_t c : batch) {
+      EXPECT_FALSE(seen[c]) << "metagraph selected twice";
+      seen[c] = true;
+      EXPECT_FALSE(f.engine->metagraphs()[c].is_path);
+    }
+  }
+}
+
+TEST(MultiStage, EarlyStopOnHighTarget) {
+  Fixture f = MakeFixture();
+  MultiStageOptions options;
+  options.batch_size = 10;
+  options.max_stages = 6;
+  options.target_accuracy = 0.0;  // already satisfied after seeds
+  options.train.max_iterations = 100;
+  options.train.restarts = 1;
+  MultiStageResult result = RunStages(f, options);
+  EXPECT_TRUE(result.batches.empty());
+}
+
+TEST(PairwiseAccuracyTest, PerfectAndChance) {
+  Fixture f = MakeFixture();
+  f.engine->MatchAll();
+  TrainOptions train;
+  train.max_iterations = 200;
+  train.restarts = 2;
+  TrainResult model = TrainMgp(f.engine->index(), f.examples, train);
+  double acc =
+      PairwiseAccuracy(f.engine->index(), f.examples, model.weights);
+  // A trained model must beat chance on its own training data.
+  EXPECT_GT(acc, 0.6);
+
+  std::vector<double> zero(f.engine->index().num_metagraphs(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      PairwiseAccuracy(f.engine->index(), f.examples, zero), 0.5);
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "matching/order.h"
+#include "metagraph/decomposition.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+bool IsPermutation(const std::vector<MetaNodeId>& order, int n) {
+  if (static_cast<int>(order.size()) != n) return false;
+  uint8_t seen = 0;
+  for (MetaNodeId v : order) {
+    if (v >= n || ((seen >> v) & 1u)) return false;
+    seen |= static_cast<uint8_t>(1u << v);
+  }
+  return true;
+}
+
+// Every node after the first must touch an earlier node (for connected m).
+bool IsConnectivityPreserving(const Metagraph& m,
+                              const std::vector<MetaNodeId>& order) {
+  uint8_t matched = static_cast<uint8_t>(1u << order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (!(m.NeighborMask(order[i]) & matched)) return false;
+    matched |= static_cast<uint8_t>(1u << order[i]);
+  }
+  return true;
+}
+
+TEST(GreedyOrder, ValidPermutationAndConnected) {
+  auto toy = testing::MakeToyGraph();
+  util::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)),
+        toy.graph.num_types(), rng);
+    auto order = GreedyNodeOrder(toy.graph, m);
+    EXPECT_TRUE(IsPermutation(order, m.num_nodes()));
+    EXPECT_TRUE(IsConnectivityPreserving(m, order));
+  }
+}
+
+TEST(GreedyOrder, StartsWithMostSelectiveEdge) {
+  auto toy = testing::MakeToyGraph();
+  // user-surname (2 edges) is rarer than user-school (4 edges).
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(toy.user);
+  MetaNodeId u2 = m.AddNode(toy.user);
+  MetaNodeId sn = m.AddNode(toy.surname);
+  MetaNodeId sc = m.AddNode(toy.school);
+  m.AddEdge(u1, sn);
+  m.AddEdge(u2, sn);
+  m.AddEdge(u1, sc);
+  m.AddEdge(u2, sc);
+  auto order = GreedyNodeOrder(toy.graph, m);
+  // The first two nodes must be the endpoints of a user-surname edge.
+  TypeId t0 = m.TypeOf(order[0]);
+  TypeId t1 = m.TypeOf(order[1]);
+  EXPECT_TRUE((t0 == toy.user && t1 == toy.surname) ||
+              (t0 == toy.surname && t1 == toy.user));
+  // The rarer endpoint (surname: 1 node vs 5 users) comes first.
+  EXPECT_EQ(t0, toy.surname);
+}
+
+TEST(RandomOrder, ValidAndConnected) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(4)), 3, rng);
+    auto order = RandomNodeOrder(m, rng);
+    EXPECT_TRUE(IsPermutation(order, m.num_nodes()));
+    EXPECT_TRUE(IsConnectivityPreserving(m, order));
+  }
+}
+
+TEST(RandomOrder, VariesWithSeed) {
+  util::Rng mg_rng(5);
+  Metagraph m = testing::MakeRandomMetagraph(5, 1, mg_rng);
+  util::Rng r1(1), r2(2);
+  int diffs = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (RandomNodeOrder(m, r1) != RandomNodeOrder(m, r2)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(OrderGroups, RespectsNodeOrderPositions) {
+  // M1-like: mirror pair {0,1} and singletons {2}, {3}.
+  Metagraph m;
+  MetaNodeId u1 = m.AddNode(0);
+  MetaNodeId u2 = m.AddNode(0);
+  MetaNodeId s = m.AddNode(1);
+  MetaNodeId j = m.AddNode(2);
+  m.AddEdge(u1, s);
+  m.AddEdge(u2, s);
+  m.AddEdge(u1, j);
+  m.AddEdge(u2, j);
+  auto decomp = DecomposeSymmetricComponents(m, AnalyzeSymmetry(m));
+
+  std::vector<MetaNodeId> node_order = {s, u1, u2, j};
+  auto groups = OrderGroups(decomp, node_order);
+  // The school singleton should come first (position 0 in node_order).
+  ASSERT_FALSE(groups.empty());
+  ASSERT_FALSE(groups[0].rep.empty());
+  EXPECT_EQ(groups[0].rep[0], s);
+
+  // All nodes still covered exactly once.
+  size_t covered = 0;
+  for (const auto& g : groups) covered += g.size();
+  EXPECT_EQ(covered, 4u);
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "baselines/pathsim.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+TEST(PathSimTest, CountsSharedAttributePaths) {
+  auto toy = testing::MakeToyGraph();
+  PathSim ps(toy.graph, {toy.user, toy.school, toy.user});
+  // Kate and Jay share College A: exactly one path kate-collegeA-jay.
+  EXPECT_EQ(ps.PathCount(toy.kate, toy.jay), 1u);
+  EXPECT_EQ(ps.PathCount(toy.bob, toy.tom), 1u);
+  EXPECT_EQ(ps.PathCount(toy.kate, toy.bob), 0u);
+  // Self path counts: kate-collegeA-kate.
+  EXPECT_EQ(ps.PathCount(toy.kate, toy.kate), 1u);
+}
+
+TEST(PathSimTest, SimilarityFormula) {
+  auto toy = testing::MakeToyGraph();
+  PathSim ps(toy.graph, {toy.user, toy.school, toy.user});
+  // s(kate, jay) = 2*1 / (1 + 1) = 1.
+  EXPECT_DOUBLE_EQ(ps.Similarity(toy.kate, toy.jay), 1.0);
+  EXPECT_DOUBLE_EQ(ps.Similarity(toy.kate, toy.bob), 0.0);
+  EXPECT_DOUBLE_EQ(ps.Similarity(toy.kate, toy.kate), 1.0);
+}
+
+TEST(PathSimTest, SymmetricInArguments) {
+  auto toy = testing::MakeToyGraph();
+  PathSim ps(toy.graph, {toy.user, toy.address, toy.user});
+  EXPECT_DOUBLE_EQ(ps.Similarity(toy.alice, toy.bob),
+                   ps.Similarity(toy.bob, toy.alice));
+}
+
+TEST(PathSimTest, LongerMetapath) {
+  auto toy = testing::MakeToyGraph();
+  // user-hobby-user-hobby-user: via the shared hobby through a middle user.
+  PathSim ps(toy.graph, {toy.user, toy.hobby, toy.user, toy.hobby,
+                         toy.user});
+  // kate-music-alice-music-kate: self-count through Alice.
+  EXPECT_GE(ps.PathCount(toy.kate, toy.kate), 1u);
+}
+
+TEST(PathSimTest, RankOrdersBySimilarity) {
+  auto toy = testing::MakeToyGraph();
+  PathSim ps(toy.graph, {toy.user, toy.school, toy.user});
+  auto ranked = ps.Rank(toy.kate, 10);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].first, toy.jay);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+  }
+  for (const auto& [node, score] : ranked) EXPECT_NE(node, toy.kate);
+}
+
+TEST(PathSimTest, AgreesWithBruteForcePathCount) {
+  Graph g = testing::MakeRandomGraph(40, 3, 4.0, 77);
+  PathSim ps(g, {0, 1, 0});
+  // Brute-force count of x-m-y paths.
+  auto brute = [&](NodeId x, NodeId y) {
+    uint64_t count = 0;
+    for (NodeId m : g.NeighborsOfType(x, 1)) {
+      count += g.HasEdge(m, y);
+    }
+    return count;
+  };
+  auto t0 = g.NodesOfType(0);
+  for (size_t i = 0; i < t0.size(); i += 3) {
+    for (size_t j = 0; j < t0.size(); j += 5) {
+      EXPECT_EQ(ps.PathCount(t0[i], t0[j]), brute(t0[i], t0[j]));
+    }
+  }
+}
+
+TEST(PathSimTest, SimilarityBounded) {
+  Graph g = testing::MakeRandomGraph(60, 3, 5.0, 88);
+  PathSim ps(g, {0, 1, 0});
+  auto t0 = g.NodesOfType(0);
+  for (size_t i = 0; i < t0.size(); i += 2) {
+    for (size_t j = i; j < t0.size(); j += 3) {
+      double s = ps.Similarity(t0[i], t0[j]);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,162 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P): the
+// same invariant checked across a grid of random-instance seeds.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "index/metagraph_vectors.h"
+#include "mining/miner.h"
+#include "learning/proximity.h"
+#include "matching/matcher.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+// ---- all matchers agree with brute force, across random worlds ----------
+
+class MatcherAgreementSweep : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherAgreementSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+TEST_P(MatcherAgreementSweep, AllKernelsMatchBruteForce) {
+  const uint64_t seed = GetParam();
+  Graph g = testing::MakeRandomGraph(22, 3, 4.0, seed);
+  util::Rng rng(seed * 31 + 1);
+  for (int trial = 0; trial < 5; ++trial) {
+    Metagraph m = testing::MakeRandomMetagraph(
+        2 + static_cast<int>(rng.UniformInt(3)), 3, rng);
+    const uint64_t expected = testing::BruteForceCountEmbeddings(g, m);
+    for (MatcherKind kind :
+         {MatcherKind::kQuickSI, MatcherKind::kTurboISO,
+          MatcherKind::kBoostISO, MatcherKind::kSymISO,
+          MatcherKind::kSymISORandom}) {
+      CountingSink sink;
+      CreateMatcher(kind, seed)->Match(g, m, &sink);
+      EXPECT_EQ(sink.count(), expected)
+          << MatcherKindName(kind) << " seed=" << seed;
+    }
+  }
+}
+
+// ---- Theorem 1 invariants of MGP across random worlds -------------------
+
+class MgpInvariantSweep : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MgpInvariantSweep,
+                         ::testing::Values(3u, 13u, 23u, 43u, 53u));
+
+TEST_P(MgpInvariantSweep, SymmetrySelfMaxScaleInvariance) {
+  const uint64_t seed = GetParam();
+  Graph g = testing::MakeRandomGraph(60, 3, 5.0, seed);
+
+  // Index two random symmetric-friendly patterns.
+  std::vector<Metagraph> metagraphs = {MakePath({0, 1, 0}),
+                                       MakePath({0, 2, 0})};
+  MetagraphVectorIndex index(metagraphs.size(), g.num_nodes(),
+                             CountTransform::kRaw);
+  auto matcher = CreateMatcher(MatcherKind::kSymISO);
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
+    SymPairCountingSink sink(sym, UINT64_MAX);
+    matcher->Match(g, metagraphs[i], &sink);
+    index.Commit(i, sink, sym.aut_size());
+  }
+  index.Finalize();
+
+  util::Rng rng(seed + 99);
+  auto anchors = g.NodesOfType(0);
+  if (anchors.size() < 3) GTEST_SKIP();
+  std::vector<double> w = {rng.UniformDouble(0.1, 1.0),
+                           rng.UniformDouble(0.1, 1.0)};
+  const double c = rng.UniformDouble(0.5, 3.0);
+  std::vector<double> cw = {c * w[0], c * w[1]};
+
+  for (int probes = 0; probes < 30; ++probes) {
+    NodeId x = anchors[rng.UniformInt(anchors.size())];
+    NodeId y = anchors[rng.UniformInt(anchors.size())];
+    const double pi_xy = MgpProximity(index, w, x, y);
+    EXPECT_DOUBLE_EQ(pi_xy, MgpProximity(index, w, y, x));
+    EXPECT_GE(pi_xy, 0.0);
+    EXPECT_LE(pi_xy, 1.0);
+    EXPECT_DOUBLE_EQ(MgpProximity(index, w, x, x), 1.0);
+    EXPECT_NEAR(pi_xy, MgpProximity(index, cw, x, y), 1e-12);
+  }
+}
+
+// ---- metric invariants over random rankings ------------------------------
+
+class MetricInvariantSweep : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricInvariantSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST_P(MetricInvariantSweep, BoundsAndFrontInsertionMonotonicity) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random ranking of 20 ids, random relevant subset.
+    std::vector<NodeId> ranked(20);
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      ranked[i] = static_cast<NodeId>(100 + i);
+    }
+    rng.Shuffle(ranked);
+    std::unordered_set<NodeId> relevant;
+    for (NodeId v : ranked) {
+      if (rng.Bernoulli(0.3)) relevant.insert(v);
+    }
+    NodeId fresh = 999;  // relevant item not yet in the ranking
+    relevant.insert(fresh);
+    const size_t total = relevant.size();
+
+    double ndcg = NdcgAtK(ranked, relevant, total, 10);
+    double ap = AveragePrecisionAtK(ranked, relevant, total, 10);
+    EXPECT_GE(ndcg, 0.0);
+    EXPECT_LE(ndcg, 1.0);
+    EXPECT_GE(ap, 0.0);
+    EXPECT_LE(ap, 1.0);
+
+    // Prepending a relevant result can only help (or tie).
+    std::vector<NodeId> better;
+    better.push_back(fresh);
+    better.insert(better.end(), ranked.begin(), ranked.end());
+    EXPECT_GE(NdcgAtK(better, relevant, total, 10) + 1e-12, ndcg);
+    EXPECT_GE(AveragePrecisionAtK(better, relevant, total, 10) + 1e-12, ap);
+  }
+}
+
+// ---- miner output validity across random graphs --------------------------
+
+class MinerValiditySweep : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinerValiditySweep,
+                         ::testing::Values(7u, 17u, 27u));
+
+TEST_P(MinerValiditySweep, OutputsAreValidFrequentPatterns) {
+  Graph g = testing::MakeRandomGraph(120, 3, 5.0, GetParam());
+  MinerOptions options;
+  options.anchor_type = 0;
+  options.min_support = 2;
+  options.max_nodes = 4;
+  auto mined = MineMetagraphs(g, options);
+  auto matcher = CreateMatcher(MatcherKind::kBoostISO);
+  for (const auto& m : mined) {
+    EXPECT_TRUE(m.graph.IsConnected());
+    EXPECT_TRUE(m.symmetry.is_symmetric);
+    EXPECT_GE(m.support, options.min_support);
+    // Every feasible edge type pair in the pattern exists in the graph.
+    for (auto [a, b] : m.graph.Edges()) {
+      EXPECT_GT(g.EdgeCountBetweenTypes(m.graph.TypeOf(a),
+                                        m.graph.TypeOf(b)),
+                0u);
+    }
+    // The pattern actually has embeddings.
+    CountingSink sink(1);
+    matcher->Match(g, m.graph, &sink);
+    EXPECT_GE(sink.count(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

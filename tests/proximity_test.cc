@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "index/metagraph_vectors.h"
+#include "learning/proximity.h"
+#include "matching/matcher.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace metaprox {
+namespace {
+
+// Builds a raw-count index over the toy graph with all six co-attribute
+// metapaths.
+struct ToyIndex {
+  testing::ToyGraph toy;
+  std::unique_ptr<MetagraphVectorIndex> index;
+  size_t num_metagraphs;
+};
+
+ToyIndex MakeToyIndex() {
+  ToyIndex t{testing::MakeToyGraph(), nullptr, 0};
+  std::vector<Metagraph> metagraphs = {
+      MakePath({t.toy.user, t.toy.surname, t.toy.user}),
+      MakePath({t.toy.user, t.toy.address, t.toy.user}),
+      MakePath({t.toy.user, t.toy.school, t.toy.user}),
+      MakePath({t.toy.user, t.toy.major, t.toy.user}),
+      MakePath({t.toy.user, t.toy.employer, t.toy.user}),
+      MakePath({t.toy.user, t.toy.hobby, t.toy.user})};
+  t.num_metagraphs = metagraphs.size();
+  t.index = std::make_unique<MetagraphVectorIndex>(
+      metagraphs.size(), t.toy.graph.num_nodes(), CountTransform::kRaw);
+  auto matcher = CreateMatcher(MatcherKind::kSymISO);
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
+    SymPairCountingSink sink(sym, UINT64_MAX);
+    matcher->Match(t.toy.graph, metagraphs[i], &sink);
+    t.index->Commit(i, sink, sym.aut_size());
+  }
+  t.index->Finalize();
+  return t;
+}
+
+TEST(MgpProperties, SymmetryTheorem1) {
+  ToyIndex t = MakeToyIndex();
+  util::Rng rng(3);
+  std::vector<double> w(t.num_metagraphs);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (double& v : w) v = rng.UniformDouble();
+    for (NodeId x : {t.toy.alice, t.toy.bob, t.toy.kate}) {
+      for (NodeId y : {t.toy.jay, t.toy.tom, t.toy.bob}) {
+        EXPECT_DOUBLE_EQ(MgpProximity(*t.index, w, x, y),
+                         MgpProximity(*t.index, w, y, x));
+      }
+    }
+  }
+}
+
+TEST(MgpProperties, SelfMaximumTheorem1) {
+  ToyIndex t = MakeToyIndex();
+  util::Rng rng(4);
+  std::vector<double> w(t.num_metagraphs);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (double& v : w) v = rng.UniformDouble();
+    for (NodeId x : {t.toy.alice, t.toy.bob, t.toy.kate, t.toy.jay}) {
+      EXPECT_DOUBLE_EQ(MgpProximity(*t.index, w, x, x), 1.0);
+      for (NodeId y : {t.toy.alice, t.toy.bob, t.toy.kate, t.toy.jay}) {
+        double pi = MgpProximity(*t.index, w, x, y);
+        EXPECT_GE(pi, 0.0);
+        EXPECT_LE(pi, 1.0);
+      }
+    }
+  }
+}
+
+TEST(MgpProperties, ScaleInvarianceTheorem1) {
+  ToyIndex t = MakeToyIndex();
+  util::Rng rng(5);
+  std::vector<double> w(t.num_metagraphs), w2(t.num_metagraphs);
+  for (int trial = 0; trial < 20; ++trial) {
+    double c = rng.UniformDouble(0.1, 10.0);
+    for (size_t i = 0; i < w.size(); ++i) {
+      w[i] = rng.UniformDouble();
+      w2[i] = c * w[i];
+    }
+    for (NodeId x : {t.toy.alice, t.toy.kate}) {
+      for (NodeId y : {t.toy.bob, t.toy.jay}) {
+        EXPECT_NEAR(MgpProximity(*t.index, w, x, y),
+                    MgpProximity(*t.index, w2, x, y), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Mgp, ClassmateWeightsFavorJayOverAlice) {
+  ToyIndex t = MakeToyIndex();
+  // "Classmate" weights: school + major.
+  std::vector<double> w(t.num_metagraphs, 0.0);
+  w[2] = 0.9;  // school
+  w[3] = 0.9;  // major
+  double kate_jay = MgpProximity(*t.index, w, t.toy.kate, t.toy.jay);
+  double kate_alice = MgpProximity(*t.index, w, t.toy.kate, t.toy.alice);
+  EXPECT_GT(kate_jay, kate_alice);
+  EXPECT_GT(kate_jay, 0.9);  // shares all classmate attributes
+
+  // Fig. 1(b): Bob's classmate is Tom.
+  double bob_tom = MgpProximity(*t.index, w, t.toy.bob, t.toy.tom);
+  double bob_alice = MgpProximity(*t.index, w, t.toy.bob, t.toy.alice);
+  EXPECT_GT(bob_tom, bob_alice);
+}
+
+TEST(Mgp, FamilyWeightsFavorAliceForBob) {
+  ToyIndex t = MakeToyIndex();
+  std::vector<double> w(t.num_metagraphs, 0.0);
+  w[0] = 0.8;  // surname
+  w[1] = 0.8;  // address
+  double bob_alice = MgpProximity(*t.index, w, t.toy.bob, t.toy.alice);
+  double bob_tom = MgpProximity(*t.index, w, t.toy.bob, t.toy.tom);
+  EXPECT_GT(bob_alice, bob_tom);
+}
+
+TEST(Mgp, ZeroWeightsGiveZeroProximity) {
+  ToyIndex t = MakeToyIndex();
+  std::vector<double> w(t.num_metagraphs, 0.0);
+  EXPECT_DOUBLE_EQ(MgpProximity(*t.index, w, t.toy.kate, t.toy.jay), 0.0);
+}
+
+TEST(RankByProximity, OrdersAndTruncates) {
+  ToyIndex t = MakeToyIndex();
+  std::vector<double> w(t.num_metagraphs, 1.0);
+  auto ranked = RankByProximity(*t.index, w, t.toy.kate,
+                                t.index->Candidates(t.toy.kate), 10);
+  ASSERT_FALSE(ranked.empty());
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+  }
+  // Kate's closest under "close friend" weights should be Alice
+  // (employer + hobby) or Jay (address+school+major). With uniform weights
+  // Jay shares 3 metapaths, Alice 2.
+  EXPECT_EQ(ranked[0].first, t.toy.jay);
+
+  auto top1 = RankByProximity(*t.index, w, t.toy.kate,
+                              t.index->Candidates(t.toy.kate), 1);
+  EXPECT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].first, ranked[0].first);
+}
+
+TEST(RankByProximity, ExcludesQueryNode) {
+  ToyIndex t = MakeToyIndex();
+  std::vector<double> w(t.num_metagraphs, 1.0);
+  std::vector<NodeId> cands = {t.toy.kate, t.toy.jay};
+  auto ranked = RankByProximity(*t.index, w, t.toy.kate, cands, 10);
+  for (const auto& [node, score] : ranked) EXPECT_NE(node, t.toy.kate);
+}
+
+}  // namespace
+}  // namespace metaprox

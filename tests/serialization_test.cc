@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "datagen/facebook.h"
+#include "matching/matcher.h"
+#include "mining/mined_set_io.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+TEST(MinedSetIo, RoundTrip) {
+  auto toy = testing::MakeToyGraph();
+  MinerOptions options;
+  options.anchor_type = toy.user;
+  options.min_support = 1;
+  options.max_nodes = 4;
+  auto mined = MineMetagraphs(toy.graph, options);
+  ASSERT_FALSE(mined.empty());
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteMinedMetagraphs(mined, os).ok());
+  std::istringstream is(os.str());
+  auto loaded = ReadMinedMetagraphs(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->size(), mined.size());
+  for (size_t i = 0; i < mined.size(); ++i) {
+    EXPECT_TRUE((*loaded)[i].graph == mined[i].graph);
+    EXPECT_EQ((*loaded)[i].support, mined[i].support);
+    EXPECT_EQ((*loaded)[i].is_path, mined[i].is_path);
+    EXPECT_EQ((*loaded)[i].symmetry.symmetric_pairs,
+              mined[i].symmetry.symmetric_pairs);
+    EXPECT_EQ((*loaded)[i].symmetry.aut_size(), mined[i].symmetry.aut_size());
+  }
+}
+
+TEST(MinedSetIo, RejectsGarbage) {
+  std::istringstream is("not a metagraph file\n");
+  EXPECT_FALSE(ReadMinedMetagraphs(is).ok());
+  std::istringstream is2("metaprox-metagraphs v1\n1\n99 0 0\n");
+  EXPECT_FALSE(ReadMinedMetagraphs(is2).ok());
+}
+
+TEST(IndexIo, RoundTripPreservesDots) {
+  auto toy = testing::MakeToyGraph();
+  std::vector<Metagraph> metagraphs = {
+      MakePath({toy.user, toy.school, toy.user}),
+      MakePath({toy.user, toy.address, toy.user}),
+      MakePath({toy.user, toy.employer, toy.user})};
+  MetagraphVectorIndex index(metagraphs.size(), toy.graph.num_nodes(),
+                             CountTransform::kLog1p);
+  auto matcher = CreateMatcher(MatcherKind::kSymISO);
+  for (uint32_t i = 0; i < 2; ++i) {  // leave metagraph 2 uncommitted
+    SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
+    SymPairCountingSink sink(sym, UINT64_MAX);
+    matcher->Match(toy.graph, metagraphs[i], &sink);
+    index.Commit(i, sink, sym.aut_size());
+  }
+  index.Finalize();
+
+  std::ostringstream os;
+  ASSERT_TRUE(index.WriteTo(os).ok());
+  std::istringstream is(os.str());
+  auto loaded = MetagraphVectorIndex::ReadFrom(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_metagraphs(), index.num_metagraphs());
+  EXPECT_EQ(loaded->num_pairs(), index.num_pairs());
+  EXPECT_TRUE(loaded->IsCommitted(0));
+  EXPECT_TRUE(loaded->IsCommitted(1));
+  EXPECT_FALSE(loaded->IsCommitted(2));
+
+  std::vector<double> w = {0.5, 0.9, 0.3};
+  for (NodeId x : {toy.kate, toy.alice, toy.bob}) {
+    EXPECT_NEAR(loaded->NodeDot(x, w), index.NodeDot(x, w), 1e-9);
+    for (NodeId y : {toy.jay, toy.tom}) {
+      EXPECT_NEAR(loaded->PairDot(x, y, w), index.PairDot(x, y, w), 1e-9);
+    }
+  }
+  // Candidate postings rebuilt identically (as sets).
+  for (NodeId x : {toy.kate, toy.bob}) {
+    auto a = loaded->Candidates(x);
+    auto b = index.Candidates(x);
+    std::vector<NodeId> va(a.begin(), a.end()), vb(b.begin(), b.end());
+    std::sort(va.begin(), va.end());
+    std::sort(vb.begin(), vb.end());
+    EXPECT_EQ(va, vb);
+  }
+}
+
+TEST(IndexIo, RejectsBadHeader) {
+  std::istringstream is("wrong\n");
+  EXPECT_FALSE(MetagraphVectorIndex::ReadFrom(is).ok());
+}
+
+TEST(EngineOffline, SaveLoadRoundTrip) {
+  datagen::FacebookConfig cfg;
+  cfg.num_users = 150;
+  auto ds = datagen::GenerateFacebook(cfg, 5);
+
+  EngineOptions options;
+  options.miner.anchor_type = ds.user_type;
+  options.miner.min_support = 3;
+  options.miner.max_nodes = 4;
+  SearchEngine engine(ds.graph, options);
+  engine.Mine();
+  engine.MatchAll();
+
+  const std::string prefix = ::testing::TempDir() + "/offline_phase";
+  ASSERT_TRUE(engine.SaveOffline(prefix).ok());
+
+  SearchEngine restored(ds.graph, options);
+  ASSERT_TRUE(restored.LoadOffline(prefix).ok());
+  ASSERT_EQ(restored.metagraphs().size(), engine.metagraphs().size());
+
+  // Queries against the restored engine match the original.
+  std::vector<double> w(engine.metagraphs().size(), 1.0);
+  MgpModel model{w};
+  auto users = ds.graph.NodesOfType(ds.user_type);
+  int compared = 0;
+  for (size_t i = 0; i < users.size() && compared < 20; i += 7, ++compared) {
+    auto a = engine.Query(model, users[i], 5);
+    auto b = restored.Query(model, users[i], 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].first, b[j].first);
+      EXPECT_NEAR(a[j].second, b[j].second, 1e-9);
+    }
+  }
+}
+
+TEST(EngineOffline, LoadMissingFilesFails) {
+  datagen::FacebookConfig cfg;
+  cfg.num_users = 80;
+  auto ds = datagen::GenerateFacebook(cfg, 6);
+  EngineOptions options;
+  options.miner.anchor_type = ds.user_type;
+  SearchEngine engine(ds.graph, options);
+  EXPECT_FALSE(engine.LoadOffline("/nonexistent/prefix").ok());
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "baselines/simple.h"
+#include "matching/matcher.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+struct Fixture {
+  testing::ToyGraph toy;
+  std::unique_ptr<MetagraphVectorIndex> index;
+  // 0=surname 1=address 2=school 3=major 4=employer 5=hobby
+};
+
+Fixture MakeFixture(bool commit_all = true) {
+  Fixture f{testing::MakeToyGraph(), nullptr};
+  std::vector<Metagraph> metagraphs = {
+      MakePath({f.toy.user, f.toy.surname, f.toy.user}),
+      MakePath({f.toy.user, f.toy.address, f.toy.user}),
+      MakePath({f.toy.user, f.toy.school, f.toy.user}),
+      MakePath({f.toy.user, f.toy.major, f.toy.user}),
+      MakePath({f.toy.user, f.toy.employer, f.toy.user}),
+      MakePath({f.toy.user, f.toy.hobby, f.toy.user})};
+  f.index = std::make_unique<MetagraphVectorIndex>(
+      metagraphs.size(), f.toy.graph.num_nodes(), CountTransform::kRaw);
+  auto matcher = CreateMatcher(MatcherKind::kSymISO);
+  for (uint32_t i = 0; i < metagraphs.size(); ++i) {
+    if (!commit_all && i >= 3) break;
+    SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
+    SymPairCountingSink sink(sym, UINT64_MAX);
+    matcher->Match(f.toy.graph, metagraphs[i], &sink);
+    f.index->Commit(i, sink, sym.aut_size());
+  }
+  f.index->Finalize();
+  return f;
+}
+
+TEST(UniformWeightsTest, AllCommittedGetOne) {
+  Fixture f = MakeFixture();
+  auto w = UniformWeights(*f.index);
+  ASSERT_EQ(w.size(), 6u);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(UniformWeightsTest, UncommittedGetZero) {
+  Fixture f = MakeFixture(/*commit_all=*/false);
+  auto w = UniformWeights(*f.index);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+  EXPECT_DOUBLE_EQ(w[2], 1.0);
+  EXPECT_DOUBLE_EQ(w[3], 0.0);
+  EXPECT_DOUBLE_EQ(w[4], 0.0);
+  EXPECT_DOUBLE_EQ(w[5], 0.0);
+}
+
+TEST(BestSingle, PicksPlantedClassMetagraph) {
+  Fixture f = MakeFixture();
+  // Family ground truth: Alice-Bob (surname+address). The surname or
+  // address metapath should be selected — both rank Alice first for Bob.
+  GroundTruth gt("family");
+  gt.AddPositivePair(f.toy.alice, f.toy.bob);
+  gt.Finalize();
+  std::vector<NodeId> train_queries = {f.toy.alice, f.toy.bob};
+  auto w = BestSingleMetagraphWeights(*f.index, gt, train_queries, 10);
+  ASSERT_EQ(w.size(), 6u);
+  double total = 0.0;
+  for (double v : w) total += v;
+  EXPECT_DOUBLE_EQ(total, 1.0);  // one-hot
+  EXPECT_TRUE(w[0] == 1.0 || w[1] == 1.0)
+      << "expected surname or address metapath to win";
+}
+
+TEST(BestSingle, ClassmateClassPicksSchoolOrMajor) {
+  Fixture f = MakeFixture();
+  GroundTruth gt("classmate");
+  gt.AddPositivePair(f.toy.kate, f.toy.jay);
+  gt.AddPositivePair(f.toy.bob, f.toy.tom);
+  gt.Finalize();
+  std::vector<NodeId> train_queries = {f.toy.kate, f.toy.bob};
+  auto w = BestSingleMetagraphWeights(*f.index, gt, train_queries, 10);
+  EXPECT_TRUE(w[2] == 1.0 || w[3] == 1.0)
+      << "expected school or major metapath to win";
+}
+
+TEST(BestSingle, EmptyTrainingStillReturnsOneHot) {
+  Fixture f = MakeFixture();
+  GroundTruth gt("empty");
+  gt.Finalize();
+  auto w = BestSingleMetagraphWeights(*f.index, gt, {}, 10);
+  double total = 0.0;
+  for (double v : w) total += v;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/splits.h"
+
+namespace metaprox {
+namespace {
+
+GroundTruth MakeGt(int num_queries) {
+  GroundTruth gt("c");
+  for (int i = 0; i < num_queries; ++i) {
+    gt.AddPositivePair(static_cast<NodeId>(i),
+                       static_cast<NodeId>(i + 1000));
+  }
+  gt.Finalize();
+  return gt;
+}
+
+TEST(Splits, FractionRespected) {
+  GroundTruth gt = MakeGt(100);
+  util::Rng rng(1);
+  QuerySplit split = SplitQueries(gt, 0.2, rng);
+  // 100 queries on each side of the pair -> 200 total query nodes.
+  EXPECT_EQ(split.train.size() + split.test.size(), gt.queries().size());
+  EXPECT_NEAR(static_cast<double>(split.train.size()) /
+                  static_cast<double>(gt.queries().size()),
+              0.2, 0.01);
+}
+
+TEST(Splits, DisjointCover) {
+  GroundTruth gt = MakeGt(50);
+  util::Rng rng(2);
+  QuerySplit split = SplitQueries(gt, 0.3, rng);
+  std::vector<NodeId> all = split.train;
+  all.insert(all.end(), split.test.begin(), split.test.end());
+  std::sort(all.begin(), all.end());
+  std::vector<NodeId> expected = gt.queries();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all, expected);
+}
+
+TEST(Splits, AtLeastOneEachSide) {
+  GroundTruth gt = MakeGt(2);
+  util::Rng rng(3);
+  QuerySplit split = SplitQueries(gt, 0.01, rng);
+  EXPECT_GE(split.train.size(), 1u);
+  EXPECT_GE(split.test.size(), 1u);
+}
+
+TEST(Splits, DifferentSeedsDiffer) {
+  GroundTruth gt = MakeGt(100);
+  util::Rng r1(10), r2(20);
+  QuerySplit a = SplitQueries(gt, 0.2, r1);
+  QuerySplit b = SplitQueries(gt, 0.2, r2);
+  EXPECT_NE(a.train, b.train);
+}
+
+TEST(SampleExamples, TripletsAreValid) {
+  GroundTruth gt("c");
+  std::vector<NodeId> pool;
+  for (NodeId i = 0; i < 40; ++i) pool.push_back(i);
+  // Positives: (0,1), (2,3), ..., (18,19).
+  for (NodeId i = 0; i < 20; i += 2) gt.AddPositivePair(i, i + 1);
+  gt.Finalize();
+  util::Rng rng(5);
+  std::vector<NodeId> train_queries = {0, 2, 4, 6};
+  auto examples = SampleExamples(gt, train_queries, pool, 100, rng);
+  EXPECT_EQ(examples.size(), 100u);
+  for (const Example& e : examples) {
+    EXPECT_TRUE(std::find(train_queries.begin(), train_queries.end(), e.q) !=
+                train_queries.end());
+    EXPECT_TRUE(gt.IsPositive(e.q, e.x));
+    EXPECT_FALSE(gt.IsPositive(e.q, e.y));
+    EXPECT_NE(e.y, e.q);
+    EXPECT_NE(e.y, e.x);
+  }
+}
+
+TEST(SampleExamples, EmptyInputsHandled) {
+  GroundTruth gt = MakeGt(5);
+  util::Rng rng(6);
+  std::vector<NodeId> pool = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(SampleExamples(gt, {}, pool, 10, rng).empty());
+  std::vector<NodeId> queries = {0};
+  std::vector<NodeId> tiny_pool = {0};
+  EXPECT_TRUE(SampleExamples(gt, queries, tiny_pool, 10, rng).empty());
+}
+
+TEST(SampleExamples, DeterministicForSeed) {
+  GroundTruth gt = MakeGt(20);
+  std::vector<NodeId> pool;
+  for (NodeId i = 0; i < 100; ++i) pool.push_back(i);
+  std::vector<NodeId> queries = gt.queries();
+  util::Rng r1(7), r2(7);
+  auto a = SampleExamples(gt, queries, pool, 50, r1);
+  auto b = SampleExamples(gt, queries, pool, 50, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].q, b[i].q);
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+}
+
+}  // namespace
+}  // namespace metaprox

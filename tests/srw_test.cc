@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/srw.h"
+#include "test_helpers.h"
+
+namespace metaprox {
+namespace {
+
+TEST(Srw, PprIsDistribution) {
+  auto toy = testing::MakeToyGraph();
+  SupervisedRandomWalk srw(toy.graph, SrwOptions{});
+  std::vector<double> p = srw.Ppr(toy.kate);
+  ASSERT_EQ(p.size(), toy.graph.num_nodes());
+  double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  // Scores are scaled by n; the underlying distribution sums to 1.
+  EXPECT_NEAR(sum / static_cast<double>(toy.graph.num_nodes()), 1.0, 1e-9);
+  for (double v : p) EXPECT_GE(v, 0.0);
+}
+
+TEST(Srw, QueryHasHighScore) {
+  auto toy = testing::MakeToyGraph();
+  SupervisedRandomWalk srw(toy.graph, SrwOptions{});
+  std::vector<double> p = srw.Ppr(toy.kate);
+  for (NodeId v = 0; v < toy.graph.num_nodes(); ++v) {
+    if (v != toy.kate) EXPECT_GE(p[toy.kate], p[v]);
+  }
+}
+
+TEST(Srw, NeighborsScoreHigherThanDistantNodes) {
+  auto toy = testing::MakeToyGraph();
+  SupervisedRandomWalk srw(toy.graph, SrwOptions{});
+  std::vector<double> p = srw.Ppr(toy.kate);
+  // College A (direct neighbor) must outrank Tom (two hops away through
+  // sparse paths).
+  EXPECT_GT(p[toy.college_a], p[toy.tom]);
+}
+
+TEST(Srw, FeaturesCoverOccurringTypePairs) {
+  auto toy = testing::MakeToyGraph();
+  SupervisedRandomWalk srw(toy.graph, SrwOptions{});
+  // Toy graph has user-{surname,address,school,major,employer,hobby} edges:
+  // 6 distinct unordered type pairs, no user-user edges.
+  EXPECT_EQ(srw.num_features(), 6u);
+}
+
+TEST(Srw, TrainingMovesThetaTowardDiscriminativeEdges) {
+  auto toy = testing::MakeToyGraph();
+  SrwOptions options;
+  options.train_iterations = 15;
+  options.learning_rate = 1.0;
+  SupervisedRandomWalk srw(toy.graph, options);
+
+  // Prefer classmates: push walks through school/major, away from hobby.
+  std::vector<Example> examples = {
+      {toy.kate, toy.jay, toy.alice},
+      {toy.bob, toy.tom, toy.alice},
+  };
+  std::vector<double> before = srw.theta();
+  srw.Train(examples);
+  std::vector<double> after = srw.theta();
+  ASSERT_EQ(before.size(), after.size());
+  bool changed = false;
+  for (size_t i = 0; i < before.size(); ++i) {
+    changed |= std::abs(after[i] - before[i]) > 1e-9;
+  }
+  EXPECT_TRUE(changed);
+
+  // Training should improve the preference margin for the examples.
+  std::vector<double> p_kate = srw.Ppr(toy.kate);
+  EXPECT_GT(p_kate[toy.jay], p_kate[toy.alice]);
+}
+
+TEST(Srw, RankExcludesQueryAndFiltersType) {
+  auto toy = testing::MakeToyGraph();
+  SupervisedRandomWalk srw(toy.graph, SrwOptions{});
+  auto ranked = srw.Rank(toy.kate, toy.user, 10);
+  EXPECT_LE(ranked.size(), 4u);  // 5 users minus the query
+  for (const auto& [node, score] : ranked) {
+    EXPECT_NE(node, toy.kate);
+    EXPECT_EQ(toy.graph.TypeOf(node), toy.user);
+  }
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+  }
+}
+
+TEST(Srw, EmptyTrainingIsNoOp) {
+  auto toy = testing::MakeToyGraph();
+  SupervisedRandomWalk srw(toy.graph, SrwOptions{});
+  std::vector<double> before = srw.theta();
+  srw.Train({});
+  EXPECT_EQ(before, srw.theta());
+}
+
+}  // namespace
+}  // namespace metaprox

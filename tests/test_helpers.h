@@ -1,0 +1,163 @@
+// Shared fixtures for metaprox tests: the paper's Fig. 1 toy social graph,
+// a random typed-graph generator, and a brute-force reference matcher used
+// to cross-validate every matching kernel.
+#ifndef METAPROX_TESTS_TEST_HELPERS_H_
+#define METAPROX_TESTS_TEST_HELPERS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "metagraph/metagraph.h"
+#include "util/rng.h"
+
+namespace metaprox::testing {
+
+/// The toy graph of Fig. 1: five users plus their attribute values.
+/// Node name -> id access through the returned struct.
+struct ToyGraph {
+  Graph graph;
+  // Users.
+  NodeId alice, bob, kate, jay, tom;
+  // Attributes.
+  NodeId clinton, green_st, white_st, college_a, college_b;
+  NodeId economics, physics, company_x, music;
+  TypeId user, surname, address, school, major, employer, hobby;
+};
+
+inline ToyGraph MakeToyGraph() {
+  ToyGraph t;
+  GraphBuilder b;
+  t.user = b.InternType("user");
+  t.surname = b.InternType("surname");
+  t.address = b.InternType("address");
+  t.school = b.InternType("school");
+  t.major = b.InternType("major");
+  t.employer = b.InternType("employer");
+  t.hobby = b.InternType("hobby");
+
+  t.alice = b.AddNode(t.user, "Alice");
+  t.bob = b.AddNode(t.user, "Bob");
+  t.kate = b.AddNode(t.user, "Kate");
+  t.jay = b.AddNode(t.user, "Jay");
+  t.tom = b.AddNode(t.user, "Tom");
+
+  t.clinton = b.AddNode(t.surname, "Clinton");
+  t.green_st = b.AddNode(t.address, "123 Green St");
+  t.white_st = b.AddNode(t.address, "456 White St");
+  t.college_a = b.AddNode(t.school, "College A");
+  t.college_b = b.AddNode(t.school, "College B");
+  t.economics = b.AddNode(t.major, "Economics");
+  t.physics = b.AddNode(t.major, "Physics");
+  t.company_x = b.AddNode(t.employer, "Company X");
+  t.music = b.AddNode(t.hobby, "Music");
+
+  // Fig. 1(a) edges (as described by Fig. 1(b)'s explanations):
+  // Alice & Bob: same surname (Clinton) and same address (Green St).
+  b.AddEdge(t.alice, t.clinton);
+  b.AddEdge(t.bob, t.clinton);
+  b.AddEdge(t.alice, t.green_st);
+  b.AddEdge(t.bob, t.green_st);
+  // Kate & Jay: same address (White St), same school (College A) and
+  // same major (Economics).
+  b.AddEdge(t.kate, t.white_st);
+  b.AddEdge(t.jay, t.white_st);
+  b.AddEdge(t.kate, t.college_a);
+  b.AddEdge(t.jay, t.college_a);
+  b.AddEdge(t.kate, t.economics);
+  b.AddEdge(t.jay, t.economics);
+  // Kate & Alice: same employer (Company X) and same hobby (Music).
+  b.AddEdge(t.kate, t.company_x);
+  b.AddEdge(t.alice, t.company_x);
+  b.AddEdge(t.kate, t.music);
+  b.AddEdge(t.alice, t.music);
+  // Bob & Tom: same school (College B) and same major (Physics).
+  b.AddEdge(t.bob, t.college_b);
+  b.AddEdge(t.tom, t.college_b);
+  b.AddEdge(t.bob, t.physics);
+  b.AddEdge(t.tom, t.physics);
+
+  t.graph = b.Build();
+  return t;
+}
+
+/// Random typed graph: `n` nodes across `num_types` types, `avg_degree`
+/// expected degree, fully deterministic in `seed`.
+inline Graph MakeRandomGraph(size_t n, size_t num_types, double avg_degree,
+                             uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b;
+  for (size_t t = 0; t < num_types; ++t) {
+    b.InternType("t" + std::to_string(t));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    b.AddNode(static_cast<TypeId>(rng.UniformInt(num_types)));
+  }
+  const uint64_t edges = static_cast<uint64_t>(avg_degree * n / 2.0);
+  for (uint64_t e = 0; e < edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u != v) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+/// Random connected metagraph over the types present in `num_types`.
+inline Metagraph MakeRandomMetagraph(int nodes, size_t num_types,
+                                     util::Rng& rng) {
+  Metagraph m;
+  for (int i = 0; i < nodes; ++i) {
+    m.AddNode(static_cast<TypeId>(rng.UniformInt(num_types)));
+    if (i > 0) {
+      // Attach to a random earlier node to keep it connected.
+      m.AddEdge(static_cast<MetaNodeId>(rng.UniformInt(i)),
+                static_cast<MetaNodeId>(i));
+    }
+  }
+  // A few extra edges.
+  int extra = static_cast<int>(rng.UniformInt(nodes));
+  for (int e = 0; e < extra; ++e) {
+    MetaNodeId a = static_cast<MetaNodeId>(rng.UniformInt(nodes));
+    MetaNodeId b = static_cast<MetaNodeId>(rng.UniformInt(nodes));
+    if (a != b) m.AddEdge(a, b);
+  }
+  return m;
+}
+
+/// Brute-force embedding counter: tries every injective assignment.
+/// Exponential; only for cross-validation on tiny graphs.
+inline uint64_t BruteForceCountEmbeddings(const Graph& g, const Metagraph& m) {
+  const int k = m.num_nodes();
+  std::vector<NodeId> assign(k, kInvalidNode);
+  uint64_t count = 0;
+  auto rec = [&](auto&& self, int pos) -> void {
+    if (pos == k) {
+      ++count;
+      return;
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.TypeOf(v) != m.TypeOf(static_cast<MetaNodeId>(pos))) continue;
+      bool used = false;
+      for (int i = 0; i < pos; ++i) used |= (assign[i] == v);
+      if (used) continue;
+      bool ok = true;
+      for (int i = 0; i < pos && ok; ++i) {
+        if (m.HasEdge(static_cast<MetaNodeId>(i),
+                      static_cast<MetaNodeId>(pos))) {
+          ok = g.HasEdge(assign[i], v);
+        }
+      }
+      if (!ok) continue;
+      assign[pos] = v;
+      self(self, pos + 1);
+      assign[pos] = kInvalidNode;
+    }
+  };
+  rec(rec, 0);
+  return count;
+}
+
+}  // namespace metaprox::testing
+
+#endif  // METAPROX_TESTS_TEST_HELPERS_H_
