@@ -1,7 +1,9 @@
 #include "bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <unordered_map>
 
 #include "util/rng.h"
@@ -14,6 +16,57 @@ bool FullScale() {
 }
 
 namespace {
+int g_bench_threads = -1;  // -1 = not set via flag/API
+}  // namespace
+
+namespace {
+// Strict non-negative integer parse; strtoul alone accepts "-1" (wrapping
+// to ~4e9 worker threads) and trailing garbage.
+bool ParseThreadCount(const char* text, unsigned* out) {
+  if (text[0] == '\0' || text[0] == '-' || text[0] == '+') return false;
+  char* end = nullptr;
+  unsigned long value = std::strtoul(text, &end, 10);
+  if (*end != '\0') return false;
+  *out = static_cast<unsigned>(value);
+  return true;
+}
+}  // namespace
+
+unsigned BenchThreads() {
+  if (g_bench_threads >= 0) return static_cast<unsigned>(g_bench_threads);
+  if (const char* env = std::getenv("METAPROX_BENCH_THREADS")) {
+    unsigned value = 0;
+    if (!ParseThreadCount(env, &value)) {
+      std::fprintf(stderr,
+                   "bad METAPROX_BENCH_THREADS value: %s (expected a "
+                   "non-negative integer)\n",
+                   env);
+      std::exit(2);
+    }
+    return value;
+  }
+  return 1;
+}
+
+void SetBenchThreads(unsigned num_threads) {
+  g_bench_threads = static_cast<int>(num_threads);
+}
+
+void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      unsigned value = 0;
+      if (!ParseThreadCount(arg + 10, &value)) {
+        std::fprintf(stderr, "bad flag: %s (expected --threads=N)\n", arg);
+        std::exit(2);
+      }
+      SetBenchThreads(value);
+    }
+  }
+}
+
+namespace {
 
 Bundle FinishBundle(datagen::Dataset ds, int max_nodes) {
   Bundle b;
@@ -22,6 +75,7 @@ Bundle FinishBundle(datagen::Dataset ds, int max_nodes) {
   options.miner.anchor_type = b.ds.user_type;
   options.miner.min_support = 5;
   options.miner.max_nodes = max_nodes;
+  options.num_threads = BenchThreads();
   b.engine = std::make_unique<SearchEngine>(b.ds.graph, options);
   b.engine->Mine();
   auto pool = b.ds.graph.NodesOfType(b.ds.user_type);
@@ -121,11 +175,15 @@ std::vector<uint32_t> PathIndices(const SearchEngine& engine) {
 SweepContext PrepareSweep(Bundle& b) {
   SweepContext ctx;
   const size_t m = b.engine->metagraphs().size();
+  // One (possibly parallel) matching pass; the engine times every
+  // metagraph's task individually, which is exactly the per-metagraph cost
+  // model the sweep needs.
+  std::vector<uint32_t> all(m);
+  std::iota(all.begin(), all.end(), 0);
+  b.engine->MatchSubset(all);
   ctx.per_metagraph_seconds.resize(m, 0.0);
   for (uint32_t i = 0; i < m; ++i) {
-    uint32_t index[1] = {i};
-    b.engine->MatchSubset(index);
-    ctx.per_metagraph_seconds[i] = b.engine->MatchSecondsOfLastSubset();
+    ctx.per_metagraph_seconds[i] = b.engine->match_stats()[i].seconds;
     ctx.total_seconds += ctx.per_metagraph_seconds[i];
   }
   b.engine->FinalizeIndex();

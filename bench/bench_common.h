@@ -27,6 +27,18 @@ namespace metaprox::bench {
 /// True when METAPROX_BENCH_SCALE=full.
 bool FullScale();
 
+/// Matching threads used by every bench engine (EngineOptions::num_threads;
+/// 0 = hardware concurrency). Resolution order: SetBenchThreads() /
+/// ParseBenchArgs(--threads=N) > METAPROX_BENCH_THREADS env var > 1.
+/// The default stays serial so per-metagraph timings remain comparable to
+/// the paper's single-threaded evaluation environment.
+unsigned BenchThreads();
+void SetBenchThreads(unsigned num_threads);
+
+/// Parses the shared bench flags (currently `--threads=N`) from argv.
+/// Unknown arguments are left alone; malformed known flags exit(2).
+void ParseBenchArgs(int argc, char** argv);
+
 /// One benchmark dataset with its (mined, not yet matched) engine.
 struct Bundle {
   datagen::Dataset ds;

@@ -65,7 +65,8 @@ void RunDataset(const Bundle& b, size_t per_size_cap,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);  // --threads=N parallelizes support counting
   std::printf("== Fig. 11: average matching time per metagraph (ms) ==\n");
   std::printf("expected shape: SymISO < BoostISO < TurboISO < QuickSI; "
               "SymISO-R slower than SymISO.\n\n");

@@ -1,0 +1,81 @@
+// Parallel offline matching: match-phase wall clock and speedup of the
+// ThreadPool fan-out (core/engine.cc) vs. the serial baseline on the
+// synthetic Facebook benchmark graph, for 1/2/4/8 worker threads.
+//
+// Also verifies the determinism contract on every run: whatever the thread
+// count, the serialized index must be byte-identical to the serial build
+// (commits are ordered by metagraph index, see SearchEngine::MatchSubset).
+//
+// Flags/env: --threads is ignored here (the sweep sets its own counts);
+// METAPROX_BENCH_SCALE=full for paper-sized graphs.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+using namespace metaprox;        // NOLINT
+using namespace metaprox::bench; // NOLINT
+
+int main() {
+  std::printf("== parallel offline matching: speedup vs. serial ==\n");
+  std::printf("hardware concurrency: %zu\n\n",
+              util::ResolveNumThreads(0));
+
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+  util::TablePrinter table(
+      {"threads", "match (s)", "speedup", "embeddings", "saturated",
+       "index identical"});
+
+  std::string reference_serialization;
+  double serial_seconds = 0.0;
+  for (unsigned threads : thread_counts) {
+    SetBenchThreads(threads);
+    Bundle b = MakeFacebook(5, 450, 1200);
+    b.engine->MatchAll();
+
+    uint64_t embeddings = 0, saturated = 0;
+    for (const MetagraphMatchStats& s : b.engine->match_stats()) {
+      embeddings += s.embeddings;
+      saturated += s.saturated;
+    }
+
+    std::ostringstream serialized;
+    auto status = b.engine->index().WriteTo(serialized);
+    if (!status.ok()) {
+      std::fprintf(stderr, "index serialization failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    bool identical = true;
+    if (threads == 1) {
+      reference_serialization = serialized.str();
+      serial_seconds = b.engine->timings().match_seconds;
+    } else {
+      identical = serialized.str() == reference_serialization;
+    }
+
+    const double seconds = b.engine->timings().match_seconds;
+    table.AddRow({std::to_string(threads), util::FormatDouble(seconds, 2),
+                  util::FormatDouble(serial_seconds / seconds, 2) + "x",
+                  std::to_string(embeddings), std::to_string(saturated),
+                  identical ? "yes" : "NO — BUG"});
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: index built with %u threads differs from serial\n",
+                   threads);
+      return 1;
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nexpected shape: monotone speedup up to the core count, flat "
+      "beyond it; the \"index identical\" column must read yes "
+      "everywhere.\n");
+  return 0;
+}

@@ -52,7 +52,8 @@ void RunDataset(Bundle& b, util::TablePrinter& table) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);  // --threads=N parallelizes the match phase
   std::printf("== Table III: time costs without dual-stage training "
               "(seconds) ==\n");
   std::printf("expected shape: matching >> mining, training; testing is "

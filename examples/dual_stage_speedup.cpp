@@ -4,7 +4,10 @@
 // (nearly) equal accuracy. A minimal end-to-end demonstration of the
 // paper's 83%-cost-reduction result.
 //
-// Run: ./dual_stage_speedup [num_users] [num_candidates]
+// Run: ./dual_stage_speedup [num_users] [num_candidates] [num_threads]
+// (num_threads drives both the full and the dual-stage matching pass;
+// 0 = all cores, default 1.)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -35,6 +38,8 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 600;
   const size_t num_candidates =
       argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 30;
+  const unsigned num_threads =
+      argc > 3 ? static_cast<unsigned>(std::max(0, std::atoi(argv[3]))) : 1;
 
   datagen::LinkedInConfig cfg;
   cfg.num_users = num_users;
@@ -45,6 +50,7 @@ int main(int argc, char** argv) {
   options.miner.anchor_type = ds.user_type;
   options.miner.min_support = 5;
   options.miner.max_nodes = 5;
+  options.num_threads = num_threads;
 
   const GroundTruth* coworker = ds.FindClass("coworker");
   util::Rng rng(9);

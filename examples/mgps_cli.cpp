@@ -2,19 +2,24 @@
 // including persistence of the offline phase.
 //
 // Usage:
-//   mgps_cli generate <facebook|linkedin|citation> <num> <seed> <graph.txt>
-//   mgps_cli offline  <facebook|linkedin|citation> <num> <seed> <prefix>
-//   mgps_cli query    <facebook|linkedin|citation> <num> <seed> <prefix>
-//                     <class> <query-id> [k]
+//   mgps_cli [--threads=N] generate <facebook|linkedin|citation> <num>
+//                                   <seed> <graph.txt>
+//   mgps_cli [--threads=N] offline  <facebook|linkedin|citation> <num>
+//                                   <seed> <prefix>
+//   mgps_cli [--threads=N] query    <facebook|linkedin|citation> <num>
+//                                   <seed> <prefix> <class> <query-id> [k]
 //
 // `generate` writes the typed object graph as text. `offline` regenerates
-// the same dataset, runs mine+match, and saves <prefix>.metagraphs and
-// <prefix>.index. `query` restores the offline phase, trains the class
-// model, and prints the top-k answers for one query node.
+// the same dataset, runs mine+match (over N matching threads; 0 = all
+// cores, default 1), and saves <prefix>.metagraphs and <prefix>.index.
+// `query` restores the offline phase, trains the class model, and prints
+// the top-k answers for one query node. The saved index is byte-identical
+// for every --threads value.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "datagen/citation.h"
@@ -22,6 +27,7 @@
 #include "datagen/linkedin.h"
 #include "eval/splits.h"
 #include "graph/graph_io.h"
+#include "util/thread_pool.h"
 
 using namespace metaprox;  // NOLINT
 
@@ -48,11 +54,12 @@ datagen::Dataset MakeDataset(const std::string& kind, uint32_t num,
   std::exit(2);
 }
 
-EngineOptions MakeOptions(const datagen::Dataset& ds) {
+EngineOptions MakeOptions(const datagen::Dataset& ds, unsigned num_threads) {
   EngineOptions options;
   options.miner.anchor_type = ds.user_type;
   options.miner.min_support = 4;
   options.miner.max_nodes = 4;
+  options.num_threads = num_threads;
   return options;
 }
 
@@ -60,22 +67,39 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  mgps_cli generate <kind> <num> <seed> <graph.txt>\n"
-      "  mgps_cli offline  <kind> <num> <seed> <prefix>\n"
-      "  mgps_cli query    <kind> <num> <seed> <prefix> <class> <id> [k]\n"
-      "kinds: facebook linkedin citation\n");
+      "  mgps_cli [--threads=N] generate <kind> <num> <seed> <graph.txt>\n"
+      "  mgps_cli [--threads=N] offline  <kind> <num> <seed> <prefix>\n"
+      "  mgps_cli [--threads=N] query    <kind> <num> <seed> <prefix>\n"
+      "                                  <class> <id> [k]\n"
+      "kinds: facebook linkedin citation\n"
+      "--threads: matching worker threads (0 = all cores; default 1)\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 6) return Usage();
-  const std::string command = argv[1];
-  const std::string kind = argv[2];
-  const uint32_t num = static_cast<uint32_t>(std::atoi(argv[3]));
-  const uint64_t seed = std::strtoull(argv[4], nullptr, 10);
-  const std::string path = argv[5];
+  // Strip flags (anywhere on the line) before the positional arguments.
+  unsigned num_threads = 1;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int value = std::atoi(argv[i] + 10);
+      if (value < 0) {
+        std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+        return Usage();
+      }
+      num_threads = static_cast<unsigned>(value);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 5) return Usage();
+  const std::string command = positional[0];
+  const std::string kind = positional[1];
+  const uint32_t num = static_cast<uint32_t>(std::atoi(positional[2]));
+  const uint64_t seed = std::strtoull(positional[3], nullptr, 10);
+  const std::string path = positional[4];
 
   datagen::Dataset ds = MakeDataset(kind, num, seed);
   std::printf("dataset %s: %s\n", ds.name.c_str(),
@@ -92,12 +116,15 @@ int main(int argc, char** argv) {
   }
 
   if (command == "offline") {
-    SearchEngine engine(ds.graph, MakeOptions(ds));
+    SearchEngine engine(ds.graph, MakeOptions(ds, num_threads));
     engine.Mine();
     engine.MatchAll();
-    std::printf("mined %zu metagraphs (%.1fs), matched (%.1fs)\n",
+    std::printf("mined %zu metagraphs (%.1fs), matched (%.1fs, %u threads)\n",
                 engine.metagraphs().size(), engine.timings().mine_seconds,
-                engine.timings().match_seconds);
+                engine.timings().match_seconds,
+                num_threads == 0 ? static_cast<unsigned>(
+                                       util::ResolveNumThreads(0))
+                                 : num_threads);
     auto status = engine.SaveOffline(path);
     if (!status.ok()) {
       std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
@@ -109,10 +136,12 @@ int main(int argc, char** argv) {
   }
 
   if (command == "query") {
-    if (argc < 8) return Usage();
-    const std::string class_name = argv[6];
-    const NodeId query = static_cast<NodeId>(std::atoi(argv[7]));
-    const size_t k = argc > 8 ? static_cast<size_t>(std::atoi(argv[8])) : 10;
+    if (positional.size() < 7) return Usage();
+    const std::string class_name = positional[5];
+    const NodeId query = static_cast<NodeId>(std::atoi(positional[6]));
+    const size_t k = positional.size() > 7
+                         ? static_cast<size_t>(std::atoi(positional[7]))
+                         : 10;
 
     const GroundTruth* gt = ds.FindClass(class_name);
     if (gt == nullptr) {
@@ -124,7 +153,7 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    SearchEngine engine(ds.graph, MakeOptions(ds));
+    SearchEngine engine(ds.graph, MakeOptions(ds, num_threads));
     auto status = engine.LoadOffline(path);
     if (!status.ok()) {
       std::fprintf(stderr, "load failed (run 'offline' first?): %s\n",

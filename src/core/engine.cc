@@ -1,7 +1,10 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <fstream>
+#include <future>
 #include <numeric>
+#include <utility>
 
 #include "mining/mined_set_io.h"
 #include "util/macros.h"
@@ -20,6 +23,7 @@ void SearchEngine::Mine() {
   timings_.mine_seconds = timer.ElapsedSeconds();
   index_ = std::make_unique<MetagraphVectorIndex>(
       metagraphs_.size(), graph_.num_nodes(), options_.transform);
+  match_stats_.assign(metagraphs_.size(), MetagraphMatchStats{});
 }
 
 void SearchEngine::MatchAll() {
@@ -30,19 +34,85 @@ void SearchEngine::MatchAll() {
   FinalizeIndex();
 }
 
+// Everything one matching task produces; built on a worker thread, consumed
+// by the (serial) commit loop on the calling thread.
+struct SearchEngine::MatchTaskResult {
+  std::unique_ptr<SymPairCountingSink> sink;
+  MatchStats stats;
+  double seconds = 0.0;
+};
+
+SearchEngine::MatchTaskResult SearchEngine::RunMatchTask(
+    uint32_t metagraph_index) const {
+  // Reads only immutable state (graph_, metagraphs_, options_) and the
+  // stateless matcher, so concurrent tasks need no synchronization.
+  util::Stopwatch timer;
+  MatchTaskResult result;
+  const MinedMetagraph& mined = metagraphs_[metagraph_index];
+  result.sink = std::make_unique<SymPairCountingSink>(mined.symmetry,
+                                                      options_.embedding_cap);
+  result.stats = matcher_->Match(graph_, mined.graph, result.sink.get());
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+void SearchEngine::CommitMatchTask(uint32_t metagraph_index,
+                                   MatchTaskResult result) {
+  index_->Commit(metagraph_index, *result.sink,
+                 metagraphs_[metagraph_index].symmetry.aut_size());
+  MetagraphMatchStats& record = match_stats_[metagraph_index];
+  record.matched = true;
+  record.embeddings = result.sink->num_embeddings();
+  record.search_nodes = result.stats.search_nodes;
+  record.saturated = result.sink->saturated();
+  record.seconds = result.seconds;
+}
+
+util::ThreadPool& SearchEngine::Pool(size_t num_threads) {
+  if (pool_ == nullptr) pool_ = std::make_unique<util::ThreadPool>(num_threads);
+  return *pool_;
+}
+
 void SearchEngine::MatchSubset(std::span<const uint32_t> indices) {
   MX_CHECK_MSG(index_ != nullptr, "Mine() must run before MatchSubset()");
   util::Stopwatch timer;
+
+  // Drop already-committed metagraphs and duplicates, and order ascending:
+  // committing in metagraph-index order makes the pair-slot table's
+  // insertion sequence — and hence the serialized index — independent of
+  // both the caller's ordering and the thread count.
+  std::vector<uint32_t> todo;
+  todo.reserve(indices.size());
   for (uint32_t i : indices) {
     MX_CHECK(i < metagraphs_.size());
-    if (index_->IsCommitted(i)) continue;
-    const MinedMetagraph& mined = metagraphs_[i];
-    SymPairCountingSink sink(mined.symmetry, options_.embedding_cap);
-    matcher_->Match(graph_, mined.graph, &sink);
-    index_->Commit(i, sink, mined.symmetry.aut_size());
+    if (!index_->IsCommitted(i)) todo.push_back(i);
   }
-  last_subset_seconds_ = timer.ElapsedSeconds();
-  timings_.match_seconds += last_subset_seconds_;
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+
+  const size_t workers = util::ResolveNumThreads(options_.num_threads);
+  if (workers <= 1 || todo.size() <= 1) {
+    for (uint32_t i : todo) CommitMatchTask(i, RunMatchTask(i));
+  } else {
+    util::ThreadPool& pool = Pool(workers);
+    // Bounded submission window: at most 2*workers tasks are in flight
+    // ahead of the commit cursor, so a straggler metagraph can pin only
+    // O(workers) completed-but-uncommitted sinks (each up to embedding_cap
+    // entries) instead of O(|todo|).
+    const size_t window = 2 * workers;
+    std::vector<std::future<MatchTaskResult>> futures(todo.size());
+    size_t submitted = 0;
+    for (size_t k = 0; k < todo.size(); ++k) {
+      for (; submitted < todo.size() && submitted < k + window; ++submitted) {
+        const uint32_t i = todo[submitted];
+        futures[submitted] =
+            pool.Submit([this, i] { return RunMatchTask(i); });
+      }
+      CommitMatchTask(todo[k], futures[k].get());
+    }
+  }
+
+  timings_.match_seconds += timer.ElapsedSeconds();
 }
 
 void SearchEngine::FinalizeIndex() {
@@ -111,6 +181,9 @@ util::Status SearchEngine::LoadOffline(const std::string& path_prefix) {
 
   metagraphs_ = std::move(*mined);
   index_ = std::make_unique<MetagraphVectorIndex>(std::move(*index));
+  // The artifacts carry no per-task stats; anything matched later (e.g. an
+  // uncommitted remainder) records fresh entries.
+  match_stats_.assign(metagraphs_.size(), MetagraphMatchStats{});
   return util::Status::Ok();
 }
 

@@ -20,6 +20,7 @@
 #include "learning/trainer.h"
 #include "matching/matcher.h"
 #include "mining/miner.h"
+#include "util/thread_pool.h"
 
 namespace metaprox {
 
@@ -30,6 +31,21 @@ struct EngineOptions {
   /// Embedding cap per metagraph while indexing; instances beyond it are
   /// dropped (counts of a saturated metagraph are a lower bound).
   uint64_t embedding_cap = 3'000'000;
+  /// Worker threads for the offline matching phase (MatchAll/MatchSubset,
+  /// including dual-stage training's on-demand matching). 0 = hardware
+  /// concurrency; 1 = serial, no pool. The built index is bit-identical
+  /// for any value: matching fans out, commits are serialized in
+  /// metagraph-index order.
+  unsigned num_threads = 1;
+};
+
+/// Per-metagraph record of the matching task that committed it.
+struct MetagraphMatchStats {
+  bool matched = false;       // a matching task has run for this metagraph
+  uint64_t embeddings = 0;    // embeddings delivered to the counting sink
+  uint64_t search_nodes = 0;  // candidate extensions attempted
+  bool saturated = false;     // embedding cap hit; counts are a lower bound
+  double seconds = 0.0;       // wall-clock of this metagraph's task alone
 };
 
 /// End-to-end semantic proximity search over one graph.
@@ -46,6 +62,12 @@ class SearchEngine {
 
   /// Matches only the given metagraphs (dual-stage workflows). Does not
   /// finalize; call FinalizeIndex() before querying.
+  ///
+  /// Idempotent: already-committed metagraphs (and duplicates within
+  /// `indices`) are skipped. With options().num_threads != 1 the matching
+  /// tasks run on a reusable ThreadPool; Commit() calls are serialized in
+  /// ascending metagraph-index order so the resulting index — including its
+  /// serialized form — is independent of the thread count.
   void MatchSubset(std::span<const uint32_t> indices);
 
   void FinalizeIndex();
@@ -69,19 +91,23 @@ class SearchEngine {
 
   // ---- introspection ----------------------------------------------------
   const Graph& graph() const { return graph_; }
+  const EngineOptions& options() const { return options_; }
   const std::vector<MinedMetagraph>& metagraphs() const { return metagraphs_; }
   const MetagraphVectorIndex& index() const { return *index_; }
   const MiningStats& mining_stats() const { return mining_stats_; }
+
+  /// Per-metagraph matching stats, indexed like metagraphs(). Entries are
+  /// default (matched == false) for metagraphs not yet matched by this
+  /// engine instance (e.g. after LoadOffline()).
+  const std::vector<MetagraphMatchStats>& match_stats() const {
+    return match_stats_;
+  }
 
   struct Timings {
     double mine_seconds = 0.0;
     double match_seconds = 0.0;
   };
   const Timings& timings() const { return timings_; }
-
-  /// Wall-clock cost of matching just the given subset (accumulated into
-  /// timings().match_seconds as well).
-  double MatchSecondsOfLastSubset() const { return last_subset_seconds_; }
 
   /// Persists the offline phase (mined metagraphs + vector index) to
   /// `<path_prefix>.metagraphs` and `<path_prefix>.index`.
@@ -92,14 +118,23 @@ class SearchEngine {
   util::Status LoadOffline(const std::string& path_prefix);
 
  private:
+  struct MatchTaskResult;
+
+  MatchTaskResult RunMatchTask(uint32_t metagraph_index) const;
+  void CommitMatchTask(uint32_t metagraph_index, MatchTaskResult result);
+  util::ThreadPool& Pool(size_t num_threads);
+
   const Graph& graph_;
   EngineOptions options_;
   std::unique_ptr<Matcher> matcher_;
   std::vector<MinedMetagraph> metagraphs_;
   std::unique_ptr<MetagraphVectorIndex> index_;
   MiningStats mining_stats_;
+  std::vector<MetagraphMatchStats> match_stats_;
   Timings timings_;
-  double last_subset_seconds_ = 0.0;
+  /// Lazily created on the first parallel MatchSubset, then reused across
+  /// MatchAll / dual-stage rounds.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace metaprox

@@ -19,19 +19,30 @@
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
 #include "matching/instance_sink.h"
 #include "metagraph/automorphism.h"
+#include "util/macros.h"
 #include "util/status.h"
 
 namespace metaprox {
 
-/// Packs an unordered node pair into a 64-bit key.
+/// Packs an unordered node pair into a 64-bit key, 32 bits per endpoint.
+/// The whole sparse pair-slot table (and the serialized index format) rides
+/// on this packing; widening NodeId beyond 32 bits for graph-scale work
+/// requires moving to a 128-bit or struct key first.
+static_assert(std::is_unsigned_v<NodeId> && sizeof(NodeId) * 8 <= 32,
+              "PairKey packs two NodeIds into 64 bits; widen the key before "
+              "widening NodeId");
+
 inline uint64_t PairKey(NodeId x, NodeId y) {
   if (x > y) std::swap(x, y);
+  MX_DCHECK(static_cast<uint64_t>(y) <= 0xffffffffull);
   return (static_cast<uint64_t>(x) << 32) | y;
 }
 

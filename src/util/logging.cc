@@ -1,10 +1,19 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace metaprox::util {
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Serializes Emit() so lines from concurrent worker threads never
+// interleave mid-line.
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -21,12 +30,15 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 void Emit(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::lock_guard<std::mutex> lock(EmitMutex());
   std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
 }
 }  // namespace internal

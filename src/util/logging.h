@@ -1,6 +1,7 @@
-// Tiny leveled logger for harness/CLI output. Not thread-safe by design:
-// metaprox's experiment pipelines are single-threaded (as in the paper's
-// "one thread" evaluation environment).
+// Tiny leveled logger for harness/CLI output. Thread-safe: the offline
+// matching phase fans out over util::ThreadPool workers, so concurrent
+// MX_LOG emissions are serialized by a mutex (each statement's message is
+// built in a thread-local stream and emitted as one atomic line).
 #ifndef METAPROX_UTIL_LOGGING_H_
 #define METAPROX_UTIL_LOGGING_H_
 

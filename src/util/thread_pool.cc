@@ -1,0 +1,45 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace metaprox::util {
+
+size_t ResolveNumThreads(size_t requested) {
+  if (requested == 0) {
+    requested = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::min(requested, kMaxThreads);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = ResolveNumThreads(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+}  // namespace metaprox::util

@@ -1,0 +1,79 @@
+// Fixed-size worker pool for the offline phase's embarrassingly parallel
+// stages (one matching task per metagraph, see core/engine.cc).
+//
+// Semantics:
+//   * Submit() returns a std::future of the callable's result; exceptions
+//     thrown by the task are captured and rethrown from future::get().
+//   * Tasks run in submission order (single FIFO queue), but complete in
+//     whatever order the scheduler allows — callers that need a
+//     deterministic result order must sequence on the futures themselves.
+//   * The destructor drains the queue: every task submitted before
+//     destruction runs to completion, then the workers are joined.
+#ifndef METAPROX_UTIL_THREAD_POOL_H_
+#define METAPROX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace metaprox::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  MX_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `f` and returns a future of its result.
+  template <typename F>
+  auto Submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, so the task is held behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MX_CHECK_MSG(!stopping_, "Submit() on a stopping ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool stopping_ = false;                    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Upper bound on worker threads, applied by ResolveNumThreads. Guards
+/// against nonsense requests (e.g. -1 wrapped through an unsigned option)
+/// spawning threads until the process dies; real machines top out far
+/// below this.
+inline constexpr size_t kMaxThreads = 512;
+
+/// Resolves a user-facing thread-count option: 0 = hardware concurrency,
+/// clamped to [1, kMaxThreads].
+size_t ResolveNumThreads(size_t requested);
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_THREAD_POOL_H_

@@ -1,0 +1,154 @@
+// Parallel offline matching: the index built by the ThreadPool fan-out must
+// be byte-identical to the serial build for any thread count, MatchSubset
+// must stay idempotent, and per-metagraph match stats must be recorded.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datagen/facebook.h"
+#include "eval/splits.h"
+
+namespace metaprox {
+namespace {
+
+datagen::Dataset MakeDataset(uint32_t num_users = 150, uint64_t seed = 19) {
+  datagen::FacebookConfig cfg;
+  cfg.num_users = num_users;
+  return datagen::GenerateFacebook(cfg, seed);
+}
+
+EngineOptions MakeOptions(const datagen::Dataset& ds, unsigned num_threads) {
+  EngineOptions options;
+  options.miner.anchor_type = ds.user_type;
+  options.miner.min_support = 3;
+  options.miner.max_nodes = 4;
+  options.num_threads = num_threads;
+  return options;
+}
+
+std::string SerializeIndex(const MetagraphVectorIndex& index) {
+  std::ostringstream out;
+  auto status = index.WriteTo(out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+TEST(ParallelMatch, IndexBytesIdenticalAcrossThreadCounts) {
+  datagen::Dataset ds = MakeDataset();
+  std::string reference;
+  size_t num_metagraphs = 0;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SearchEngine engine(ds.graph, MakeOptions(ds, threads));
+    engine.Mine();
+    engine.MatchAll();
+    std::string serialized = SerializeIndex(engine.index());
+    if (threads == 1) {
+      reference = serialized;
+      num_metagraphs = engine.metagraphs().size();
+      ASSERT_GT(num_metagraphs, 5u);
+      ASSERT_FALSE(reference.empty());
+    } else {
+      ASSERT_EQ(engine.metagraphs().size(), num_metagraphs);
+      EXPECT_EQ(serialized, reference)
+          << "index built with " << threads << " threads diverged";
+    }
+  }
+}
+
+TEST(ParallelMatch, ZeroThreadsMeansHardwareConcurrency) {
+  datagen::Dataset ds = MakeDataset(100, 3);
+  SearchEngine serial(ds.graph, MakeOptions(ds, 1));
+  serial.Mine();
+  serial.MatchAll();
+  SearchEngine parallel(ds.graph, MakeOptions(ds, 0));
+  parallel.Mine();
+  parallel.MatchAll();
+  EXPECT_EQ(SerializeIndex(parallel.index()), SerializeIndex(serial.index()));
+}
+
+TEST(ParallelMatch, MatchSubsetIsIdempotentAndHandlesDuplicates) {
+  datagen::Dataset ds = MakeDataset(100, 7);
+  SearchEngine once(ds.graph, MakeOptions(ds, 4));
+  once.Mine();
+  once.MatchAll();
+
+  SearchEngine twice(ds.graph, MakeOptions(ds, 4));
+  twice.Mine();
+  const size_t m = twice.metagraphs().size();
+  ASSERT_EQ(m, once.metagraphs().size());
+
+  // Duplicates within one call, a partial prefix, then everything — twice.
+  std::vector<uint32_t> prefix = {0, 1, 1, 0, 2 % static_cast<uint32_t>(m)};
+  twice.MatchSubset(prefix);
+  std::vector<uint32_t> all(m);
+  std::iota(all.begin(), all.end(), 0);
+  twice.MatchSubset(all);
+  twice.MatchSubset(all);  // every metagraph already committed: no-op
+  twice.FinalizeIndex();
+
+  for (uint32_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(twice.index().IsCommitted(i));
+  }
+  EXPECT_EQ(SerializeIndex(twice.index()), SerializeIndex(once.index()));
+}
+
+TEST(ParallelMatch, RecordsPerMetagraphStats) {
+  datagen::Dataset ds = MakeDataset(100, 11);
+  SearchEngine engine(ds.graph, MakeOptions(ds, 2));
+  engine.Mine();
+  const auto& before = engine.match_stats();
+  ASSERT_EQ(before.size(), engine.metagraphs().size());
+  for (const auto& s : before) EXPECT_FALSE(s.matched);
+
+  engine.MatchAll();
+  uint64_t total_embeddings = 0, total_search_nodes = 0;
+  for (const MetagraphMatchStats& s : engine.match_stats()) {
+    EXPECT_TRUE(s.matched);
+    EXPECT_GE(s.seconds, 0.0);
+    total_embeddings += s.embeddings;
+    total_search_nodes += s.search_nodes;
+  }
+  EXPECT_GT(total_embeddings, 0u);
+  EXPECT_GT(total_search_nodes, 0u);
+}
+
+TEST(ParallelMatch, DualStageIdenticalAcrossThreadCounts) {
+  datagen::Dataset ds = MakeDataset(150, 23);
+  const GroundTruth* family = ds.FindClass("family");
+  ASSERT_NE(family, nullptr);
+  util::Rng rng(4);
+  QuerySplit split = SplitQueries(*family, 0.2, rng);
+  auto pool = ds.graph.NodesOfType(ds.user_type);
+  std::vector<NodeId> pool_vec(pool.begin(), pool.end());
+  auto examples = SampleExamples(*family, split.train, pool_vec, 80, rng);
+
+  auto run = [&](unsigned threads) {
+    auto engine =
+        std::make_unique<SearchEngine>(ds.graph, MakeOptions(ds, threads));
+    engine->Mine();
+    DualStageOptions options;
+    options.num_candidates = 5;
+    options.train.max_iterations = 150;
+    options.train.restarts = 2;
+    DualStageResult result = engine->TrainDualStage(examples, options);
+    return std::make_pair(std::move(engine), std::move(result));
+  };
+  auto [serial_engine, serial] = run(1);
+  auto [parallel_engine, parallel] = run(8);
+
+  // The on-demand matching feeds identical vectors to the (deterministic)
+  // trainer, so stage outcomes must agree exactly.
+  EXPECT_EQ(serial.seeds, parallel.seeds);
+  EXPECT_EQ(serial.candidates, parallel.candidates);
+  EXPECT_EQ(serial.final_stage.weights, parallel.final_stage.weights);
+  EXPECT_EQ(SerializeIndex(serial_engine->index()),
+            SerializeIndex(parallel_engine->index()));
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,93 @@
+// util::ThreadPool: task execution, result futures, exception propagation,
+// and drain-on-destruction semantics.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace metaprox::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, FuturesCarryResults) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("matching task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  try {
+    bad.get();
+    FAIL() << "expected the task's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "matching task failed");
+  }
+  // The pool must stay usable after a task threw.
+  EXPECT_EQ(pool.Submit([] { return 11; }).get(), 11);
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+  EXPECT_EQ(ResolveNumThreads(5), 5u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ResolveNumThreads(0));
+}
+
+TEST(ThreadPool, AbsurdRequestsAreClamped) {
+  // A -1 wrapped through an unsigned option must not spawn 4 billion
+  // threads.
+  EXPECT_EQ(ResolveNumThreads(static_cast<size_t>(-1)), kMaxThreads);
+  EXPECT_EQ(ResolveNumThreads(kMaxThreads + 1), kMaxThreads);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);  // single worker => tasks queue up behind the sleep
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // destructor joins only after the queue is drained
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  for (long i = 1; i <= 1000; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 1000L * 1001L / 2);
+}
+
+}  // namespace
+}  // namespace metaprox::util
