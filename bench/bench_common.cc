@@ -6,6 +6,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "util/parse.h"
 #include "util/rng.h"
 
 namespace metaprox::bench {
@@ -17,26 +18,18 @@ bool FullScale() {
 
 namespace {
 int g_bench_threads = -1;  // -1 = not set via flag/API
+int g_bench_shards = -1;   // -1 = not set via flag/API
 }  // namespace
 
-namespace {
-// Strict non-negative integer parse; strtoul alone accepts "-1" (wrapping
-// to ~4e9 worker threads) and trailing garbage.
-bool ParseThreadCount(const char* text, unsigned* out) {
-  if (text[0] == '\0' || text[0] == '-' || text[0] == '+') return false;
-  char* end = nullptr;
-  unsigned long value = std::strtoul(text, &end, 10);
-  if (*end != '\0') return false;
-  *out = static_cast<unsigned>(value);
-  return true;
-}
-}  // namespace
+// Strict count parsing lives in util::ParseCount (util/parse.h), shared
+// with mgps_cli; strtoul alone accepts "-1" (wrapping to ~4e9 worker
+// threads) and trailing garbage.
 
 unsigned BenchThreads() {
   if (g_bench_threads >= 0) return static_cast<unsigned>(g_bench_threads);
   if (const char* env = std::getenv("METAPROX_BENCH_THREADS")) {
     unsigned value = 0;
-    if (!ParseThreadCount(env, &value)) {
+    if (!util::ParseCount(env, &value)) {
       std::fprintf(stderr,
                    "bad METAPROX_BENCH_THREADS value: %s (expected a "
                    "non-negative integer)\n",
@@ -52,16 +45,43 @@ void SetBenchThreads(unsigned num_threads) {
   g_bench_threads = static_cast<int>(num_threads);
 }
 
+unsigned BenchShards() {
+  if (g_bench_shards >= 0) return static_cast<unsigned>(g_bench_shards);
+  if (const char* env = std::getenv("METAPROX_BENCH_SHARDS")) {
+    unsigned value = 0;
+    if (!util::ParseCount(env, &value)) {
+      std::fprintf(stderr,
+                   "bad METAPROX_BENCH_SHARDS value: %s (expected a "
+                   "non-negative integer)\n",
+                   env);
+      std::exit(2);
+    }
+    return value;
+  }
+  return 0;  // auto
+}
+
+void SetBenchShards(unsigned num_shards) {
+  g_bench_shards = static_cast<int>(num_shards);
+}
+
 void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
       unsigned value = 0;
-      if (!ParseThreadCount(arg + 10, &value)) {
+      if (!util::ParseCount(arg + 10, &value)) {
         std::fprintf(stderr, "bad flag: %s (expected --threads=N)\n", arg);
         std::exit(2);
       }
       SetBenchThreads(value);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      unsigned value = 0;
+      if (!util::ParseCount(arg + 9, &value)) {
+        std::fprintf(stderr, "bad flag: %s (expected --shards=S)\n", arg);
+        std::exit(2);
+      }
+      SetBenchShards(value);
     }
   }
 }
@@ -76,6 +96,7 @@ Bundle FinishBundle(datagen::Dataset ds, int max_nodes) {
   options.miner.min_support = 5;
   options.miner.max_nodes = max_nodes;
   options.num_threads = BenchThreads();
+  options.num_shards = BenchShards();
   b.engine = std::make_unique<SearchEngine>(b.ds.graph, options);
   b.engine->Mine();
   auto pool = b.ds.graph.NodesOfType(b.ds.user_type);

@@ -27,15 +27,23 @@ namespace metaprox::bench {
 /// True when METAPROX_BENCH_SCALE=full.
 bool FullScale();
 
-/// Matching threads used by every bench engine (EngineOptions::num_threads;
-/// 0 = hardware concurrency). Resolution order: SetBenchThreads() /
-/// ParseBenchArgs(--threads=N) > METAPROX_BENCH_THREADS env var > 1.
-/// The default stays serial so per-metagraph timings remain comparable to
-/// the paper's single-threaded evaluation environment.
+/// Offline worker threads (mining + matching) used by every bench engine
+/// (EngineOptions::num_threads; 0 = hardware concurrency). Resolution
+/// order: SetBenchThreads() / ParseBenchArgs(--threads=N) >
+/// METAPROX_BENCH_THREADS env var > 1. The default stays serial so
+/// per-metagraph timings remain comparable to the paper's single-threaded
+/// evaluation environment.
 unsigned BenchThreads();
 void SetBenchThreads(unsigned num_threads);
 
-/// Parses the shared bench flags (currently `--threads=N`) from argv.
+/// Vector-index pair-table shards (EngineOptions::num_shards; 0 = auto).
+/// Resolution order: SetBenchShards() / ParseBenchArgs(--shards=S) >
+/// METAPROX_BENCH_SHARDS env var > 0 (auto). Shard count never changes
+/// any bench result — only commit-phase lock contention.
+unsigned BenchShards();
+void SetBenchShards(unsigned num_shards);
+
+/// Parses the shared bench flags (`--threads=N`, `--shards=S`) from argv.
 /// Unknown arguments are left alone; malformed known flags exit(2).
 void ParseBenchArgs(int argc, char** argv);
 

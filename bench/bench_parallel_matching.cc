@@ -4,7 +4,10 @@
 //
 // Also verifies the determinism contract on every run: whatever the thread
 // count, the serialized index must be byte-identical to the serial build
-// (commits are ordered by metagraph index, see SearchEngine::MatchSubset).
+// (concurrent commits land in a sharded table whose canonical order is
+// restored at Seal()/Finalize(); see index/metagraph_vectors.h). For the
+// full mine+match+finalize breakdown and the shard sweep, see
+// bench_offline_pipeline.
 //
 // Flags/env: --threads is ignored here (the sweep sets its own counts);
 // METAPROX_BENCH_SCALE=full for paper-sized graphs.

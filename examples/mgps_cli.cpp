@@ -2,19 +2,21 @@
 // including persistence of the offline phase.
 //
 // Usage:
-//   mgps_cli [--threads=N] generate <facebook|linkedin|citation> <num>
-//                                   <seed> <graph.txt>
-//   mgps_cli [--threads=N] offline  <facebook|linkedin|citation> <num>
-//                                   <seed> <prefix>
-//   mgps_cli [--threads=N] query    <facebook|linkedin|citation> <num>
-//                                   <seed> <prefix> <class> <query-id> [k]
+//   mgps_cli [--threads=N] [--shards=S] generate <facebook|linkedin|citation>
+//                                   <num> <seed> <graph.txt>
+//   mgps_cli [--threads=N] [--shards=S] offline  <facebook|linkedin|citation>
+//                                   <num> <seed> <prefix>
+//   mgps_cli [--threads=N] [--shards=S] query    <facebook|linkedin|citation>
+//                                   <num> <seed> <prefix> <class>
+//                                   <query-id> [k]
 //
 // `generate` writes the typed object graph as text. `offline` regenerates
-// the same dataset, runs mine+match (over N matching threads; 0 = all
-// cores, default 1), and saves <prefix>.metagraphs and <prefix>.index.
-// `query` restores the offline phase, trains the class model, and prints
-// the top-k answers for one query node. The saved index is byte-identical
-// for every --threads value.
+// the same dataset, runs mine+match (over N offline worker threads; 0 = all
+// cores, default 1; the index's pair-slot table is split into S shards,
+// 0 = auto), and saves <prefix>.metagraphs and <prefix>.index. `query`
+// restores the offline phase, trains the class model, and prints the top-k
+// answers for one query node. The saved index is byte-identical for every
+// --threads and --shards value.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +29,8 @@
 #include "datagen/linkedin.h"
 #include "eval/splits.h"
 #include "graph/graph_io.h"
-#include "util/thread_pool.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"  // util::ResolveNumThreads
 
 using namespace metaprox;  // NOLINT
 
@@ -54,12 +57,14 @@ datagen::Dataset MakeDataset(const std::string& kind, uint32_t num,
   std::exit(2);
 }
 
-EngineOptions MakeOptions(const datagen::Dataset& ds, unsigned num_threads) {
+EngineOptions MakeOptions(const datagen::Dataset& ds, unsigned num_threads,
+                          size_t num_shards) {
   EngineOptions options;
   options.miner.anchor_type = ds.user_type;
   options.miner.min_support = 4;
   options.miner.max_nodes = 4;
   options.num_threads = num_threads;
+  options.num_shards = num_shards;
   return options;
 }
 
@@ -67,12 +72,16 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  mgps_cli [--threads=N] generate <kind> <num> <seed> <graph.txt>\n"
-      "  mgps_cli [--threads=N] offline  <kind> <num> <seed> <prefix>\n"
-      "  mgps_cli [--threads=N] query    <kind> <num> <seed> <prefix>\n"
-      "                                  <class> <id> [k]\n"
+      "  mgps_cli [flags] generate <kind> <num> <seed> <graph.txt>\n"
+      "  mgps_cli [flags] offline  <kind> <num> <seed> <prefix>\n"
+      "  mgps_cli [flags] query    <kind> <num> <seed> <prefix>\n"
+      "                            <class> <id> [k]\n"
       "kinds: facebook linkedin citation\n"
-      "--threads: matching worker threads (0 = all cores; default 1)\n");
+      "flags:\n"
+      "  --threads=N  offline worker threads, mining + matching\n"
+      "               (0 = all cores; default 1)\n"
+      "  --shards=S   index pair-table shards (0 = auto; default 0);\n"
+      "               never changes the saved index bytes\n");
   return 2;
 }
 
@@ -81,15 +90,26 @@ int Usage() {
 int main(int argc, char** argv) {
   // Strip flags (anywhere on the line) before the positional arguments.
   unsigned num_threads = 1;
+  size_t num_shards = 0;  // 0 = auto
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      const int value = std::atoi(argv[i] + 10);
-      if (value < 0) {
-        std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+      unsigned value = 0;
+      if (!util::ParseCount(argv[i] + 10, &value)) {
+        std::fprintf(stderr,
+                     "--threads must be a non-negative integer "
+                     "(0 = all cores)\n");
         return Usage();
       }
-      num_threads = static_cast<unsigned>(value);
+      num_threads = value;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      unsigned value = 0;
+      if (!util::ParseCount(argv[i] + 9, &value)) {
+        std::fprintf(stderr,
+                     "--shards must be a non-negative integer (0 = auto)\n");
+        return Usage();
+      }
+      num_shards = value;
     } else {
       positional.push_back(argv[i]);
     }
@@ -116,7 +136,7 @@ int main(int argc, char** argv) {
   }
 
   if (command == "offline") {
-    SearchEngine engine(ds.graph, MakeOptions(ds, num_threads));
+    SearchEngine engine(ds.graph, MakeOptions(ds, num_threads, num_shards));
     engine.Mine();
     engine.MatchAll();
     std::printf("mined %zu metagraphs (%.1fs), matched (%.1fs, %u threads)\n",
@@ -153,7 +173,7 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    SearchEngine engine(ds.graph, MakeOptions(ds, num_threads));
+    SearchEngine engine(ds.graph, MakeOptions(ds, num_threads, num_shards));
     auto status = engine.LoadOffline(path);
     if (!status.ok()) {
       std::fprintf(stderr, "load failed (run 'offline' first?): %s\n",

@@ -19,10 +19,19 @@ SearchEngine::SearchEngine(const Graph& graph, EngineOptions options)
 
 void SearchEngine::Mine() {
   util::Stopwatch timer;
-  metagraphs_ = MineMetagraphs(graph_, options_.miner, &mining_stats_);
+  const size_t workers = util::ResolveNumThreads(options_.num_threads);
+  metagraphs_ = MineMetagraphs(graph_, options_.miner, &mining_stats_,
+                               workers > 1 ? &Pool(workers) : nullptr);
   timings_.mine_seconds = timer.ElapsedSeconds();
+  // Auto shard count: a few shards per worker keeps commit contention
+  // low; a serial build gets 1 (no locks worth splitting). The value
+  // never changes the finalized index bytes.
+  const size_t shards =
+      options_.num_shards != 0
+          ? options_.num_shards
+          : (workers > 1 ? std::min<size_t>(4 * workers, 64) : 1);
   index_ = std::make_unique<MetagraphVectorIndex>(
-      metagraphs_.size(), graph_.num_nodes(), options_.transform);
+      metagraphs_.size(), graph_.num_nodes(), options_.transform, shards);
   match_stats_.assign(metagraphs_.size(), MetagraphMatchStats{});
 }
 
@@ -34,8 +43,8 @@ void SearchEngine::MatchAll() {
   FinalizeIndex();
 }
 
-// Everything one matching task produces; built on a worker thread, consumed
-// by the (serial) commit loop on the calling thread.
+// Everything one matching task produces; built and committed on the same
+// worker thread (the sink dies as soon as its counts are in the index).
 struct SearchEngine::MatchTaskResult {
   std::unique_ptr<SymPairCountingSink> sink;
   MatchStats stats;
@@ -77,10 +86,8 @@ void SearchEngine::MatchSubset(std::span<const uint32_t> indices) {
   MX_CHECK_MSG(index_ != nullptr, "Mine() must run before MatchSubset()");
   util::Stopwatch timer;
 
-  // Drop already-committed metagraphs and duplicates, and order ascending:
-  // committing in metagraph-index order makes the pair-slot table's
-  // insertion sequence — and hence the serialized index — independent of
-  // both the caller's ordering and the thread count.
+  // Drop already-committed metagraphs and duplicates; order ascending so
+  // the serial path commits in metagraph-index (= canonical row) order.
   std::vector<uint32_t> todo;
   todo.reserve(indices.size());
   for (uint32_t i : indices) {
@@ -89,35 +96,41 @@ void SearchEngine::MatchSubset(std::span<const uint32_t> indices) {
   }
   std::sort(todo.begin(), todo.end());
   todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+  if (todo.empty()) {  // nothing committed: skip the Seal() scan
+    timings_.match_seconds += timer.ElapsedSeconds();
+    return;
+  }
 
   const size_t workers = util::ResolveNumThreads(options_.num_threads);
   if (workers <= 1 || todo.size() <= 1) {
     for (uint32_t i : todo) CommitMatchTask(i, RunMatchTask(i));
   } else {
+    // Each task matches AND commits on its worker: the sharded index takes
+    // concurrent Commits (per-shard locking), so there is no serial commit
+    // funnel and no backlog of completed-but-uncommitted sinks. Seal()
+    // below erases the (nondeterministic) commit-arrival order.
     util::ThreadPool& pool = Pool(workers);
-    // Bounded submission window: at most 2*workers tasks are in flight
-    // ahead of the commit cursor, so a straggler metagraph can pin only
-    // O(workers) completed-but-uncommitted sinks (each up to embedding_cap
-    // entries) instead of O(|todo|).
-    const size_t window = 2 * workers;
-    std::vector<std::future<MatchTaskResult>> futures(todo.size());
-    size_t submitted = 0;
-    for (size_t k = 0; k < todo.size(); ++k) {
-      for (; submitted < todo.size() && submitted < k + window; ++submitted) {
-        const uint32_t i = todo[submitted];
-        futures[submitted] =
-            pool.Submit([this, i] { return RunMatchTask(i); });
-      }
-      CommitMatchTask(todo[k], futures[k].get());
+    std::vector<std::future<void>> futures;
+    futures.reserve(todo.size());
+    for (uint32_t i : todo) {
+      futures.push_back(
+          pool.Submit([this, i] { CommitMatchTask(i, RunMatchTask(i)); }));
     }
+    // Wait for every task before get() can rethrow: tasks mutate the
+    // index, so none may still be running once MatchSubset unwinds.
+    for (auto& f : futures) f.wait();
+    for (auto& f : futures) f.get();
   }
+  index_->Seal();
 
   timings_.match_seconds += timer.ElapsedSeconds();
 }
 
 void SearchEngine::FinalizeIndex() {
   MX_CHECK(index_ != nullptr);
+  util::Stopwatch timer;
   index_->Finalize();
+  timings_.finalize_seconds += timer.ElapsedSeconds();
 }
 
 MgpModel SearchEngine::Train(std::span<const Example> examples,

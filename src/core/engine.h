@@ -31,12 +31,19 @@ struct EngineOptions {
   /// Embedding cap per metagraph while indexing; instances beyond it are
   /// dropped (counts of a saturated metagraph are a lower bound).
   uint64_t embedding_cap = 3'000'000;
-  /// Worker threads for the offline matching phase (MatchAll/MatchSubset,
-  /// including dual-stage training's on-demand matching). 0 = hardware
-  /// concurrency; 1 = serial, no pool. The built index is bit-identical
-  /// for any value: matching fans out, commits are serialized in
-  /// metagraph-index order.
+  /// Worker threads for the whole offline phase: mining (Mine()) and
+  /// matching (MatchAll/MatchSubset, including dual-stage training's
+  /// on-demand matching). 0 = hardware concurrency; 1 = serial, no pool.
+  /// The mined set and the built index are bit-identical for any value:
+  /// mining is level-synchronous with deterministic deduplication, and
+  /// matching commits into a sharded index whose canonical ordering is
+  /// restored at Seal()/Finalize() (see index/metagraph_vectors.h).
   unsigned num_threads = 1;
+  /// Shards of the vector index's build-time pair-slot table. Concurrent
+  /// Commits only contend per shard, so more shards = less lock contention
+  /// during parallel matching. 0 = auto (scales with num_threads). Never
+  /// affects the finalized index bytes.
+  size_t num_shards = 0;
 };
 
 /// Per-metagraph record of the matching task that committed it.
@@ -53,7 +60,9 @@ class SearchEngine {
  public:
   SearchEngine(const Graph& graph, EngineOptions options);
 
-  /// Offline subproblem 1: mines the metagraph set M.
+  /// Offline subproblem 1: mines the metagraph set M. With
+  /// options().num_threads != 1 the per-level frequency/support checks run
+  /// on the engine's ThreadPool; the mined set is identical regardless.
   void Mine();
 
   /// Offline subproblem 2: matches every mined metagraph and builds the
@@ -65,11 +74,15 @@ class SearchEngine {
   ///
   /// Idempotent: already-committed metagraphs (and duplicates within
   /// `indices`) are skipped. With options().num_threads != 1 the matching
-  /// tasks run on a reusable ThreadPool; Commit() calls are serialized in
-  /// ascending metagraph-index order so the resulting index — including its
-  /// serialized form — is independent of the thread count.
+  /// tasks run on a reusable ThreadPool and each task commits its counts
+  /// straight into the sharded index from its worker thread — no serial
+  /// commit funnel. The batch ends with MetagraphVectorIndex::Seal(),
+  /// which restores canonical (metagraph-index) row order, so the index
+  /// state after every MatchSubset — and the finalized, serialized index —
+  /// is byte-identical for any thread count and any shard count.
   void MatchSubset(std::span<const uint32_t> indices);
 
+  /// Finalizes the index (exactly once; see MetagraphVectorIndex).
   void FinalizeIndex();
 
   /// Offline subproblem 3 (Sect. III-B): learns w* from examples.
@@ -105,7 +118,8 @@ class SearchEngine {
 
   struct Timings {
     double mine_seconds = 0.0;
-    double match_seconds = 0.0;
+    double match_seconds = 0.0;      // includes the workers' Commit() time
+    double finalize_seconds = 0.0;   // shard merge + candidate postings
   };
   const Timings& timings() const { return timings_; }
 
@@ -121,6 +135,8 @@ class SearchEngine {
   struct MatchTaskResult;
 
   MatchTaskResult RunMatchTask(uint32_t metagraph_index) const;
+  // Thread-safe for distinct metagraph indices: Commit() locks per shard
+  // and each task writes its own match_stats_ element.
   void CommitMatchTask(uint32_t metagraph_index, MatchTaskResult result);
   util::ThreadPool& Pool(size_t num_threads);
 
@@ -132,8 +148,9 @@ class SearchEngine {
   MiningStats mining_stats_;
   std::vector<MetagraphMatchStats> match_stats_;
   Timings timings_;
-  /// Lazily created on the first parallel MatchSubset, then reused across
-  /// MatchAll / dual-stage rounds.
+  /// Lazily created by the first parallel stage (usually Mine(), else the
+  /// first parallel MatchSubset), then reused across mining, MatchAll and
+  /// dual-stage rounds.
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

@@ -32,58 +32,170 @@ bool SymPairCountingSink::OnEmbedding(std::span<const NodeId> embedding) {
   return num_embeddings_ < cap_;
 }
 
+namespace {
+
+// The one canonical row order: by metagraph index, which is unique within
+// a row, so this is a total order. Seal()/SortRow and WriteRow must agree
+// on it — it is the order the byte-identical-serialization contract
+// compares.
+constexpr auto kRowOrder = [](const std::pair<uint32_t, float>& a,
+                              const std::pair<uint32_t, float>& b) {
+  return a.first < b.first;
+};
+
+void SortRow(std::vector<std::pair<uint32_t, float>>& row) {
+  if (!std::is_sorted(row.begin(), row.end(), kRowOrder)) {
+    std::sort(row.begin(), row.end(), kRowOrder);
+  }
+}
+
+}  // namespace
+
 MetagraphVectorIndex::MetagraphVectorIndex(size_t num_metagraphs,
                                            size_t num_graph_nodes,
-                                           CountTransform transform)
+                                           CountTransform transform,
+                                           size_t num_shards)
     : num_metagraphs_(num_metagraphs),
       transform_(transform),
-      committed_(num_metagraphs, false),
-      node_vectors_(num_graph_nodes) {}
+      num_shards_(std::clamp<size_t>(num_shards, 1, kMaxShards)),
+      committed_(num_metagraphs, 0),
+      node_vectors_(num_graph_nodes) {
+  shards_.reserve(num_shards_);
+  node_stripes_.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    node_stripes_.push_back(std::make_unique<NodeStripe>());
+  }
+}
 
 void MetagraphVectorIndex::Commit(uint32_t metagraph_index,
                                   const SymPairCountingSink& sink,
                                   size_t aut_size) {
   MX_CHECK(metagraph_index < num_metagraphs_);
-  MX_CHECK_MSG(!committed_[metagraph_index], "metagraph committed twice");
+  MX_CHECK_MSG(committed_[metagraph_index] == 0, "metagraph committed twice");
   MX_CHECK(aut_size > 0);
-  MX_CHECK(!finalized_);
-  committed_[metagraph_index] = true;
+  MX_CHECK_MSG(!finalized_, "Commit() after Finalize()");
+  committed_[metagraph_index] = 1;
 
   const double inv_aut = 1.0 / static_cast<double>(aut_size);
+
+  // Bucket the sink's counts by destination shard/stripe first, so each
+  // shard mutex is taken once per commit instead of once per entry.
+  std::vector<std::vector<std::pair<uint64_t, float>>> pair_buckets(
+      num_shards_);
   for (const auto& [key, count] : sink.pair_counts()) {
-    auto [it, inserted] =
-        pair_slots_.try_emplace(key, static_cast<uint32_t>(
-                                         pair_vectors_.size()));
-    if (inserted) pair_vectors_.emplace_back();
-    pair_vectors_[it->second].emplace_back(
-        metagraph_index, static_cast<float>(count * inv_aut));
+    pair_buckets[ShardOf(key)].emplace_back(
+        key, static_cast<float>(count * inv_aut));
   }
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (pair_buckets[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, value] : pair_buckets[s]) {
+      shard.pairs[key].emplace_back(metagraph_index, value);
+      shard.dirty.push_back(key);
+    }
+  }
+
+  std::vector<std::vector<std::pair<NodeId, float>>> node_buckets(num_shards_);
   for (const auto& [node, count] : sink.node_counts()) {
     MX_CHECK(node < node_vectors_.size());
-    node_vectors_[node].emplace_back(metagraph_index,
-                                     static_cast<float>(count * inv_aut));
+    node_buckets[node % num_shards_].emplace_back(
+        node, static_cast<float>(count * inv_aut));
+  }
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (node_buckets[s].empty()) continue;
+    NodeStripe& stripe = *node_stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [node, value] : node_buckets[s]) {
+      node_vectors_[node].emplace_back(metagraph_index, value);
+      stripe.dirty.push_back(node);
+    }
+  }
+}
+
+void MetagraphVectorIndex::Seal() {
+  if (finalized_) return;  // finalized rows are already sorted
+  // Only rows touched since the last Seal(). The dirty lists carry one
+  // entry per (row, metagraph) append, so dedupe first — a hub row
+  // touched by m metagraphs would otherwise be re-scanned m times. No
+  // locking: Seal runs with no concurrent Commits (see the class
+  // comment).
+  auto dedupe = [](auto& dirty) {
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  };
+  for (const auto& shard : shards_) {
+    dedupe(shard->dirty);
+    for (uint64_t key : shard->dirty) SortRow(shard->pairs[key]);
+    shard->dirty.clear();
+  }
+  for (const auto& stripe : node_stripes_) {
+    dedupe(stripe->dirty);
+    for (NodeId node : stripe->dirty) SortRow(node_vectors_[node]);
+    stripe->dirty.clear();
   }
 }
 
 void MetagraphVectorIndex::Finalize() {
-  MX_CHECK(!finalized_);
+  MX_CHECK_MSG(!finalized_, "Finalize() called twice");
+  // Full sweep, not Seal(): one-time O(index) cost that also covers rows
+  // that never went through Commit (ReadFrom's direct row loads).
+  for (const auto& shard : shards_) {
+    for (auto& [key, row] : shard->pairs) SortRow(row);
+    shard->dirty.clear();
+  }
+  for (SparseVec& row : node_vectors_) SortRow(row);
+
+  // Merge the shards in globally sorted key order. The order is a pure
+  // function of the committed keys, so the finalized layout is independent
+  // of the shard count and of commit interleaving.
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pairs.size();
+  pair_keys_.reserve(total);
+  for (const auto& shard : shards_) {
+    for (const auto& [key, row] : shard->pairs) pair_keys_.push_back(key);
+  }
+  std::sort(pair_keys_.begin(), pair_keys_.end());
+  pair_vectors_.reserve(total);
+  pair_slots_.reserve(total);
+  for (uint64_t key : pair_keys_) {
+    Shard& shard = *shards_[ShardOf(key)];
+    auto it = shard.pairs.find(key);
+    MX_DCHECK(it != shard.pairs.end());
+    pair_slots_.emplace(key, static_cast<uint32_t>(pair_vectors_.size()));
+    pair_vectors_.push_back(std::move(it->second));
+  }
+  shards_.clear();
+  node_stripes_.clear();
+
+  // CSR candidate postings, walked in sorted key order (deterministic).
   const size_t n = node_vectors_.size();
   std::vector<uint32_t> degree(n, 0);
-  for (const auto& [key, slot] : pair_slots_) {
+  for (uint64_t key : pair_keys_) {
     ++degree[static_cast<NodeId>(key >> 32)];
     ++degree[static_cast<NodeId>(key & 0xffffffffu)];
   }
   cand_offsets_.assign(n + 1, 0);
-  for (size_t i = 0; i < n; ++i) cand_offsets_[i + 1] = cand_offsets_[i] + degree[i];
+  for (size_t i = 0; i < n; ++i) {
+    cand_offsets_[i + 1] = cand_offsets_[i] + degree[i];
+  }
   candidates_.resize(cand_offsets_[n]);
   std::vector<uint64_t> cursor(cand_offsets_.begin(), cand_offsets_.end() - 1);
-  for (const auto& [key, slot] : pair_slots_) {
+  for (uint64_t key : pair_keys_) {
     NodeId x = static_cast<NodeId>(key >> 32);
     NodeId y = static_cast<NodeId>(key & 0xffffffffu);
     candidates_[cursor[x]++] = y;
     candidates_[cursor[y]++] = x;
   }
   finalized_ = true;
+}
+
+size_t MetagraphVectorIndex::num_pairs() const {
+  if (finalized_) return pair_vectors_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pairs.size();
+  return total;
 }
 
 double MetagraphVectorIndex::Transform(double raw) const {
@@ -98,9 +210,22 @@ double MetagraphVectorIndex::Transform(double raw) const {
 
 const MetagraphVectorIndex::SparseVec* MetagraphVectorIndex::FindPairVec(
     NodeId x, NodeId y) const {
-  auto it = pair_slots_.find(PairKey(x, y));
-  if (it == pair_slots_.end()) return nullptr;
-  return &pair_vectors_[it->second];
+  const uint64_t key = PairKey(x, y);
+  if (finalized_) {
+    auto it = pair_slots_.find(key);
+    if (it == pair_slots_.end()) return nullptr;
+    return &pair_vectors_[it->second];
+  }
+  // Pre-Finalize read: consult the owning shard. Callers must not race
+  // this with a commit batch (see the class comment).
+  const Shard& shard = *shards_[ShardOf(key)];
+  auto it = shard.pairs.find(key);
+  if (it == shard.pairs.end()) return nullptr;
+  return &it->second;
+}
+
+void MetagraphVectorIndex::AppendPairRow(uint64_t key, SparseVec vec) {
+  shards_[ShardOf(key)]->pairs.emplace(key, std::move(vec));
 }
 
 double MetagraphVectorIndex::NodeDot(NodeId x,
@@ -157,6 +282,20 @@ std::span<const NodeId> MetagraphVectorIndex::Candidates(NodeId x) const {
 
 namespace {
 constexpr char kIndexMagic[] = "metaprox-index v1";
+
+// Writes one sparse row in the canonical kRowOrder; sorts a copy first if
+// the caller skipped Seal(), so the serialization is deterministic no
+// matter what.
+void WriteRow(std::ostream& os,
+              const std::vector<std::pair<uint32_t, float>>& row) {
+  if (std::is_sorted(row.begin(), row.end(), kRowOrder)) {
+    for (const auto& [i, c] : row) os << ' ' << i << ' ' << c;
+    return;
+  }
+  auto sorted = row;
+  std::sort(sorted.begin(), sorted.end(), kRowOrder);
+  for (const auto& [i, c] : sorted) os << ' ' << i << ' ' << c;
+}
 }  // namespace
 
 util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
@@ -165,7 +304,7 @@ util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
      << static_cast<int>(transform_) << '\n';
   os << "committed";
   for (size_t i = 0; i < num_metagraphs_; ++i) {
-    os << ' ' << (committed_[i] ? 1 : 0);
+    os << ' ' << (committed_[i] != 0 ? 1 : 0);
   }
   os << '\n';
   size_t nonempty_nodes = 0;
@@ -175,14 +314,28 @@ util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
     const SparseVec& vec = node_vectors_[v];
     if (vec.empty()) continue;
     os << v << ' ' << vec.size();
-    for (const auto& [i, c] : vec) os << ' ' << i << ' ' << c;
+    WriteRow(os, vec);
     os << '\n';
   }
-  os << "pairs " << pair_slots_.size() << '\n';
-  for (const auto& [key, slot] : pair_slots_) {
-    const SparseVec& vec = pair_vectors_[slot];
-    os << key << ' ' << vec.size();
-    for (const auto& [i, c] : vec) os << ' ' << i << ' ' << c;
+  // Pairs in sorted key order: byte-identical for any thread/shard count.
+  std::vector<uint64_t> keys;
+  if (finalized_) {
+    keys = pair_keys_;
+  } else {
+    keys.reserve(num_pairs());
+    for (const auto& shard : shards_) {
+      for (const auto& [key, row] : shard->pairs) keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+  }
+  os << "pairs " << keys.size() << '\n';
+  for (uint64_t key : keys) {
+    NodeId x = static_cast<NodeId>(key >> 32);
+    NodeId y = static_cast<NodeId>(key & 0xffffffffu);
+    const SparseVec* vec = FindPairVec(x, y);
+    MX_DCHECK(vec != nullptr);
+    os << key << ' ' << vec->size();
+    WriteRow(os, *vec);
     os << '\n';
   }
   if (!os.good()) return util::Status::IoError("index write failed");
@@ -212,7 +365,7 @@ util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadFrom(
   for (size_t i = 0; i < num_metagraphs; ++i) {
     int flag = 0;
     is >> flag;
-    index.committed_[i] = flag != 0;
+    index.committed_[i] = flag != 0 ? 1 : 0;
   }
   size_t count = 0;
   is >> word >> count;
@@ -264,9 +417,7 @@ util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadFrom(
       }
       vec.emplace_back(i, c);
     }
-    index.pair_slots_.emplace(key,
-                              static_cast<uint32_t>(index.pair_vectors_.size()));
-    index.pair_vectors_.push_back(std::move(vec));
+    index.AppendPairRow(key, std::move(vec));
   }
   index.Finalize();
   return index;

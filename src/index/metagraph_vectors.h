@@ -13,11 +13,41 @@
 // per-node postings, which is what makes the online phase (Fig. 3) a pure
 // lookup: the candidates for query q are exactly the nodes sharing a pair
 // slot with q.
+//
+// Build lifecycle and thread-safety (see also docs/ARCHITECTURE.md):
+//
+//   MetagraphVectorIndex index(|M|, |V|, transform, num_shards);
+//   index.Commit(i, sink_i, aut_i);   // any thread, any order, once per i
+//   index.Seal();                     // one thread, after a commit batch
+//   ... read accessors (NodeDot, PairDot, Sparse*/Dense*, WriteTo) ...
+//   index.Commit(j, ...); index.Seal();   // more batches are fine
+//   index.Finalize();                 // exactly once; enables Candidates()
+//
+// While the index is building, the pair-slot table is split into
+// `num_shards` shards by `PairKey % num_shards` and the per-node rows are
+// guarded by striped locks, so Commit() is safe to call concurrently from
+// many threads — each commit only locks the shards/stripes it touches.
+// Seal() then sorts every touched row by metagraph index, which makes the
+// observable state deterministic: after Seal(), the index contents depend
+// only on WHICH (metagraph, sink) pairs were committed, not on the order or
+// interleaving of the Commit() calls, nor on the shard count.
+//
+// Finalize() merges the shards into one table in globally sorted PairKey
+// order and builds the candidate postings. Because the merge order is a
+// pure function of the keys, the finalized index — including its WriteTo()
+// serialization — is byte-identical for ANY number of committing threads
+// and ANY num_shards. Finalize() must be called exactly once; committing
+// after Finalize() or finalizing twice aborts (MX_CHECK).
+//
+// Read accessors are safe from multiple threads as long as no Commit /
+// Seal / Finalize runs concurrently; they must not race a commit batch.
 #ifndef METAPROX_INDEX_METAGRAPH_VECTORS_H_
 #define METAPROX_INDEX_METAGRAPH_VECTORS_H_
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <type_traits>
 #include <unordered_map>
@@ -50,8 +80,15 @@ inline uint64_t PairKey(NodeId x, NodeId y) {
 /// logarithmic transforms of the raw counts).
 enum class CountTransform { kRaw, kLog1p };
 
+/// Upper bound on build-time pair-table shards, applied by the index
+/// constructor. Guards against nonsense requests (e.g. a huge --shards
+/// value) allocating one mutex + hash map per shard until the process
+/// dies; contention is flat long before this (cf. util::kMaxThreads).
+inline constexpr size_t kMaxShards = 4096;
+
 /// Accumulates the per-embedding contributions of one metagraph's matching
-/// run (to be committed into MetagraphVectorIndex afterwards).
+/// run (to be committed into MetagraphVectorIndex afterwards). One sink is
+/// private to one matching task; it is not shared across threads.
 class SymPairCountingSink : public InstanceSink {
  public:
   /// `sym` must outlive the sink. `embedding_cap` bounds the number of
@@ -78,23 +115,45 @@ class SymPairCountingSink : public InstanceSink {
   std::unordered_map<NodeId, uint64_t> node_counts_;
 };
 
-/// The committed, queryable index of metagraph vectors.
+/// The committed, queryable index of metagraph vectors. See the file
+/// comment for the Commit -> Seal -> Finalize lifecycle and the
+/// thread-safety / determinism contract.
 class MetagraphVectorIndex {
  public:
+  /// `num_shards` splits the build-time pair-slot table; it bounds commit
+  /// contention but never changes the finalized index (clamped to
+  /// [1, kMaxShards]).
   MetagraphVectorIndex(size_t num_metagraphs, size_t num_graph_nodes,
-                       CountTransform transform = CountTransform::kLog1p);
+                       CountTransform transform = CountTransform::kLog1p,
+                       size_t num_shards = 1);
 
   /// Commits one metagraph's accumulated counts, dividing by aut_size.
+  /// Thread-safe: concurrent Commits of DIFFERENT metagraphs only contend
+  /// on the pair shards / node stripes they touch. Each metagraph must be
+  /// committed at most once, and never after Finalize() (aborts).
   void Commit(uint32_t metagraph_index, const SymPairCountingSink& sink,
               size_t aut_size);
 
-  /// Builds per-node postings. Call once after all Commits.
+  /// Sorts every pair/node row touched since the last Seal() by metagraph
+  /// index. Call from ONE thread after a batch of (possibly concurrent)
+  /// Commits has completed, before reading the index; it erases any trace
+  /// of commit-arrival order. Cost is proportional to the batch's rows,
+  /// not the whole index, so frequent small batches (dual-stage rounds)
+  /// stay cheap.
+  void Seal();
+
+  /// Merges the shards in globally sorted PairKey order and builds the
+  /// per-node candidate postings. Call exactly once, after all Commits;
+  /// a second Finalize() — or any later Commit() — aborts.
   void Finalize();
 
   size_t num_metagraphs() const { return num_metagraphs_; }
-  size_t num_pairs() const { return pair_vectors_.size(); }
+  size_t num_shards() const { return num_shards_; }
+  bool finalized() const { return finalized_; }
+  /// Number of distinct (x, y) pair slots committed so far.
+  size_t num_pairs() const;
   bool IsCommitted(uint32_t metagraph_index) const {
-    return committed_[metagraph_index];
+    return committed_[metagraph_index] != 0;
   }
 
   /// m_x . w (transformed counts).
@@ -119,12 +178,14 @@ class MetagraphVectorIndex {
                         std::vector<std::pair<uint32_t, double>>* out) const;
 
   /// Nodes that co-occur with x in at least one instance at symmetric
-  /// positions — the online candidate set for query x.
+  /// positions — the online candidate set for query x. Requires Finalize().
   std::span<const NodeId> Candidates(NodeId x) const;
 
   double Transform(double raw) const;
 
   /// Serializes the committed vectors (finalized or not) to a text stream.
+  /// Pairs are written in sorted PairKey order and rows in metagraph-index
+  /// order, so the output is byte-identical for any thread/shard count.
   /// The postings are rebuilt on load, so only the raw stores are written.
   util::Status WriteTo(std::ostream& os) const;
 
@@ -134,15 +195,44 @@ class MetagraphVectorIndex {
  private:
   using SparseVec = std::vector<std::pair<uint32_t, float>>;
 
+  /// One build-time shard of the pair-slot table: the pairs whose PairKey
+  /// satisfies `key % num_shards_ == shard index`. `dirty` records the
+  /// keys appended to since the last Seal() (duplicates allowed).
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, SparseVec> pairs;  // guarded by mu
+    std::vector<uint64_t> dirty;                    // guarded by mu
+  };
+
+  /// One stripe of the per-node rows: nodes with `node % num_shards_ ==
+  /// stripe index`. Guards node_vectors_ writes and the dirty list.
+  struct NodeStripe {
+    std::mutex mu;
+    std::vector<NodeId> dirty;  // guarded by mu
+  };
+
+  size_t ShardOf(uint64_t key) const { return key % num_shards_; }
   const SparseVec* FindPairVec(NodeId x, NodeId y) const;
+  void AppendPairRow(uint64_t key, SparseVec vec);  // ReadFrom backdoor
 
   size_t num_metagraphs_;
   CountTransform transform_;
-  std::vector<bool> committed_;
+  size_t num_shards_ = 1;
+  // One byte per metagraph (not vector<bool>: concurrent Commits write
+  // distinct elements, which is only race-free for distinct objects).
+  std::vector<uint8_t> committed_;
 
-  std::unordered_map<uint64_t, uint32_t> pair_slots_;
-  std::vector<SparseVec> pair_vectors_;
+  // ---- build-time state (until Finalize) --------------------------------
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<NodeStripe>> node_stripes_;
+
+  // node_vectors_[x] is m_x; rows live here in both phases.
   std::vector<SparseVec> node_vectors_;  // indexed by NodeId
+
+  // ---- finalized state --------------------------------------------------
+  std::vector<uint64_t> pair_keys_;  // sorted ascending
+  std::unordered_map<uint64_t, uint32_t> pair_slots_;
+  std::vector<SparseVec> pair_vectors_;  // indexed in pair_keys_ order
 
   // CSR postings: candidates_[cand_offsets_[x] .. cand_offsets_[x+1])
   std::vector<uint64_t> cand_offsets_;

@@ -1,8 +1,10 @@
 #include "mining/miner.h"
 
-#include <deque>
-#include <unordered_map>
+#include <algorithm>
+#include <future>
+#include <memory>
 #include <unordered_set>
+#include <utility>
 
 #include "matching/backtracking.h"
 #include "matching/candidate_filter.h"
@@ -57,7 +59,8 @@ class MniSink : public InstanceSink {
 };
 
 // Computes whether `m` is frequent in `g` (MNI >= min_support). Uses the
-// BoostISO-style filter so infrequent patterns fail fast.
+// BoostISO-style filter so infrequent patterns fail fast. Pure function of
+// (g, m, options): safe to run concurrently for different patterns.
 bool IsFrequent(const Graph& g, const Metagraph& m,
                 const MinerOptions& options) {
   CandidateFilter filter = BuildTypeDegreeFilter(g, m);
@@ -86,106 +89,192 @@ uint64_t ReportedSupport(const Graph& g, const Metagraph& m,
   return sink.Mni();
 }
 
+// Everything the parallel per-pattern evaluation produces for one level
+// member; assembled back on the coordinating thread in level order.
+struct PatternEval {
+  bool frequent = false;
+  bool emit = false;
+  SymmetryInfo symmetry;
+  uint64_t support = 0;
+};
+
+// Runs the matcher-bound checks for one pattern: frequency first (the
+// anti-monotone prune), then the paper's output filters, then the reported
+// support for emitted patterns.
+PatternEval EvaluatePattern(const Graph& g, const Metagraph& m,
+                            const MinerOptions& options) {
+  PatternEval ev;
+  ev.frequent = IsFrequent(g, m, options);
+  if (!ev.frequent) return ev;
+
+  const int anchors = m.CountType(options.anchor_type);
+  const int non_anchors = m.num_nodes() - anchors;
+  bool emit = anchors >= options.min_anchor_nodes &&
+              non_anchors >= options.min_non_anchor_nodes;
+  if (emit) {
+    ev.symmetry = AnalyzeSymmetry(m);
+    if (options.require_symmetric && !ev.symmetry.is_symmetric) emit = false;
+    if (emit && options.require_symmetric_anchor_pair) {
+      bool anchor_pair = false;
+      for (auto [a, b] : ev.symmetry.symmetric_pairs) {
+        if (m.TypeOf(a) == options.anchor_type) {
+          anchor_pair = true;
+          break;
+        }
+      }
+      emit = anchor_pair;
+    }
+  }
+  ev.emit = emit;
+  if (emit) ev.support = ReportedSupport(g, m, options);
+  return ev;
+}
+
+// Maps `fn` over `items`, preserving input order in the result. With a
+// pool, items are evaluated concurrently in contiguous chunks — several
+// chunks per worker for load balance, but far fewer tasks than items, so
+// cheap per-item work (Canonicalize on thousands of extensions) is not
+// swamped by per-task queue/future overhead. Without a pool (or for
+// trivial batches) the map runs inline. `fn` must be safe to call
+// concurrently; results must be default-constructible.
+template <typename T, typename F>
+auto ParallelMap(util::ThreadPool* pool, const std::vector<T>& items, F fn)
+    -> std::vector<decltype(fn(items[0]))> {
+  using R = decltype(fn(items[0]));
+  if (pool == nullptr || items.size() <= 1) {
+    std::vector<R> out;
+    out.reserve(items.size());
+    for (const T& item : items) out.push_back(fn(item));
+    return out;
+  }
+  std::vector<R> out(items.size());
+  const size_t chunk = std::max<size_t>(
+      1, items.size() / (4 * std::max<size_t>(1, pool->num_threads())));
+  std::vector<std::future<void>> futures;
+  futures.reserve(items.size() / chunk + 1);
+  for (size_t begin = 0; begin < items.size(); begin += chunk) {
+    const size_t end = std::min(items.size(), begin + chunk);
+    futures.push_back(pool->Submit([&fn, &items, &out, begin, end] {
+      for (size_t i = begin; i < end; ++i) out[i] = fn(items[i]);
+    }));
+  }
+  // Wait for every task before get() can rethrow: the tasks reference
+  // `fn`, `items` and `out`, so no queued task may outlive this frame.
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();
+  return out;
+}
+
 }  // namespace
 
 std::vector<MinedMetagraph> MineMetagraphs(const Graph& g,
                                            const MinerOptions& options,
-                                           MiningStats* stats) {
+                                           MiningStats* stats,
+                                           util::ThreadPool* pool) {
   util::Stopwatch timer;
-  const size_t t = g.num_types();
 
-  // Feasible unordered type pairs: those with at least one graph edge.
-  std::vector<std::pair<TypeId, TypeId>> feasible;
-  for (TypeId a = 0; a < t; ++a) {
-    for (TypeId b = a; b < t; ++b) {
-      if (g.EdgeCountBetweenTypes(a, b) > 0) feasible.emplace_back(a, b);
+  std::unique_ptr<util::ThreadPool> local_pool;
+  if (pool == nullptr) {
+    const size_t workers = util::ResolveNumThreads(options.num_threads);
+    if (workers > 1) {
+      local_pool = std::make_unique<util::ThreadPool>(workers);
+      pool = local_pool.get();
     }
   }
+
+  const size_t t = g.num_types();
   auto edge_feasible = [&](TypeId a, TypeId b) {
     return g.EdgeCountBetweenTypes(a, b) > 0;
   };
 
   std::unordered_set<CanonicalCode, CanonicalCodeHash> seen;
-  std::deque<Metagraph> frontier;
   std::vector<MinedMetagraph> output;
   MiningStats local_stats;
 
-  auto consider = [&](const Metagraph& candidate) {
-    CanonicalCode code = Canonicalize(candidate);
-    if (!seen.insert(code).second) return;
-    ++local_stats.patterns_enumerated;
-    if (local_stats.patterns_enumerated > options.max_patterns) return;
-    if (!IsFrequent(g, candidate, options)) return;
-    ++local_stats.patterns_frequent;
-    frontier.push_back(candidate);
+  // Canonical-form deduplication, run on the coordinating thread only: the
+  // codes arrive in generation order (computed in parallel, order
+  // preserved by ParallelMap), so the surviving set AND its order — and
+  // hence which patterns the max_patterns valve drops — are independent of
+  // the thread count.
+  auto dedup = [&](std::vector<Metagraph> raw) {
+    std::vector<CanonicalCode> codes = ParallelMap(
+        pool, raw, [](const Metagraph& m) { return Canonicalize(m); });
+    std::vector<Metagraph> unique;
+    unique.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (!seen.insert(codes[i]).second) continue;
+      ++local_stats.patterns_enumerated;
+      if (local_stats.patterns_enumerated > options.max_patterns) continue;
+      unique.push_back(std::move(raw[i]));
+    }
+    return unique;
   };
 
   // Seeds: all feasible single-edge patterns.
-  for (auto [a, b] : feasible) {
-    Metagraph m;
-    MetaNodeId x = m.AddNode(a);
-    MetaNodeId y = m.AddNode(b);
-    m.AddEdge(x, y);
-    consider(m);
+  std::vector<Metagraph> raw_seeds;
+  for (TypeId a = 0; a < t; ++a) {
+    for (TypeId b = a; b < t; ++b) {
+      if (!edge_feasible(a, b)) continue;
+      Metagraph m;
+      MetaNodeId x = m.AddNode(a);
+      MetaNodeId y = m.AddNode(b);
+      m.AddEdge(x, y);
+      raw_seeds.push_back(std::move(m));
+    }
   }
+  std::vector<Metagraph> level = dedup(std::move(raw_seeds));
 
-  // BFS pattern growth.
-  while (!frontier.empty()) {
-    Metagraph m = frontier.front();
-    frontier.pop_front();
+  // Level-synchronous BFS pattern growth: evaluate the whole level in
+  // parallel, then emit / extend serially in level order.
+  while (!level.empty()) {
+    std::vector<PatternEval> evals =
+        ParallelMap(pool, level, [&](const Metagraph& m) {
+          return EvaluatePattern(g, m, options);
+        });
 
-    // Output check.
-    const int anchors = m.CountType(options.anchor_type);
-    const int non_anchors = m.num_nodes() - anchors;
-    bool emit = anchors >= options.min_anchor_nodes &&
-                non_anchors >= options.min_non_anchor_nodes;
-    SymmetryInfo sym;
-    if (emit) {
-      sym = AnalyzeSymmetry(m);
-      if (options.require_symmetric && !sym.is_symmetric) emit = false;
-      if (emit && options.require_symmetric_anchor_pair) {
-        bool anchor_pair = false;
-        for (auto [a, b] : sym.symmetric_pairs) {
-          if (m.TypeOf(a) == options.anchor_type) {
-            anchor_pair = true;
-            break;
+    std::vector<Metagraph> frontier;  // this level's frequent survivors
+    frontier.reserve(level.size());
+    for (size_t i = 0; i < level.size(); ++i) {
+      if (!evals[i].frequent) continue;
+      ++local_stats.patterns_frequent;
+      if (evals[i].emit) {
+        MinedMetagraph mined;
+        mined.graph = level[i];
+        mined.symmetry = std::move(evals[i].symmetry);
+        mined.support = evals[i].support;
+        mined.is_path = level[i].IsPath();
+        output.push_back(std::move(mined));
+        ++local_stats.patterns_output;
+      }
+      frontier.push_back(std::move(level[i]));
+    }
+
+    std::vector<Metagraph> raw;
+    for (const Metagraph& m : frontier) {
+      // Extensions: (a) close an edge between existing non-adjacent nodes.
+      for (MetaNodeId x = 0; x < m.num_nodes(); ++x) {
+        for (MetaNodeId y = x + 1; y < m.num_nodes(); ++y) {
+          if (m.HasEdge(x, y)) continue;
+          if (!edge_feasible(m.TypeOf(x), m.TypeOf(y))) continue;
+          Metagraph ext = m;
+          ext.AddEdge(x, y);
+          raw.push_back(std::move(ext));
+        }
+      }
+      // (b) grow a new node attached to one existing node.
+      if (m.num_nodes() < options.max_nodes) {
+        for (MetaNodeId x = 0; x < m.num_nodes(); ++x) {
+          for (TypeId nt = 0; nt < t; ++nt) {
+            if (!edge_feasible(m.TypeOf(x), nt)) continue;
+            Metagraph ext = m;
+            MetaNodeId y = ext.AddNode(nt);
+            ext.AddEdge(x, y);
+            raw.push_back(std::move(ext));
           }
         }
-        emit = anchor_pair;
       }
     }
-    if (emit) {
-      MinedMetagraph mined;
-      mined.graph = m;
-      mined.symmetry = std::move(sym);
-      mined.support = ReportedSupport(g, m, options);
-      mined.is_path = m.IsPath();
-      output.push_back(std::move(mined));
-      ++local_stats.patterns_output;
-    }
-
-    // Extensions: (a) close an edge between existing non-adjacent nodes.
-    for (MetaNodeId x = 0; x < m.num_nodes(); ++x) {
-      for (MetaNodeId y = x + 1; y < m.num_nodes(); ++y) {
-        if (m.HasEdge(x, y)) continue;
-        if (!edge_feasible(m.TypeOf(x), m.TypeOf(y))) continue;
-        Metagraph ext = m;
-        ext.AddEdge(x, y);
-        consider(ext);
-      }
-    }
-    // (b) grow a new node attached to one existing node.
-    if (m.num_nodes() < options.max_nodes) {
-      for (MetaNodeId x = 0; x < m.num_nodes(); ++x) {
-        for (TypeId nt = 0; nt < t; ++nt) {
-          if (!edge_feasible(m.TypeOf(x), nt)) continue;
-          Metagraph ext = m;
-          MetaNodeId y = ext.AddNode(nt);
-          ext.AddEdge(x, y);
-          consider(ext);
-        }
-      }
-    }
+    level = dedup(std::move(raw));
   }
 
   local_stats.seconds = timer.ElapsedSeconds();

@@ -10,6 +10,14 @@
 //     images (the pattern is then provably frequent), and
 //   * an embedding cap for pathological patterns (treated as frequent).
 //
+// Parallelism: the search runs level-synchronously. Each BFS level's
+// frequency checks, symmetry analyses and support counts — the expensive,
+// matcher-bound work — are fanned out over a util::ThreadPool, while
+// extension generation and canonical-form deduplication stay on the
+// calling thread in a fixed order. The mined set, its order, and every
+// stat except `seconds` are therefore byte-for-byte identical for any
+// thread count (and identical to a fully serial run).
+//
 // Output filters reproduce the paper's setup (Sect. V-A): symmetric
 // metagraphs only, at least two anchor-type (user) nodes, at least one node
 // of another type, at most `max_nodes` nodes.
@@ -22,6 +30,7 @@
 #include "graph/graph.h"
 #include "metagraph/automorphism.h"
 #include "metagraph/metagraph.h"
+#include "util/thread_pool.h"
 
 namespace metaprox {
 
@@ -37,6 +46,11 @@ struct MinerOptions {
   bool require_symmetric_anchor_pair = true;
   uint64_t support_embedding_cap = 300'000;
   size_t max_patterns = 200'000;  // enumeration safety valve
+  /// Worker threads for the per-level frequency/support evaluation.
+  /// 0 = hardware concurrency, 1 = serial (default). Ignored when an
+  /// external pool is passed to MineMetagraphs. The mined set is identical
+  /// for any value.
+  size_t num_threads = 1;
 };
 
 struct MinedMetagraph {
@@ -53,10 +67,15 @@ struct MiningStats {
   double seconds = 0.0;
 };
 
-/// Mines the metagraph set M of `g`. Deterministic for a given graph.
+/// Mines the metagraph set M of `g`. Deterministic for a given graph:
+/// the output (content and order) does not depend on the thread count.
+/// When `pool` is non-null it is used for the per-level parallel work and
+/// `options.num_threads` is ignored; otherwise a private pool is created
+/// when `options.num_threads` resolves to more than one worker.
 std::vector<MinedMetagraph> MineMetagraphs(const Graph& g,
                                            const MinerOptions& options,
-                                           MiningStats* stats = nullptr);
+                                           MiningStats* stats = nullptr,
+                                           util::ThreadPool* pool = nullptr);
 
 }  // namespace metaprox
 

@@ -1,0 +1,19 @@
+#include "util/parse.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+namespace metaprox::util {
+
+bool ParseCount(const char* text, unsigned* out) {
+  if (text[0] == '\0' || text[0] == '-' || text[0] == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long value = std::strtoul(text, &end, 10);
+  if (*end != '\0' || errno == ERANGE || value > UINT_MAX) return false;
+  *out = static_cast<unsigned>(value);
+  return true;
+}
+
+}  // namespace metaprox::util

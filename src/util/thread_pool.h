@@ -1,12 +1,16 @@
-// Fixed-size worker pool for the offline phase's embarrassingly parallel
-// stages (one matching task per metagraph, see core/engine.cc).
+// Fixed-size worker pool for the offline phase's parallel stages: one
+// match-and-commit task per metagraph (core/engine.cc) and the per-level
+// frequency/support evaluations of the miner (mining/miner.cc).
 //
 // Semantics:
-//   * Submit() returns a std::future of the callable's result; exceptions
-//     thrown by the task are captured and rethrown from future::get().
+//   * Submit() is thread-safe and returns a std::future of the callable's
+//     result; exceptions thrown by the task are captured and rethrown from
+//     future::get().
 //   * Tasks run in submission order (single FIFO queue), but complete in
 //     whatever order the scheduler allows — callers that need a
-//     deterministic result order must sequence on the futures themselves.
+//     deterministic result order must sequence on the futures themselves
+//     (ParallelMap in miner.cc) or restore a canonical order afterwards
+//     (MetagraphVectorIndex::Seal/Finalize).
 //   * The destructor drains the queue: every task submitted before
 //     destruction runs to completion, then the workers are joined.
 #ifndef METAPROX_UTIL_THREAD_POOL_H_
@@ -71,7 +75,8 @@ class ThreadPool {
 inline constexpr size_t kMaxThreads = 512;
 
 /// Resolves a user-facing thread-count option: 0 = hardware concurrency,
-/// clamped to [1, kMaxThreads].
+/// clamped to [1, kMaxThreads]. (Strict parsing of the raw flag/env text
+/// lives in util/parse.h.)
 size_t ResolveNumThreads(size_t requested);
 
 }  // namespace metaprox::util
