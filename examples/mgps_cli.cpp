@@ -9,17 +9,22 @@
 //   mgps_cli [--threads=N] [--shards=S] query    <facebook|linkedin|citation>
 //                                   <num> <seed> <prefix> <class>
 //                                   <query-id> [k]
+//   mgps_cli [--threads=N] --query-file=F query  <facebook|linkedin|citation>
+//                                   <num> <seed> <prefix> <class> [k]
 //
 // `generate` writes the typed object graph as text. `offline` regenerates
 // the same dataset, runs mine+match (over N offline worker threads; 0 = all
 // cores, default 1; the index's pair-slot table is split into S shards,
 // 0 = auto), and saves <prefix>.metagraphs and <prefix>.index. `query`
 // restores the offline phase, trains the class model, and prints the top-k
-// answers for one query node. The saved index is byte-identical for every
-// --threads and --shards value.
+// answers for one query node — or, with --query-file, ranks every node id
+// listed in F (whitespace-separated) in one SearchEngine::BatchQuery call
+// (batch results are identical to per-id queries; see core/query_batch.h).
+// The saved index is byte-identical for every --threads and --shards value.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +35,7 @@
 #include "eval/splits.h"
 #include "graph/graph_io.h"
 #include "util/parse.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"  // util::ResolveNumThreads
 
 using namespace metaprox;  // NOLINT
@@ -76,12 +82,18 @@ int Usage() {
       "  mgps_cli [flags] offline  <kind> <num> <seed> <prefix>\n"
       "  mgps_cli [flags] query    <kind> <num> <seed> <prefix>\n"
       "                            <class> <id> [k]\n"
+      "  mgps_cli [flags] --query-file=F query <kind> <num> <seed>\n"
+      "                            <prefix> <class> [k]\n"
       "kinds: facebook linkedin citation\n"
       "flags:\n"
-      "  --threads=N  offline worker threads, mining + matching\n"
-      "               (0 = all cores; default 1)\n"
-      "  --shards=S   index pair-table shards (0 = auto; default 0);\n"
-      "               never changes the saved index bytes\n");
+      "  --threads=N      offline worker threads (mining + matching) and\n"
+      "                   batch-query scoring threads (0 = all cores;\n"
+      "                   default 1)\n"
+      "  --shards=S       index pair-table shards (0 = auto; default 0);\n"
+      "                   never changes the saved index bytes\n"
+      "  --query-file=F   batch mode for 'query': rank every node id in F\n"
+      "                   (whitespace-separated) in one batched call;\n"
+      "                   results are identical to per-id queries\n");
   return 2;
 }
 
@@ -90,10 +102,17 @@ int Usage() {
 int main(int argc, char** argv) {
   // Strip flags (anywhere on the line) before the positional arguments.
   unsigned num_threads = 1;
-  size_t num_shards = 0;  // 0 = auto
+  size_t num_shards = 0;       // 0 = auto
+  std::string query_file;      // non-empty = batch query mode
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+    if (std::strncmp(argv[i], "--query-file=", 13) == 0) {
+      query_file = argv[i] + 13;
+      if (query_file.empty()) {
+        std::fprintf(stderr, "--query-file needs a path\n");
+        return Usage();
+      }
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       unsigned value = 0;
       if (!util::ParseCount(argv[i] + 10, &value)) {
         std::fprintf(stderr,
@@ -156,12 +175,48 @@ int main(int argc, char** argv) {
   }
 
   if (command == "query") {
-    if (positional.size() < 7) return Usage();
+    const bool batch_mode = !query_file.empty();
+    if (positional.size() < (batch_mode ? 6u : 7u)) return Usage();
     const std::string class_name = positional[5];
-    const NodeId query = static_cast<NodeId>(std::atoi(positional[6]));
-    const size_t k = positional.size() > 7
-                         ? static_cast<size_t>(std::atoi(positional[7]))
+    const size_t k_position = batch_mode ? 6 : 7;
+    const size_t k = positional.size() > k_position
+                         ? static_cast<size_t>(std::atoi(positional[k_position]))
                          : 10;
+
+    std::vector<NodeId> batch;
+    if (batch_mode) {
+      std::ifstream in(query_file);
+      if (!in) {
+        std::fprintf(stderr, "cannot read query file %s\n",
+                     query_file.c_str());
+        return 1;
+      }
+      uint64_t id = 0;
+      while (in >> id) {
+        if (id >= ds.graph.num_nodes()) {
+          std::fprintf(stderr, "query id %llu out of range (graph has %zu)\n",
+                       static_cast<unsigned long long>(id),
+                       ds.graph.num_nodes());
+          return 1;
+        }
+        batch.push_back(static_cast<NodeId>(id));
+      }
+      // A malformed token stops extraction before EOF; silently ranking
+      // only the prefix of the batch would look like success.
+      if (!in.eof()) {
+        std::fprintf(stderr, "query file %s: malformed node id after %zu ids\n",
+                     query_file.c_str(), batch.size());
+        return 1;
+      }
+      if (batch.empty()) {
+        std::fprintf(stderr, "query file %s holds no node ids\n",
+                     query_file.c_str());
+        return 1;
+      }
+    }
+    const NodeId query =
+        batch_mode ? kInvalidNode
+                   : static_cast<NodeId>(std::atoi(positional[6]));
 
     const GroundTruth* gt = ds.FindClass(class_name);
     if (gt == nullptr) {
@@ -191,6 +246,25 @@ int main(int argc, char** argv) {
     TrainOptions train;
     train.max_iterations = 300;
     MgpModel model = engine.Train(examples, train);
+
+    if (batch_mode) {
+      util::Stopwatch timer;
+      auto results = engine.BatchQuery(model, batch, k);
+      const double seconds = timer.ElapsedSeconds();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        std::printf("top-%zu '%s' results for node #%u:\n", k,
+                    class_name.c_str(), batch[i]);
+        for (const auto& [node, pi] : results[i]) {
+          std::printf("  #%-6u pi = %.4f%s\n", node, pi,
+                      gt->IsPositive(batch[i], node) ? "   [ground truth]"
+                                                     : "");
+        }
+      }
+      std::printf("batched %zu queries in %.3fs (%.0f queries/s)\n",
+                  batch.size(), seconds,
+                  static_cast<double>(batch.size()) / seconds);
+      return 0;
+    }
 
     std::printf("top-%zu '%s' results for node #%u:\n", k,
                 class_name.c_str(), query);

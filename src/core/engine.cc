@@ -156,6 +156,15 @@ std::vector<std::pair<NodeId, double>> SearchEngine::Query(
   return RankByProximity(*index_, model.weights, q, index_->Candidates(q), k);
 }
 
+std::vector<std::vector<std::pair<NodeId, double>>> SearchEngine::BatchQuery(
+    const MgpModel& model, std::span<const NodeId> queries, size_t k) {
+  MX_CHECK(index_ != nullptr);
+  const size_t workers = util::ResolveNumThreads(options_.num_threads);
+  util::ThreadPool* pool =
+      (workers > 1 && queries.size() > 1) ? &Pool(workers) : nullptr;
+  return BatchRankByProximity(*index_, model.weights, queries, k, pool);
+}
+
 double SearchEngine::Proximity(const MgpModel& model, NodeId x,
                                NodeId y) const {
   MX_CHECK(index_ != nullptr);

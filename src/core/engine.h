@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/query_batch.h"
 #include "graph/graph.h"
 #include "index/metagraph_vectors.h"
 #include "learning/dual_stage.h"
@@ -98,6 +99,17 @@ class SearchEngine {
   /// Online phase: top-k nodes by pi(q, .; w). Requires a finalized index.
   std::vector<std::pair<NodeId, double>> Query(const MgpModel& model, NodeId q,
                                                size_t k) const;
+
+  /// Batched online phase: one top-k result per entry of `queries` (aligned,
+  /// duplicates included). Groups the index walks across the batch — every
+  /// touched node row is gathered once, pair rows are read through the
+  /// candidate-slot postings — and scores queries in parallel on the
+  /// engine's ThreadPool (options().num_threads; lazily created, hence
+  /// non-const). Result i is identical — same nodes, same scores, same
+  /// tie-break order — to Query(model, queries[i], k), for any batch
+  /// composition and any thread count. Requires a finalized index.
+  std::vector<std::vector<std::pair<NodeId, double>>> BatchQuery(
+      const MgpModel& model, std::span<const NodeId> queries, size_t k);
 
   /// Proximity between two specific nodes.
   double Proximity(const MgpModel& model, NodeId x, NodeId y) const;

@@ -1,0 +1,107 @@
+#include "core/query_batch.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "learning/proximity.h"
+#include "util/macros.h"
+#include "util/parallel_for.h"
+
+namespace metaprox {
+namespace {
+
+// Scores one query against its candidate postings, reading every m_x . w
+// from the batch-wide cache and every pair row through its finalized slot.
+// The arithmetic mirrors RankByProximity term for term (same accumulation
+// order inside each dot, same guards, same ranking order), which is what
+// makes the batched results bitwise-identical to the sequential path.
+QueryResult ScoreOne(const MetagraphVectorIndex& index,
+                     std::span<const double> weights, NodeId q, size_t k,
+                     std::span<const double> node_dots) {
+  const std::span<const NodeId> candidates = index.Candidates(q);
+  const std::span<const uint32_t> slots = index.CandidateSlots(q);
+  QueryResult scored;
+  scored.reserve(candidates.size());
+  const double q_dot = node_dots[q];
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const NodeId y = candidates[i];
+    if (y == q) continue;
+    const double numer = 2.0 * index.SlotDot(slots[i], weights);
+    if (numer <= 0.0) continue;
+    const double denom = q_dot + node_dots[y];
+    if (denom <= 0.0) continue;
+    scored.emplace_back(y, numer / denom);
+  }
+  const size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<int64_t>(take),
+                    scored.end(), ProximityRankBefore);
+  scored.resize(take);
+  return scored;
+}
+
+}  // namespace
+
+std::vector<QueryResult> BatchRankByProximity(
+    const MetagraphVectorIndex& index, std::span<const double> weights,
+    std::span<const NodeId> queries, size_t k, util::ThreadPool* pool) {
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  const size_t num_nodes = index.num_graph_nodes();
+  for (NodeId q : queries) MX_CHECK(q < num_nodes);
+
+  // Duplicate query nodes are scored once: collapse to a sorted unique set
+  // (sorted so the scatter below can binary-search its way back).
+  std::vector<NodeId> uniq(queries.begin(), queries.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+  // Every node row the batch will read — the queries plus all their
+  // candidates — listed once, however many candidate sets share it. The
+  // dedup mask and the dot table below are dense O(|V|) scratch: the right
+  // trade for graphs whose candidate sets cover a sizable node fraction;
+  // a multi-million-node graph serving tiny batches would want a sparse
+  // (hash or epoch-marked) scratch instead — see the ROADMAP follow-on.
+  std::vector<uint8_t> touched(num_nodes, 0);
+  std::vector<NodeId> nodes;
+  for (NodeId q : uniq) {
+    if (!touched[q]) {
+      touched[q] = 1;
+      nodes.push_back(q);
+    }
+    for (NodeId y : index.Candidates(q)) {
+      if (!touched[y]) {
+        touched[y] = 1;
+        nodes.push_back(y);
+      }
+    }
+  }
+
+  // Gather pass: each touched row's m_x . w exactly once, written into a
+  // dense per-node table for O(1) reads while scoring. Chunks write
+  // disjoint entries (the list is duplicate-free), so no synchronization.
+  std::vector<double> node_dots(num_nodes, 0.0);
+  util::ParallelChunks(pool, nodes.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      node_dots[nodes[i]] = index.NodeDot(nodes[i], weights);
+    }
+  });
+
+  // Scoring pass: one independent top-k per unique query.
+  std::vector<QueryResult> uniq_results(uniq.size());
+  util::ParallelChunks(pool, uniq.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      uniq_results[i] = ScoreOne(index, weights, uniq[i], k, node_dots);
+    }
+  });
+
+  // Scatter back into batch order; duplicates copy the shared result.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const size_t pos = static_cast<size_t>(
+        std::lower_bound(uniq.begin(), uniq.end(), queries[i]) - uniq.begin());
+    results[i] = uniq_results[pos];
+  }
+  return results;
+}
+
+}  // namespace metaprox

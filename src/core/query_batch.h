@@ -1,0 +1,54 @@
+// Batched online phase: ranks many queries against the finalized metagraph
+// vector index in one pass, amortizing the index walks a per-query
+// SearchEngine::Query() repays on every call.
+//
+// What a batch amortizes:
+//   * duplicate query nodes are scored once and their result copied;
+//   * every node row touched by the batch (queries plus all their
+//     candidates) has m_x . w computed exactly once, instead of once per
+//     query that reaches it — candidate sets of related queries overlap
+//     heavily, so this is the dominant saving;
+//   * pair rows are read through the index's candidate-slot postings
+//     (MetagraphVectorIndex::CandidateSlots/SlotDot), a direct array walk
+//     with no per-pair hash probe;
+//   * distinct queries score independently, so the scoring pass fans out
+//     over a util::ThreadPool.
+//
+// Determinism contract (the batched counterpart of the offline pipeline's
+// contract in docs/ARCHITECTURE.md): for any batch composition and any
+// thread count, result i is IDENTICAL — same nodes, same (bitwise) scores,
+// same tie-break order — to RankByProximity(index, weights, queries[i],
+// Candidates(queries[i]), k), i.e. to what SearchEngine::Query(model,
+// queries[i], k) returns. Every cached dot product accumulates in the same
+// order as its per-query counterpart, and the shared ProximityRankBefore
+// order is total, so parallelism has nothing to reorder.
+#ifndef METAPROX_CORE_QUERY_BATCH_H_
+#define METAPROX_CORE_QUERY_BATCH_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "index/metagraph_vectors.h"
+#include "util/thread_pool.h"
+
+namespace metaprox {
+
+/// Top-k results for one query of a batch: (node, proximity) entries in
+/// ProximityRankBefore order, proximity > 0 only.
+using QueryResult = std::vector<std::pair<NodeId, double>>;
+
+/// Ranks every query of `queries` by descending pi(q, .; weights) over its
+/// candidate set, returning one QueryResult per query (aligned with
+/// `queries`, duplicates included). Requires a finalized index. With a
+/// non-null `pool` the per-query scoring runs on its workers; the results
+/// are identical for any pool size, including none.
+std::vector<QueryResult> BatchRankByProximity(
+    const MetagraphVectorIndex& index, std::span<const double> weights,
+    std::span<const NodeId> queries, size_t k,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_CORE_QUERY_BATCH_H_

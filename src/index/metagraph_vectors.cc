@@ -181,11 +181,15 @@ void MetagraphVectorIndex::Finalize() {
     cand_offsets_[i + 1] = cand_offsets_[i] + degree[i];
   }
   candidates_.resize(cand_offsets_[n]);
+  cand_slots_.resize(cand_offsets_[n]);
   std::vector<uint64_t> cursor(cand_offsets_.begin(), cand_offsets_.end() - 1);
-  for (uint64_t key : pair_keys_) {
+  for (size_t slot = 0; slot < pair_keys_.size(); ++slot) {
+    const uint64_t key = pair_keys_[slot];
     NodeId x = static_cast<NodeId>(key >> 32);
     NodeId y = static_cast<NodeId>(key & 0xffffffffu);
+    cand_slots_[cursor[x]] = static_cast<uint32_t>(slot);
     candidates_[cursor[x]++] = y;
+    cand_slots_[cursor[y]] = static_cast<uint32_t>(slot);
     candidates_[cursor[y]++] = x;
   }
   finalized_ = true;
@@ -278,6 +282,21 @@ std::span<const NodeId> MetagraphVectorIndex::Candidates(NodeId x) const {
   MX_CHECK_MSG(finalized_, "Finalize() must be called before Candidates()");
   return {candidates_.data() + cand_offsets_[x],
           candidates_.data() + cand_offsets_[x + 1]};
+}
+
+std::span<const uint32_t> MetagraphVectorIndex::CandidateSlots(NodeId x) const {
+  MX_CHECK_MSG(finalized_,
+               "Finalize() must be called before CandidateSlots()");
+  return {cand_slots_.data() + cand_offsets_[x],
+          cand_slots_.data() + cand_offsets_[x + 1]};
+}
+
+double MetagraphVectorIndex::SlotDot(uint32_t slot,
+                                     std::span<const double> w) const {
+  MX_DCHECK(finalized_ && slot < pair_vectors_.size());
+  double dot = 0.0;
+  for (const auto& [i, c] : pair_vectors_[slot]) dot += w[i] * Transform(c);
+  return dot;
 }
 
 namespace {

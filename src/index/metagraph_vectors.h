@@ -148,6 +148,7 @@ class MetagraphVectorIndex {
   void Finalize();
 
   size_t num_metagraphs() const { return num_metagraphs_; }
+  size_t num_graph_nodes() const { return node_vectors_.size(); }
   size_t num_shards() const { return num_shards_; }
   bool finalized() const { return finalized_; }
   /// Number of distinct (x, y) pair slots committed so far.
@@ -156,7 +157,9 @@ class MetagraphVectorIndex {
     return committed_[metagraph_index] != 0;
   }
 
-  /// m_x . w (transformed counts).
+  /// m_x . w (transformed counts). The batched online path
+  /// (core/query_batch.cc) calls this once per node row touched by a
+  /// batch, caching the results across queries.
   double NodeDot(NodeId x, std::span<const double> w) const;
 
   /// m_xy . w (transformed counts).
@@ -180,6 +183,18 @@ class MetagraphVectorIndex {
   /// Nodes that co-occur with x in at least one instance at symmetric
   /// positions — the online candidate set for query x. Requires Finalize().
   std::span<const NodeId> Candidates(NodeId x) const;
+
+  /// Pair-row slots aligned with Candidates(x): CandidateSlots(x)[i] is the
+  /// finalized pair-table slot of the (x, Candidates(x)[i]) row, usable with
+  /// SlotDot(). Lets the online path walk a query's pair rows directly with
+  /// no per-pair hash probe. Requires Finalize().
+  std::span<const uint32_t> CandidateSlots(NodeId x) const;
+
+  /// m_xy . w for the pair row in finalized slot `slot` (as returned by
+  /// CandidateSlots). Accumulates in the same row order as PairDot(), so the
+  /// result is bitwise-equal to PairDot(x, y, w) of the slot's pair.
+  /// Requires Finalize().
+  double SlotDot(uint32_t slot, std::span<const double> w) const;
 
   double Transform(double raw) const;
 
@@ -234,9 +249,12 @@ class MetagraphVectorIndex {
   std::unordered_map<uint64_t, uint32_t> pair_slots_;
   std::vector<SparseVec> pair_vectors_;  // indexed in pair_keys_ order
 
-  // CSR postings: candidates_[cand_offsets_[x] .. cand_offsets_[x+1])
+  // CSR postings: candidates_[cand_offsets_[x] .. cand_offsets_[x+1]).
+  // cand_slots_ is parallel to candidates_: the pair-table slot of the
+  // (x, candidate) row, so the online path can score without hash probes.
   std::vector<uint64_t> cand_offsets_;
   std::vector<NodeId> candidates_;
+  std::vector<uint32_t> cand_slots_;
   bool finalized_ = false;
 };
 

@@ -30,10 +30,7 @@ std::vector<std::pair<NodeId, double>> RankByProximity(
   }
   const size_t take = std::min(k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + static_cast<int64_t>(take),
-                    scored.end(), [](const auto& a, const auto& b) {
-                      if (a.second != b.second) return a.second > b.second;
-                      return a.first < b.first;
-                    });
+                    scored.end(), ProximityRankBefore);
   scored.resize(take);
   return scored;
 }

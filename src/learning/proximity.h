@@ -27,6 +27,17 @@ struct MgpModel {
 double MgpProximity(const MetagraphVectorIndex& index,
                     std::span<const double> weights, NodeId x, NodeId y);
 
+/// The one ranking order of the online phase: descending proximity, ties
+/// broken by ascending node id. Shared by the sequential (RankByProximity)
+/// and batched (BatchRankByProximity) paths — it is a strict total order
+/// over (node, score) entries with distinct nodes, which is what makes
+/// their top-k outputs comparable entry-for-entry.
+inline bool ProximityRankBefore(const std::pair<NodeId, double>& a,
+                                const std::pair<NodeId, double>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
 /// Ranks `candidates` by descending pi(q, .; w), ties broken by node id.
 /// Returns up to `k` (node, proximity) entries with proximity > 0.
 std::vector<std::pair<NodeId, double>> RankByProximity(

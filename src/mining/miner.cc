@@ -11,6 +11,7 @@
 #include "matching/order.h"
 #include "metagraph/canonical.h"
 #include "util/macros.h"
+#include "util/parallel_for.h"
 #include "util/stopwatch.h"
 
 namespace metaprox {
@@ -130,38 +131,20 @@ PatternEval EvaluatePattern(const Graph& g, const Metagraph& m,
   return ev;
 }
 
-// Maps `fn` over `items`, preserving input order in the result. With a
-// pool, items are evaluated concurrently in contiguous chunks — several
-// chunks per worker for load balance, but far fewer tasks than items, so
-// cheap per-item work (Canonicalize on thousands of extensions) is not
-// swamped by per-task queue/future overhead. Without a pool (or for
-// trivial batches) the map runs inline. `fn` must be safe to call
-// concurrently; results must be default-constructible.
+// Maps `fn` over `items`, preserving input order in the result. The
+// chunked fan-out (several chunks per worker, far fewer tasks than items
+// — cheap per-item work like Canonicalize is not swamped by per-task
+// queue/future overhead) lives in util::ParallelChunks, shared with the
+// batched online phase. `fn` must be safe to call concurrently; results
+// must be default-constructible.
 template <typename T, typename F>
 auto ParallelMap(util::ThreadPool* pool, const std::vector<T>& items, F fn)
     -> std::vector<decltype(fn(items[0]))> {
   using R = decltype(fn(items[0]));
-  if (pool == nullptr || items.size() <= 1) {
-    std::vector<R> out;
-    out.reserve(items.size());
-    for (const T& item : items) out.push_back(fn(item));
-    return out;
-  }
   std::vector<R> out(items.size());
-  const size_t chunk = std::max<size_t>(
-      1, items.size() / (4 * std::max<size_t>(1, pool->num_threads())));
-  std::vector<std::future<void>> futures;
-  futures.reserve(items.size() / chunk + 1);
-  for (size_t begin = 0; begin < items.size(); begin += chunk) {
-    const size_t end = std::min(items.size(), begin + chunk);
-    futures.push_back(pool->Submit([&fn, &items, &out, begin, end] {
-      for (size_t i = begin; i < end; ++i) out[i] = fn(items[i]);
-    }));
-  }
-  // Wait for every task before get() can rethrow: the tasks reference
-  // `fn`, `items` and `out`, so no queued task may outlive this frame.
-  for (auto& f : futures) f.wait();
-  for (auto& f : futures) f.get();
+  util::ParallelChunks(pool, items.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = fn(items[i]);
+  });
   return out;
 }
 

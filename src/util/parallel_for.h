@@ -1,0 +1,49 @@
+// Chunked parallel-for over an index range, shared by every stage that
+// fans pure per-element work out to a ThreadPool (the miner's per-level
+// map, the batched online query passes).
+#ifndef METAPROX_UTIL_PARALLEL_FOR_H_
+#define METAPROX_UTIL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace metaprox::util {
+
+/// Runs fn(begin, end) over [0, n) in contiguous chunks, on the pool when
+/// one is given (nullptr or a 1-thread pool runs inline as one chunk).
+/// fn must be safe to run concurrently on disjoint ranges and must not
+/// depend on the chunking for its results — callers compute pure
+/// per-element values, so the chunk count never shows in the output.
+/// Exceptions thrown by fn are rethrown here after every chunk finished.
+template <typename Fn>
+void ParallelChunks(ThreadPool* pool, size_t n, const Fn& fn) {
+  if (n == 0) return;
+  const size_t workers = pool == nullptr ? 1 : pool->num_threads();
+  if (workers <= 1 || n <= 1) {
+    fn(size_t{0}, n);
+    return;
+  }
+  // ~4x oversubscription: chunks big enough that per-task queue/future
+  // overhead stays negligible, small enough that one heavy chunk (a hub
+  // query's candidate set, one hard pattern) doesn't bound the pass.
+  const size_t chunks = std::min(n, 4 * workers);
+  const size_t step = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t begin = 0; begin < n; begin += step) {
+    const size_t end = std::min(n, begin + step);
+    futures.push_back(pool->Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  // Wait for every chunk before get() can rethrow: the chunks reference
+  // fn and caller-owned buffers, so none may still run once this frame
+  // unwinds.
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_PARALLEL_FOR_H_

@@ -25,7 +25,9 @@ TEST(Srw, QueryHasHighScore) {
   SupervisedRandomWalk srw(toy.graph, SrwOptions{});
   std::vector<double> p = srw.Ppr(toy.kate);
   for (NodeId v = 0; v < toy.graph.num_nodes(); ++v) {
-    if (v != toy.kate) EXPECT_GE(p[toy.kate], p[v]);
+    if (v != toy.kate) {
+      EXPECT_GE(p[toy.kate], p[v]);
+    }
   }
 }
 

@@ -89,7 +89,12 @@ inline Graph MakeRandomGraph(size_t n, size_t num_types, double avg_degree,
   util::Rng rng(seed);
   GraphBuilder b;
   for (size_t t = 0; t < num_types; ++t) {
-    b.InternType("t" + std::to_string(t));
+    // Built with += rather than operator+: the temporary-concat form trips
+    // GCC 12's -Wrestrict false positive (PR 105329) under -O2, which the
+    // -Werror CI configuration would promote.
+    std::string type_name = "t";
+    type_name += std::to_string(t);
+    b.InternType(type_name);
   }
   for (size_t i = 0; i < n; ++i) {
     b.AddNode(static_cast<TypeId>(rng.UniformInt(num_types)));
