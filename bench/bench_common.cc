@@ -1,11 +1,13 @@
 #include "bench_common.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
 #include <unordered_map>
 
+#include "util/macros.h"
 #include "util/parse.h"
 #include "util/rng.h"
 
@@ -19,6 +21,16 @@ bool FullScale() {
 namespace {
 int g_bench_threads = -1;  // -1 = not set via flag/API
 int g_bench_shards = -1;   // -1 = not set via flag/API
+
+// Function-local static: no global-construction ordering to worry about.
+struct JsonPathState {
+  bool set = false;
+  std::string path;
+};
+JsonPathState& BenchJsonState() {
+  static JsonPathState state;
+  return state;
+}
 }  // namespace
 
 // Strict count parsing lives in util::ParseCount (util/parse.h), shared
@@ -65,6 +77,22 @@ void SetBenchShards(unsigned num_shards) {
   g_bench_shards = static_cast<int>(num_shards);
 }
 
+const std::string& BenchJsonPath() {
+  JsonPathState& state = BenchJsonState();
+  if (!state.set) {
+    if (const char* env = std::getenv("METAPROX_BENCH_JSON")) {
+      SetBenchJsonPath(env);
+    }
+  }
+  return state.path;
+}
+
+void SetBenchJsonPath(std::string path) {
+  JsonPathState& state = BenchJsonState();
+  state.set = true;
+  state.path = std::move(path);
+}
+
 void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -82,8 +110,108 @@ void ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       SetBenchShards(value);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      if (arg[7] == '\0') {
+        std::fprintf(stderr, "bad flag: %s (expected --json=PATH)\n", arg);
+        std::exit(2);
+      }
+      SetBenchJsonPath(arg + 7);
     }
   }
+}
+
+JsonReport::JsonReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+JsonReport& JsonReport::BeginRecord() {
+  records_.emplace_back();
+  return *this;
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+JsonReport& JsonReport::Num(const std::string& key, double value) {
+  MX_CHECK_MSG(!records_.empty(), "call BeginRecord() before Num()");
+  records_.back().emplace_back(key, JsonNumber(value));
+  return *this;
+}
+
+JsonReport& JsonReport::Str(const std::string& key, const std::string& value) {
+  MX_CHECK_MSG(!records_.empty(), "call BeginRecord() before Str()");
+  records_.back().emplace_back(key, JsonQuote(value));
+  return *this;
+}
+
+bool JsonReport::WriteIfRequested() const {
+  const std::string& path = BenchJsonPath();
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench JSON to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"bench\": %s, \"scale\": \"%s\", \"records\": [",
+               JsonQuote(bench_name_).c_str(), FullScale() ? "full" : "small");
+  for (size_t r = 0; r < records_.size(); ++r) {
+    std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+    for (size_t i = 0; i < records_[r].size(); ++i) {
+      std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                   JsonQuote(records_[r][i].first).c_str(),
+                   records_[r][i].second.c_str());
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n]}\n");
+  const bool write_ok = std::ferror(f) == 0;
+  const bool ok = (std::fclose(f) == 0) && write_ok;
+  if (!ok) {
+    std::fprintf(stderr, "short write of bench JSON %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote bench JSON: %s\n", path.c_str());
+  return true;
 }
 
 namespace {

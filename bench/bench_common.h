@@ -43,9 +43,51 @@ void SetBenchThreads(unsigned num_threads);
 unsigned BenchShards();
 void SetBenchShards(unsigned num_shards);
 
-/// Parses the shared bench flags (`--threads=N`, `--shards=S`) from argv.
-/// Unknown arguments are left alone; malformed known flags exit(2).
+/// Path for the machine-readable JSON report (`BENCH_<name>.json`
+/// convention in CI). Resolution order: SetBenchJsonPath() /
+/// ParseBenchArgs(--json=PATH) > METAPROX_BENCH_JSON env var > "" (write
+/// nothing). See JsonReport.
+const std::string& BenchJsonPath();
+void SetBenchJsonPath(std::string path);
+
+/// Parses the shared bench flags (`--threads=N`, `--shards=S`,
+/// `--json=PATH`) from argv. Unknown arguments are left alone; malformed
+/// known flags exit(2).
 void ParseBenchArgs(int argc, char** argv);
+
+/// Accumulates one bench binary's per-configuration results and writes
+/// them as one JSON document, so CI can archive BENCH_*.json artifacts
+/// and a perf trajectory accumulates across runs (the human tables print
+/// regardless). Shape:
+///
+///   {"bench": "<name>", "scale": "small"|"full",
+///    "records": [{"<key>": <num>|"<str>", ...}, ...]}
+///
+/// Usage:
+///   JsonReport report("online_batch");
+///   report.BeginRecord().Num("batch", 8).Num("speedup", 6.2);
+///   ...
+///   report.WriteIfRequested();   // no-op unless --json / env set
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  /// Starts a new record; subsequent Num/Str calls land in it.
+  JsonReport& BeginRecord();
+  /// Adds a numeric field (full %.17g precision; non-finite -> null).
+  JsonReport& Num(const std::string& key, double value);
+  /// Adds a string field (JSON-escaped).
+  JsonReport& Str(const std::string& key, const std::string& value);
+
+  /// Writes the document to BenchJsonPath(). Returns false (with a
+  /// message on stderr) only on IO failure; disabled == trivially true.
+  bool WriteIfRequested() const;
+
+ private:
+  std::string bench_name_;
+  // Field values are stored pre-serialized as JSON fragments.
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 /// One benchmark dataset with its (mined, not yet matched) engine.
 struct Bundle {

@@ -67,7 +67,10 @@ std::string Speedup(double serial, double now) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --threads/--shards are ignored (the sweeps set their own); --json and
+  // METAPROX_BENCH_JSON select the machine-readable report.
+  ParseBenchArgs(argc, argv);
   std::printf("== parallel offline pipeline: mine + match + finalize ==\n");
   std::printf("hardware concurrency: %zu\n\n", util::ResolveNumThreads(0));
 
@@ -76,6 +79,7 @@ int main() {
   util::TablePrinter threads_table(
       {"threads", "mine (s)", "match (s)", "finalize (s)", "total (s)",
        "speedup", "index identical"});
+  JsonReport report("offline_pipeline");
 
   RunResult serial;
   for (unsigned threads : thread_counts) {
@@ -93,6 +97,15 @@ int main() {
                           Fmt(r.finalize), Fmt(total),
                           Speedup(serial_total, total),
                           identical ? "yes" : "NO — BUG"});
+    report.BeginRecord()
+        .Str("sweep", "threads")
+        .Num("threads", threads)
+        .Num("mine_seconds", r.mine)
+        .Num("match_seconds", r.match)
+        .Num("finalize_seconds", r.finalize)
+        .Num("total_seconds", total)
+        .Num("speedup", total > 0.0 ? serial_total / total : 0.0)
+        .Num("identical", identical ? 1 : 0);
     if (!identical) {
       std::fprintf(stderr,
                    "FATAL: offline phase with %u threads differs from "
@@ -115,6 +128,13 @@ int main() {
     shards_table.AddRow({std::to_string(shards), Fmt(r.match),
                          Speedup(serial.match, r.match),
                          identical ? "yes" : "NO — BUG"});
+    report.BeginRecord()
+        .Str("sweep", "shards")
+        .Num("threads", sweep_threads)
+        .Num("shards", shards)
+        .Num("match_seconds", r.match)
+        .Num("match_speedup", r.match > 0.0 ? serial.match / r.match : 0.0)
+        .Num("identical", identical ? 1 : 0);
     if (!identical) {
       std::fprintf(stderr,
                    "FATAL: index with %u shards differs from serial\n",
@@ -123,6 +143,7 @@ int main() {
     }
   }
   shards_table.Print(std::cout);
+  if (!report.WriteIfRequested()) return 1;
 
   std::printf(
       "\nexpected shape: total speedup monotone up to the core count; with "

@@ -91,6 +91,13 @@ int main(int argc, char** argv) {
 
   util::TablePrinter table(
       {"batch", "threads", "time (s)", "queries/s", "speedup", "identical"});
+  JsonReport report("online_batch");
+  report.BeginRecord()
+      .Str("config", "sequential")
+      .Num("queries", static_cast<double>(stream.size()))
+      .Num("seconds", sequential_seconds)
+      .Num("queries_per_second",
+           static_cast<double>(stream.size()) / sequential_seconds);
   bool all_identical = true;
   bool batched_wins_from_8 = true;
   for (size_t batch : batch_sizes) {
@@ -119,10 +126,20 @@ int main(int argc, char** argv) {
                         static_cast<double>(stream.size()) / seconds, 0),
                     util::FormatDouble(speedup, 2) + "x",
                     identical ? "yes" : "NO — BUG"});
+      report.BeginRecord()
+          .Str("config", "batched")
+          .Num("batch", static_cast<double>(batch))
+          .Num("threads", threads)
+          .Num("seconds", seconds)
+          .Num("queries_per_second",
+               static_cast<double>(stream.size()) / seconds)
+          .Num("speedup", speedup)
+          .Num("identical", identical ? 1 : 0);
     }
     if (batch >= 8 && best_speedup <= 1.0) batched_wins_from_8 = false;
   }
   table.Print(std::cout);
+  if (!report.WriteIfRequested()) return 1;
 
   std::printf(
       "\nexpected shape: speedup rises with batch size (more node-row "

@@ -24,7 +24,10 @@
 using namespace metaprox;        // NOLINT
 using namespace metaprox::bench; // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  // --threads is ignored (the sweep sets its own); --json and
+  // METAPROX_BENCH_JSON select the machine-readable report.
+  ParseBenchArgs(argc, argv);
   std::printf("== parallel offline matching: speedup vs. serial ==\n");
   std::printf("hardware concurrency: %zu\n\n",
               util::ResolveNumThreads(0));
@@ -33,6 +36,7 @@ int main() {
   util::TablePrinter table(
       {"threads", "match (s)", "speedup", "embeddings", "saturated",
        "index identical"});
+  JsonReport report("parallel_matching");
 
   std::string reference_serialization;
   double serial_seconds = 0.0;
@@ -67,6 +71,12 @@ int main() {
                   util::FormatDouble(serial_seconds / seconds, 2) + "x",
                   std::to_string(embeddings), std::to_string(saturated),
                   identical ? "yes" : "NO — BUG"});
+    report.BeginRecord()
+        .Num("threads", threads)
+        .Num("match_seconds", seconds)
+        .Num("speedup", seconds > 0.0 ? serial_seconds / seconds : 0.0)
+        .Num("embeddings", static_cast<double>(embeddings))
+        .Num("identical", identical ? 1 : 0);
     if (!identical) {
       std::fprintf(stderr,
                    "FATAL: index built with %u threads differs from serial\n",
@@ -75,6 +85,7 @@ int main() {
     }
   }
   table.Print(std::cout);
+  if (!report.WriteIfRequested()) return 1;
 
   std::printf(
       "\nexpected shape: monotone speedup up to the core count, flat "

@@ -1,0 +1,233 @@
+// Query-server throughput: end-to-end (TCP, wire protocol, micro-batching
+// batcher) latency/throughput of server::QueryServer over the batched
+// online phase, swept over the accumulation window / batch cap and the
+// number of concurrent client connections, vs. the one-query-per-request
+// configuration (max_batch = 1) on the same server stack.
+//
+// What micro-batching amortizes end to end: every window of queries is
+// ranked by ONE SearchEngine::BatchQuery call, so touched node rows are
+// gathered once per window instead of once per query, through the
+// engine's reusable epoch-marked BatchScratch (O(touched) per call, not
+// O(|V|)).
+//
+// Also verifies the server determinism contract on every configuration:
+// every response must carry exactly the nodes and bitwise-identical
+// scores of an offline engine.Query() for that node (scores cross the
+// wire as %.17g text, which round-trips the double bits).
+//
+// Flags/env: --threads/--shards apply to the engine (offline build AND
+// the server's scoring pool); --json / METAPROX_BENCH_JSON write the
+// machine-readable report; METAPROX_BENCH_SCALE=full for a longer stream.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/simple.h"
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/query_server.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+using namespace metaprox;         // NOLINT
+using namespace metaprox::bench;  // NOLINT
+
+namespace {
+
+constexpr size_t kTopK = 10;
+constexpr int kReps = 2;  // best-of reps: timing noise, not results
+
+struct Config {
+  const char* label;
+  size_t clients;
+  size_t max_batch;
+  uint64_t window_micros;
+};
+
+// One client connection's slice of the stream, fully pipelined. Returns
+// false (with a message) on any transport/protocol failure or on any
+// response that differs from the offline reference.
+bool RunClientSlice(uint16_t port, const std::vector<NodeId>& stream,
+                    size_t begin, size_t end,
+                    const std::vector<QueryResult>& reference,
+                    std::string* error) {
+  auto client = server::QueryClient::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    *error = client.status().ToString();
+    return false;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    auto status = client->SendQuery(stream[i], kTopK);
+    if (!status.ok()) {
+      *error = status.ToString();
+      return false;
+    }
+  }
+  for (size_t i = begin; i < end; ++i) {
+    auto response = client->ReceiveResponse();
+    if (!response.ok()) {
+      *error = response.status().ToString();
+      return false;
+    }
+    const QueryResult& expected = reference[stream[i]];
+    if (response->query != stream[i] ||
+        response->entries.size() != expected.size()) {
+      *error = "response shape differs from offline Query";
+      return false;
+    }
+    for (size_t r = 0; r < expected.size(); ++r) {
+      // Bitwise equality: %.17g round-trips the double exactly, so any
+      // difference here is a real determinism break, not formatting.
+      if (response->entries[r].node != expected[r].first ||
+          response->entries[r].score != expected[r].second) {
+        *error = "response differs from offline Query (rank " +
+                 std::to_string(r) + " of node " +
+                 std::to_string(stream[i]) + ")";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
+  std::printf("== query server: micro-batching window x clients sweep ==\n");
+  std::printf("hardware concurrency: %zu\n\n", util::ResolveNumThreads(0));
+
+  Bundle b = MakeFacebook(5, 450, 1200);
+  b.engine->MatchAll();
+  const MgpModel model{UniformWeights(b.engine->index())};
+
+  // Query stream: the user pool cycled to a fixed length (service-style
+  // repeat traffic), split contiguously across the client connections.
+  const size_t num_queries = FullScale() ? 10000 : 2000;
+  std::vector<NodeId> stream;
+  stream.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    stream.push_back(b.user_pool[i % b.user_pool.size()]);
+  }
+
+  // Offline reference, indexed by node id: what every server response must
+  // equal bit for bit.
+  std::vector<QueryResult> reference(b.ds.graph.num_nodes());
+  for (NodeId u : b.user_pool) {
+    reference[u] = b.engine->Query(model, u, kTopK);
+  }
+
+  const std::vector<Config> configs = {
+      {"unbatched", 4, 1, 0},
+      {"window 8", 4, 8, 1000},
+      {"window 64", 4, 64, 2000},
+      {"window 64, 8 conns", 8, 64, 2000},
+  };
+
+  util::TablePrinter table({"config", "clients", "max batch", "window (us)",
+                            "time (s)", "queries/s", "speedup", "batches"});
+  JsonReport report("server_throughput");
+  double unbatched_qps = 0.0;
+  double best_batched_qps = 0.0;
+  bool all_ok = true;
+  for (const Config& config : configs) {
+    double best_seconds = -1.0;
+    uint64_t batches = 0;
+    for (int rep = 0; rep < kReps && all_ok; ++rep) {
+      server::ServerOptions options;
+      options.port = 0;
+      options.max_batch = config.max_batch;
+      options.window_micros = config.window_micros;
+      options.default_k = kTopK;
+      server::QueryServer server(b.engine.get(), model, options);
+      auto status = server.Start();
+      if (!status.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+
+      std::vector<std::string> errors(config.clients);
+      std::vector<char> ok(config.clients, 1);
+      std::vector<std::thread> threads;
+      threads.reserve(config.clients);
+      util::Stopwatch timer;
+      for (size_t c = 0; c < config.clients; ++c) {
+        const size_t begin = stream.size() * c / config.clients;
+        const size_t end = stream.size() * (c + 1) / config.clients;
+        threads.emplace_back([&, c, begin, end] {
+          ok[c] = RunClientSlice(server.port(), stream, begin, end,
+                                 reference, &errors[c])
+                      ? 1
+                      : 0;
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      const double seconds = timer.ElapsedSeconds();
+      batches = server.stats().batches;
+      server.Stop();
+
+      for (size_t c = 0; c < config.clients; ++c) {
+        if (!ok[c]) {
+          std::fprintf(stderr, "FATAL [%s, client %zu]: %s\n", config.label,
+                       c, errors[c].c_str());
+          all_ok = false;
+        }
+      }
+      if (best_seconds < 0.0 || seconds < best_seconds) {
+        best_seconds = seconds;
+      }
+    }
+    if (!all_ok) break;
+
+    const double qps = static_cast<double>(stream.size()) / best_seconds;
+    if (config.max_batch == 1) {
+      unbatched_qps = qps;
+    } else {
+      best_batched_qps = std::max(best_batched_qps, qps);
+    }
+    const double speedup = unbatched_qps > 0.0 ? qps / unbatched_qps : 1.0;
+    table.AddRow({config.label, std::to_string(config.clients),
+                  std::to_string(config.max_batch),
+                  std::to_string(config.window_micros),
+                  util::FormatDouble(best_seconds, 3),
+                  util::FormatDouble(qps, 0),
+                  util::FormatDouble(speedup, 2) + "x",
+                  std::to_string(batches)});
+    report.BeginRecord()
+        .Str("config", config.label)
+        .Num("clients", static_cast<double>(config.clients))
+        .Num("max_batch", static_cast<double>(config.max_batch))
+        .Num("window_micros", static_cast<double>(config.window_micros))
+        .Num("seconds", best_seconds)
+        .Num("queries_per_second", qps)
+        .Num("speedup_vs_unbatched", speedup)
+        .Num("batches", static_cast<double>(batches));
+  }
+  table.Print(std::cout);
+  if (!report.WriteIfRequested()) return 1;
+
+  std::printf(
+      "\nexpected shape: micro-batching (max batch >= 8) clearly beats the "
+      "unbatched row — a window is ranked by one BatchQuery call, so node "
+      "rows are gathered once per window instead of once per query; every "
+      "response checked bitwise against offline Query().\n");
+
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "FATAL: server responses differ from offline Query\n");
+    return 1;
+  }
+  if (best_batched_qps <= unbatched_qps) {
+    std::fprintf(stderr,
+                 "FATAL: micro-batching does not beat one-query-per-request "
+                 "throughput (%.0f vs %.0f q/s)\n",
+                 best_batched_qps, unbatched_qps);
+    return 1;
+  }
+  return 0;
+}

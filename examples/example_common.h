@@ -1,0 +1,85 @@
+// Helpers shared by the example binaries (mgps_cli, metaprox_server).
+//
+// Header-only on purpose: every examples/*.cpp is auto-globbed into its
+// own binary by CMake, so a shared .cc would need build-system surgery.
+//
+// The dataset construction, engine options and per-class model training
+// here are THE definitions of "the same index" and "the same model" that
+// the server smoke check relies on: mgps_cli (offline + query) and
+// metaprox_server both call these with the same (kind, num, seed, class)
+// arguments, so their models are identical and — by the batched
+// determinism contract — their result bytes are too.
+#ifndef METAPROX_EXAMPLES_EXAMPLE_COMMON_H_
+#define METAPROX_EXAMPLES_EXAMPLE_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datagen/citation.h"
+#include "datagen/facebook.h"
+#include "datagen/linkedin.h"
+#include "eval/splits.h"
+#include "util/rng.h"
+
+namespace metaprox::examples {
+
+/// Regenerates one of the synthetic benchmark datasets. Exits(2) on an
+/// unknown kind (CLI usage error).
+inline datagen::Dataset MakeDataset(const std::string& kind, uint32_t num,
+                                    uint64_t seed) {
+  if (kind == "facebook") {
+    datagen::FacebookConfig cfg;
+    cfg.num_users = num;
+    return datagen::GenerateFacebook(cfg, seed);
+  }
+  if (kind == "linkedin") {
+    datagen::LinkedInConfig cfg;
+    cfg.num_users = num;
+    return datagen::GenerateLinkedIn(cfg, seed);
+  }
+  if (kind == "citation") {
+    datagen::CitationConfig cfg;
+    cfg.num_papers = num;
+    return datagen::GenerateCitation(cfg, seed);
+  }
+  std::fprintf(stderr, "unknown dataset kind: %s\n", kind.c_str());
+  std::exit(2);
+}
+
+/// The engine options every example binary uses for these datasets.
+inline EngineOptions MakeEngineOptions(const datagen::Dataset& ds,
+                                       unsigned num_threads,
+                                       size_t num_shards) {
+  EngineOptions options;
+  options.miner.anchor_type = ds.user_type;
+  options.miner.min_support = 4;
+  options.miner.max_nodes = 4;
+  options.num_threads = num_threads;
+  options.num_shards = num_shards;
+  return options;
+}
+
+/// Trains the per-class model exactly the way `mgps_cli query` always has:
+/// split seeded from (dataset seed + 1), 20% test split, 300 sampled
+/// examples, 300 training iterations. Deterministic in (dataset, class),
+/// which is what lets a separately started server reproduce the CLI's
+/// model bit for bit.
+inline MgpModel TrainClassModel(SearchEngine& engine,
+                                const datagen::Dataset& ds,
+                                const GroundTruth& gt, uint64_t seed) {
+  util::Rng rng(seed + 1);
+  QuerySplit split = SplitQueries(gt, 0.2, rng);
+  auto pool = ds.graph.NodesOfType(ds.user_type);
+  std::vector<NodeId> pool_vec(pool.begin(), pool.end());
+  auto examples = SampleExamples(gt, split.train, pool_vec, 300, rng);
+  TrainOptions train;
+  train.max_iterations = 300;
+  return engine.Train(examples, train);
+}
+
+}  // namespace metaprox::examples
+
+#endif  // METAPROX_EXAMPLES_EXAMPLE_COMMON_H_

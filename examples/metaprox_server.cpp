@@ -1,0 +1,201 @@
+// metaprox_server: long-lived query server over one saved offline phase.
+//
+// Usage:
+//   metaprox_server [flags] <facebook|linkedin|citation> <num> <seed>
+//                   <prefix> <class>
+//
+// Regenerates the dataset, restores the offline phase saved by
+// `mgps_cli offline` from <prefix>.{metagraphs,index}, trains the <class>
+// model exactly as `mgps_cli query` would (examples/example_common.h), and
+// serves the wire protocol of src/server/wire.h on 127.0.0.1 until
+// SIGINT/SIGTERM. Because the model and index match the CLI's and batched
+// results are identical to per-query results, the server's responses are
+// byte-identical to `mgps_cli --tsv --query-file` output over the same
+// prefix — which CI asserts.
+//
+// Flags (util::ParseCount strict parsing):
+//   --port=P         listen port; 0 = OS-assigned (default 0)
+//   --window-us=W    micro-batch accumulation window in microseconds
+//                    (default 1000; 0 = rank immediately)
+//   --max-batch=B    max queries ranked per BatchQuery call (default 64)
+//   --threads=N      scoring threads for BatchQuery (0 = all cores;
+//                    default 1)
+//   --shards=S       index pair-table shards (offline option parity with
+//                    mgps_cli; irrelevant after LoadOffline)
+//   --k=K            default top-k for requests that omit k (default 10)
+//   --port-file=F    write the bound port to F (atomically, via rename) —
+//                    how scripts find an OS-assigned port
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "example_common.h"
+#include "server/query_server.h"
+#include "util/parse.h"
+
+using namespace metaprox;  // NOLINT
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  metaprox_server [--port=P] [--window-us=W] [--max-batch=B]\n"
+      "                  [--threads=N] [--shards=S] [--k=K]\n"
+      "                  [--port-file=F]\n"
+      "                  <facebook|linkedin|citation> <num> <seed>\n"
+      "                  <prefix> <class>\n"
+      "run `mgps_cli offline <kind> <num> <seed> <prefix>` first to build\n"
+      "the index the server loads.\n");
+  return 2;
+}
+
+bool WritePortFile(const std::string& path, uint16_t port) {
+  // Write-then-rename so a polling script never reads a half-written file.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions server_options;
+  unsigned num_threads = 1;
+  size_t num_shards = 0;
+  std::string port_file;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    char* arg = argv[i];
+    unsigned value = 0;
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      if (!util::ParseCount(arg + 7, &value) || value > 65535) {
+        std::fprintf(stderr, "bad flag: %s (expected --port=0..65535)\n", arg);
+        return Usage();
+      }
+      server_options.port = static_cast<uint16_t>(value);
+    } else if (std::strncmp(arg, "--window-us=", 12) == 0) {
+      if (!util::ParseCount(arg + 12, &value)) {
+        std::fprintf(stderr, "bad flag: %s (expected --window-us=W)\n", arg);
+        return Usage();
+      }
+      server_options.window_micros = value;
+    } else if (std::strncmp(arg, "--max-batch=", 12) == 0) {
+      if (!util::ParseCount(arg + 12, &value) || value == 0) {
+        std::fprintf(stderr, "bad flag: %s (expected --max-batch=B>=1)\n",
+                     arg);
+        return Usage();
+      }
+      server_options.max_batch = value;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      if (!util::ParseCount(arg + 10, &value)) {
+        std::fprintf(stderr, "bad flag: %s (expected --threads=N)\n", arg);
+        return Usage();
+      }
+      num_threads = value;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      if (!util::ParseCount(arg + 9, &value)) {
+        std::fprintf(stderr, "bad flag: %s (expected --shards=S)\n", arg);
+        return Usage();
+      }
+      num_shards = value;
+    } else if (std::strncmp(arg, "--k=", 4) == 0) {
+      if (!util::ParseCount(arg + 4, &value) || value == 0) {
+        std::fprintf(stderr, "bad flag: %s (expected --k=K>=1)\n", arg);
+        return Usage();
+      }
+      server_options.default_k = value;
+    } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
+      port_file = arg + 12;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 5) return Usage();
+  const std::string kind = positional[0];
+  const uint32_t num = static_cast<uint32_t>(std::atoi(positional[1]));
+  const uint64_t seed = std::strtoull(positional[2], nullptr, 10);
+  const std::string prefix = positional[3];
+  const std::string class_name = positional[4];
+
+  // Block the shutdown signals BEFORE any thread exists: every thread the
+  // server spawns inherits the mask, so SIGINT/SIGTERM are delivered only
+  // to the sigwait below — no async handler, no racy flag.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGINT);
+  sigaddset(&shutdown_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+
+  datagen::Dataset ds = examples::MakeDataset(kind, num, seed);
+  std::fprintf(stderr, "dataset %s: %s\n", ds.name.c_str(),
+               ds.graph.Summary().c_str());
+
+  const GroundTruth* gt = ds.FindClass(class_name);
+  if (gt == nullptr) {
+    std::fprintf(stderr, "no such class: %s (available:", class_name.c_str());
+    for (const auto& c : ds.classes) {
+      std::fprintf(stderr, " %s", c.class_name().c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
+
+  SearchEngine engine(ds.graph,
+                      examples::MakeEngineOptions(ds, num_threads, num_shards));
+  auto status = engine.LoadOffline(prefix);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed (run 'mgps_cli offline' first?): %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "restored %zu metagraphs from %s\n",
+               engine.metagraphs().size(), prefix.c_str());
+
+  MgpModel model = examples::TrainClassModel(engine, ds, *gt, seed);
+  std::fprintf(stderr, "trained '%s' model\n", class_name.c_str());
+
+  server::QueryServer query_server(&engine, std::move(model), server_options);
+  status = query_server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u (window %llu us, max batch %zu)\n",
+              query_server.port(),
+              static_cast<unsigned long long>(server_options.window_micros),
+              server_options.max_batch);
+  std::fflush(stdout);
+  if (!port_file.empty() && !WritePortFile(port_file, query_server.port())) {
+    std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+    return 1;
+  }
+
+  int signal_number = 0;
+  sigwait(&shutdown_signals, &signal_number);
+  std::fprintf(stderr, "signal %d: shutting down\n", signal_number);
+  query_server.Stop();
+
+  const server::ServerStats stats = query_server.stats();
+  std::fprintf(stderr,
+               "served %llu queries in %llu batches "
+               "(largest %llu, %llu connections, %llu protocol errors)\n",
+               static_cast<unsigned long long>(stats.queries),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.largest_batch),
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}

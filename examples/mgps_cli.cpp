@@ -9,7 +9,8 @@
 //   mgps_cli [--threads=N] [--shards=S] query    <facebook|linkedin|citation>
 //                                   <num> <seed> <prefix> <class>
 //                                   <query-id> [k]
-//   mgps_cli [--threads=N] --query-file=F query  <facebook|linkedin|citation>
+//   mgps_cli [--threads=N] --query-file=F [--tsv] query
+//                                   <facebook|linkedin|citation>
 //                                   <num> <seed> <prefix> <class> [k]
 //
 // `generate` writes the typed object graph as text. `offline` regenerates
@@ -21,6 +22,12 @@
 // listed in F (whitespace-separated) in one SearchEngine::BatchQuery call
 // (batch results are identical to per-id queries; see core/query_batch.h).
 // The saved index is byte-identical for every --threads and --shards value.
+//
+// --tsv switches result output to the machine-readable form
+// "query<TAB>rank<TAB>node<TAB>score" (scores via server::FormatScore,
+// %.17g — exact double round-trip) with all narration on stderr. The CI
+// server smoke byte-diffs this against mgps_client --tsv output from a
+// running metaprox_server over the same saved index.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,11 +36,9 @@
 #include <vector>
 
 #include "core/engine.h"
-#include "datagen/citation.h"
-#include "datagen/facebook.h"
-#include "datagen/linkedin.h"
-#include "eval/splits.h"
+#include "example_common.h"
 #include "graph/graph_io.h"
+#include "server/wire.h"  // server::FormatScore: shared exact score format
 #include "util/parse.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"  // util::ResolveNumThreads
@@ -41,38 +46,6 @@
 using namespace metaprox;  // NOLINT
 
 namespace {
-
-datagen::Dataset MakeDataset(const std::string& kind, uint32_t num,
-                             uint64_t seed) {
-  if (kind == "facebook") {
-    datagen::FacebookConfig cfg;
-    cfg.num_users = num;
-    return datagen::GenerateFacebook(cfg, seed);
-  }
-  if (kind == "linkedin") {
-    datagen::LinkedInConfig cfg;
-    cfg.num_users = num;
-    return datagen::GenerateLinkedIn(cfg, seed);
-  }
-  if (kind == "citation") {
-    datagen::CitationConfig cfg;
-    cfg.num_papers = num;
-    return datagen::GenerateCitation(cfg, seed);
-  }
-  std::fprintf(stderr, "unknown dataset kind: %s\n", kind.c_str());
-  std::exit(2);
-}
-
-EngineOptions MakeOptions(const datagen::Dataset& ds, unsigned num_threads,
-                          size_t num_shards) {
-  EngineOptions options;
-  options.miner.anchor_type = ds.user_type;
-  options.miner.min_support = 4;
-  options.miner.max_nodes = 4;
-  options.num_threads = num_threads;
-  options.num_shards = num_shards;
-  return options;
-}
 
 int Usage() {
   std::fprintf(
@@ -93,8 +66,20 @@ int Usage() {
       "                   never changes the saved index bytes\n"
       "  --query-file=F   batch mode for 'query': rank every node id in F\n"
       "                   (whitespace-separated) in one batched call;\n"
-      "                   results are identical to per-id queries\n");
+      "                   results are identical to per-id queries\n"
+      "  --tsv            machine-readable results on stdout\n"
+      "                   (query<TAB>rank<TAB>node<TAB>score, %%.17g\n"
+      "                   scores), narration on stderr; byte-comparable\n"
+      "                   with mgps_client --tsv\n");
   return 2;
+}
+
+// One ranked entry in --tsv form (server::FormatTsvRow is the single
+// definition mgps_client shares).
+void PrintTsvRow(NodeId query, size_t rank, NodeId node, double score) {
+  const std::string row =
+      server::FormatTsvRow(query, rank, node, server::FormatScore(score));
+  std::fputs(row.c_str(), stdout);
 }
 
 }  // namespace
@@ -104,9 +89,12 @@ int main(int argc, char** argv) {
   unsigned num_threads = 1;
   size_t num_shards = 0;       // 0 = auto
   std::string query_file;      // non-empty = batch query mode
+  bool tsv = false;            // machine-readable results on stdout
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--query-file=", 13) == 0) {
+    if (std::strcmp(argv[i], "--tsv") == 0) {
+      tsv = true;
+    } else if (std::strncmp(argv[i], "--query-file=", 13) == 0) {
       query_file = argv[i] + 13;
       if (query_file.empty()) {
         std::fprintf(stderr, "--query-file needs a path\n");
@@ -140,9 +128,12 @@ int main(int argc, char** argv) {
   const uint64_t seed = std::strtoull(positional[3], nullptr, 10);
   const std::string path = positional[4];
 
-  datagen::Dataset ds = MakeDataset(kind, num, seed);
-  std::printf("dataset %s: %s\n", ds.name.c_str(),
-              ds.graph.Summary().c_str());
+  datagen::Dataset ds = examples::MakeDataset(kind, num, seed);
+  // In --tsv mode stdout carries only result rows (so it byte-diffs
+  // against mgps_client --tsv); narration moves to stderr.
+  std::FILE* info = tsv ? stderr : stdout;
+  std::fprintf(info, "dataset %s: %s\n", ds.name.c_str(),
+               ds.graph.Summary().c_str());
 
   if (command == "generate") {
     auto status = WriteGraphToFile(ds.graph, path);
@@ -155,7 +146,8 @@ int main(int argc, char** argv) {
   }
 
   if (command == "offline") {
-    SearchEngine engine(ds.graph, MakeOptions(ds, num_threads, num_shards));
+    SearchEngine engine(
+        ds.graph, examples::MakeEngineOptions(ds, num_threads, num_shards));
     engine.Mine();
     engine.MatchAll();
     std::printf("mined %zu metagraphs (%.1fs), matched (%.1fs, %u threads)\n",
@@ -228,30 +220,31 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    SearchEngine engine(ds.graph, MakeOptions(ds, num_threads, num_shards));
+    SearchEngine engine(
+        ds.graph, examples::MakeEngineOptions(ds, num_threads, num_shards));
     auto status = engine.LoadOffline(path);
     if (!status.ok()) {
       std::fprintf(stderr, "load failed (run 'offline' first?): %s\n",
                    status.ToString().c_str());
       return 1;
     }
-    std::printf("restored %zu metagraphs from %s\n",
-                engine.metagraphs().size(), path.c_str());
+    std::fprintf(info, "restored %zu metagraphs from %s\n",
+                 engine.metagraphs().size(), path.c_str());
 
-    util::Rng rng(seed + 1);
-    QuerySplit split = SplitQueries(*gt, 0.2, rng);
-    auto pool = ds.graph.NodesOfType(ds.user_type);
-    std::vector<NodeId> pool_vec(pool.begin(), pool.end());
-    auto examples = SampleExamples(*gt, split.train, pool_vec, 300, rng);
-    TrainOptions train;
-    train.max_iterations = 300;
-    MgpModel model = engine.Train(examples, train);
+    MgpModel model = examples::TrainClassModel(engine, ds, *gt, seed);
 
     if (batch_mode) {
       util::Stopwatch timer;
       auto results = engine.BatchQuery(model, batch, k);
       const double seconds = timer.ElapsedSeconds();
       for (size_t i = 0; i < batch.size(); ++i) {
+        if (tsv) {
+          for (size_t r = 0; r < results[i].size(); ++r) {
+            PrintTsvRow(batch[i], r + 1, results[i][r].first,
+                        results[i][r].second);
+          }
+          continue;
+        }
         std::printf("top-%zu '%s' results for node #%u:\n", k,
                     class_name.c_str(), batch[i]);
         for (const auto& [node, pi] : results[i]) {
@@ -260,15 +253,22 @@ int main(int argc, char** argv) {
                                                      : "");
         }
       }
-      std::printf("batched %zu queries in %.3fs (%.0f queries/s)\n",
-                  batch.size(), seconds,
-                  static_cast<double>(batch.size()) / seconds);
+      std::fprintf(info, "batched %zu queries in %.3fs (%.0f queries/s)\n",
+                   batch.size(), seconds,
+                   static_cast<double>(batch.size()) / seconds);
       return 0;
     }
 
+    auto results = engine.Query(model, query, k);
+    if (tsv) {
+      for (size_t r = 0; r < results.size(); ++r) {
+        PrintTsvRow(query, r + 1, results[r].first, results[r].second);
+      }
+      return 0;
+    }
     std::printf("top-%zu '%s' results for node #%u:\n", k,
                 class_name.c_str(), query);
-    for (const auto& [node, pi] : engine.Query(model, query, k)) {
+    for (const auto& [node, pi] : results) {
       std::printf("  #%-6u pi = %.4f%s\n", node, pi,
                   gt->IsPositive(query, node) ? "   [ground truth]" : "");
     }

@@ -1,0 +1,214 @@
+// mgps_client: load-generating client for metaprox_server.
+//
+// Usage:
+//   mgps_client [--host=H] --port=P [--k=K] [--connections=C] [--tsv]
+//               --query-file=F
+//
+// Reads whitespace-separated node ids from F, splits them into C
+// contiguous slices served by C concurrent connections (one thread each,
+// fully pipelined: every query is sent before the first response is
+// read), then prints the results IN INPUT ORDER:
+//   --tsv:    query<TAB>rank<TAB>node<TAB>score — score text echoed
+//             byte-for-byte from the wire, so the output byte-diffs
+//             against `mgps_cli --tsv --query-file=F` over the same index
+//             (the CI smoke check)
+//   default:  human-readable blocks, throughput summary on stderr
+//
+// Exits non-zero on any connect/protocol error or if any response answers
+// a different node than asked.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "util/parse.h"
+#include "util/stopwatch.h"
+
+using namespace metaprox;  // NOLINT
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  mgps_client [--host=H] --port=P [--k=K] [--connections=C]\n"
+      "              [--tsv] --query-file=F\n"
+      "flags:\n"
+      "  --host=H         server address, numeric IPv4 (default 127.0.0.1)\n"
+      "  --port=P         server port (required)\n"
+      "  --k=K            top-k per query (0 = server default; default 0)\n"
+      "  --connections=C  concurrent connections, one thread each\n"
+      "                   (default 1)\n"
+      "  --tsv            machine-readable output, byte-comparable with\n"
+      "                   mgps_cli --tsv\n"
+      "  --query-file=F   whitespace-separated node ids to rank\n");
+  return 2;
+}
+
+struct SliceResult {
+  std::vector<server::RankResponse> responses;  // aligned with the slice
+  std::string error;                            // non-empty = failed
+};
+
+// One connection's worth of work: pipeline the whole slice, then drain.
+// Responses arrive in send order (per-connection FIFO), so responses[i]
+// answers queries[begin + i].
+void RunSlice(const std::string& host, uint16_t port, size_t k,
+              const std::vector<NodeId>& queries, size_t begin, size_t end,
+              SliceResult* out) {
+  auto client = server::QueryClient::Connect(host, port);
+  if (!client.ok()) {
+    out->error = "connect: " + client.status().ToString();
+    return;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    auto status = client->SendQuery(queries[i], k);
+    if (!status.ok()) {
+      out->error = "send: " + status.ToString();
+      return;
+    }
+  }
+  out->responses.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    auto response = client->ReceiveResponse();
+    if (!response.ok()) {
+      out->error = "receive: " + response.status().ToString();
+      return;
+    }
+    if (response->query != queries[i]) {
+      out->error = "response order violated: asked " +
+                   std::to_string(queries[i]) + ", got " +
+                   std::to_string(response->query);
+      return;
+    }
+    out->responses.push_back(std::move(*response));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  unsigned port = 0;
+  unsigned k = 0;            // 0 = server default
+  unsigned connections = 1;
+  bool tsv = false;
+  std::string query_file;
+  for (int i = 1; i < argc; ++i) {
+    char* arg = argv[i];
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      if (!util::ParseCount(arg + 7, &port) || port == 0 || port > 65535) {
+        std::fprintf(stderr, "bad flag: %s (expected --port=1..65535)\n", arg);
+        return Usage();
+      }
+    } else if (std::strncmp(arg, "--k=", 4) == 0) {
+      if (!util::ParseCount(arg + 4, &k)) {
+        std::fprintf(stderr, "bad flag: %s (expected --k=K)\n", arg);
+        return Usage();
+      }
+    } else if (std::strncmp(arg, "--connections=", 14) == 0) {
+      if (!util::ParseCount(arg + 14, &connections) || connections == 0) {
+        std::fprintf(stderr, "bad flag: %s (expected --connections=C>=1)\n",
+                     arg);
+        return Usage();
+      }
+    } else if (std::strcmp(arg, "--tsv") == 0) {
+      tsv = true;
+    } else if (std::strncmp(arg, "--query-file=", 13) == 0) {
+      query_file = arg + 13;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage();
+    }
+  }
+  if (port == 0 || query_file.empty()) return Usage();
+
+  std::vector<NodeId> queries;
+  {
+    std::ifstream in(query_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read query file %s\n", query_file.c_str());
+      return 1;
+    }
+    uint64_t id = 0;
+    while (in >> id) {
+      // The wire carries 32-bit node ids; silently wrapping a larger value
+      // would query the wrong node instead of failing.
+      if (id > std::numeric_limits<NodeId>::max()) {
+        std::fprintf(stderr, "query id %llu does not fit a node id\n",
+                     static_cast<unsigned long long>(id));
+        return 1;
+      }
+      queries.push_back(static_cast<NodeId>(id));
+    }
+    if (!in.eof()) {
+      std::fprintf(stderr, "query file %s: malformed node id after %zu ids\n",
+                   query_file.c_str(), queries.size());
+      return 1;
+    }
+    if (queries.empty()) {
+      std::fprintf(stderr, "query file %s holds no node ids\n",
+                   query_file.c_str());
+      return 1;
+    }
+  }
+
+  const size_t num_slices =
+      std::min<size_t>(connections, queries.size());
+  std::vector<SliceResult> slices(num_slices);
+  std::vector<std::thread> threads;
+  threads.reserve(num_slices);
+  util::Stopwatch timer;
+  for (size_t s = 0; s < num_slices; ++s) {
+    const size_t begin = queries.size() * s / num_slices;
+    const size_t end = queries.size() * (s + 1) / num_slices;
+    threads.emplace_back(RunSlice, host, static_cast<uint16_t>(port), k,
+                         std::cref(queries), begin, end, &slices[s]);
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = timer.ElapsedSeconds();
+
+  for (size_t s = 0; s < num_slices; ++s) {
+    if (!slices[s].error.empty()) {
+      std::fprintf(stderr, "connection %zu failed: %s\n", s,
+                   slices[s].error.c_str());
+      return 1;
+    }
+  }
+
+  // Print in input order: slices are contiguous, so walking them in order
+  // reconstructs the query-file order whatever the arrival interleaving.
+  for (const SliceResult& slice : slices) {
+    for (const server::RankResponse& response : slice.responses) {
+      if (tsv) {
+        for (size_t r = 0; r < response.entries.size(); ++r) {
+          // Echo the wire's score text: the server's bytes ARE the output.
+          const std::string row =
+              server::FormatTsvRow(response.query, r + 1,
+                                   response.entries[r].node,
+                                   response.entries[r].score_text);
+          std::fputs(row.c_str(), stdout);
+        }
+        continue;
+      }
+      std::printf("top results for node #%u:\n", response.query);
+      for (const auto& entry : response.entries) {
+        std::printf("  #%-6u pi = %s\n", entry.node,
+                    entry.score_text.c_str());
+      }
+    }
+  }
+  std::fprintf(stderr, "%zu queries over %zu connections in %.3fs (%.0f q/s)\n",
+               queries.size(), num_slices, seconds,
+               static_cast<double>(queries.size()) / seconds);
+  return 0;
+}

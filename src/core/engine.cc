@@ -162,7 +162,8 @@ std::vector<std::vector<std::pair<NodeId, double>>> SearchEngine::BatchQuery(
   const size_t workers = util::ResolveNumThreads(options_.num_threads);
   util::ThreadPool* pool =
       (workers > 1 && queries.size() > 1) ? &Pool(workers) : nullptr;
-  return BatchRankByProximity(*index_, model.weights, queries, k, pool);
+  return BatchRankByProximity(*index_, model.weights, queries, k, pool,
+                              &batch_scratch_);
 }
 
 double SearchEngine::Proximity(const MgpModel& model, NodeId x,

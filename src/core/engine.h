@@ -108,6 +108,10 @@ class SearchEngine {
   /// non-const). Result i is identical — same nodes, same scores, same
   /// tie-break order — to Query(model, queries[i], k), for any batch
   /// composition and any thread count. Requires a finalized index.
+  /// Reuses one engine-owned BatchScratch across calls (epoch-marked, so a
+  /// call costs O(rows touched), not O(|V|)); like every non-const engine
+  /// method it must not run concurrently with itself. Query() stays const
+  /// and safe to call from other threads meanwhile.
   std::vector<std::vector<std::pair<NodeId, double>>> BatchQuery(
       const MgpModel& model, std::span<const NodeId> queries, size_t k);
 
@@ -164,6 +168,9 @@ class SearchEngine {
   /// first parallel MatchSubset), then reused across mining, MatchAll and
   /// dual-stage rounds.
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Reused by every BatchQuery call (a serving loop's batches touch the
+  /// same tables over and over; see BatchScratch).
+  BatchScratch batch_scratch_;
 };
 
 }  // namespace metaprox

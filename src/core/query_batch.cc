@@ -17,18 +17,18 @@ namespace {
 // makes the batched results bitwise-identical to the sequential path.
 QueryResult ScoreOne(const MetagraphVectorIndex& index,
                      std::span<const double> weights, NodeId q, size_t k,
-                     std::span<const double> node_dots) {
+                     const BatchScratch& scratch) {
   const std::span<const NodeId> candidates = index.Candidates(q);
   const std::span<const uint32_t> slots = index.CandidateSlots(q);
   QueryResult scored;
   scored.reserve(candidates.size());
-  const double q_dot = node_dots[q];
+  const double q_dot = scratch.NodeDot(q);
   for (size_t i = 0; i < candidates.size(); ++i) {
     const NodeId y = candidates[i];
     if (y == q) continue;
     const double numer = 2.0 * index.SlotDot(slots[i], weights);
     if (numer <= 0.0) continue;
-    const double denom = q_dot + node_dots[y];
+    const double denom = q_dot + scratch.NodeDot(y);
     if (denom <= 0.0) continue;
     scored.emplace_back(y, numer / denom);
   }
@@ -41,14 +41,34 @@ QueryResult ScoreOne(const MetagraphVectorIndex& index,
 
 }  // namespace
 
+void BatchScratch::BeginBatch(size_t num_nodes) {
+  if (epoch_of_.size() != num_nodes) {
+    // Different graph (or first use): full (re)allocation. Epoch restarts
+    // at 1 with every mark at 0, so nothing from the old graph survives.
+    epoch_of_.assign(num_nodes, 0);
+    node_dots_.assign(num_nodes, 0.0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  touched_.clear();
+}
+
 std::vector<QueryResult> BatchRankByProximity(
     const MetagraphVectorIndex& index, std::span<const double> weights,
-    std::span<const NodeId> queries, size_t k, util::ThreadPool* pool) {
+    std::span<const NodeId> queries, size_t k, util::ThreadPool* pool,
+    BatchScratch* scratch) {
   std::vector<QueryResult> results(queries.size());
   if (queries.empty()) return results;
 
   const size_t num_nodes = index.num_graph_nodes();
   for (NodeId q : queries) MX_CHECK(q < num_nodes);
+
+  // One-shot callers pay a fresh allocation here, exactly like the old
+  // dense scratch; callers in a serving loop pass a long-lived scratch and
+  // pay only for the rows this batch actually touches.
+  BatchScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  scratch->BeginBatch(num_nodes);
 
   // Duplicate query nodes are scored once: collapse to a sorted unique set
   // (sorted so the scatter below can binary-search its way back).
@@ -57,33 +77,21 @@ std::vector<QueryResult> BatchRankByProximity(
   uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
 
   // Every node row the batch will read — the queries plus all their
-  // candidates — listed once, however many candidate sets share it. The
-  // dedup mask and the dot table below are dense O(|V|) scratch: the right
-  // trade for graphs whose candidate sets cover a sizable node fraction;
-  // a multi-million-node graph serving tiny batches would want a sparse
-  // (hash or epoch-marked) scratch instead — see the ROADMAP follow-on.
-  std::vector<uint8_t> touched(num_nodes, 0);
-  std::vector<NodeId> nodes;
+  // candidates — is marked once in the scratch, however many candidate
+  // sets share it. Marking is epoch-based: a batch touching T rows costs
+  // O(T), not O(|V|), no matter how large the graph.
   for (NodeId q : uniq) {
-    if (!touched[q]) {
-      touched[q] = 1;
-      nodes.push_back(q);
-    }
-    for (NodeId y : index.Candidates(q)) {
-      if (!touched[y]) {
-        touched[y] = 1;
-        nodes.push_back(y);
-      }
-    }
+    scratch->MarkTouched(q);
+    for (NodeId y : index.Candidates(q)) scratch->MarkTouched(y);
   }
 
-  // Gather pass: each touched row's m_x . w exactly once, written into a
-  // dense per-node table for O(1) reads while scoring. Chunks write
-  // disjoint entries (the list is duplicate-free), so no synchronization.
-  std::vector<double> node_dots(num_nodes, 0.0);
+  // Gather pass: each touched row's m_x . w exactly once, cached in the
+  // scratch for O(1) reads while scoring. Chunks write disjoint entries
+  // (the touched list is duplicate-free), so no synchronization.
+  const std::span<const NodeId> nodes = scratch->touched();
   util::ParallelChunks(pool, nodes.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      node_dots[nodes[i]] = index.NodeDot(nodes[i], weights);
+      scratch->SetNodeDot(nodes[i], index.NodeDot(nodes[i], weights));
     }
   });
 
@@ -91,7 +99,7 @@ std::vector<QueryResult> BatchRankByProximity(
   std::vector<QueryResult> uniq_results(uniq.size());
   util::ParallelChunks(pool, uniq.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      uniq_results[i] = ScoreOne(index, weights, uniq[i], k, node_dots);
+      uniq_results[i] = ScoreOne(index, weights, uniq[i], k, *scratch);
     }
   });
 

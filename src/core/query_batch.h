@@ -25,12 +25,14 @@
 #ifndef METAPROX_CORE_QUERY_BATCH_H_
 #define METAPROX_CORE_QUERY_BATCH_H_
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "graph/types.h"
 #include "index/metagraph_vectors.h"
+#include "util/macros.h"
 #include "util/thread_pool.h"
 
 namespace metaprox {
@@ -39,15 +41,71 @@ namespace metaprox {
 /// ProximityRankBefore order, proximity > 0 only.
 using QueryResult = std::vector<std::pair<NodeId, double>>;
 
+/// Reusable epoch-marked scratch for BatchRankByProximity: the batch-wide
+/// node dedup mark and node-dot cache, dense over the graph's nodes but
+/// allocated once and never cleared between batches. BeginBatch() bumps an
+/// epoch instead of zeroing, so a long-lived caller (the query server's
+/// batch loop, SearchEngine::BatchQuery) pays O(rows touched) per batch —
+/// not O(|V|) — which is what makes tiny batches on multi-million-node
+/// graphs cheap. A scratch belongs to ONE caller at a time: concurrent
+/// BatchRankByProximity calls must use distinct scratches. (The gather
+/// pass's workers may write dots of distinct nodes concurrently; marking
+/// stays on the coordinating thread.)
+class BatchScratch {
+ public:
+  BatchScratch() = default;
+  // Movable (so owners like SearchEngine stay movable) but not copyable —
+  // a copy would silently double the O(|V|) tables.
+  BatchScratch(BatchScratch&&) = default;
+  BatchScratch& operator=(BatchScratch&&) = default;
+  MX_DISALLOW_COPY_AND_ASSIGN(BatchScratch);
+
+  /// Starts a new batch over a graph of `num_nodes` nodes. Previous marks
+  /// and cached dots expire in O(1) (epoch bump, no per-node clear);
+  /// tables are (re)allocated only when `num_nodes` changes.
+  void BeginBatch(size_t num_nodes);
+
+  /// Marks x as touched by the current batch; returns true on x's first
+  /// touch since BeginBatch(). Stale marks from earlier batches are
+  /// invisible (their epoch differs), so no state leaks across calls.
+  bool MarkTouched(NodeId x) {
+    if (epoch_of_[x] == epoch_) return false;
+    epoch_of_[x] = epoch_;
+    touched_.push_back(x);
+    return true;
+  }
+
+  /// Rows marked since BeginBatch(), in first-touch order.
+  std::span<const NodeId> touched() const { return touched_; }
+
+  /// Caches / reads m_x . w for a row marked in the current batch. Reading
+  /// an unmarked row is a bug (the slot may hold a stale dot from an
+  /// earlier batch); debug builds check.
+  void SetNodeDot(NodeId x, double dot) { node_dots_[x] = dot; }
+  double NodeDot(NodeId x) const {
+    MX_DCHECK(epoch_of_[x] == epoch_);
+    return node_dots_[x];
+  }
+
+ private:
+  uint64_t epoch_ = 0;  // 0 = no batch yet; epoch_of_ entries start at 0
+  std::vector<uint64_t> epoch_of_;  // epoch_of_[x] == epoch_ <=> x touched
+  std::vector<double> node_dots_;   // valid only where touched
+  std::vector<NodeId> touched_;
+};
+
 /// Ranks every query of `queries` by descending pi(q, .; weights) over its
 /// candidate set, returning one QueryResult per query (aligned with
 /// `queries`, duplicates included). Requires a finalized index. With a
 /// non-null `pool` the per-query scoring runs on its workers; the results
-/// are identical for any pool size, including none.
+/// are identical for any pool size, including none. With a non-null
+/// `scratch` the batch reuses that scratch's tables instead of allocating
+/// O(|V|) fresh ones — results are identical either way, whatever earlier
+/// batches the scratch served.
 std::vector<QueryResult> BatchRankByProximity(
     const MetagraphVectorIndex& index, std::span<const double> weights,
-    std::span<const NodeId> queries, size_t k,
-    util::ThreadPool* pool = nullptr);
+    std::span<const NodeId> queries, size_t k, util::ThreadPool* pool = nullptr,
+    BatchScratch* scratch = nullptr);
 
 }  // namespace metaprox
 

@@ -1,0 +1,56 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace metaprox::server {
+
+QueryClient::QueryClient(util::Socket socket)
+    : socket_(std::make_unique<util::Socket>(std::move(socket))),
+      // Far above the server's request-line cap: an 'R' line grows with k
+      // and the candidate-set size (~36 bytes per entry), and a response
+      // the server was willing to build must be one the client can read.
+      reader_(std::make_unique<util::LineReader>(*socket_,
+                                                 /*max_line_bytes=*/
+                                                 size_t{256} << 20)) {}
+
+util::StatusOr<QueryClient> QueryClient::Connect(const std::string& host,
+                                                 uint16_t port) {
+  auto socket = util::ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+  return QueryClient(std::move(*socket));
+}
+
+util::Status QueryClient::SendQuery(NodeId node, size_t k) {
+  return util::SendAll(*socket_, BuildQueryRequest(node, k));
+}
+
+util::StatusOr<RankResponse> QueryClient::ReceiveResponse() {
+  std::string line;
+  if (!reader_->ReadLine(&line)) {
+    return util::Status::IoError("connection closed by server");
+  }
+  RankResponse response;
+  if (!ParseQueryResponse(line, &response)) {
+    return util::Status::Internal("unexpected server response: " + line);
+  }
+  return response;
+}
+
+util::StatusOr<RankResponse> QueryClient::Rank(NodeId node, size_t k) {
+  MX_RETURN_IF_ERROR(SendQuery(node, k));
+  return ReceiveResponse();
+}
+
+util::Status QueryClient::Ping() {
+  MX_RETURN_IF_ERROR(util::SendAll(*socket_, BuildPingRequest()));
+  std::string line;
+  if (!reader_->ReadLine(&line)) {
+    return util::Status::IoError("connection closed by server");
+  }
+  if (line != "PONG") {
+    return util::Status::Internal("unexpected PING response: " + line);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace metaprox::server

@@ -1,0 +1,58 @@
+// Blocking client for the metaprox query server (server/wire.h protocol).
+// One QueryClient owns one connection; queries may be pipelined — send any
+// number with SendQuery(), then drain the responses in the same order with
+// ReceiveResponse() (the server preserves per-connection FIFO). A client
+// belongs to one thread; for concurrent load, open one client per thread
+// (examples/mgps_client.cpp, bench_server_throughput).
+#ifndef METAPROX_SERVER_CLIENT_H_
+#define METAPROX_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/wire.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace metaprox::server {
+
+class QueryClient {
+ public:
+  /// Connects to a running server. `host` must be a numeric IPv4 address.
+  static util::StatusOr<QueryClient> Connect(const std::string& host,
+                                             uint16_t port);
+
+  QueryClient(QueryClient&&) = default;
+  QueryClient& operator=(QueryClient&&) = default;
+  MX_DISALLOW_COPY_AND_ASSIGN(QueryClient);
+
+  /// Sends one query without waiting for its response (pipelining).
+  /// k = 0 asks for the server's default k.
+  util::Status SendQuery(NodeId node, size_t k);
+
+  /// Blocks for the next 'R' response, which answers the oldest
+  /// still-unanswered SendQuery() on this connection. An 'E' response or a
+  /// dropped connection surfaces as a non-OK Status.
+  util::StatusOr<RankResponse> ReceiveResponse();
+
+  /// SendQuery + ReceiveResponse. Only valid with no other queries in
+  /// flight on this connection.
+  util::StatusOr<RankResponse> Rank(NodeId node, size_t k);
+
+  /// Round-trips a PING (liveness / readiness probe). Only valid with no
+  /// queries in flight (PONG is answered out of band).
+  util::Status Ping();
+
+ private:
+  explicit QueryClient(util::Socket socket);
+
+  // Both heap-held so the reader's pointer to the socket stays valid when
+  // the client moves (LineReader is non-owning and non-copyable).
+  std::unique_ptr<util::Socket> socket_;
+  std::unique_ptr<util::LineReader> reader_;
+};
+
+}  // namespace metaprox::server
+
+#endif  // METAPROX_SERVER_CLIENT_H_

@@ -1,0 +1,289 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "server/wire.h"
+#include "util/logging.h"
+
+namespace metaprox::server {
+
+QueryServer::QueryServer(SearchEngine* engine, MgpModel model,
+                         ServerOptions options)
+    : engine_(engine), model_(std::move(model)), options_(options) {
+  MX_CHECK_MSG(engine_ != nullptr, "QueryServer needs an engine");
+  options_.max_batch = std::max<size_t>(1, options_.max_batch);
+  options_.default_k = std::max<size_t>(1, options_.default_k);
+  options_.max_pending = std::max(options_.max_pending, options_.max_batch);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+util::Status QueryServer::Start() {
+  MX_CHECK_MSG(!started_, "QueryServer::Start() called twice");
+  if (!engine_->index().finalized()) {
+    return util::Status::FailedPrecondition(
+        "QueryServer needs a finalized index (run MatchAll/FinalizeIndex "
+        "or LoadOffline first)");
+  }
+  auto listener = util::ListenTcpLoopback(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  auto port = util::LocalTcpPort(listener_);
+  if (!port.ok()) return port.status();
+  port_ = *port;
+  started_ = true;
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  batcher_thread_ = std::thread(&QueryServer::BatcherLoop, this);
+  return util::Status::Ok();
+}
+
+void QueryServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_.store(true);
+  }
+  queue_cv_.notify_all();
+  backpressure_cv_.notify_all();
+  // Shutdown (not Close): unblocks accept()/recv() while the fds stay
+  // owned, so no thread can observe a recycled fd number.
+  listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : connections_) conn->socket.Shutdown();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  // The accept thread may have registered one more connection after the
+  // first shutdown pass; now that it is joined, no further connections can
+  // appear, so this pass is complete.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : connections_) conn->socket.Shutdown();
+  }
+  std::unordered_map<uint64_t, std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers.swap(readers_);
+    finished_readers_.clear();
+    connections_.clear();
+  }
+  for (auto& [id, thread] : readers) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+ServerStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto accepted = util::AcceptConnection(listener_);
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      MX_LOG(Warning) << "accept failed: " << accepted.status().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    JoinFinishedReaders();
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(*accepted);
+
+    bool full = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (connections_.size() >= options_.max_connections) {
+        full = true;
+      } else {
+        // Count BEFORE the reader starts serving: a client must never
+        // observe its own responses while the counters still miss it.
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.connections_accepted;
+        }
+        conn->id = next_conn_id_++;
+        connections_[conn->id] = conn;
+        readers_[conn->id] =
+            std::thread(&QueryServer::ReaderLoop, this, conn);
+      }
+    }
+    if (full) {
+      (void)util::SendAll(conn->socket, BuildErrorResponse("server full"));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      // conn closes as it goes out of scope
+    }
+  }
+}
+
+void QueryServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  util::LineReader reader(conn->socket);
+  std::string line;
+  while (reader.ReadLine(&line)) {
+    Request request;
+    if (!ParseRequest(line, &request)) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      SendToConnection(*conn, BuildErrorResponse("malformed request"));
+      continue;
+    }
+    if (request.kind == Request::Kind::kPing) {
+      SendToConnection(*conn, "PONG\n");
+      continue;
+    }
+    if (request.kind == Request::Kind::kStats) {
+      const ServerStats s = stats();
+      SendToConnection(
+          *conn, "STATS " + std::to_string(s.connections_accepted) + ' ' +
+                     std::to_string(s.queries) + ' ' +
+                     std::to_string(s.batches) + ' ' +
+                     std::to_string(s.largest_batch) + ' ' +
+                     std::to_string(s.protocol_errors) + '\n');
+      continue;
+    }
+    // Validate here, not in the batcher: BatchQuery MX_CHECKs its node
+    // ids, and a bad remote request must be an 'E' response, not a crash.
+    if (request.node >= engine_->graph().num_nodes()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      SendToConnection(*conn, BuildErrorResponse("node out of range"));
+      continue;
+    }
+    PendingQuery pending;
+    pending.conn = conn;
+    pending.node = request.node;
+    pending.k = request.k == 0 ? options_.default_k : request.k;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      backpressure_cv_.wait(lock, [&] {
+        return stopping_.load() || queue_.size() < options_.max_pending;
+      });
+      if (stopping_.load()) break;
+      queue_.push_back(std::move(pending));
+    }
+    queue_cv_.notify_one();
+  }
+  // Treat EOF/error as a full disconnect: shut the socket down BEFORE
+  // deregistering, so a batcher send blocked (or about to block) on this
+  // connection fails fast instead of wedging — once the connection leaves
+  // connections_, Stop()'s shutdown passes can no longer reach it. (A
+  // peer that half-closes only its sending direction therefore forfeits
+  // any responses still queued; see wire.h.)
+  conn->socket.Shutdown();
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  connections_.erase(conn->id);
+  finished_readers_.push_back(conn->id);
+}
+
+void QueryServer::BatcherLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  while (true) {
+    queue_cv_.wait(lock,
+                   [&] { return stopping_.load() || !queue_.empty(); });
+    if (stopping_.load()) return;  // pending queries are dropped on Stop()
+    // Micro-batching: once at least one query is pending, wait up to the
+    // window for the batch to fill. Responses never change with the
+    // window (the batched determinism contract) — only throughput does.
+    if (options_.window_micros > 0 && queue_.size() < options_.max_batch) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.window_micros);
+      queue_cv_.wait_until(lock, deadline, [&] {
+        return stopping_.load() || queue_.size() >= options_.max_batch;
+      });
+      if (stopping_.load()) return;
+    }
+    const size_t take = std::min(queue_.size(), options_.max_batch);
+    std::vector<PendingQuery> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    backpressure_cv_.notify_all();
+    RankAndRespond(std::move(batch));
+    lock.lock();
+  }
+}
+
+void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
+  // One BatchQuery per distinct k in the window (requests may name their
+  // own k; nearly always there is exactly one group).
+  struct Group {
+    size_t k = 0;
+    std::vector<NodeId> nodes;
+    std::vector<QueryResult> results;
+  };
+  std::vector<Group> groups;
+  std::vector<std::pair<size_t, size_t>> member_of(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    size_t g = 0;
+    while (g < groups.size() && groups[g].k != batch[i].k) ++g;
+    if (g == groups.size()) {
+      groups.emplace_back();
+      groups.back().k = batch[i].k;
+    }
+    member_of[i] = {g, groups[g].nodes.size()};
+    groups[g].nodes.push_back(batch[i].node);
+  }
+
+  for (Group& group : groups) {
+    // The batcher is the engine's only non-const user while the server
+    // runs, so this reuses the engine's ThreadPool and BatchScratch.
+    group.results = engine_->BatchQuery(model_, group.nodes, group.k);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches;
+    stats_.largest_batch =
+        std::max<uint64_t>(stats_.largest_batch, group.nodes.size());
+  }
+
+  // Count the batch as served BEFORE the responses go out: a client that
+  // reads its last response and immediately asks for stats must see it.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.queries += batch.size();
+  }
+
+  // Respond in pop order: the queue is FIFO and this loop is sequential,
+  // so each connection sees its responses in the order it sent requests.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto [g, pos] = member_of[i];
+    SendToConnection(*batch[i].conn, BuildQueryResponse(
+                                         batch[i].node, groups[g].results[pos]));
+  }
+}
+
+void QueryServer::SendToConnection(Connection& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  // A failed send means the client hung up; its reader thread is already
+  // tearing the connection down, so there is nothing to do here.
+  (void)util::SendAll(conn.socket, line);
+}
+
+void QueryServer::JoinFinishedReaders() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (uint64_t id : finished_readers_) {
+      auto it = readers_.find(id);
+      if (it != readers_.end()) {
+        done.push_back(std::move(it->second));
+        readers_.erase(it);
+      }
+    }
+    finished_readers_.clear();
+  }
+  for (std::thread& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+}  // namespace metaprox::server

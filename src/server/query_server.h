@@ -1,0 +1,170 @@
+// QueryServer: a long-lived, dependency-free TCP front end over the
+// batched online phase — the "service front-end" follow-on of ROADMAP.md.
+//
+// Request flow (see also docs/ARCHITECTURE.md, "The server layer"):
+//
+//   accept thread ──► one reader thread per connection
+//                         │  parse line (server/wire.h), validate node
+//                         ▼
+//                     pending queue  (FIFO across all connections)
+//                         │
+//                     batcher thread: waits up to `window_micros` for up to
+//                         │           `max_batch` queries (micro-batching)
+//                         ▼
+//                     SearchEngine::BatchQuery(model, nodes, k)
+//                         │           one call per distinct k in the window,
+//                         │           on the engine's shared ThreadPool,
+//                         │           reusing its epoch-marked BatchScratch
+//                         ▼
+//                     responses written back per connection, in each
+//                     connection's request order
+//
+// Because BatchQuery results are identical to per-query Query() (the
+// batched determinism contract), the accumulation window and batch cap are
+// pure throughput/latency knobs: no setting changes any response byte.
+//
+// Threading: the batcher is the only thread that touches the engine's
+// non-const API, so one QueryServer may share an engine with concurrent
+// const readers (Query()), but not with another running QueryServer or any
+// offline mutation. Reader threads never block on response writes of other
+// connections; requests keep draining while the batcher writes, so a
+// client that pipelines queries before reading only grows the pending
+// queue (bounded by `max_pending`).
+//
+// Known limitation (single-host building block, not an internet-facing
+// server — see the ROADMAP hardening follow-on): the batcher writes
+// responses with blocking sends, so a client that stops reading
+// head-of-line-blocks responses for every connection once its TCP buffers
+// fill, and a client with more than `max_pending` unread queries in
+// flight can wedge the server until it is stopped or the client is
+// killed. Trusted well-behaved clients (ours drain their pipelines) never
+// hit either bound.
+#ifndef METAPROX_SERVER_QUERY_SERVER_H_
+#define METAPROX_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace metaprox::server {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 = OS-assigned (read back with port()).
+  uint16_t port = 0;
+  /// Upper bound on queries ranked by one BatchQuery call.
+  size_t max_batch = 64;
+  /// How long the batcher waits for a window to fill once it holds at
+  /// least one query. 0 = rank whatever is queued immediately (lowest
+  /// latency, least batching).
+  uint64_t window_micros = 1000;
+  /// k used by requests that do not name one.
+  size_t default_k = 10;
+  /// Connections beyond this are refused with an 'E' response.
+  size_t max_connections = 256;
+  /// Backpressure bound on queued-but-unranked queries: a reader whose
+  /// enqueue would exceed it waits, which in turn stalls that client's TCP
+  /// stream. Far above anything the tests or benches queue; exists so an
+  /// unbounded pipelining client cannot grow server memory without limit.
+  size_t max_pending = 1 << 20;
+};
+
+// Counters advance before their event becomes externally observable (a
+// ranked query is counted before its 'R' line is written), so a client
+// that just read a response is guaranteed to see it reflected here.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t queries = 0;          // 'Q' requests ranked
+  uint64_t batches = 0;          // BatchQuery calls issued
+  uint64_t largest_batch = 0;    // max queries ranked by one call
+  uint64_t protocol_errors = 0;  // 'E' responses sent
+};
+
+/// One server instance: Start() once, Stop() once (or let the destructor).
+/// Not restartable — make a new instance.
+class QueryServer {
+ public:
+  /// `engine` must have a finalized index and outlive the server; the
+  /// model is copied. The server uses the engine's BatchQuery, so scoring
+  /// threads come from EngineOptions::num_threads.
+  QueryServer(SearchEngine* engine, MgpModel model, ServerOptions options);
+  ~QueryServer();
+  MX_DISALLOW_COPY_AND_ASSIGN(QueryServer);
+
+  /// Binds 127.0.0.1 and spawns the accept/batcher threads. On return the
+  /// socket is listening: a subsequent connect cannot be refused.
+  util::Status Start();
+
+  /// Stops accepting, disconnects every client, joins all threads.
+  /// Queries still pending in the queue are dropped (their connections are
+  /// closing anyway). Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    util::Socket socket;
+    std::mutex write_mu;  // serializes response lines on this socket
+  };
+
+  struct PendingQuery {
+    std::shared_ptr<Connection> conn;
+    NodeId node = kInvalidNode;
+    size_t k = 0;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void BatcherLoop();
+  /// Ranks one popped window (grouped by k) and writes the responses in
+  /// pop order, preserving per-connection FIFO.
+  void RankAndRespond(std::vector<PendingQuery> batch);
+  void SendToConnection(Connection& conn, const std::string& line);
+  void JoinFinishedReaders();
+
+  SearchEngine* engine_;
+  MgpModel model_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  util::Socket listener_;
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::thread batcher_thread_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;     // batcher waits: work or stop
+  std::condition_variable backpressure_cv_;  // readers wait: queue space
+  std::deque<PendingQuery> queue_;       // guarded by queue_mu_
+  // Written under queue_mu_ (so the cv waits are race-free); atomic so the
+  // accept/reader threads may read it without the lock.
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  uint64_t next_conn_id_ = 1;                       // guarded by conns_mu_
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>>
+      connections_;                                 // guarded by conns_mu_
+  std::unordered_map<uint64_t, std::thread> readers_;  // guarded by conns_mu_
+  std::vector<uint64_t> finished_readers_;          // guarded by conns_mu_
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;  // guarded by stats_mu_
+};
+
+}  // namespace metaprox::server
+
+#endif  // METAPROX_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,168 @@
+#include "server/wire.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace metaprox::server {
+
+namespace {
+
+// Splits the leading token of `*rest` at a single space. Strict on
+// purpose: empty tokens (doubled spaces, leading/trailing space) fail, so
+// a malformed request can't silently alias a well-formed one.
+bool NextToken(std::string_view* rest, std::string_view* token) {
+  if (rest->empty()) return false;
+  const size_t space = rest->find(' ');
+  if (space == 0) return false;  // leading/doubled space
+  if (space == std::string_view::npos) {
+    *token = *rest;
+    rest->remove_prefix(rest->size());
+  } else {
+    *token = rest->substr(0, space);
+    rest->remove_prefix(space + 1);
+    if (rest->empty()) return false;  // trailing space
+  }
+  return !token->empty();
+}
+
+// Strict decimal parse of an unsigned 64-bit token (digits only, no signs,
+// no overflow). The wire carries node ids and counts; anything else is a
+// protocol error.
+bool ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseNode(std::string_view token, NodeId* out) {
+  uint64_t value = 0;
+  if (!ParseU64(token, &value) || value > UINT32_MAX) return false;
+  *out = static_cast<NodeId>(value);
+  return true;
+}
+
+bool ParseScore(std::string_view token, double* out) {
+  // strtod needs a terminated buffer; scores are short.
+  char buf[64];
+  if (token.empty() || token.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, token.data(), token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  *out = std::strtod(buf, &end);
+  return end == buf + token.size();
+}
+
+}  // namespace
+
+std::string FormatScore(double score) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", score);
+  return buf;
+}
+
+std::string FormatTsvRow(NodeId query, size_t rank, NodeId node,
+                         std::string_view score_text) {
+  std::string row = std::to_string(query);
+  row += '\t';
+  row += std::to_string(rank);
+  row += '\t';
+  row += std::to_string(node);
+  row += '\t';
+  row += score_text;
+  row += '\n';
+  return row;
+}
+
+std::string BuildQueryRequest(NodeId node, size_t k) {
+  std::string line = "Q ";
+  line += std::to_string(node);
+  if (k != 0) {
+    line += ' ';
+    line += std::to_string(k);
+  }
+  line += '\n';
+  return line;
+}
+
+bool ParseRequest(std::string_view line, Request* out) {
+  if (line == "PING") {
+    out->kind = Request::Kind::kPing;
+    return true;
+  }
+  if (line == "STATS") {
+    out->kind = Request::Kind::kStats;
+    return true;
+  }
+  std::string_view rest = line;
+  std::string_view token;
+  if (!NextToken(&rest, &token) || token != "Q") return false;
+  out->kind = Request::Kind::kQuery;
+  if (!NextToken(&rest, &token) || !ParseNode(token, &out->node)) return false;
+  out->k = 0;
+  if (!rest.empty()) {
+    uint64_t k = 0;
+    if (!NextToken(&rest, &token) || !ParseU64(token, &k) || k == 0) {
+      return false;
+    }
+    out->k = static_cast<size_t>(k);
+  }
+  return rest.empty();
+}
+
+std::string BuildQueryResponse(NodeId node, const QueryResult& result) {
+  std::string line = "R ";
+  line += std::to_string(node);
+  line += ' ';
+  line += std::to_string(result.size());
+  for (const auto& [candidate, score] : result) {
+    line += ' ';
+    line += std::to_string(candidate);
+    line += ' ';
+    line += FormatScore(score);
+  }
+  line += '\n';
+  return line;
+}
+
+std::string BuildErrorResponse(std::string_view message) {
+  std::string line = "E ";
+  line += message;
+  line += '\n';
+  return line;
+}
+
+bool ParseQueryResponse(std::string_view line, RankResponse* out) {
+  std::string_view rest = line;
+  std::string_view token;
+  if (!NextToken(&rest, &token) || token != "R") return false;
+  if (!NextToken(&rest, &token) || !ParseNode(token, &out->query)) {
+    return false;
+  }
+  uint64_t n = 0;
+  if (!NextToken(&rest, &token) || !ParseU64(token, &n)) return false;
+  out->entries.clear();
+  out->entries.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ResponseEntry entry;
+    if (!NextToken(&rest, &token) || !ParseNode(token, &entry.node)) {
+      return false;
+    }
+    if (!NextToken(&rest, &token) || !ParseScore(token, &entry.score)) {
+      return false;
+    }
+    entry.score_text.assign(token);
+    out->entries.push_back(std::move(entry));
+  }
+  return rest.empty();
+}
+
+}  // namespace metaprox::server

@@ -1,0 +1,105 @@
+// Wire protocol of the metaprox query server: a line-oriented text
+// protocol, one message per '\n'-terminated line, chosen over HTTP so the
+// server stays dependency-free and a smoke test can drive it with a few
+// lines of shell.
+//
+// Requests (client -> server):
+//   Q <node> [k]     rank node's candidates, top-k (k defaults server-side)
+//   PING             liveness probe
+//   STATS            server counters
+//
+// Responses (server -> client):
+//   R <node> <n> <cand_1> <score_1> ... <cand_n> <score_n>
+//   PONG
+//   STATS <connections> <queries> <batches> <largest_batch> <errors>
+//   E <message>      protocol error (malformed line, node out of range);
+//                    the connection stays open
+//
+// Ordering: 'R' responses on one connection arrive in the order their 'Q'
+// requests were sent (the batcher preserves per-connection FIFO), so
+// clients may pipeline queries freely. PING/STATS/E are answered out of
+// band by the reader thread and may overtake pending 'R' responses — don't
+// interleave them with outstanding queries if ordering matters.
+//
+// Connection lifetime: EOF on the request direction is a full disconnect.
+// A peer that half-closes its sending side (shutdown(SHUT_WR)) while
+// responses are still pending forfeits them — keep the connection open
+// until the last response has been read.
+//
+// Determinism: scores are serialized with FormatScore (%.17g), which
+// round-trips an IEEE double exactly. The server's scores are bitwise
+// identical to offline BatchQuery/Query scores (see the batched
+// determinism contract in docs/ARCHITECTURE.md), so client output can be
+// byte-diffed against offline `mgps_cli --tsv` output — that diff is the
+// CI end-to-end smoke check.
+#ifndef METAPROX_SERVER_WIRE_H_
+#define METAPROX_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/query_batch.h"
+#include "graph/types.h"
+
+namespace metaprox::server {
+
+/// Serializes a score so that parsing it back yields the same double bits
+/// (17 significant digits round-trip IEEE binary64). Shared by the server,
+/// the client's TSV output and mgps_cli --tsv, which is what makes their
+/// outputs byte-comparable.
+std::string FormatScore(double score);
+
+/// THE --tsv result-row format ("query<TAB>rank<TAB>node<TAB>score\n",
+/// rank 1-based), shared by mgps_cli --tsv (which passes
+/// FormatScore(score)) and mgps_client --tsv (which echoes the wire's
+/// score text). One definition, so the byte-diff the CI smoke performs
+/// can only break for real determinism reasons, never formatting drift.
+std::string FormatTsvRow(NodeId query, size_t rank, NodeId node,
+                         std::string_view score_text);
+
+// ---- requests -------------------------------------------------------------
+
+struct Request {
+  enum class Kind { kQuery, kPing, kStats };
+  Kind kind = Kind::kQuery;
+  NodeId node = kInvalidNode;  // kQuery only
+  size_t k = 0;                // kQuery only; 0 = use the server default
+};
+
+std::string BuildQueryRequest(NodeId node, size_t k);
+inline std::string BuildPingRequest() { return "PING\n"; }
+inline std::string BuildStatsRequest() { return "STATS\n"; }
+
+/// Parses one request line (no terminator). Strict: single spaces, no
+/// trailing garbage, counts must parse. Returns false on malformed input.
+bool ParseRequest(std::string_view line, Request* out);
+
+// ---- responses ------------------------------------------------------------
+
+std::string BuildQueryResponse(NodeId node, const QueryResult& result);
+std::string BuildErrorResponse(std::string_view message);
+
+struct ResponseEntry {
+  NodeId node = kInvalidNode;
+  double score = 0.0;
+  /// The score exactly as it appeared on the wire; echoing this (rather
+  /// than re-serializing the parsed double) keeps client output bytes
+  /// equal to server bytes even if a client is built with different
+  /// printf behavior.
+  std::string score_text;
+};
+
+struct RankResponse {
+  NodeId query = kInvalidNode;
+  std::vector<ResponseEntry> entries;
+};
+
+/// Parses an 'R' line (no terminator). Returns false on anything else —
+/// including 'E' lines, which callers should surface verbatim.
+bool ParseQueryResponse(std::string_view line, RankResponse* out);
+
+}  // namespace metaprox::server
+
+#endif  // METAPROX_SERVER_WIRE_H_

@@ -1,0 +1,155 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace metaprox::util {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::Shutdown() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<Socket> ListenTcpLoopback(uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+
+  // Without SO_REUSEADDR a restart within TIME_WAIT of the old server
+  // fails to bind; harmless on loopback.
+  int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(sock.fd(), backlog) < 0) return Errno("listen");
+  return sock;
+}
+
+StatusOr<uint16_t> LocalTcpPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+StatusOr<Socket> AcceptConnection(const Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+StatusOr<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    return sock;
+  }
+  if (errno != EINTR) return Errno("connect");
+  // An EINTR'd connect keeps completing asynchronously — re-calling
+  // connect() would yield EALREADY/EISCONN, not a clean status. Wait for
+  // writability, then read the real outcome from SO_ERROR.
+  pollfd pfd{};
+  pfd.fd = sock.fd();
+  pfd.events = POLLOUT;
+  while (::poll(&pfd, 1, /*timeout=*/-1) < 0) {
+    if (errno != EINTR) return Errno("poll");
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+    return Errno("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    errno = err;
+    return Errno("connect");
+  }
+  return sock;
+}
+
+Status SendAll(const Socket& socket, std::string_view data) {
+  while (!data.empty()) {
+    // MSG_NOSIGNAL: a hung-up peer yields EPIPE instead of SIGPIPE killing
+    // the process.
+    const ssize_t sent =
+        ::send(socket.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data.remove_prefix(static_cast<size_t>(sent));
+  }
+  return Status::Ok();
+}
+
+bool LineReader::ReadLine(std::string* line) {
+  while (true) {
+    const size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      size_t end = newline;
+      if (end > pos_ && buffer_[end - 1] == '\r') --end;
+      line->assign(buffer_, pos_, end - pos_);
+      pos_ = newline + 1;
+      // Compact once the consumed prefix dominates, so the buffer does not
+      // grow with connection lifetime.
+      if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return true;
+    }
+    if (buffer_.size() - pos_ > max_line_bytes_) return false;
+
+    char chunk[4096];
+    ssize_t got;
+    do {
+      got = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return false;  // EOF, error, or Shutdown() from Stop()
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+}  // namespace metaprox::util

@@ -1,0 +1,110 @@
+// Minimal RAII TCP helpers for the query server layer (src/server): an fd
+// wrapper, loopback listen/connect/accept, full-buffer send, and a buffered
+// line reader. POSIX sockets only — the server is dependency-free by
+// design; nothing here knows about the wire protocol (src/server/wire.h).
+//
+// All helpers report recoverable failures (refused connection, peer reset,
+// out of fds) through util::Status; programmer errors abort via MX_CHECK.
+#ifndef METAPROX_UTIL_SOCKET_H_
+#define METAPROX_UTIL_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace metaprox::util {
+
+/// Move-only owner of one socket fd; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.Release()) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  MX_DISALLOW_COPY_AND_ASSIGN(Socket);
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership of the fd without closing it.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+  /// Half-closes both directions without closing the fd. Any thread blocked
+  /// reading this socket — or, on Linux, blocked in accept() on a listening
+  /// socket — returns immediately, which is how the server interrupts its
+  /// accept and reader threads on Stop(). Safe to call from another thread
+  /// while the fd is in use (Close() is not: the fd number could be reused
+  /// under the blocked thread).
+  void Shutdown() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (port 0 = OS-assigned; read it
+/// back with LocalTcpPort). Loopback-only on purpose: the query server is a
+/// single-host building block — anything internet-facing belongs behind a
+/// real front end.
+StatusOr<Socket> ListenTcpLoopback(uint16_t port, int backlog = 128);
+
+/// The local port a socket is bound to (after ListenTcpLoopback with
+/// port 0).
+StatusOr<uint16_t> LocalTcpPort(const Socket& socket);
+
+/// Blocks until one connection is accepted. An error after Shutdown() on
+/// the listener is the normal shutdown path, not a fault.
+StatusOr<Socket> AcceptConnection(const Socket& listener);
+
+/// Connects to `host`:`port`. `host` must be a numeric IPv4 address
+/// (e.g. "127.0.0.1"); no resolver, by design.
+StatusOr<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Writes all of `data`, looping over partial sends. SIGPIPE is suppressed
+/// (a peer hanging up must surface as a Status, not kill the server).
+Status SendAll(const Socket& socket, std::string_view data);
+
+/// Buffered reader of '\n'-terminated lines from a socket. Non-owning: the
+/// socket must outlive the reader and not move while it is in use.
+class LineReader {
+ public:
+  /// Lines longer than `max_line_bytes` are treated as a protocol error
+  /// (ReadLine fails) — a guard against a broken or hostile peer streaming
+  /// an endless line into server memory.
+  explicit LineReader(const Socket& socket,
+                      size_t max_line_bytes = 1 << 20)
+      : socket_(&socket), max_line_bytes_(max_line_bytes) {}
+  MX_DISALLOW_COPY_AND_ASSIGN(LineReader);
+
+  /// Reads the next line into `*line` (terminator stripped; a trailing
+  /// '\r' is stripped too, so telnet-style peers work). Returns false on
+  /// clean EOF, read error, or an over-long line — for a server all three
+  /// mean "drop the connection".
+  bool ReadLine(std::string* line);
+
+ private:
+  const Socket* socket_;
+  size_t max_line_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;  // start of unconsumed bytes in buffer_
+};
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_SOCKET_H_

@@ -1,0 +1,292 @@
+// The query server end to end over loopback TCP: responses must be
+// identical (nodes + bitwise scores) to offline Query(), per-connection
+// FIFO must hold under pipelining and concurrent clients, micro-batching
+// must actually coalesce windows, and malformed input / shutdown must be
+// handled without wedging a connection or the process.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/simple.h"
+#include "core/engine.h"
+#include "datagen/facebook.h"
+#include "server/client.h"
+#include "server/query_server.h"
+#include "server/wire.h"
+#include "test_helpers.h"
+#include "util/socket.h"
+
+namespace metaprox {
+namespace {
+
+using server::QueryClient;
+using server::QueryServer;
+using server::RankResponse;
+using server::ServerOptions;
+
+struct Pipeline {
+  datagen::Dataset ds;
+  std::unique_ptr<SearchEngine> engine;
+  MgpModel model;
+  std::vector<NodeId> users;
+};
+
+// One matched engine + model shared by every test. Each test runs its own
+// QueryServer over it; servers run strictly one at a time (the batcher is
+// the engine's only non-const user), which the per-test scoping enforces.
+const Pipeline& SharedPipeline() {
+  static const Pipeline* pipeline = [] {
+    auto* p = new Pipeline();
+    datagen::FacebookConfig cfg;
+    cfg.num_users = 150;
+    p->ds = datagen::GenerateFacebook(cfg, 23);
+
+    EngineOptions options;
+    options.miner.anchor_type = p->ds.user_type;
+    options.miner.min_support = 3;
+    options.miner.max_nodes = 4;
+    options.num_threads = 2;  // the server must drive the pooled path
+    p->engine = std::make_unique<SearchEngine>(p->ds.graph, options);
+    p->engine->Mine();
+    p->engine->MatchAll();
+    p->model.weights = UniformWeights(p->engine->index());
+
+    auto pool = p->ds.graph.NodesOfType(p->ds.user_type);
+    p->users.assign(pool.begin(), pool.end());
+    return p;
+  }();
+  return *pipeline;
+}
+
+std::unique_ptr<QueryServer> StartServer(ServerOptions options) {
+  Pipeline& p = const_cast<Pipeline&>(SharedPipeline());
+  auto server =
+      std::make_unique<QueryServer>(p.engine.get(), p.model, options);
+  auto status = server->Start();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(server->port(), 0);
+  return server;
+}
+
+// Response == offline Query(): same nodes, bitwise-same scores (%.17g
+// round-trips the double through the wire exactly).
+void ExpectMatchesQuery(const RankResponse& response, NodeId q, size_t k) {
+  const Pipeline& p = SharedPipeline();
+  const QueryResult expected = p.engine->Query(p.model, q, k);
+  ASSERT_EQ(response.query, q);
+  ASSERT_EQ(response.entries.size(), expected.size()) << "node " << q;
+  for (size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(response.entries[r].node, expected[r].first)
+        << "node " << q << " rank " << r;
+    EXPECT_EQ(response.entries[r].score, expected[r].second)
+        << "node " << q << " rank " << r;
+  }
+}
+
+TEST(QueryServer, SingleQueriesMatchOfflineQuery) {
+  auto server = StartServer({});
+  auto client = QueryClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const Pipeline& p = SharedPipeline();
+  for (size_t i = 0; i < p.users.size(); i += 13) {
+    auto response = client->Rank(p.users[i], 10);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ExpectMatchesQuery(*response, p.users[i], 10);
+  }
+  // Explicit k on the wire, including k beyond any candidate set.
+  auto response = client->Rank(p.users[0], 3);
+  ASSERT_TRUE(response.ok());
+  ExpectMatchesQuery(*response, p.users[0], 3);
+  response = client->Rank(p.users[0], 100000);
+  ASSERT_TRUE(response.ok());
+  ExpectMatchesQuery(*response, p.users[0], 100000);
+}
+
+TEST(QueryServer, PipelinedResponsesArriveInSendOrder) {
+  ServerOptions options;
+  options.max_batch = 16;
+  options.window_micros = 2000;
+  auto server = StartServer(options);
+  auto client = QueryClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  const Pipeline& p = SharedPipeline();
+
+  std::vector<NodeId> sent;
+  for (size_t i = 0; i < 60; ++i) {
+    const NodeId q = p.users[(7 * i) % p.users.size()];
+    ASSERT_TRUE(client->SendQuery(q, 10).ok());
+    sent.push_back(q);
+  }
+  for (NodeId q : sent) {
+    auto response = client->ReceiveResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ExpectMatchesQuery(*response, q, 10);  // asserts response.query == q
+  }
+}
+
+TEST(QueryServer, ConcurrentClientsAllGetExactResults) {
+  ServerOptions options;
+  options.max_batch = 32;
+  options.window_micros = 1000;
+  auto server = StartServer(options);
+  const Pipeline& p = SharedPipeline();
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 40;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = QueryClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        failures[c] = client.status().ToString();
+        return;
+      }
+      std::vector<NodeId> sent;
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const NodeId q = p.users[(c * 31 + i * 3) % p.users.size()];
+        auto status = client->SendQuery(q, 10);
+        if (!status.ok()) {
+          failures[c] = status.ToString();
+          return;
+        }
+        sent.push_back(q);
+      }
+      for (NodeId q : sent) {
+        auto response = client->ReceiveResponse();
+        if (!response.ok()) {
+          failures[c] = response.status().ToString();
+          return;
+        }
+        if (response->query != q) {
+          failures[c] = "order violated";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+
+  const server::ServerStats stats = server->stats();
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_EQ(stats.queries, kClients * kPerClient);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(QueryServer, MicroBatchingCoalescesPipelinedQueries) {
+  ServerOptions options;
+  options.max_batch = 32;
+  // A generous window: the client floods 100 queries over loopback well
+  // inside it, so the batcher must coalesce them into few BatchQuery
+  // calls. (Upper bound asserted loosely to stay timing-robust.)
+  options.window_micros = 50000;
+  auto server = StartServer(options);
+  auto client = QueryClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  const Pipeline& p = SharedPipeline();
+
+  constexpr size_t kQueries = 100;
+  for (size_t i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(client->SendQuery(p.users[i % p.users.size()], 10).ok());
+  }
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto response = client->ReceiveResponse();
+    ASSERT_TRUE(response.ok());
+    ExpectMatchesQuery(*response, p.users[i % p.users.size()], 10);
+  }
+  const server::ServerStats stats = server->stats();
+  EXPECT_EQ(stats.queries, kQueries);
+  EXPECT_LT(stats.batches, kQueries / 2) << "micro-batching never engaged";
+  EXPECT_GT(stats.largest_batch, 1u);
+}
+
+TEST(QueryServer, MalformedRequestsGetErrorsAndConnectionSurvives) {
+  auto server = StartServer({});
+  const Pipeline& p = SharedPipeline();
+  auto sock = util::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(sock.ok());
+  util::LineReader reader(*sock);
+  std::string line;
+
+  // Garbage, bad node ids, trailing junk, out-of-range nodes: each gets an
+  // 'E' line; the connection keeps working.
+  for (const char* bad :
+       {"bogus", "Q", "Q -3", "Q 1 2 3", "Q notanode",
+        "Q 999999999"}) {
+    ASSERT_TRUE(util::SendAll(*sock, std::string(bad) + "\n").ok());
+    ASSERT_TRUE(reader.ReadLine(&line)) << bad;
+    EXPECT_EQ(line.substr(0, 2), "E ") << "request: " << bad;
+  }
+
+  // PING and a real query still work on the same connection.
+  ASSERT_TRUE(util::SendAll(*sock, server::BuildPingRequest()).ok());
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "PONG");
+  ASSERT_TRUE(
+      util::SendAll(*sock, server::BuildQueryRequest(p.users[0], 10)).ok());
+  ASSERT_TRUE(reader.ReadLine(&line));
+  RankResponse response;
+  ASSERT_TRUE(server::ParseQueryResponse(line, &response)) << line;
+  ExpectMatchesQuery(response, p.users[0], 10);
+
+  EXPECT_GE(server->stats().protocol_errors, 6u);
+}
+
+TEST(QueryServer, StatsRequestAnswers) {
+  auto server = StartServer({});
+  auto sock = util::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(sock.ok());
+  util::LineReader reader(*sock);
+  ASSERT_TRUE(util::SendAll(*sock, server::BuildStatsRequest()).ok());
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line.substr(0, 6), "STATS ") << line;
+}
+
+TEST(QueryServer, StopDisconnectsClientsWithoutHanging) {
+  auto server = StartServer({});
+  auto client = QueryClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  server->Stop();
+  // The connection is gone; the client sees EOF, not a hang.
+  auto response = client->Rank(0, 10);
+  EXPECT_FALSE(response.ok());
+  server->Stop();  // idempotent
+}
+
+TEST(QueryServer, ServersRunSequentiallyOverOneEngine) {
+  const Pipeline& p = SharedPipeline();
+  for (int round = 0; round < 2; ++round) {
+    auto server = StartServer({});
+    auto client = QueryClient::Connect("127.0.0.1", server->port());
+    ASSERT_TRUE(client.ok());
+    auto response = client->Rank(p.users[round], 10);
+    ASSERT_TRUE(response.ok());
+    ExpectMatchesQuery(*response, p.users[round], 10);
+    server->Stop();
+  }
+}
+
+TEST(QueryServer, StartRequiresFinalizedIndex) {
+  const Pipeline& p = SharedPipeline();
+  datagen::FacebookConfig cfg;
+  cfg.num_users = 30;
+  datagen::Dataset ds = datagen::GenerateFacebook(cfg, 5);
+  EngineOptions options;
+  options.miner.anchor_type = ds.user_type;
+  SearchEngine engine(ds.graph, options);
+  engine.Mine();  // index exists but is not finalized
+  QueryServer server(&engine, p.model, {});
+  auto status = server.Start();
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end server smoke check (registered as the `server_smoke` ctest
+# entry, label `smoke`; CI runs it in its own job):
+#
+#   1. build a small offline index with mgps_cli,
+#   2. rank a duplicate-bearing query list offline with mgps_cli --tsv,
+#   3. serve the SAME saved index with metaprox_server (micro-batching on),
+#   4. fire the same queries through 4 concurrent mgps_client connections,
+#   5. byte-diff the two outputs.
+#
+# The diff passing proves the whole chain — accumulation window, batching,
+# concurrent fan-out, wire round-trip — returns results identical to the
+# offline batched path, scores included (%.17g round-trips double bits).
+#
+# Usage: server_smoke.sh <mgps_cli> <metaprox_server> <mgps_client>
+set -euo pipefail
+
+MGPS_CLI=$1
+SERVER=$2
+CLIENT=$3
+
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill "${SERVER_PID}" 2>/dev/null || true
+    wait "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+cd "${WORK}"
+
+DATASET=(facebook 150 1)
+CLASS=family
+K=7
+
+echo "== offline phase =="
+"${MGPS_CLI}" --threads=2 offline "${DATASET[@]}" idx
+
+# Query list: a spread of node ids plus deliberate duplicates. Any valid
+# node id is fair game (non-users simply rank empty on both sides).
+seq 0 3 140 > queries.txt
+printf '5\n5\n12\n' >> queries.txt
+
+echo "== offline reference (mgps_cli --tsv batch mode) =="
+"${MGPS_CLI}" --threads=2 --tsv --query-file=queries.txt \
+    query "${DATASET[@]}" idx "${CLASS}" "${K}" > offline.tsv
+echo "reference rows: $(wc -l < offline.tsv)"
+
+echo "== starting metaprox_server =="
+"${SERVER}" --port=0 --port-file=port.txt --max-batch=16 --window-us=2000 \
+    --threads=2 "${DATASET[@]}" idx "${CLASS}" > server.log 2>&1 &
+SERVER_PID=$!
+
+# The server writes the port file (atomically) only once it is listening;
+# model training on the tiny dataset takes a few seconds.
+for _ in $(seq 1 600); do
+  [[ -s port.txt ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "FATAL: server died during startup" >&2
+    cat server.log >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ ! -s port.txt ]]; then
+  echo "FATAL: server did not become ready" >&2
+  cat server.log >&2
+  exit 1
+fi
+PORT=$(cat port.txt)
+echo "server listening on port ${PORT}"
+
+echo "== concurrent client run (4 connections, pipelined) =="
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --query-file=queries.txt > server.tsv
+
+echo "== byte-diff server vs offline =="
+diff offline.tsv server.tsv
+echo "responses are byte-identical"
+
+kill "${SERVER_PID}"
+wait "${SERVER_PID}"
+SERVER_PID=
+echo "server shut down cleanly"
+grep "served" server.log || true
+echo "PASS"
