@@ -2,18 +2,23 @@
 // batcher) latency/throughput of server::QueryServer over the batched
 // online phase, swept over the accumulation window / batch cap and the
 // number of concurrent client connections, vs. the one-query-per-request
-// configuration (max_batch = 1) on the same server stack.
+// configuration (max_batch = 1) on the same server stack — plus a mixed
+// two-model workload (half the stream naming a second registry model via
+// protocol-v2 lines) measuring what per-(model, k) batch grouping costs.
 //
 // What micro-batching amortizes end to end: every window of queries is
-// ranked by ONE SearchEngine::BatchQuery call, so touched node rows are
-// gathered once per window instead of once per query, through the
-// engine's reusable epoch-marked BatchScratch (O(touched) per call, not
-// O(|V|)).
+// split into per-(model, k) groups, each ranked by ONE
+// SearchEngine::BatchQuery call, so touched node rows are gathered once
+// per group instead of once per query, through the engine's reusable
+// epoch-marked BatchScratch (O(touched) per call, not O(|V|)). A mixed
+// window forms two groups — the coalescing stats (batches, per-model
+// serves) land in the JSON report.
 //
 // Also verifies the server determinism contract on every configuration:
 // every response must carry exactly the nodes and bitwise-identical
-// scores of an offline engine.Query() for that node (scores cross the
-// wire as %.17g text, which round-trips the double bits).
+// scores of an offline engine.Query() for that node UNDER THE MODEL THE
+// REQUEST NAMED (scores cross the wire as %.17g text, which round-trips
+// the double bits).
 //
 // Flags/env: --threads/--shards apply to the engine (offline build AND
 // the server's scoring pool); --json / METAPROX_BENCH_JSON write the
@@ -28,6 +33,7 @@
 #include "baselines/simple.h"
 #include "bench_common.h"
 #include "server/client.h"
+#include "server/model_registry.h"
 #include "server/query_server.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
@@ -40,20 +46,34 @@ namespace {
 
 constexpr size_t kTopK = 10;
 constexpr int kReps = 2;  // best-of reps: timing noise, not results
+constexpr const char* kDefaultModel = "uniform";
+constexpr const char* kSecondModel = "evens";
 
 struct Config {
   const char* label;
   size_t clients;
   size_t max_batch;
   uint64_t window_micros;
+  /// Mixed workload: every odd stream index queries kSecondModel through
+  /// a v2 `Q <model> <node> <k>` line (even indices stay v1 lines against
+  /// the default model).
+  bool mixed = false;
 };
+
+/// Whether stream index i of a mixed run goes to the second model.
+bool UsesSecondModel(const Config& config, size_t i) {
+  return config.mixed && i % 2 == 1;
+}
 
 // One client connection's slice of the stream, fully pipelined. Returns
 // false (with a message) on any transport/protocol failure or on any
-// response that differs from the offline reference.
-bool RunClientSlice(uint16_t port, const std::vector<NodeId>& stream,
-                    size_t begin, size_t end,
-                    const std::vector<QueryResult>& reference,
+// response that differs from the offline reference of the model that
+// request named.
+bool RunClientSlice(uint16_t port, const Config& config,
+                    const std::vector<NodeId>& stream, size_t begin,
+                    size_t end,
+                    const std::vector<QueryResult>& reference_default,
+                    const std::vector<QueryResult>& reference_second,
                     std::string* error) {
   auto client = server::QueryClient::Connect("127.0.0.1", port);
   if (!client.ok()) {
@@ -61,7 +81,9 @@ bool RunClientSlice(uint16_t port, const std::vector<NodeId>& stream,
     return false;
   }
   for (size_t i = begin; i < end; ++i) {
-    auto status = client->SendQuery(stream[i], kTopK);
+    auto status = UsesSecondModel(config, i)
+                      ? client->SendQuery(kSecondModel, stream[i], kTopK)
+                      : client->SendQuery(stream[i], kTopK);
     if (!status.ok()) {
       *error = status.ToString();
       return false;
@@ -73,7 +95,9 @@ bool RunClientSlice(uint16_t port, const std::vector<NodeId>& stream,
       *error = response.status().ToString();
       return false;
     }
-    const QueryResult& expected = reference[stream[i]];
+    const QueryResult& expected = UsesSecondModel(config, i)
+                                      ? reference_second[stream[i]]
+                                      : reference_default[stream[i]];
     if (response->query != stream[i] ||
         response->entries.size() != expected.size()) {
       *error = "response shape differs from offline Query";
@@ -104,6 +128,13 @@ int main(int argc, char** argv) {
   Bundle b = MakeFacebook(5, 450, 1200);
   b.engine->MatchAll();
   const MgpModel model{UniformWeights(b.engine->index())};
+  // A second model over the SAME index (odd metagraphs muted): the mixed
+  // configuration serves both from one registry, which is the whole
+  // multi-class point — no second engine, no second index.
+  MgpModel second = model;
+  for (size_t i = 1; i < second.weights.size(); i += 2) {
+    second.weights[i] = 0.0;
+  }
 
   // Query stream: the user pool cycled to a fixed length (service-style
   // repeat traffic), split contiguously across the client connections.
@@ -114,11 +145,13 @@ int main(int argc, char** argv) {
     stream.push_back(b.user_pool[i % b.user_pool.size()]);
   }
 
-  // Offline reference, indexed by node id: what every server response must
-  // equal bit for bit.
-  std::vector<QueryResult> reference(b.ds.graph.num_nodes());
+  // Offline references, indexed by node id: what every server response
+  // must equal bit for bit, per model.
+  std::vector<QueryResult> reference_default(b.ds.graph.num_nodes());
+  std::vector<QueryResult> reference_second(b.ds.graph.num_nodes());
   for (NodeId u : b.user_pool) {
-    reference[u] = b.engine->Query(model, u, kTopK);
+    reference_default[u] = b.engine->Query(model, u, kTopK);
+    reference_second[u] = b.engine->Query(second, u, kTopK);
   }
 
   const std::vector<Config> configs = {
@@ -126,6 +159,7 @@ int main(int argc, char** argv) {
       {"window 8", 4, 8, 1000},
       {"window 64", 4, 64, 2000},
       {"window 64, 8 conns", 8, 64, 2000},
+      {"window 64, two models", 4, 64, 2000, /*mixed=*/true},
   };
 
   util::TablePrinter table({"config", "clients", "max batch", "window (us)",
@@ -137,13 +171,24 @@ int main(int argc, char** argv) {
   for (const Config& config : configs) {
     double best_seconds = -1.0;
     uint64_t batches = 0;
+    uint64_t serves_default = 0;
+    uint64_t serves_second = 0;
     for (int rep = 0; rep < kReps && all_ok; ++rep) {
+      // A fresh registry per rep keeps the per-model serve counters an
+      // exact record of this run.
+      server::ModelRegistry registry(model.weights.size());
+      if (!registry.Load(kDefaultModel, model).ok() ||
+          !registry.Load(kSecondModel, second).ok()) {
+        std::fprintf(stderr, "registry load failed\n");
+        return 1;
+      }
       server::ServerOptions options;
       options.port = 0;
       options.max_batch = config.max_batch;
       options.window_micros = config.window_micros;
       options.default_k = kTopK;
-      server::QueryServer server(b.engine.get(), model, options);
+      options.default_model = kDefaultModel;
+      server::QueryServer server(b.engine.get(), &registry, options);
       auto status = server.Start();
       if (!status.ok()) {
         std::fprintf(stderr, "server start failed: %s\n",
@@ -160,8 +205,9 @@ int main(int argc, char** argv) {
         const size_t begin = stream.size() * c / config.clients;
         const size_t end = stream.size() * (c + 1) / config.clients;
         threads.emplace_back([&, c, begin, end] {
-          ok[c] = RunClientSlice(server.port(), stream, begin, end,
-                                 reference, &errors[c])
+          ok[c] = RunClientSlice(server.port(), config, stream, begin, end,
+                                 reference_default, reference_second,
+                                 &errors[c])
                       ? 1
                       : 0;
         });
@@ -169,6 +215,8 @@ int main(int argc, char** argv) {
       for (std::thread& thread : threads) thread.join();
       const double seconds = timer.ElapsedSeconds();
       batches = server.stats().batches;
+      serves_default = registry.Get(kDefaultModel)->serves_count();
+      serves_second = registry.Get(kSecondModel)->serves_count();
       server.Stop();
 
       for (size_t c = 0; c < config.clients; ++c) {
@@ -187,7 +235,7 @@ int main(int argc, char** argv) {
     const double qps = static_cast<double>(stream.size()) / best_seconds;
     if (config.max_batch == 1) {
       unbatched_qps = qps;
-    } else {
+    } else if (!config.mixed) {
       best_batched_qps = std::max(best_batched_qps, qps);
     }
     const double speedup = unbatched_qps > 0.0 ? qps / unbatched_qps : 1.0;
@@ -203,19 +251,33 @@ int main(int argc, char** argv) {
         .Num("clients", static_cast<double>(config.clients))
         .Num("max_batch", static_cast<double>(config.max_batch))
         .Num("window_micros", static_cast<double>(config.window_micros))
+        .Num("mixed_models", config.mixed ? 1.0 : 0.0)
         .Num("seconds", best_seconds)
         .Num("queries_per_second", qps)
         .Num("speedup_vs_unbatched", speedup)
-        .Num("batches", static_cast<double>(batches));
+        .Num("batches", static_cast<double>(batches))
+        .Num("serves_" + std::string(kDefaultModel),
+             static_cast<double>(serves_default))
+        .Num("serves_" + std::string(kSecondModel),
+             static_cast<double>(serves_second))
+        .Num("mean_group_size",
+             batches > 0 ? static_cast<double>(serves_default +
+                                               serves_second) /
+                               static_cast<double>(batches)
+                         : 0.0);
   }
   table.Print(std::cout);
   if (!report.WriteIfRequested()) return 1;
 
   std::printf(
       "\nexpected shape: micro-batching (max batch >= 8) clearly beats the "
-      "unbatched row — a window is ranked by one BatchQuery call, so node "
-      "rows are gathered once per window instead of once per query; every "
-      "response checked bitwise against offline Query().\n");
+      "unbatched row — a window is ranked by one BatchQuery call per "
+      "(model, k) group, so node rows are gathered once per group instead "
+      "of once per query. The two-model row splits each window into two "
+      "groups (see serves_%s/serves_%s and mean_group_size in the JSON), "
+      "the per-model price of multi-class serving on one index. Every "
+      "response checked bitwise against offline Query() under its model.\n",
+      kDefaultModel, kSecondModel);
 
   if (!all_ok) {
     std::fprintf(stderr,

@@ -3,12 +3,13 @@
 // Header-only on purpose: every examples/*.cpp is auto-globbed into its
 // own binary by CMake, so a shared .cc would need build-system surgery.
 //
-// The dataset construction, engine options and per-class model training
-// here are THE definitions of "the same index" and "the same model" that
-// the server smoke check relies on: mgps_cli (offline + query) and
-// metaprox_server both call these with the same (kind, num, seed, class)
-// arguments, so their models are identical and — by the batched
-// determinism contract — their result bytes are too.
+// The dataset construction, engine options and per-class model
+// training/persistence here are THE definitions of "the same index" and
+// "the same model" that the server smoke check relies on: mgps_cli
+// (offline + query) and metaprox_server both call these with the same
+// (kind, num, seed, class) arguments — and share saved model artifacts
+// through LoadOrTrainClassModel — so their models are identical and, by
+// the batched determinism contract, their result bytes are too.
 #ifndef METAPROX_EXAMPLES_EXAMPLE_COMMON_H_
 #define METAPROX_EXAMPLES_EXAMPLE_COMMON_H_
 
@@ -22,6 +23,7 @@
 #include "datagen/facebook.h"
 #include "datagen/linkedin.h"
 #include "eval/splits.h"
+#include "learning/model_io.h"
 #include "util/rng.h"
 
 namespace metaprox::examples {
@@ -78,6 +80,42 @@ inline MgpModel TrainClassModel(SearchEngine& engine,
   TrainOptions train;
   train.max_iterations = 300;
   return engine.Train(examples, train);
+}
+
+/// THE load-or-train-and-save path shared by mgps_cli and metaprox_server:
+/// if `model_path` holds a saved model, load it (weight count checked
+/// against the engine's index); if the file is absent, train exactly as
+/// TrainClassModel always has and persist the result there. With an empty
+/// `model_path`, plain training (no persistence).
+///
+/// Because SaveModel/LoadModel round-trip weights bit-for-bit (%.17g), a
+/// CLI run that trains-and-saves and a server that later loads the
+/// artifact hold the SAME model — the cross-binary byte-identity the
+/// smoke checks rely on, now without retraining in every process.
+inline util::StatusOr<MgpModel> LoadOrTrainClassModel(
+    SearchEngine& engine, const datagen::Dataset& ds, const GroundTruth& gt,
+    uint64_t seed, const std::string& model_path) {
+  if (!model_path.empty()) {
+    auto loaded = LoadModel(model_path, engine.index().num_metagraphs());
+    if (loaded.ok()) {
+      std::fprintf(stderr, "loaded '%s' model from %s\n",
+                   gt.class_name().c_str(), model_path.c_str());
+      return loaded;
+    }
+    // NotFound = "artifact not built yet" -> train below. Anything else
+    // (corrupt file, wrong index) must surface, not silently retrain.
+    if (loaded.status().code() != util::StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+  MgpModel model = TrainClassModel(engine, ds, gt, seed);
+  if (!model_path.empty()) {
+    auto saved = SaveModel(model, model_path);
+    if (!saved.ok()) return saved;
+    std::fprintf(stderr, "trained '%s' model and saved it to %s\n",
+                 gt.class_name().c_str(), model_path.c_str());
+  }
+  return model;
 }
 
 }  // namespace metaprox::examples

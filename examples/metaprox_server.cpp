@@ -1,17 +1,23 @@
-// metaprox_server: long-lived query server over one saved offline phase.
+// metaprox_server: long-lived multi-model query server over one saved
+// offline phase.
 //
 // Usage:
 //   metaprox_server [flags] <facebook|linkedin|citation> <num> <seed>
-//                   <prefix> <class>
+//                   <prefix> <class>[,<class>...]
 //
 // Regenerates the dataset, restores the offline phase saved by
-// `mgps_cli offline` from <prefix>.{metagraphs,index}, trains the <class>
-// model exactly as `mgps_cli query` would (examples/example_common.h), and
-// serves the wire protocol of src/server/wire.h on 127.0.0.1 until
-// SIGINT/SIGTERM. Because the model and index match the CLI's and batched
-// results are identical to per-query results, the server's responses are
-// byte-identical to `mgps_cli --tsv --query-file` output over the same
-// prefix — which CI asserts.
+// `mgps_cli offline` from <prefix>.{metagraphs,index}, obtains one model
+// per listed class through the shared load-or-train-and-save path
+// (examples/example_common.h; with --models-dir the artifacts are
+// <dir>/<class>.model, so a model trained and saved by `mgps_cli
+// --model=...` is loaded as-is instead of retrained), publishes them in a
+// server::ModelRegistry (the FIRST class is the default model answering
+// v1 `Q <node>` lines), and serves the wire protocol of src/server/wire.h
+// on 127.0.0.1 until SIGINT/SIGTERM. Because saved models round-trip
+// bit-for-bit and batched results are identical to per-query results, the
+// server's responses per model are byte-identical to `mgps_cli --tsv
+// --query-file` output over the same prefix and model file — which CI
+// asserts for two classes at once.
 //
 // Flags (util::ParseCount strict parsing):
 //   --port=P         listen port; 0 = OS-assigned (default 0)
@@ -23,6 +29,12 @@
 //   --shards=S       index pair-table shards (offline option parity with
 //                    mgps_cli; irrelevant after LoadOffline)
 //   --k=K            default top-k for requests that omit k (default 10)
+//   --max-k=K        per-request k ceiling; larger k is refused with an
+//                    'E' reply (default 1048576)
+//   --models-dir=D   load/save per-class model artifacts as D/<class>.model
+//                    (absent artifact: train once, save, then serve)
+//   --admin          enable the LOAD/RELOAD/UNLOAD/LIST/STAT admin verbs
+//                    (model hot-swapping); off by default
 //   --port-file=F    write the bound port to F (atomically, via rename) —
 //                    how scripts find an OS-assigned port
 #include <csignal>
@@ -34,6 +46,7 @@
 
 #include "core/engine.h"
 #include "example_common.h"
+#include "server/model_registry.h"
 #include "server/query_server.h"
 #include "util/parse.h"
 
@@ -46,10 +59,11 @@ int Usage() {
       stderr,
       "usage:\n"
       "  metaprox_server [--port=P] [--window-us=W] [--max-batch=B]\n"
-      "                  [--threads=N] [--shards=S] [--k=K]\n"
-      "                  [--port-file=F]\n"
+      "                  [--threads=N] [--shards=S] [--k=K] [--max-k=K]\n"
+      "                  [--models-dir=D] [--admin] [--port-file=F]\n"
       "                  <facebook|linkedin|citation> <num> <seed>\n"
-      "                  <prefix> <class>\n"
+      "                  <prefix> <class>[,<class>...]\n"
+      "the first class is the default model (v1 'Q <node>' lines);\n"
       "run `mgps_cli offline <kind> <num> <seed> <prefix>` first to build\n"
       "the index the server loads.\n");
   return 2;
@@ -65,6 +79,19 @@ bool WritePortFile(const std::string& path, uint16_t port) {
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
+std::vector<std::string> SplitClasses(const std::string& list) {
+  std::vector<std::string> classes;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    const size_t comma = list.find(',', begin);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    classes.push_back(list.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return classes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +99,7 @@ int main(int argc, char** argv) {
   unsigned num_threads = 1;
   size_t num_shards = 0;
   std::string port_file;
+  std::string models_dir;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     char* arg = argv[i];
@@ -113,6 +141,20 @@ int main(int argc, char** argv) {
         return Usage();
       }
       server_options.default_k = value;
+    } else if (std::strncmp(arg, "--max-k=", 8) == 0) {
+      if (!util::ParseCount(arg + 8, &value) || value == 0) {
+        std::fprintf(stderr, "bad flag: %s (expected --max-k=K>=1)\n", arg);
+        return Usage();
+      }
+      server_options.max_k = value;
+    } else if (std::strncmp(arg, "--models-dir=", 13) == 0) {
+      models_dir = arg + 13;
+      if (models_dir.empty()) {
+        std::fprintf(stderr, "--models-dir needs a path\n");
+        return Usage();
+      }
+    } else if (std::strcmp(arg, "--admin") == 0) {
+      server_options.admin = true;
     } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
       port_file = arg + 12;
     } else if (std::strncmp(arg, "--", 2) == 0) {
@@ -127,7 +169,7 @@ int main(int argc, char** argv) {
   const uint32_t num = static_cast<uint32_t>(std::atoi(positional[1]));
   const uint64_t seed = std::strtoull(positional[2], nullptr, 10);
   const std::string prefix = positional[3];
-  const std::string class_name = positional[4];
+  const std::vector<std::string> classes = SplitClasses(positional[4]);
 
   // Block the shutdown signals BEFORE any thread exists: every thread the
   // server spawns inherits the mask, so SIGINT/SIGTERM are delivered only
@@ -142,16 +184,6 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "dataset %s: %s\n", ds.name.c_str(),
                ds.graph.Summary().c_str());
 
-  const GroundTruth* gt = ds.FindClass(class_name);
-  if (gt == nullptr) {
-    std::fprintf(stderr, "no such class: %s (available:", class_name.c_str());
-    for (const auto& c : ds.classes) {
-      std::fprintf(stderr, " %s", c.class_name().c_str());
-    }
-    std::fprintf(stderr, ")\n");
-    return 1;
-  }
-
   SearchEngine engine(ds.graph,
                       examples::MakeEngineOptions(ds, num_threads, num_shards));
   auto status = engine.LoadOffline(prefix);
@@ -163,20 +195,60 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "restored %zu metagraphs from %s\n",
                engine.metagraphs().size(), prefix.c_str());
 
-  MgpModel model = examples::TrainClassModel(engine, ds, *gt, seed);
-  std::fprintf(stderr, "trained '%s' model\n", class_name.c_str());
+  // One registry slot per class, each obtained through the shared
+  // load-or-train-and-save path — saved artifacts make restarts (and
+  // every process after the first) training-free.
+  server::ModelRegistry registry(engine.index().num_metagraphs());
+  for (const std::string& class_name : classes) {
+    if (!server::ModelRegistry::IsValidName(class_name)) {
+      std::fprintf(stderr, "class name '%s' is not a valid model name\n",
+                   class_name.c_str());
+      return 1;
+    }
+    const GroundTruth* gt = ds.FindClass(class_name);
+    if (gt == nullptr) {
+      std::fprintf(stderr, "no such class: %s (available:",
+                   class_name.c_str());
+      for (const auto& c : ds.classes) {
+        std::fprintf(stderr, " %s", c.class_name().c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 1;
+    }
+    const std::string model_path =
+        models_dir.empty() ? "" : models_dir + "/" + class_name + ".model";
+    auto model =
+        examples::LoadOrTrainClassModel(engine, ds, *gt, seed, model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "model '%s' failed: %s\n", class_name.c_str(),
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    auto version = registry.Load(class_name, std::move(*model));
+    if (!version.ok()) {
+      std::fprintf(stderr, "cannot register model '%s': %s\n",
+                   class_name.c_str(), version.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving model '%s' (v%llu)\n", class_name.c_str(),
+                 static_cast<unsigned long long>(*version));
+  }
+  server_options.default_model = classes.front();
 
-  server::QueryServer query_server(&engine, std::move(model), server_options);
+  server::QueryServer query_server(&engine, &registry, server_options);
   status = query_server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
                  status.ToString().c_str());
     return 1;
   }
-  std::printf("listening on 127.0.0.1:%u (window %llu us, max batch %zu)\n",
-              query_server.port(),
-              static_cast<unsigned long long>(server_options.window_micros),
-              server_options.max_batch);
+  std::printf(
+      "listening on 127.0.0.1:%u (%zu models, default '%s', window %llu us, "
+      "max batch %zu%s)\n",
+      query_server.port(), registry.size(),
+      server_options.default_model.c_str(),
+      static_cast<unsigned long long>(server_options.window_micros),
+      server_options.max_batch, server_options.admin ? ", admin on" : "");
   std::fflush(stdout);
   if (!port_file.empty() && !WritePortFile(port_file, query_server.port())) {
     std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
@@ -197,5 +269,11 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.largest_batch),
                static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.protocol_errors));
+  for (const server::ModelInfo& info : registry.List()) {
+    std::fprintf(stderr, "  model '%s' v%llu: %llu queries served\n",
+                 info.name.c_str(),
+                 static_cast<unsigned long long>(info.version),
+                 static_cast<unsigned long long>(info.serves));
+  }
   return 0;
 }

@@ -17,11 +17,19 @@
 // the same dataset, runs mine+match (over N offline worker threads; 0 = all
 // cores, default 1; the index's pair-slot table is split into S shards,
 // 0 = auto), and saves <prefix>.metagraphs and <prefix>.index. `query`
-// restores the offline phase, trains the class model, and prints the top-k
-// answers for one query node — or, with --query-file, ranks every node id
-// listed in F (whitespace-separated) in one SearchEngine::BatchQuery call
-// (batch results are identical to per-id queries; see core/query_batch.h).
-// The saved index is byte-identical for every --threads and --shards value.
+// restores the offline phase, obtains the class model, and prints the
+// top-k answers for one query node — or, with --query-file, ranks every
+// node id listed in F (whitespace-separated) in one
+// SearchEngine::BatchQuery call (batch results are identical to per-id
+// queries; see core/query_batch.h). The saved index is byte-identical for
+// every --threads and --shards value.
+//
+// Models are first-class artifacts: --model=PATH loads the saved model at
+// PATH if present and otherwise trains once and saves it there (the
+// shared load-or-train-and-save path of examples/example_common.h —
+// metaprox_server consumes the same files); --save-model=PATH forces a
+// retrain and (over)writes PATH. Saved weights round-trip bit-for-bit
+// (%.17g), so a load serves exactly the bytes a fresh train would.
 //
 // --tsv switches result output to the machine-readable form
 // "query<TAB>rank<TAB>node<TAB>score" (scores via server::FormatScore,
@@ -67,6 +75,10 @@ int Usage() {
       "  --query-file=F   batch mode for 'query': rank every node id in F\n"
       "                   (whitespace-separated) in one batched call;\n"
       "                   results are identical to per-id queries\n"
+      "  --model=PATH     load the class model from PATH; if absent, train\n"
+      "                   once and save it there (metaprox_server loads\n"
+      "                   the same artifacts)\n"
+      "  --save-model=P   force retrain and (over)write the model to P\n"
       "  --tsv            machine-readable results on stdout\n"
       "                   (query<TAB>rank<TAB>node<TAB>score, %%.17g\n"
       "                   scores), narration on stderr; byte-comparable\n"
@@ -89,6 +101,8 @@ int main(int argc, char** argv) {
   unsigned num_threads = 1;
   size_t num_shards = 0;       // 0 = auto
   std::string query_file;      // non-empty = batch query mode
+  std::string model_file;      // non-empty = load-or-train-and-save here
+  std::string save_model;      // non-empty = force retrain and save here
   bool tsv = false;            // machine-readable results on stdout
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -98,6 +112,18 @@ int main(int argc, char** argv) {
       query_file = argv[i] + 13;
       if (query_file.empty()) {
         std::fprintf(stderr, "--query-file needs a path\n");
+        return Usage();
+      }
+    } else if (std::strncmp(argv[i], "--model=", 8) == 0) {
+      model_file = argv[i] + 8;
+      if (model_file.empty()) {
+        std::fprintf(stderr, "--model needs a path\n");
+        return Usage();
+      }
+    } else if (std::strncmp(argv[i], "--save-model=", 13) == 0) {
+      save_model = argv[i] + 13;
+      if (save_model.empty()) {
+        std::fprintf(stderr, "--save-model needs a path\n");
         return Usage();
       }
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -231,7 +257,29 @@ int main(int argc, char** argv) {
     std::fprintf(info, "restored %zu metagraphs from %s\n",
                  engine.metagraphs().size(), path.c_str());
 
-    MgpModel model = examples::TrainClassModel(engine, ds, *gt, seed);
+    MgpModel model;
+    if (!save_model.empty()) {
+      // Forced retrain: --save-model refreshes the artifact even when a
+      // stale one exists (e.g. after a new offline phase).
+      model = examples::TrainClassModel(engine, ds, *gt, seed);
+      auto saved = SaveModel(model, save_model);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "save model failed: %s\n",
+                     saved.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(info, "trained '%s' model and saved it to %s\n",
+                   class_name.c_str(), save_model.c_str());
+    } else {
+      auto obtained =
+          examples::LoadOrTrainClassModel(engine, ds, *gt, seed, model_file);
+      if (!obtained.ok()) {
+        std::fprintf(stderr, "model failed: %s\n",
+                     obtained.status().ToString().c_str());
+        return 1;
+      }
+      model = std::move(*obtained);
+    }
 
     if (batch_mode) {
       util::Stopwatch timer;

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   mgps_client [--host=H] --port=P [--k=K] [--connections=C] [--tsv]
-//               --query-file=F
+//               [--model=NAME] --query-file=F
+//   mgps_client [--host=H] --port=P --admin=CMD
 //
 // Reads whitespace-separated node ids from F, splits them into C
 // contiguous slices served by C concurrent connections (one thread each,
@@ -11,8 +12,14 @@
 //   --tsv:    query<TAB>rank<TAB>node<TAB>score — score text echoed
 //             byte-for-byte from the wire, so the output byte-diffs
 //             against `mgps_cli --tsv --query-file=F` over the same index
-//             (the CI smoke check)
+//             and model (the CI smoke check)
 //   default:  human-readable blocks, throughput summary on stderr
+//
+// --model=NAME issues protocol-v2 `Q <model> <node> [k]` lines against
+// the named registry model; without it the queries are v1 lines answered
+// by the server's default model. --admin=CMD sends one raw admin line
+// (e.g. "RELOAD family /path/family.model" or "LIST") and prints the
+// reply — how scripts drive hot-swaps.
 //
 // Exits non-zero on any connect/protocol error or if any response answers
 // a different node than asked.
@@ -39,7 +46,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  mgps_client [--host=H] --port=P [--k=K] [--connections=C]\n"
-      "              [--tsv] --query-file=F\n"
+      "              [--tsv] [--model=NAME] --query-file=F\n"
+      "  mgps_client [--host=H] --port=P --admin=CMD\n"
       "flags:\n"
       "  --host=H         server address, numeric IPv4 (default 127.0.0.1)\n"
       "  --port=P         server port (required)\n"
@@ -48,6 +56,10 @@ int Usage() {
       "                   (default 1)\n"
       "  --tsv            machine-readable output, byte-comparable with\n"
       "                   mgps_cli --tsv\n"
+      "  --model=NAME     query the named registry model (protocol v2);\n"
+      "                   default: the server's default model (v1 lines)\n"
+      "  --admin=CMD      send one admin line (LOAD/RELOAD/UNLOAD/LIST/\n"
+      "                   STAT, also STATS), print the reply, exit\n"
       "  --query-file=F   whitespace-separated node ids to rank\n");
   return 2;
 }
@@ -59,17 +71,18 @@ struct SliceResult {
 
 // One connection's worth of work: pipeline the whole slice, then drain.
 // Responses arrive in send order (per-connection FIFO), so responses[i]
-// answers queries[begin + i].
+// answers queries[begin + i]. A non-empty `model` switches to v2 lines.
 void RunSlice(const std::string& host, uint16_t port, size_t k,
-              const std::vector<NodeId>& queries, size_t begin, size_t end,
-              SliceResult* out) {
+              const std::string& model, const std::vector<NodeId>& queries,
+              size_t begin, size_t end, SliceResult* out) {
   auto client = server::QueryClient::Connect(host, port);
   if (!client.ok()) {
     out->error = "connect: " + client.status().ToString();
     return;
   }
   for (size_t i = begin; i < end; ++i) {
-    auto status = client->SendQuery(queries[i], k);
+    auto status = model.empty() ? client->SendQuery(queries[i], k)
+                                : client->SendQuery(model, queries[i], k);
     if (!status.ok()) {
       out->error = "send: " + status.ToString();
       return;
@@ -101,10 +114,24 @@ int main(int argc, char** argv) {
   unsigned connections = 1;
   bool tsv = false;
   std::string query_file;
+  std::string model;         // non-empty = protocol v2 queries
+  std::string admin_cmd;     // non-empty = one admin round-trip, then exit
   for (int i = 1; i < argc; ++i) {
     char* arg = argv[i];
     if (std::strncmp(arg, "--host=", 7) == 0) {
       host = arg + 7;
+    } else if (std::strncmp(arg, "--model=", 8) == 0) {
+      model = arg + 8;
+      if (!server::IsValidModelName(model)) {
+        std::fprintf(stderr, "bad flag: %s (not a valid model name)\n", arg);
+        return Usage();
+      }
+    } else if (std::strncmp(arg, "--admin=", 8) == 0) {
+      admin_cmd = arg + 8;
+      if (admin_cmd.empty()) {
+        std::fprintf(stderr, "--admin needs a command\n");
+        return Usage();
+      }
     } else if (std::strncmp(arg, "--port=", 7) == 0) {
       if (!util::ParseCount(arg + 7, &port) || port == 0 || port > 65535) {
         std::fprintf(stderr, "bad flag: %s (expected --port=1..65535)\n", arg);
@@ -130,7 +157,27 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (port == 0 || query_file.empty()) return Usage();
+  if (port == 0) return Usage();
+
+  // Admin mode: one connection, one command, one reply line.
+  if (!admin_cmd.empty()) {
+    auto client = server::QueryClient::Connect(host,
+                                               static_cast<uint16_t>(port));
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    auto reply = client->Roundtrip(admin_cmd);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "admin failed: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+
+  if (query_file.empty()) return Usage();
 
   std::vector<NodeId> queries;
   {
@@ -172,7 +219,8 @@ int main(int argc, char** argv) {
     const size_t begin = queries.size() * s / num_slices;
     const size_t end = queries.size() * (s + 1) / num_slices;
     threads.emplace_back(RunSlice, host, static_cast<uint16_t>(port), k,
-                         std::cref(queries), begin, end, &slices[s]);
+                         std::cref(model), std::cref(queries), begin, end,
+                         &slices[s]);
   }
   for (std::thread& thread : threads) thread.join();
   const double seconds = timer.ElapsedSeconds();

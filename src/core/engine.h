@@ -112,6 +112,13 @@ class SearchEngine {
   /// call costs O(rows touched), not O(|V|)); like every non-const engine
   /// method it must not run concurrently with itself. Query() stays const
   /// and safe to call from other threads meanwhile.
+  ///
+  /// Multi-model serving sits entirely above this call: the model is a
+  /// per-call argument, so one engine (one finalized index) serves any
+  /// number of per-class models — server::QueryServer's batcher issues one
+  /// BatchQuery per (model, k) group of each accumulation window, with
+  /// model snapshots published/hot-swapped by server::ModelRegistry and
+  /// persisted via learning/model_io.h.
   std::vector<std::vector<std::pair<NodeId, double>>> BatchQuery(
       const MgpModel& model, std::span<const NodeId> queries, size_t k);
 

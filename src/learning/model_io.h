@@ -1,0 +1,44 @@
+// Persistence of trained MgpModels, so a model becomes a first-class
+// offline artifact next to the mined set and the vector index: train once
+// with mgps_cli, then serve (and hot-swap) the saved weights from any
+// number of server processes without retraining.
+//
+// Format: a versioned text header, the weight count, then one weight per
+// line serialized with %.17g — the same exact-double-round-trip rule the
+// wire protocol uses (server/wire.h), so a saved-then-loaded model scores
+// bitwise identically to the freshly trained one. The weight count is
+// checked against the index on load (a model only makes sense over the
+// metagraph set it was trained on).
+#ifndef METAPROX_LEARNING_MODEL_IO_H_
+#define METAPROX_LEARNING_MODEL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "learning/proximity.h"
+#include "util/status.h"
+
+namespace metaprox {
+
+/// Serializes `model` (versioned header + %.17g weights).
+util::Status WriteMgpModel(const MgpModel& model, std::ostream& os);
+
+/// Reads a model written by WriteMgpModel. `expected_weights` is the
+/// metagraph count of the index the model will score against
+/// (index.num_metagraphs()); a mismatch is an InvalidArgument error.
+/// 0 skips the check (callers that have no index at hand).
+util::StatusOr<MgpModel> ReadMgpModel(std::istream& is,
+                                      size_t expected_weights = 0);
+
+/// WriteMgpModel to `path`. Overwrites.
+util::Status SaveModel(const MgpModel& model, const std::string& path);
+
+/// ReadMgpModel from `path`. A missing/unopenable file is NotFound —
+/// distinct from a corrupt one (InvalidArgument) so "load or train and
+/// save" flows retrain only when the artifact genuinely is not there.
+util::StatusOr<MgpModel> LoadModel(const std::string& path,
+                                   size_t expected_weights = 0);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_LEARNING_MODEL_IO_H_

@@ -4,6 +4,22 @@
 
 namespace metaprox::server {
 
+namespace {
+
+// Shared "a reply line that may be an 'E' line" handling: wire errors
+// become non-OK Statuses carrying the structured code.
+util::Status StatusFromErrorLine(const std::string& line) {
+  int code = 0;
+  std::string message;
+  if (ParseErrorResponse(line, &code, &message)) {
+    return util::Status::Internal("server error " + std::to_string(code) +
+                                  ": " + message);
+  }
+  return util::Status::Internal("unexpected server response: " + line);
+}
+
+}  // namespace
+
 QueryClient::QueryClient(util::Socket socket)
     : socket_(std::make_unique<util::Socket>(std::move(socket))),
       // Far above the server's request-line cap: an 'R' line grows with k
@@ -20,8 +36,24 @@ util::StatusOr<QueryClient> QueryClient::Connect(const std::string& host,
   return QueryClient(std::move(*socket));
 }
 
+util::StatusOr<HelloInfo> QueryClient::Hello(uint64_t version) {
+  MX_RETURN_IF_ERROR(util::SendAll(*socket_, BuildHelloRequest(version)));
+  std::string line;
+  if (!reader_->ReadLine(&line)) {
+    return util::Status::IoError("connection closed by server");
+  }
+  HelloInfo info;
+  if (!ParseHelloResponse(line, &info)) return StatusFromErrorLine(line);
+  return info;
+}
+
 util::Status QueryClient::SendQuery(NodeId node, size_t k) {
   return util::SendAll(*socket_, BuildQueryRequest(node, k));
+}
+
+util::Status QueryClient::SendQuery(const std::string& model, NodeId node,
+                                    size_t k) {
+  return util::SendAll(*socket_, BuildQueryRequest(model, node, k));
 }
 
 util::StatusOr<RankResponse> QueryClient::ReceiveResponse() {
@@ -30,14 +62,18 @@ util::StatusOr<RankResponse> QueryClient::ReceiveResponse() {
     return util::Status::IoError("connection closed by server");
   }
   RankResponse response;
-  if (!ParseQueryResponse(line, &response)) {
-    return util::Status::Internal("unexpected server response: " + line);
-  }
+  if (!ParseQueryResponse(line, &response)) return StatusFromErrorLine(line);
   return response;
 }
 
 util::StatusOr<RankResponse> QueryClient::Rank(NodeId node, size_t k) {
   MX_RETURN_IF_ERROR(SendQuery(node, k));
+  return ReceiveResponse();
+}
+
+util::StatusOr<RankResponse> QueryClient::Rank(const std::string& model,
+                                               NodeId node, size_t k) {
+  MX_RETURN_IF_ERROR(SendQuery(model, node, k));
   return ReceiveResponse();
 }
 
@@ -51,6 +87,19 @@ util::Status QueryClient::Ping() {
     return util::Status::Internal("unexpected PING response: " + line);
   }
   return util::Status::Ok();
+}
+
+util::StatusOr<std::string> QueryClient::Roundtrip(
+    const std::string& request_line) {
+  std::string request = request_line;
+  if (request.empty() || request.back() != '\n') request += '\n';
+  MX_RETURN_IF_ERROR(util::SendAll(*socket_, request));
+  std::string line;
+  if (!reader_->ReadLine(&line)) {
+    return util::Status::IoError("connection closed by server");
+  }
+  if (line.rfind("E ", 0) == 0) return StatusFromErrorLine(line);
+  return line;
 }
 
 }  // namespace metaprox::server

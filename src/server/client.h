@@ -1,9 +1,14 @@
 // Blocking client for the metaprox query server (server/wire.h protocol).
 // One QueryClient owns one connection; queries may be pipelined — send any
 // number with SendQuery(), then drain the responses in the same order with
-// ReceiveResponse() (the server preserves per-connection FIFO). A client
-// belongs to one thread; for concurrent load, open one client per thread
-// (examples/mgps_client.cpp, bench_server_throughput).
+// ReceiveResponse() (the server preserves per-connection FIFO). Queries
+// naming different models may be interleaved freely on one connection.
+// A client belongs to one thread; for concurrent load, open one client per
+// thread (examples/mgps_client.cpp, bench_server_throughput).
+//
+// Protocol v2 is optional: a client that never calls Hello() and sends
+// only model-less queries behaves exactly like a v1 client and works
+// against any server generation.
 #ifndef METAPROX_SERVER_CLIENT_H_
 #define METAPROX_SERVER_CLIENT_H_
 
@@ -27,22 +32,39 @@ class QueryClient {
   QueryClient& operator=(QueryClient&&) = default;
   MX_DISALLOW_COPY_AND_ASSIGN(QueryClient);
 
-  /// Sends one query without waiting for its response (pipelining).
-  /// k = 0 asks for the server's default k.
+  /// Protocol handshake: asks the server to speak `version` and returns
+  /// its limits (max_k, default model). Only valid with no queries in
+  /// flight (the reply is answered out of band). Optional — see above.
+  util::StatusOr<HelloInfo> Hello(uint64_t version = kWireVersion);
+
+  /// Sends one query against the server's default model without waiting
+  /// for its response (pipelining). k = 0 asks for the server's default k.
   util::Status SendQuery(NodeId node, size_t k);
 
+  /// Sends one query against the named registry model (protocol v2).
+  util::Status SendQuery(const std::string& model, NodeId node, size_t k);
+
   /// Blocks for the next 'R' response, which answers the oldest
-  /// still-unanswered SendQuery() on this connection. An 'E' response or a
-  /// dropped connection surfaces as a non-OK Status.
+  /// still-unanswered SendQuery() on this connection. An 'E' response
+  /// (carrying its wire error code in the message) or a dropped
+  /// connection surfaces as a non-OK Status.
   util::StatusOr<RankResponse> ReceiveResponse();
 
   /// SendQuery + ReceiveResponse. Only valid with no other queries in
   /// flight on this connection.
   util::StatusOr<RankResponse> Rank(NodeId node, size_t k);
+  util::StatusOr<RankResponse> Rank(const std::string& model, NodeId node,
+                                    size_t k);
 
   /// Round-trips a PING (liveness / readiness probe). Only valid with no
   /// queries in flight (PONG is answered out of band).
   util::Status Ping();
+
+  /// Sends one raw request line (terminator appended if missing) and
+  /// returns the single reply line — the admin path (LOAD/RELOAD/UNLOAD/
+  /// LIST/STAT, also STATS). An 'E' reply surfaces as a non-OK Status.
+  /// Only valid with no queries in flight.
+  util::StatusOr<std::string> Roundtrip(const std::string& request_line);
 
  private:
   explicit QueryClient(util::Socket socket);

@@ -1,0 +1,108 @@
+#include "server/model_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "server/wire.h"
+
+namespace metaprox::server {
+
+bool ModelRegistry::IsValidName(std::string_view name) {
+  // One grammar for names: the wire parser and the registry must agree,
+  // or a loadable model could be unaddressable (or vice versa).
+  return IsValidModelName(name);
+}
+
+util::Status ModelRegistry::Validate(const std::string& name,
+                                     const MgpModel& model) const {
+  if (!IsValidName(name)) {
+    return util::Status::InvalidArgument("invalid model name: '" + name +
+                                         "' (leading letter, then "
+                                         "[A-Za-z0-9_.-], max 64 chars)");
+  }
+  if (model.weights.size() != expected_weights_) {
+    return util::Status::InvalidArgument(
+        "model '" + name + "' has " + std::to_string(model.weights.size()) +
+        " weights but the index has " + std::to_string(expected_weights_) +
+        " metagraphs");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<uint64_t> ModelRegistry::Load(const std::string& name,
+                                             MgpModel model) {
+  MX_RETURN_IF_ERROR(Validate(name, model));
+  auto snapshot = std::make_shared<ServableModel>();
+  snapshot->name = name;
+  snapshot->version = 1;
+  snapshot->model = std::move(model);
+  snapshot->serves = std::make_shared<std::atomic<uint64_t>>(0);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = models_.emplace(name, std::move(snapshot));
+  if (!inserted) {
+    return util::Status::FailedPrecondition(
+        "model '" + name + "' is already loaded (RELOAD swaps a live slot)");
+  }
+  return it->second->version;
+}
+
+util::StatusOr<uint64_t> ModelRegistry::Reload(const std::string& name,
+                                               MgpModel model) {
+  MX_RETURN_IF_ERROR(Validate(name, model));
+  auto snapshot = std::make_shared<ServableModel>();
+  snapshot->name = name;
+  snapshot->model = std::move(model);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return util::Status::NotFound("no model '" + name +
+                                  "' to reload (LOAD publishes a new slot)");
+  }
+  // Same name, next version, SAME cumulative serve counter: the swap is
+  // invisible to everything but Get().
+  snapshot->version = it->second->version + 1;
+  snapshot->serves = it->second->serves;
+  const uint64_t version = snapshot->version;
+  it->second = std::move(snapshot);
+  return version;
+}
+
+util::Status ModelRegistry::Unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return util::Status::NotFound("no model '" + name + "' to unload");
+  }
+  return util::Status::Ok();
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<ModelInfo> ModelRegistry::List() const {
+  std::vector<ModelInfo> infos;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    infos.reserve(models_.size());
+    for (const auto& [name, snapshot] : models_) {
+      infos.push_back(ModelInfo{name, snapshot->version,
+                                snapshot->model.weights.size(),
+                                snapshot->serves_count()});
+    }
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const ModelInfo& a, const ModelInfo& b) {
+              return a.name < b.name;
+            });
+  return infos;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace metaprox::server

@@ -1,0 +1,114 @@
+// ModelRegistry: named, versioned, hot-swappable model slots for the
+// query server — the "one shared index, many cheap per-class readers"
+// shape of multi-class serving (ROADMAP). The expensive artifact (the
+// finalized vector index) is built once and shared; what varies per
+// semantic class is only a weight vector, so serving another class is one
+// registry slot, and pushing retrained weights is one Reload().
+//
+// Concurrency (RCU-style snapshots): every published model is an
+// immutable ServableModel behind a shared_ptr<const>. Readers (the
+// server's reader threads resolving a request, the batcher scoring a
+// window) take a snapshot with Get() and hold it for as long as they
+// need; Load/Reload/Unload atomically swap what *future* Get() calls see
+// and never touch a snapshot already handed out. A Reload racing an
+// in-flight batch is therefore benign by construction: the batch finishes
+// on the weights it started with, the next window picks up the new ones.
+//
+// Validation: the registry is pinned to one index cardinality
+// (expected_weights); a model whose weight count differs — trained
+// against some other offline phase — is rejected at Load/Reload, so a
+// mismatched artifact can never reach scoring.
+#ifndef METAPROX_SERVER_MODEL_REGISTRY_H_
+#define METAPROX_SERVER_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "learning/proximity.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace metaprox::server {
+
+/// One published snapshot of a named model. Immutable after publication
+/// except for the serve counter, which is cumulative per *name* (the
+/// atomic is shared across a name's snapshot generations, so Reload does
+/// not reset it).
+struct ServableModel {
+  std::string name;
+  uint64_t version = 0;  // 1 on Load, +1 per Reload of the same name
+  MgpModel model;
+  std::shared_ptr<std::atomic<uint64_t>> serves;  // queries answered
+
+  uint64_t serves_count() const {
+    return serves->load(std::memory_order_relaxed);
+  }
+  void CountServed(uint64_t n) const {
+    serves->fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+/// One row of List(): the registry's external view of a slot.
+struct ModelInfo {
+  std::string name;
+  uint64_t version = 0;
+  size_t num_weights = 0;
+  uint64_t serves = 0;
+};
+
+class ModelRegistry {
+ public:
+  /// `expected_weights` is the metagraph count of the index every
+  /// registered model scores against (index.num_metagraphs()).
+  explicit ModelRegistry(size_t expected_weights)
+      : expected_weights_(expected_weights) {}
+  MX_DISALLOW_COPY_AND_ASSIGN(ModelRegistry);
+
+  /// Wire-safe model names: leading letter, then letters/digits/[_.-],
+  /// at most 64 chars. A name can never parse as a node id, which is what
+  /// keeps v2 `Q <model> <node>` and v1 `Q <node>` lines unambiguous.
+  static bool IsValidName(std::string_view name);
+
+  /// Publishes a NEW slot. Errors: invalid name, weight-count mismatch,
+  /// name already present (use Reload to swap a live slot — the caller
+  /// must say which it means; a typo'd LOAD silently swapping a serving
+  /// model would be an operational footgun). Returns the version (1).
+  util::StatusOr<uint64_t> Load(const std::string& name, MgpModel model);
+
+  /// Atomically replaces the snapshot of an EXISTING slot; in-flight
+  /// holders of the old snapshot are unaffected. Errors: unknown name,
+  /// weight-count mismatch. Returns the new version.
+  util::StatusOr<uint64_t> Reload(const std::string& name, MgpModel model);
+
+  /// Removes a slot. Snapshots already handed out stay valid; future
+  /// Get() calls return null. Error: unknown name.
+  util::Status Unload(const std::string& name);
+
+  /// Current snapshot of `name`, or null if absent. The caller may hold
+  /// the snapshot across any number of Reload/Unload calls.
+  std::shared_ptr<const ServableModel> Get(const std::string& name) const;
+
+  /// All slots, sorted by name.
+  std::vector<ModelInfo> List() const;
+
+  size_t size() const;
+  size_t expected_weights() const { return expected_weights_; }
+
+ private:
+  util::Status Validate(const std::string& name, const MgpModel& model) const;
+
+  const size_t expected_weights_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const ServableModel>>
+      models_;  // guarded by mu_
+};
+
+}  // namespace metaprox::server
+
+#endif  // METAPROX_SERVER_MODEL_REGISTRY_H_

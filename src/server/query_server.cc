@@ -4,17 +4,19 @@
 #include <chrono>
 #include <utility>
 
-#include "server/wire.h"
+#include "learning/model_io.h"
 #include "util/logging.h"
 
 namespace metaprox::server {
 
-QueryServer::QueryServer(SearchEngine* engine, MgpModel model,
+QueryServer::QueryServer(SearchEngine* engine, ModelRegistry* registry,
                          ServerOptions options)
-    : engine_(engine), model_(std::move(model)), options_(options) {
+    : engine_(engine), registry_(registry), options_(std::move(options)) {
   MX_CHECK_MSG(engine_ != nullptr, "QueryServer needs an engine");
+  MX_CHECK_MSG(registry_ != nullptr, "QueryServer needs a model registry");
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
   options_.default_k = std::max<size_t>(1, options_.default_k);
+  options_.max_k = std::max(options_.max_k, options_.default_k);
   options_.max_pending = std::max(options_.max_pending, options_.max_batch);
 }
 
@@ -26,6 +28,17 @@ util::Status QueryServer::Start() {
     return util::Status::FailedPrecondition(
         "QueryServer needs a finalized index (run MatchAll/FinalizeIndex "
         "or LoadOffline first)");
+  }
+  if (!IsValidModelName(options_.default_model)) {
+    return util::Status::InvalidArgument("invalid default model name: '" +
+                                         options_.default_model + "'");
+  }
+  // v1 lines are answered from the default model, so a server without it
+  // would refuse every legacy client — fail loudly now, not per request.
+  if (registry_->Get(options_.default_model) == nullptr) {
+    return util::Status::FailedPrecondition(
+        "default model '" + options_.default_model +
+        "' is not in the registry");
   }
   auto listener = util::ListenTcpLoopback(options_.port);
   if (!listener.ok()) return listener.status();
@@ -111,7 +124,9 @@ void QueryServer::AcceptLoop() {
       }
     }
     if (full) {
-      (void)util::SendAll(conn->socket, BuildErrorResponse("server full"));
+      (void)util::SendAll(
+          conn->socket,
+          BuildErrorResponse(ErrorCode::kServerFull, "server full"));
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.protocol_errors;
       // conn closes as it goes out of scope
@@ -125,50 +140,10 @@ void QueryServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   while (reader.ReadLine(&line)) {
     Request request;
     if (!ParseRequest(line, &request)) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.protocol_errors;
-      }
-      SendToConnection(*conn, BuildErrorResponse("malformed request"));
+      SendError(*conn, ErrorCode::kMalformed, "malformed request");
       continue;
     }
-    if (request.kind == Request::Kind::kPing) {
-      SendToConnection(*conn, "PONG\n");
-      continue;
-    }
-    if (request.kind == Request::Kind::kStats) {
-      const ServerStats s = stats();
-      SendToConnection(
-          *conn, "STATS " + std::to_string(s.connections_accepted) + ' ' +
-                     std::to_string(s.queries) + ' ' +
-                     std::to_string(s.batches) + ' ' +
-                     std::to_string(s.largest_batch) + ' ' +
-                     std::to_string(s.protocol_errors) + '\n');
-      continue;
-    }
-    // Validate here, not in the batcher: BatchQuery MX_CHECKs its node
-    // ids, and a bad remote request must be an 'E' response, not a crash.
-    if (request.node >= engine_->graph().num_nodes()) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.protocol_errors;
-      }
-      SendToConnection(*conn, BuildErrorResponse("node out of range"));
-      continue;
-    }
-    PendingQuery pending;
-    pending.conn = conn;
-    pending.node = request.node;
-    pending.k = request.k == 0 ? options_.default_k : request.k;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      backpressure_cv_.wait(lock, [&] {
-        return stopping_.load() || queue_.size() < options_.max_pending;
-      });
-      if (stopping_.load()) break;
-      queue_.push_back(std::move(pending));
-    }
-    queue_cv_.notify_one();
+    if (!HandleRequest(conn, request)) break;
   }
   // Treat EOF/error as a full disconnect: shut the socket down BEFORE
   // deregistering, so a batcher send blocked (or about to block) on this
@@ -180,6 +155,183 @@ void QueryServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   std::lock_guard<std::mutex> lock(conns_mu_);
   connections_.erase(conn->id);
   finished_readers_.push_back(conn->id);
+}
+
+bool QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
+                                const Request& request) {
+  switch (request.kind) {
+    case Request::Kind::kPing:
+      SendToConnection(*conn, "PONG\n");
+      return true;
+    case Request::Kind::kStats: {
+      const ServerStats s = stats();
+      SendToConnection(
+          *conn, "STATS " + std::to_string(s.connections_accepted) + ' ' +
+                     std::to_string(s.queries) + ' ' +
+                     std::to_string(s.batches) + ' ' +
+                     std::to_string(s.largest_batch) + ' ' +
+                     std::to_string(s.protocol_errors) + '\n');
+      return true;
+    }
+    case Request::Kind::kHello:
+      // Both wire versions are spoken by this server; a client asking for
+      // a NEWER protocol than ours must be refused, not half-served.
+      if (request.version > kWireVersion) {
+        SendError(*conn, ErrorCode::kUnsupportedVersion,
+                  "server speaks protocol <= " +
+                      std::to_string(kWireVersion));
+        return true;
+      }
+      SendToConnection(*conn,
+                       BuildHelloResponse(request.version, options_.max_k,
+                                          options_.default_model));
+      return true;
+    case Request::Kind::kLoad:
+    case Request::Kind::kReload:
+    case Request::Kind::kUnload:
+    case Request::Kind::kList:
+    case Request::Kind::kStat:
+      HandleAdmin(*conn, request);
+      return true;
+    case Request::Kind::kQuery:
+      break;
+  }
+
+  // ---- a query: validate, resolve the model, enqueue --------------------
+  if (request.k > options_.max_k) {
+    // Explicit refusal, never a silent clamp (see ServerOptions::max_k).
+    SendError(*conn, ErrorCode::kKTooLarge,
+              "k " + std::to_string(request.k) + " exceeds server max " +
+                  std::to_string(options_.max_k));
+    return true;
+  }
+  // Validate here, not in the batcher: BatchQuery MX_CHECKs its node
+  // ids, and a bad remote request must be an 'E' response, not a crash.
+  if (request.node >= engine_->graph().num_nodes()) {
+    SendError(*conn, ErrorCode::kNodeOutOfRange, "node out of range");
+    return true;
+  }
+  const std::string& name =
+      request.model.empty() ? options_.default_model : request.model;
+  // The snapshot is pinned NOW: a RELOAD that lands while this query waits
+  // in the queue does not change its weights (hot-swaps affect only
+  // queries accepted after them).
+  std::shared_ptr<const ServableModel> snapshot = registry_->Get(name);
+  if (snapshot == nullptr) {
+    SendError(*conn, ErrorCode::kUnknownModel, "unknown model " + name);
+    return true;
+  }
+
+  PendingQuery pending;
+  pending.conn = conn;
+  pending.model = std::move(snapshot);
+  pending.node = request.node;
+  pending.k = request.k == 0 ? options_.default_k : request.k;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    backpressure_cv_.wait(lock, [&] {
+      return stopping_.load() || queue_.size() < options_.max_pending;
+    });
+    if (stopping_.load()) return false;
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void QueryServer::HandleAdmin(Connection& conn, const Request& request) {
+  if (!options_.admin) {
+    SendError(conn, ErrorCode::kAdminDisabled,
+              "admin verbs are disabled on this server");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.admin_commands;
+  }
+  switch (request.kind) {
+    case Request::Kind::kLoad:
+    case Request::Kind::kReload: {
+      // Disk read + parse happen on this reader thread, out of band —
+      // serving (the batcher) never waits on model I/O.
+      auto model =
+          LoadModel(request.path, engine_->index().num_metagraphs());
+      if (!model.ok()) {
+        SendError(conn, ErrorCode::kModelError, model.status().ToString());
+        return;
+      }
+      auto version = request.kind == Request::Kind::kLoad
+                         ? registry_->Load(request.model, std::move(*model))
+                         : registry_->Reload(request.model, std::move(*model));
+      if (!version.ok()) {
+        SendError(conn, ErrorCode::kModelError, version.status().ToString());
+        return;
+      }
+      const char* verb =
+          request.kind == Request::Kind::kLoad ? "LOAD" : "RELOAD";
+      SendToConnection(conn, "OK " + std::string(verb) + ' ' + request.model +
+                                 ' ' + std::to_string(*version) + '\n');
+      return;
+    }
+    case Request::Kind::kUnload: {
+      if (request.model == options_.default_model) {
+        // v1 clients depend on the default slot; removing it would turn
+        // every legacy query into an error mid-flight.
+        SendError(conn, ErrorCode::kModelError,
+                  "cannot unload the default model");
+        return;
+      }
+      auto status = registry_->Unload(request.model);
+      if (!status.ok()) {
+        SendError(conn, ErrorCode::kModelError, status.ToString());
+        return;
+      }
+      SendToConnection(conn, "OK UNLOAD " + request.model + '\n');
+      return;
+    }
+    case Request::Kind::kList: {
+      const std::vector<ModelInfo> infos = registry_->List();
+      std::string line = "MODELS " + std::to_string(infos.size());
+      for (const ModelInfo& info : infos) {
+        line += ' ';
+        line += info.name;
+        line += ' ';
+        line += std::to_string(info.version);
+        line += ' ';
+        line += std::to_string(info.num_weights);
+        line += ' ';
+        line += std::to_string(info.serves);
+      }
+      line += '\n';
+      SendToConnection(conn, line);
+      return;
+    }
+    case Request::Kind::kStat: {
+      auto snapshot = registry_->Get(request.model);
+      if (snapshot == nullptr) {
+        SendError(conn, ErrorCode::kUnknownModel,
+                  "unknown model " + request.model);
+        return;
+      }
+      SendToConnection(
+          conn, "STAT " + snapshot->name + ' ' +
+                    std::to_string(snapshot->version) + ' ' +
+                    std::to_string(snapshot->model.weights.size()) + ' ' +
+                    std::to_string(snapshot->serves_count()) + '\n');
+      return;
+    }
+    default:
+      MX_CHECK_MSG(false, "non-admin request routed to HandleAdmin");
+  }
+}
+
+void QueryServer::SendError(Connection& conn, ErrorCode code,
+                            std::string_view message) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+  }
+  SendToConnection(conn, BuildErrorResponse(code, message));
 }
 
 void QueryServer::BatcherLoop() {
@@ -215,9 +367,13 @@ void QueryServer::BatcherLoop() {
 }
 
 void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
-  // One BatchQuery per distinct k in the window (requests may name their
-  // own k; nearly always there is exactly one group).
+  // One BatchQuery per distinct (model snapshot, k) in the window.
+  // Grouping keys on the snapshot POINTER: two queries grouped together
+  // provably score under identical weights, and a query that pinned a
+  // pre-RELOAD snapshot simply forms its own group — determinism per
+  // request, whatever the interleaving.
   struct Group {
+    const ServableModel* model = nullptr;
     size_t k = 0;
     std::vector<NodeId> nodes;
     std::vector<QueryResult> results;
@@ -225,10 +381,15 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
   std::vector<Group> groups;
   std::vector<std::pair<size_t, size_t>> member_of(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
+    const ServableModel* model = batch[i].model.get();
     size_t g = 0;
-    while (g < groups.size() && groups[g].k != batch[i].k) ++g;
+    while (g < groups.size() &&
+           (groups[g].model != model || groups[g].k != batch[i].k)) {
+      ++g;
+    }
     if (g == groups.size()) {
       groups.emplace_back();
+      groups.back().model = model;
       groups.back().k = batch[i].k;
     }
     member_of[i] = {g, groups[g].nodes.size()};
@@ -238,7 +399,9 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
   for (Group& group : groups) {
     // The batcher is the engine's only non-const user while the server
     // runs, so this reuses the engine's ThreadPool and BatchScratch.
-    group.results = engine_->BatchQuery(model_, group.nodes, group.k);
+    group.results =
+        engine_->BatchQuery(group.model->model, group.nodes, group.k);
+    group.model->CountServed(group.nodes.size());
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.batches;
     stats_.largest_batch =

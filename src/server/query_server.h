@@ -1,18 +1,23 @@
 // QueryServer: a long-lived, dependency-free TCP front end over the
-// batched online phase — the "service front-end" follow-on of ROADMAP.md.
+// batched online phase — multi-model serving over one shared index (the
+// ROADMAP's "multi-class serving" milestone).
 //
 // Request flow (see also docs/ARCHITECTURE.md, "The server layer"):
 //
 //   accept thread ──► one reader thread per connection
-//                         │  parse line (server/wire.h), validate node
+//                         │  parse line (server/wire.h), validate node/k,
+//                         │  resolve the model name to a registry snapshot
+//                         │  (admin verbs answered here, out of band)
 //                         ▼
-//                     pending queue  (FIFO across all connections)
-//                         │
+//                     pending queue  (FIFO across all connections; each
+//                         │           entry pins its model snapshot)
+//                         ▼
 //                     batcher thread: waits up to `window_micros` for up to
-//                         │           `max_batch` queries (micro-batching)
+//                         │           `max_batch` queries (micro-batching),
+//                         │           groups the window by (model, k)
 //                         ▼
 //                     SearchEngine::BatchQuery(model, nodes, k)
-//                         │           one call per distinct k in the window,
+//                         │           one call per (model, k) group,
 //                         │           on the engine's shared ThreadPool,
 //                         │           reusing its epoch-marked BatchScratch
 //                         ▼
@@ -23,13 +28,23 @@
 // batched determinism contract), the accumulation window and batch cap are
 // pure throughput/latency knobs: no setting changes any response byte.
 //
+// Models: the server owns no model — it serves whatever the external
+// ModelRegistry publishes. A request pins its snapshot when the reader
+// enqueues it, so a RELOAD hot-swap never affects a query already
+// accepted (it is ranked under the weights that were current when it
+// arrived) and never stalls serving: the next accepted query simply picks
+// up the new snapshot. v1 `Q <node>` lines are served from
+// `options.default_model`, which must exist at Start() and cannot be
+// UNLOADed through this server's admin interface.
+//
 // Threading: the batcher is the only thread that touches the engine's
 // non-const API, so one QueryServer may share an engine with concurrent
 // const readers (Query()), but not with another running QueryServer or any
-// offline mutation. Reader threads never block on response writes of other
-// connections; requests keep draining while the batcher writes, so a
-// client that pipelines queries before reading only grows the pending
-// queue (bounded by `max_pending`).
+// offline mutation. The registry is safe to mutate from anywhere at any
+// time (reader threads do, on admin verbs). Reader threads never block on
+// response writes of other connections; requests keep draining while the
+// batcher writes, so a client that pipelines queries before reading only
+// grows the pending queue (bounded by `max_pending`).
 //
 // Known limitation (single-host building block, not an internet-facing
 // server — see the ROADMAP hardening follow-on): the batcher writes
@@ -48,11 +63,14 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
+#include "server/model_registry.h"
+#include "server/wire.h"
 #include "util/socket.h"
 #include "util/status.h"
 
@@ -69,6 +87,17 @@ struct ServerOptions {
   uint64_t window_micros = 1000;
   /// k used by requests that do not name one.
   size_t default_k = 10;
+  /// Ceiling on per-request k. A request naming a larger k is answered
+  /// with E kKTooLarge — an explicit refusal, never a silent clamp, so a
+  /// client can't mistake a truncated ranking for the full one.
+  size_t max_k = 1 << 20;
+  /// Registry model that answers v1 `Q <node>` lines and v2 queries that
+  /// name no model. Must exist in the registry at Start().
+  std::string default_model = "default";
+  /// Enables the admin verbs (LOAD/RELOAD/UNLOAD/LIST/STAT). Off by
+  /// default: a serving port shouldn't accept model mutations unless the
+  /// operator asked for it.
+  bool admin = false;
   /// Connections beyond this are refused with an 'E' response.
   size_t max_connections = 256;
   /// Backpressure bound on queued-but-unranked queries: a reader whose
@@ -81,27 +110,34 @@ struct ServerOptions {
 // Counters advance before their event becomes externally observable (a
 // ranked query is counted before its 'R' line is written), so a client
 // that just read a response is guaranteed to see it reflected here.
+// Per-model serve counters live in the registry (ServableModel::serves),
+// not here: they belong to the model's lifetime, not the server's.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t queries = 0;          // 'Q' requests ranked
-  uint64_t batches = 0;          // BatchQuery calls issued
+  uint64_t batches = 0;          // BatchQuery calls issued (one per
+                                 // (model, k) group of a window)
   uint64_t largest_batch = 0;    // max queries ranked by one call
   uint64_t protocol_errors = 0;  // 'E' responses sent
+  uint64_t admin_commands = 0;   // admin verbs accepted (admin enabled)
 };
 
 /// One server instance: Start() once, Stop() once (or let the destructor).
 /// Not restartable — make a new instance.
 class QueryServer {
  public:
-  /// `engine` must have a finalized index and outlive the server; the
-  /// model is copied. The server uses the engine's BatchQuery, so scoring
-  /// threads come from EngineOptions::num_threads.
-  QueryServer(SearchEngine* engine, MgpModel model, ServerOptions options);
+  /// `engine` must have a finalized index and outlive the server.
+  /// `registry` must outlive the server; it may be shared (and mutated)
+  /// by other parties concurrently — e.g. an offline retrainer pushing
+  /// new weights while this server serves.
+  QueryServer(SearchEngine* engine, ModelRegistry* registry,
+              ServerOptions options);
   ~QueryServer();
   MX_DISALLOW_COPY_AND_ASSIGN(QueryServer);
 
   /// Binds 127.0.0.1 and spawns the accept/batcher threads. On return the
   /// socket is listening: a subsequent connect cannot be refused.
+  /// Fails if the index is not finalized or the default model is absent.
   util::Status Start();
 
   /// Stops accepting, disconnects every client, joins all threads.
@@ -123,21 +159,32 @@ class QueryServer {
 
   struct PendingQuery {
     std::shared_ptr<Connection> conn;
+    /// The model snapshot pinned at accept time (RCU-style: hot-swaps
+    /// don't reach queries already in the queue).
+    std::shared_ptr<const ServableModel> model;
     NodeId node = kInvalidNode;
     size_t k = 0;
   };
 
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> conn);
+  /// Handles one parsed request on the reader thread. Returns false when
+  /// the reader should stop (server stopping).
+  bool HandleRequest(const std::shared_ptr<Connection>& conn,
+                     const Request& request);
+  /// Admin verbs (LOAD/RELOAD/UNLOAD/LIST/STAT), reader-thread, out of
+  /// band. Replies directly on the connection.
+  void HandleAdmin(Connection& conn, const Request& request);
+  void SendError(Connection& conn, ErrorCode code, std::string_view message);
   void BatcherLoop();
-  /// Ranks one popped window (grouped by k) and writes the responses in
-  /// pop order, preserving per-connection FIFO.
+  /// Ranks one popped window (grouped by (model, k)) and writes the
+  /// responses in pop order, preserving per-connection FIFO.
   void RankAndRespond(std::vector<PendingQuery> batch);
   void SendToConnection(Connection& conn, const std::string& line);
   void JoinFinishedReaders();
 
   SearchEngine* engine_;
-  MgpModel model_;
+  ModelRegistry* registry_;
   ServerOptions options_;
   uint16_t port_ = 0;
   util::Socket listener_;

@@ -1,6 +1,5 @@
 #include "server/wire.h"
 
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +24,14 @@ bool NextToken(std::string_view* rest, std::string_view* token) {
     if (rest->empty()) return false;  // trailing space
   }
   return !token->empty();
+}
+
+bool AllDigits(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
 }
 
 // Strict decimal parse of an unsigned 64-bit token (digits only, no signs,
@@ -61,6 +68,21 @@ bool ParseScore(std::string_view token, double* out) {
   return end == buf + token.size();
 }
 
+// Parses the tail of a query line after an optional model token was
+// consumed: `<node> [k]`.
+bool ParseQueryTail(std::string_view token, std::string_view rest,
+                    Request* out) {
+  if (!ParseNode(token, &out->node)) return false;
+  if (!rest.empty()) {
+    uint64_t k = 0;
+    if (!NextToken(&rest, &token) || !ParseU64(token, &k) || k == 0) {
+      return false;
+    }
+    out->k = static_cast<size_t>(k);
+  }
+  return rest.empty();
+}
+
 }  // namespace
 
 std::string FormatScore(double score) {
@@ -82,6 +104,20 @@ std::string FormatTsvRow(NodeId query, size_t rank, NodeId node,
   return row;
 }
 
+bool IsValidModelName(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  const char first = name.front();
+  if (!((first >= 'a' && first <= 'z') || (first >= 'A' && first <= 'Z'))) {
+    return false;
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 std::string BuildQueryRequest(NodeId node, size_t k) {
   std::string line = "Q ";
   line += std::to_string(node);
@@ -93,7 +129,57 @@ std::string BuildQueryRequest(NodeId node, size_t k) {
   return line;
 }
 
+std::string BuildQueryRequest(std::string_view model, NodeId node, size_t k) {
+  std::string line = "Q ";
+  line += model;
+  line += ' ';
+  line += std::to_string(node);
+  if (k != 0) {
+    line += ' ';
+    line += std::to_string(k);
+  }
+  line += '\n';
+  return line;
+}
+
+std::string BuildHelloRequest(uint64_t version) {
+  return "HELLO " + std::to_string(version) + "\n";
+}
+
+std::string BuildLoadRequest(std::string_view model, std::string_view path) {
+  std::string line = "LOAD ";
+  line += model;
+  line += ' ';
+  line += path;
+  line += '\n';
+  return line;
+}
+
+std::string BuildReloadRequest(std::string_view model, std::string_view path) {
+  std::string line = "RELOAD ";
+  line += model;
+  line += ' ';
+  line += path;
+  line += '\n';
+  return line;
+}
+
+std::string BuildUnloadRequest(std::string_view model) {
+  std::string line = "UNLOAD ";
+  line += model;
+  line += '\n';
+  return line;
+}
+
+std::string BuildStatRequest(std::string_view model) {
+  std::string line = "STAT ";
+  line += model;
+  line += '\n';
+  return line;
+}
+
 bool ParseRequest(std::string_view line, Request* out) {
+  *out = Request{};
   if (line == "PING") {
     out->kind = Request::Kind::kPing;
     return true;
@@ -102,20 +188,53 @@ bool ParseRequest(std::string_view line, Request* out) {
     out->kind = Request::Kind::kStats;
     return true;
   }
+  if (line == "LIST") {
+    out->kind = Request::Kind::kList;
+    return true;
+  }
   std::string_view rest = line;
   std::string_view token;
-  if (!NextToken(&rest, &token) || token != "Q") return false;
-  out->kind = Request::Kind::kQuery;
-  if (!NextToken(&rest, &token) || !ParseNode(token, &out->node)) return false;
-  out->k = 0;
-  if (!rest.empty()) {
-    uint64_t k = 0;
-    if (!NextToken(&rest, &token) || !ParseU64(token, &k) || k == 0) {
+  if (!NextToken(&rest, &token)) return false;
+
+  if (token == "Q") {
+    out->kind = Request::Kind::kQuery;
+    if (!NextToken(&rest, &token)) return false;
+    if (!AllDigits(token)) {
+      // v2 form: the first token names the model; digits would be a v1
+      // node id, and model names can never be all digits.
+      if (!IsValidModelName(token)) return false;
+      out->model.assign(token);
+      if (!NextToken(&rest, &token)) return false;
+    }
+    return ParseQueryTail(token, rest, out);
+  }
+  if (token == "HELLO") {
+    out->kind = Request::Kind::kHello;
+    if (!NextToken(&rest, &token) || !ParseU64(token, &out->version) ||
+        out->version == 0) {
       return false;
     }
-    out->k = static_cast<size_t>(k);
+    return rest.empty();
   }
-  return rest.empty();
+  if (token == "LOAD" || token == "RELOAD") {
+    out->kind =
+        token == "LOAD" ? Request::Kind::kLoad : Request::Kind::kReload;
+    if (!NextToken(&rest, &token) || !IsValidModelName(token)) return false;
+    out->model.assign(token);
+    // The path is one token: the wire carries no quoting, so paths with
+    // spaces are not expressible (documented; keeps parsing strict).
+    if (!NextToken(&rest, &token)) return false;
+    out->path.assign(token);
+    return rest.empty();
+  }
+  if (token == "UNLOAD" || token == "STAT") {
+    out->kind =
+        token == "UNLOAD" ? Request::Kind::kUnload : Request::Kind::kStat;
+    if (!NextToken(&rest, &token) || !IsValidModelName(token)) return false;
+    out->model.assign(token);
+    return rest.empty();
+  }
+  return false;
 }
 
 std::string BuildQueryResponse(NodeId node, const QueryResult& result) {
@@ -133,8 +252,10 @@ std::string BuildQueryResponse(NodeId node, const QueryResult& result) {
   return line;
 }
 
-std::string BuildErrorResponse(std::string_view message) {
+std::string BuildErrorResponse(ErrorCode code, std::string_view message) {
   std::string line = "E ";
+  line += std::to_string(static_cast<int>(code));
+  line += ' ';
   line += message;
   line += '\n';
   return line;
@@ -162,6 +283,51 @@ bool ParseQueryResponse(std::string_view line, RankResponse* out) {
     entry.score_text.assign(token);
     out->entries.push_back(std::move(entry));
   }
+  return rest.empty();
+}
+
+bool ParseErrorResponse(std::string_view line, int* code,
+                        std::string* message) {
+  if (line.substr(0, 2) != "E ") return false;
+  std::string_view rest = line.substr(2);
+  const size_t space = rest.find(' ');
+  uint64_t value = 0;
+  if (space != std::string_view::npos &&
+      ParseU64(rest.substr(0, space), &value)) {
+    *code = static_cast<int>(value);
+    message->assign(rest.substr(space + 1));
+  } else {
+    // Pre-v2 `E <message>` form (or a one-word message): no code.
+    *code = 0;
+    message->assign(rest);
+  }
+  return true;
+}
+
+std::string BuildHelloResponse(uint64_t version, size_t max_k,
+                               std::string_view default_model) {
+  std::string line = "HELLO ";
+  line += std::to_string(version);
+  line += ' ';
+  line += std::to_string(max_k);
+  line += ' ';
+  line += default_model;
+  line += '\n';
+  return line;
+}
+
+bool ParseHelloResponse(std::string_view line, HelloInfo* out) {
+  std::string_view rest = line;
+  std::string_view token;
+  if (!NextToken(&rest, &token) || token != "HELLO") return false;
+  if (!NextToken(&rest, &token) || !ParseU64(token, &out->version)) {
+    return false;
+  }
+  uint64_t max_k = 0;
+  if (!NextToken(&rest, &token) || !ParseU64(token, &max_k)) return false;
+  out->max_k = static_cast<size_t>(max_k);
+  if (!NextToken(&rest, &token) || !IsValidModelName(token)) return false;
+  out->default_model.assign(token);
   return rest.empty();
 }
 

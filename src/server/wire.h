@@ -3,23 +3,51 @@
 // server stays dependency-free and a smoke test can drive it with a few
 // lines of shell.
 //
+// Protocol v2 (versioned; v1 lines keep working — see below):
+//
 // Requests (client -> server):
-//   Q <node> [k]     rank node's candidates, top-k (k defaults server-side)
-//   PING             liveness probe
-//   STATS            server counters
+//   HELLO <version>        handshake: ask for protocol <version> (1 or 2)
+//   Q <node> [k]           v1 query: rank node's candidates under the
+//                          server's DEFAULT model
+//   Q <model> <node> [k]   v2 query: rank under the named registry model;
+//                          k defaults server-side and is bounded by the
+//                          server's max_k (exceeding it is an error reply,
+//                          not a silent clamp)
+//   PING                   liveness probe
+//   STATS                  server counters
+// Admin requests (answered only when the server runs with admin enabled):
+//   LOAD <model> <path>    publish a NEW model slot from a saved model file
+//   RELOAD <model> <path>  hot-swap an EXISTING slot (in-flight batches
+//                          finish on the old snapshot)
+//   UNLOAD <model>         remove a slot (the default model is refused)
+//   LIST                   one line describing every slot
+//   STAT <model>           one slot's version/weights/serve counter
 //
 // Responses (server -> client):
 //   R <node> <n> <cand_1> <score_1> ... <cand_n> <score_n>
+//   HELLO <version> <max_k> <default_model>
 //   PONG
 //   STATS <connections> <queries> <batches> <largest_batch> <errors>
-//   E <message>      protocol error (malformed line, node out of range);
-//                    the connection stays open
+//   OK LOAD <model> <version>      (and OK RELOAD / OK UNLOAD <model>)
+//   MODELS <n> {<name> <version> <weights> <serves>}...
+//   STAT <model> <version> <weights> <serves>
+//   E <code> <message>     protocol error; the connection stays open.
+//                          Codes are stable (enum ErrorCode); v1 clients
+//                          that only check the "E " prefix keep working.
+//
+// v1 compatibility: a v1 client never sends HELLO and uses `Q <node> [k]`,
+// which the server answers from its default model — every v1 line parses
+// and behaves exactly as before. The grammar is unambiguous because model
+// names must start with a letter (IsValidModelName) while node ids are
+// all digits.
 //
 // Ordering: 'R' responses on one connection arrive in the order their 'Q'
 // requests were sent (the batcher preserves per-connection FIFO), so
-// clients may pipeline queries freely. PING/STATS/E are answered out of
-// band by the reader thread and may overtake pending 'R' responses — don't
-// interleave them with outstanding queries if ordering matters.
+// clients may pipeline queries freely — including queries naming
+// different models. HELLO/PING/STATS/E and the admin replies are answered
+// out of band by the reader thread and may overtake pending 'R'
+// responses — don't interleave them with outstanding queries if ordering
+// matters.
 //
 // Connection lifetime: EOF on the request direction is a full disconnect.
 // A peer that half-closes its sending side (shutdown(SHUT_WR)) while
@@ -28,14 +56,15 @@
 //
 // Determinism: scores are serialized with FormatScore (%.17g), which
 // round-trips an IEEE double exactly. The server's scores are bitwise
-// identical to offline BatchQuery/Query scores (see the batched
-// determinism contract in docs/ARCHITECTURE.md), so client output can be
-// byte-diffed against offline `mgps_cli --tsv` output — that diff is the
-// CI end-to-end smoke check.
+// identical to offline BatchQuery/Query scores under the same model (see
+// the batched determinism contract in docs/ARCHITECTURE.md), so client
+// output can be byte-diffed against offline `mgps_cli --tsv` output per
+// model — that diff is the CI end-to-end smoke check.
 #ifndef METAPROX_SERVER_WIRE_H_
 #define METAPROX_SERVER_WIRE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +73,9 @@
 #include "graph/types.h"
 
 namespace metaprox::server {
+
+/// The protocol version this server/client implementation speaks.
+inline constexpr uint64_t kWireVersion = 2;
 
 /// Serializes a score so that parsing it back yields the same double bits
 /// (17 significant digits round-trip IEEE binary64). Shared by the server,
@@ -59,27 +91,73 @@ std::string FormatScore(double score);
 std::string FormatTsvRow(NodeId query, size_t rank, NodeId node,
                          std::string_view score_text);
 
+/// Wire-legal model names: leading letter, then letters/digits/[_.-], at
+/// most 64 chars. Never all digits, which keeps `Q <model> <node>` and
+/// the v1 `Q <node>` unambiguous. ModelRegistry enforces the same rule.
+bool IsValidModelName(std::string_view name);
+
+// ---- error codes ----------------------------------------------------------
+
+/// Stable numeric codes carried on 'E' lines, so scripted clients can
+/// branch on failures without parsing prose.
+enum class ErrorCode : int {
+  kMalformed = 10,           // unparseable request line
+  kUnknownModel = 11,        // query/STAT named a model not in the registry
+  kNodeOutOfRange = 12,      // node id beyond the graph
+  kKTooLarge = 13,           // per-request k exceeds the server's max_k
+  kUnsupportedVersion = 14,  // HELLO asked for a version we don't speak
+  kAdminDisabled = 15,       // admin verb on a server without --admin
+  kServerFull = 16,          // connection limit reached
+  kModelError = 17,          // admin LOAD/RELOAD/UNLOAD failed (bad file,
+                             // duplicate name, unloading the default, ...)
+};
+
 // ---- requests -------------------------------------------------------------
 
 struct Request {
-  enum class Kind { kQuery, kPing, kStats };
+  enum class Kind {
+    kQuery,
+    kPing,
+    kStats,
+    kHello,
+    kLoad,
+    kReload,
+    kUnload,
+    kList,
+    kStat,
+  };
   Kind kind = Kind::kQuery;
   NodeId node = kInvalidNode;  // kQuery only
   size_t k = 0;                // kQuery only; 0 = use the server default
+  /// kQuery: the named model (empty = server default, i.e. a v1 line).
+  /// kLoad/kReload/kUnload/kStat: the slot being administered.
+  std::string model;
+  std::string path;     // kLoad/kReload only (single token, no spaces)
+  uint64_t version = 0;  // kHello only
+
+  bool operator==(const Request&) const = default;
 };
 
-std::string BuildQueryRequest(NodeId node, size_t k);
+std::string BuildQueryRequest(NodeId node, size_t k);  // v1 line
+std::string BuildQueryRequest(std::string_view model, NodeId node, size_t k);
+std::string BuildHelloRequest(uint64_t version);
+std::string BuildLoadRequest(std::string_view model, std::string_view path);
+std::string BuildReloadRequest(std::string_view model, std::string_view path);
+std::string BuildUnloadRequest(std::string_view model);
+std::string BuildStatRequest(std::string_view model);
 inline std::string BuildPingRequest() { return "PING\n"; }
 inline std::string BuildStatsRequest() { return "STATS\n"; }
+inline std::string BuildListRequest() { return "LIST\n"; }
 
 /// Parses one request line (no terminator). Strict: single spaces, no
-/// trailing garbage, counts must parse. Returns false on malformed input.
+/// trailing garbage, counts must parse, model names must be wire-legal.
+/// Returns false on malformed input.
 bool ParseRequest(std::string_view line, Request* out);
 
 // ---- responses ------------------------------------------------------------
 
 std::string BuildQueryResponse(NodeId node, const QueryResult& result);
-std::string BuildErrorResponse(std::string_view message);
+std::string BuildErrorResponse(ErrorCode code, std::string_view message);
 
 struct ResponseEntry {
   NodeId node = kInvalidNode;
@@ -97,8 +175,27 @@ struct RankResponse {
 };
 
 /// Parses an 'R' line (no terminator). Returns false on anything else —
-/// including 'E' lines, which callers should surface verbatim.
+/// including 'E' lines, which callers should surface via
+/// ParseErrorResponse.
 bool ParseQueryResponse(std::string_view line, RankResponse* out);
+
+/// Parses an 'E' line. Lenient about the code so a client also survives a
+/// pre-v2 server's `E <message>` form: a missing/unparseable code yields
+/// code 0 with the whole remainder as the message.
+bool ParseErrorResponse(std::string_view line, int* code,
+                        std::string* message);
+
+struct HelloInfo {
+  uint64_t version = 0;
+  size_t max_k = 0;
+  std::string default_model;
+
+  bool operator==(const HelloInfo&) const = default;
+};
+
+std::string BuildHelloResponse(uint64_t version, size_t max_k,
+                               std::string_view default_model);
+bool ParseHelloResponse(std::string_view line, HelloInfo* out);
 
 }  // namespace metaprox::server
 

@@ -1,0 +1,104 @@
+// Model persistence: save/load must round-trip weights bit for bit (that
+// is what makes a served loaded model byte-identical to the freshly
+// trained one), and every corrupt-artifact shape must fail loudly with
+// the right error class.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "learning/model_io.h"
+
+namespace metaprox {
+namespace {
+
+MgpModel AwkwardModel() {
+  // Values chosen to break any formatting shortcut: non-terminating
+  // binary fractions, denormals, huge/small magnitudes, negative zero.
+  MgpModel model;
+  model.weights = {0.1,     1.0 / 3.0, 0.0,    -0.0,   5e-324,
+                   1e308,   2.2250738585072014e-308,   0.30000000000000004,
+                   123456.789012345678};
+  return model;
+}
+
+TEST(ModelIo, StreamRoundTripIsBitwiseExact) {
+  const MgpModel model = AwkwardModel();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMgpModel(model, buffer).ok());
+  auto loaded = ReadMgpModel(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->weights.size(), model.weights.size());
+  for (size_t i = 0; i < model.weights.size(); ++i) {
+    // Bit-level comparison: 0.0 == -0.0 under operator==, but the
+    // serving contract is "the same model", not "an equal-looking one".
+    EXPECT_EQ(std::signbit(loaded->weights[i]),
+              std::signbit(model.weights[i]))
+        << i;
+    EXPECT_EQ(loaded->weights[i], model.weights[i]) << i;
+  }
+}
+
+TEST(ModelIo, FileRoundTripAndWeightCountCheck) {
+  const MgpModel model = AwkwardModel();
+  const std::string path = ::testing::TempDir() + "/model_io_test.model";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  auto loaded = LoadModel(path, model.weights.size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->weights, model.weights);
+
+  // The count check: a model trained against a different offline phase
+  // must be rejected, not served.
+  auto mismatched = LoadModel(path, model.weights.size() + 1);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), util::StatusCode::kInvalidArgument);
+
+  // 0 skips the check.
+  EXPECT_TRUE(LoadModel(path, 0).ok());
+}
+
+TEST(ModelIo, MissingFileIsNotFound) {
+  auto loaded = LoadModel(::testing::TempDir() + "/does_not_exist.model");
+  ASSERT_FALSE(loaded.ok());
+  // NotFound specifically: the load-or-train-and-save path retrains ONLY
+  // on this code; anything else must propagate.
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(ModelIo, CorruptArtifactsAreInvalidArgument) {
+  const std::vector<std::string> corrupt = {
+      "",                                     // empty
+      "not a model\n3\n1\n2\n3\n",            // wrong magic
+      "metaprox-model v2\n1\n1\n",            // future version
+      "metaprox-model v1\n",                  // missing count
+      "metaprox-model v1\nthree\n",           // non-numeric count
+      "metaprox-model v1\n-5\n",              // signed count (istream would
+                                              // wrap it; strict parse won't)
+      "metaprox-model v1\n99999999999999999999999\n1\n",  // overflow count
+      "metaprox-model v1\n9999999999\n1\n",   // absurd count, no giant alloc
+      "metaprox-model v1\n3\n1\n2\n",         // fewer weights than declared
+      "metaprox-model v1\n2\n1\nx\n",         // non-numeric weight
+      "metaprox-model v1\n1\n1\n2\n",         // trailing data
+  };
+  for (const std::string& text : corrupt) {
+    std::stringstream buffer(text);
+    auto loaded = ReadMgpModel(buffer);
+    ASSERT_FALSE(loaded.ok()) << text;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument)
+        << text;
+  }
+}
+
+TEST(ModelIo, EmptyModelRoundTrips) {
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMgpModel(MgpModel{}, buffer).ok());
+  auto loaded = ReadMgpModel(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->weights.empty());
+}
+
+}  // namespace
+}  // namespace metaprox

@@ -1,0 +1,171 @@
+// The model registry: slot lifecycle (Load/Reload/Unload/List), snapshot
+// immutability under hot-swap, weight-count validation, serve-counter
+// continuity across reloads — and, under the `concurrency` ctest label
+// (TSan in CI), readers holding snapshots while a writer swaps as fast as
+// it can.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/model_registry.h"
+
+namespace metaprox::server {
+namespace {
+
+MgpModel ModelWithValue(size_t num_weights, double value) {
+  MgpModel model;
+  model.weights.assign(num_weights, value);
+  return model;
+}
+
+TEST(ModelRegistry, LoadGetListUnloadLifecycle) {
+  ModelRegistry registry(4);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Get("family"), nullptr);
+
+  auto version = registry.Load("family", ModelWithValue(4, 1.0));
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 1u);
+  ASSERT_TRUE(registry.Load("classmate", ModelWithValue(4, 2.0)).ok());
+  EXPECT_EQ(registry.size(), 2u);
+
+  auto snapshot = registry.Get("family");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->name, "family");
+  EXPECT_EQ(snapshot->version, 1u);
+  EXPECT_EQ(snapshot->model.weights[0], 1.0);
+  EXPECT_EQ(snapshot->serves_count(), 0u);
+
+  // List is sorted by name.
+  auto infos = registry.List();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].name, "classmate");
+  EXPECT_EQ(infos[1].name, "family");
+  EXPECT_EQ(infos[1].num_weights, 4u);
+
+  ASSERT_TRUE(registry.Unload("classmate").ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Get("classmate"), nullptr);
+  EXPECT_FALSE(registry.Unload("classmate").ok());  // already gone
+}
+
+TEST(ModelRegistry, LoadRefusesDuplicatesBadNamesAndWrongCardinality) {
+  ModelRegistry registry(4);
+  ASSERT_TRUE(registry.Load("family", ModelWithValue(4, 1.0)).ok());
+
+  // Duplicate name: Load is "publish NEW slot" — swapping is Reload's job.
+  auto duplicate = registry.Load("family", ModelWithValue(4, 2.0));
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), util::StatusCode::kFailedPrecondition);
+  // The refused load did not clobber the live slot.
+  EXPECT_EQ(registry.Get("family")->model.weights[0], 1.0);
+
+  EXPECT_FALSE(registry.Load("9digits", ModelWithValue(4, 1.0)).ok());
+  EXPECT_FALSE(registry.Load("has space", ModelWithValue(4, 1.0)).ok());
+
+  auto mismatch = registry.Load("other", ModelWithValue(3, 1.0));
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ModelRegistry, ReloadSwapsAtomicallyAndPreservesHeldSnapshots) {
+  ModelRegistry registry(4);
+  ASSERT_TRUE(registry.Load("family", ModelWithValue(4, 1.0)).ok());
+  auto held = registry.Get("family");
+  held->CountServed(5);
+
+  auto version = registry.Reload("family", ModelWithValue(4, 2.0));
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 2u);
+
+  // The held (pre-swap) snapshot is untouched — in-flight batches finish
+  // on the weights they started with.
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(held->model.weights[0], 1.0);
+
+  // New Gets see the new weights; the serve counter carried over (it
+  // counts the NAME's traffic, not one snapshot's).
+  auto fresh = registry.Get("family");
+  EXPECT_EQ(fresh->version, 2u);
+  EXPECT_EQ(fresh->model.weights[0], 2.0);
+  EXPECT_EQ(fresh->serves_count(), 5u);
+  // Counting through either snapshot hits the same counter.
+  fresh->CountServed(1);
+  EXPECT_EQ(held->serves_count(), 6u);
+
+  // Reload of an absent slot is NotFound; Unload then re-Load resets the
+  // version and the counter (a fresh slot, not a resurrected one).
+  EXPECT_FALSE(registry.Reload("nope", ModelWithValue(4, 1.0)).ok());
+  ASSERT_TRUE(registry.Unload("family").ok());
+  ASSERT_TRUE(registry.Load("family", ModelWithValue(4, 3.0)).ok());
+  EXPECT_EQ(registry.Get("family")->version, 1u);
+  EXPECT_EQ(registry.Get("family")->serves_count(), 0u);
+}
+
+// Readers take and use snapshots while a writer hot-swaps continuously:
+// every observed snapshot must be internally consistent (version k holds
+// weight value k), no Get may return null for a name that is never
+// unloaded, and the serve counter must lose no increment across swaps.
+// TSan (ctest -L concurrency) checks the synchronization itself.
+TEST(ModelRegistry, ConcurrentGetsRaceReloadsSafely) {
+  constexpr size_t kWeights = 64;
+  constexpr size_t kReaders = 4;
+  constexpr size_t kGetsPerReader = 2000;
+  constexpr uint64_t kSwaps = 500;
+
+  ModelRegistry registry(kWeights);
+  ASSERT_TRUE(registry.Load("family", ModelWithValue(kWeights, 1.0)).ok());
+
+  std::atomic<bool> start{false};
+  std::vector<std::string> failures(kReaders);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!start.load()) std::this_thread::yield();
+      for (size_t i = 0; i < kGetsPerReader; ++i) {
+        auto snapshot = registry.Get("family");
+        if (snapshot == nullptr) {
+          failures[r] = "Get returned null for a live slot";
+          return;
+        }
+        // Internal consistency: the swap is atomic, so a snapshot can
+        // never mix one generation's version with another's weights.
+        const double expected = static_cast<double>(snapshot->version);
+        for (double w : snapshot->model.weights) {
+          if (w != expected) {
+            failures[r] = "snapshot mixes generations";
+            return;
+          }
+        }
+        snapshot->CountServed(1);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    start.store(true);
+    for (uint64_t s = 0; s < kSwaps; ++s) {
+      // Version v carries weights v (the invariant readers check).
+      auto version = registry.Reload(
+          "family", ModelWithValue(kWeights, static_cast<double>(s + 2)));
+      ASSERT_TRUE(version.ok());
+    }
+  });
+
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  for (size_t r = 0; r < kReaders; ++r) {
+    EXPECT_TRUE(failures[r].empty()) << "reader " << r << ": " << failures[r];
+  }
+  // No increment lost across 500 swaps.
+  EXPECT_EQ(registry.Get("family")->serves_count(),
+            kReaders * kGetsPerReader);
+  EXPECT_EQ(registry.Get("family")->version, kSwaps + 1);
+}
+
+}  // namespace
+}  // namespace metaprox::server

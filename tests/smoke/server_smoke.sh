@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# End-to-end server smoke check (registered as the `server_smoke` ctest
-# entry, label `smoke`; CI runs it in its own job):
+# End-to-end multi-model server smoke check (registered as the
+# `server_smoke` ctest entry, label `smoke`; CI runs it in its own job):
 #
 #   1. build a small offline index with mgps_cli,
-#   2. rank a duplicate-bearing query list offline with mgps_cli --tsv,
-#   3. serve the SAME saved index with metaprox_server (micro-batching on),
-#   4. fire the same queries through 4 concurrent mgps_client connections,
-#   5. byte-diff the two outputs.
+#   2. rank a duplicate-bearing query list offline with mgps_cli --tsv for
+#      TWO classes — each run trains its class model once and SAVES it as
+#      a model artifact (--model=PATH: load-or-train-and-save),
+#   3. serve BOTH saved models from one metaprox_server (micro-batching
+#      on, admin verbs enabled) loading the same artifacts — no retraining,
+#   4. fire the same queries through concurrent pipelined mgps_client runs
+#      — a v1 client (default model) and a v2 client (--model=...) AT THE
+#      SAME TIME — while RELOAD hot-swaps one model mid-run,
+#   5. byte-diff every output against its offline reference, and check
+#      LIST/STAT admin bookkeeping.
 #
-# The diff passing proves the whole chain — accumulation window, batching,
-# concurrent fan-out, wire round-trip — returns results identical to the
-# offline batched path, scores included (%.17g round-trips double bits).
+# The diffs passing prove the whole chain — model save/load round-trip,
+# registry resolution, accumulation window, per-(model,k) batch grouping,
+# concurrent fan-out, wire round-trip, hot-swap — returns results
+# identical to the offline batched path per model, scores included
+# (%.17g round-trips double bits).
 #
 # Usage: server_smoke.sh <mgps_cli> <metaprox_server> <mgps_client>
 set -euo pipefail
@@ -33,8 +41,10 @@ trap cleanup EXIT
 cd "${WORK}"
 
 DATASET=(facebook 150 1)
-CLASS=family
+CLASS_A=family
+CLASS_B=classmate
 K=7
+mkdir models
 
 echo "== offline phase =="
 "${MGPS_CLI}" --threads=2 offline "${DATASET[@]}" idx
@@ -44,18 +54,28 @@ echo "== offline phase =="
 seq 0 3 140 > queries.txt
 printf '5\n5\n12\n' >> queries.txt
 
-echo "== offline reference (mgps_cli --tsv batch mode) =="
+echo "== offline references (mgps_cli --tsv, train-and-save per class) =="
 "${MGPS_CLI}" --threads=2 --tsv --query-file=queries.txt \
-    query "${DATASET[@]}" idx "${CLASS}" "${K}" > offline.tsv
-echo "reference rows: $(wc -l < offline.tsv)"
+    --model="models/${CLASS_A}.model" \
+    query "${DATASET[@]}" idx "${CLASS_A}" "${K}" > "offline_${CLASS_A}.tsv"
+"${MGPS_CLI}" --threads=2 --tsv --query-file=queries.txt \
+    --model="models/${CLASS_B}.model" \
+    query "${DATASET[@]}" idx "${CLASS_B}" "${K}" > "offline_${CLASS_B}.tsv"
+for class in "${CLASS_A}" "${CLASS_B}"; do
+  [[ -s "models/${class}.model" ]] \
+    || { echo "FATAL: model artifact for ${class} was not saved" >&2; exit 1; }
+  echo "reference rows (${class}): $(wc -l < "offline_${class}.tsv")"
+done
 
-echo "== starting metaprox_server =="
+echo "== starting metaprox_server (two models, admin on) =="
 "${SERVER}" --port=0 --port-file=port.txt --max-batch=16 --window-us=2000 \
-    --threads=2 "${DATASET[@]}" idx "${CLASS}" > server.log 2>&1 &
+    --threads=2 --admin --models-dir=models \
+    "${DATASET[@]}" idx "${CLASS_A},${CLASS_B}" > server.log 2>&1 &
 SERVER_PID=$!
 
-# The server writes the port file (atomically) only once it is listening;
-# model training on the tiny dataset takes a few seconds.
+# The server writes the port file (atomically) only once it is listening.
+# Loading the saved models makes startup fast, but keep the generous
+# budget for slow CI machines.
 for _ in $(seq 1 600); do
   [[ -s port.txt ]] && break
   if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
@@ -73,13 +93,54 @@ fi
 PORT=$(cat port.txt)
 echo "server listening on port ${PORT}"
 
-echo "== concurrent client run (4 connections, pipelined) =="
-"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
-    --query-file=queries.txt > server.tsv
+# The saved artifacts must have been LOADED, not retrained (that is the
+# "train once, serve anywhere" point of model persistence).
+grep -q "loaded '${CLASS_A}' model" server.log \
+  || { echo "FATAL: server retrained ${CLASS_A} instead of loading" >&2;
+       cat server.log >&2; exit 1; }
 
-echo "== byte-diff server vs offline =="
-diff offline.tsv server.tsv
-echo "responses are byte-identical"
+echo "== concurrent v1 + v2 client runs with a RELOAD hot-swap mid-run =="
+# v1 client: model-less lines, answered by the default model (CLASS_A).
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --query-file=queries.txt > "server_${CLASS_A}.tsv" &
+V1_PID=$!
+# v2 client: names CLASS_B explicitly on every line.
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --model="${CLASS_B}" --query-file=queries.txt > "server_${CLASS_B}.tsv" &
+V2_PID=$!
+# Hot-swap CLASS_B from its (identical) artifact while both streams run:
+# responses must stay byte-identical across the swap.
+"${CLIENT}" --port="${PORT}" \
+    --admin="RELOAD ${CLASS_B} models/${CLASS_B}.model" > reload.txt
+grep -q "OK RELOAD ${CLASS_B} 2" reload.txt \
+  || { echo "FATAL: RELOAD failed: $(cat reload.txt)" >&2; exit 1; }
+wait "${V1_PID}"
+wait "${V2_PID}"
+
+echo "== byte-diff server vs offline, per model =="
+diff "offline_${CLASS_A}.tsv" "server_${CLASS_A}.tsv"
+diff "offline_${CLASS_B}.tsv" "server_${CLASS_B}.tsv"
+echo "responses are byte-identical for both models (across the hot-swap)"
+
+# The two classes must rank differently somewhere, or the per-model
+# plumbing could be a no-op and this smoke would still pass.
+if cmp -s "offline_${CLASS_A}.tsv" "offline_${CLASS_B}.tsv"; then
+  echo "FATAL: the two class models produced identical output" >&2
+  exit 1
+fi
+
+echo "== admin bookkeeping =="
+"${CLIENT}" --port="${PORT}" --admin="LIST" | tee list.txt
+grep -q "^MODELS 2 " list.txt \
+  || { echo "FATAL: LIST does not show 2 models" >&2; exit 1; }
+"${CLIENT}" --port="${PORT}" --admin="STAT ${CLASS_B}" | tee stat.txt
+# CLASS_B is at version 2 (the RELOAD above) and served the v2 stream.
+QUERY_COUNT=$(wc -l < queries.txt)
+read -r _ _ STAT_VERSION _ STAT_SERVES < stat.txt
+if [[ "${STAT_VERSION}" != "2" || "${STAT_SERVES}" -lt "${QUERY_COUNT}" ]]; then
+  echo "FATAL: unexpected STAT reply: $(cat stat.txt)" >&2
+  exit 1
+fi
 
 kill "${SERVER_PID}"
 wait "${SERVER_PID}"

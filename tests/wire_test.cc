@@ -1,0 +1,202 @@
+// The v2 wire grammar, table-driven: every request form (v1 and v2
+// queries, HELLO, admin verbs), the malformed-line space, builder/parser
+// round-trips, structured error lines, and the exact-score round-trip the
+// byte-diff smoke rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace metaprox::server {
+namespace {
+
+using Kind = Request::Kind;
+
+TEST(Wire, ParseRequestAcceptsEveryWellFormedLine) {
+  struct Case {
+    const char* line;
+    Request expected;
+  };
+  const std::vector<Case> cases = {
+      // v1 queries (model-less; answered by the server's default model).
+      {"Q 5", {Kind::kQuery, 5, 0, "", "", 0}},
+      {"Q 5 10", {Kind::kQuery, 5, 10, "", "", 0}},
+      {"Q 0 1", {Kind::kQuery, 0, 1, "", "", 0}},
+      {"Q 4294967295", {Kind::kQuery, 4294967295u, 0, "", "", 0}},
+      // v2 queries: a leading model name (never all digits, so the two
+      // forms cannot collide).
+      {"Q family 5", {Kind::kQuery, 5, 0, "family", "", 0}},
+      {"Q family 5 10", {Kind::kQuery, 5, 10, "family", "", 0}},
+      {"Q class-2.v1 7 3", {Kind::kQuery, 7, 3, "class-2.v1", "", 0}},
+      // Handshake and probes.
+      {"HELLO 1", {Kind::kHello, kInvalidNode, 0, "", "", 1}},
+      {"HELLO 2", {Kind::kHello, kInvalidNode, 0, "", "", 2}},
+      {"PING", {Kind::kPing, kInvalidNode, 0, "", "", 0}},
+      {"STATS", {Kind::kStats, kInvalidNode, 0, "", "", 0}},
+      // Admin verbs.
+      {"LOAD m /tmp/m.model",
+       {Kind::kLoad, kInvalidNode, 0, "m", "/tmp/m.model", 0}},
+      {"RELOAD m ./m.model",
+       {Kind::kReload, kInvalidNode, 0, "m", "./m.model", 0}},
+      {"UNLOAD m", {Kind::kUnload, kInvalidNode, 0, "m", "", 0}},
+      {"LIST", {Kind::kList, kInvalidNode, 0, "", "", 0}},
+      {"STAT m", {Kind::kStat, kInvalidNode, 0, "m", "", 0}},
+  };
+  for (const Case& c : cases) {
+    Request parsed;
+    EXPECT_TRUE(ParseRequest(c.line, &parsed)) << c.line;
+    EXPECT_EQ(parsed, c.expected) << c.line;
+  }
+}
+
+TEST(Wire, ParseRequestRejectsEveryMalformedLine) {
+  const std::vector<const char*> cases = {
+      "",                      // empty
+      "q 5",                   // verbs are case-sensitive
+      "Q",                     // missing node
+      "Q ",                    // trailing space
+      "Q  5",                  // doubled space
+      " Q 5",                  // leading space
+      "Q 5 ",                  // trailing space after node
+      "Q -3",                  // signs are not digits (and not a name)
+      "Q 5 0",                 // k = 0 is not a request for "default"
+      "Q 5 10 7",              // trailing garbage on a v1 line
+      "Q 4294967296",          // node beyond 32 bits
+      "Q 99999999999999999999999",  // overflow
+      "Q family",              // v2 line missing the node
+      "Q family x",            // v2 node not a number
+      "Q family 5 0",          // v2 k = 0
+      "Q family 5 10 7",       // v2 trailing garbage
+      "Q 9family 5",           // names must not start with a digit
+      "Q fam ily 5",           // spaces cannot hide in a name
+      "Q family 5 k",          // k not a number
+      "HELLO",                 // missing version
+      "HELLO 0",               // version 0 does not exist
+      "HELLO two",             // version not a number
+      "HELLO 2 2",             // trailing garbage
+      "PING 1",                // probes take no arguments
+      "STATS now",             //
+      "LIST all",              //
+      "LOAD m",                // missing path
+      "LOAD /tmp/m.model",     // missing model (path is not a valid name)
+      "LOAD 9m /tmp/m.model",  // invalid name
+      "LOAD m a b",            // path is one token
+      "RELOAD m",              //
+      "UNLOAD",                //
+      "UNLOAD m extra",        //
+      "STAT",                  //
+      "STAT m extra",          //
+      "BOGUS 1",               // unknown verb
+  };
+  for (const char* line : cases) {
+    Request parsed;
+    EXPECT_FALSE(ParseRequest(line, &parsed)) << line;
+  }
+}
+
+TEST(Wire, BuildersRoundTripThroughTheParser) {
+  Request parsed;
+  auto strip = [](std::string line) {
+    EXPECT_EQ(line.back(), '\n');
+    line.pop_back();
+    return line;
+  };
+
+  ASSERT_TRUE(ParseRequest(strip(BuildQueryRequest(42, 7)), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, 7, "", "", 0}));
+  // k = 0 ("server default") is omitted on the wire, not sent as 0.
+  ASSERT_TRUE(ParseRequest(strip(BuildQueryRequest(42, 0)), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, 0, "", "", 0}));
+  ASSERT_TRUE(
+      ParseRequest(strip(BuildQueryRequest("family", 42, 7)), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, 7, "family", "", 0}));
+  ASSERT_TRUE(ParseRequest(strip(BuildHelloRequest(2)), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kHello, kInvalidNode, 0, "", "", 2}));
+  ASSERT_TRUE(ParseRequest(strip(BuildLoadRequest("m", "/p")), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kLoad, kInvalidNode, 0, "m", "/p", 0}));
+  ASSERT_TRUE(ParseRequest(strip(BuildReloadRequest("m", "/p")), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kReload, kInvalidNode, 0, "m", "/p", 0}));
+  ASSERT_TRUE(ParseRequest(strip(BuildUnloadRequest("m")), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kUnload, kInvalidNode, 0, "m", "", 0}));
+  ASSERT_TRUE(ParseRequest(strip(BuildStatRequest("m")), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kStat, kInvalidNode, 0, "m", "", 0}));
+  ASSERT_TRUE(ParseRequest(strip(BuildListRequest()), &parsed));
+  EXPECT_EQ(parsed.kind, Kind::kList);
+  ASSERT_TRUE(ParseRequest(strip(BuildPingRequest()), &parsed));
+  EXPECT_EQ(parsed.kind, Kind::kPing);
+}
+
+TEST(Wire, ModelNameGrammar) {
+  for (const char* good : {"a", "family", "class-2", "m.v1", "A_b-C.d",
+                           "x123456789"}) {
+    EXPECT_TRUE(IsValidModelName(good)) << good;
+  }
+  const std::string max_length(64, 'a');
+  EXPECT_TRUE(IsValidModelName(max_length));
+  for (const char* bad : {"", "9model", "-model", ".model", "_model",
+                          "has space", "has/slash", "has\tttab", "né"}) {
+    EXPECT_FALSE(IsValidModelName(bad)) << bad;
+  }
+  EXPECT_FALSE(IsValidModelName(std::string(65, 'a')));
+  // The collision guard the v1/v2 grammar split rests on: no valid name
+  // is ever all digits.
+  EXPECT_FALSE(IsValidModelName("12345"));
+}
+
+TEST(Wire, ErrorResponsesCarryStructuredCodes) {
+  const std::string line =
+      BuildErrorResponse(ErrorCode::kKTooLarge, "k 900 exceeds server max 64");
+  EXPECT_EQ(line, "E 13 k 900 exceeds server max 64\n");
+  int code = 0;
+  std::string message;
+  ASSERT_TRUE(
+      ParseErrorResponse(line.substr(0, line.size() - 1), &code, &message));
+  EXPECT_EQ(code, static_cast<int>(ErrorCode::kKTooLarge));
+  EXPECT_EQ(message, "k 900 exceeds server max 64");
+
+  // Pre-v2 `E <message>` lines still parse (code 0), so a v2 client can
+  // talk to an old server.
+  ASSERT_TRUE(ParseErrorResponse("E malformed request", &code, &message));
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(message, "malformed request");
+  ASSERT_TRUE(ParseErrorResponse("E oops", &code, &message));
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(message, "oops");
+
+  EXPECT_FALSE(ParseErrorResponse("R 1 0", &code, &message));
+  EXPECT_FALSE(ParseErrorResponse("PONG", &code, &message));
+}
+
+TEST(Wire, HelloResponseRoundTrips) {
+  const std::string line = BuildHelloResponse(2, 1024, "family");
+  EXPECT_EQ(line, "HELLO 2 1024 family\n");
+  HelloInfo info;
+  ASSERT_TRUE(ParseHelloResponse(line.substr(0, line.size() - 1), &info));
+  EXPECT_EQ(info, (HelloInfo{2, 1024, "family"}));
+  EXPECT_FALSE(ParseHelloResponse("HELLO 2 1024", &info));
+  EXPECT_FALSE(ParseHelloResponse("HELLO x 1024 family", &info));
+  EXPECT_FALSE(ParseHelloResponse("PONG", &info));
+}
+
+TEST(Wire, QueryResponseRoundTripsExactScores) {
+  QueryResult result = {{7, 0.1 + 0.2}, {3, 1.0 / 3.0}, {9, 5e-324}};
+  const std::string line = BuildQueryResponse(42, result);
+  RankResponse parsed;
+  ASSERT_TRUE(ParseQueryResponse(line.substr(0, line.size() - 1), &parsed));
+  EXPECT_EQ(parsed.query, 42u);
+  ASSERT_EQ(parsed.entries.size(), result.size());
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(parsed.entries[i].node, result[i].first);
+    // Bitwise equality through the %.17g text round-trip.
+    EXPECT_EQ(parsed.entries[i].score, result[i].second);
+    EXPECT_EQ(parsed.entries[i].score_text, FormatScore(result[i].second));
+  }
+  // An 'E' line is NOT a rank response.
+  EXPECT_FALSE(ParseQueryResponse("E 11 unknown model m", &parsed));
+}
+
+}  // namespace
+}  // namespace metaprox::server
