@@ -1,24 +1,25 @@
 // Query-server throughput: end-to-end (TCP, wire protocol, micro-batching
-// batcher) latency/throughput of server::QueryServer over the batched
-// online phase, swept over the accumulation window / batch cap and the
-// number of concurrent client connections, vs. the one-query-per-request
-// configuration (max_batch = 1) on the same server stack — plus a mixed
-// two-model workload (half the stream naming a second registry model via
-// protocol-v2 lines) measuring what per-(model, k) batch grouping costs.
+// batcher) throughput of server::QueryServer over the batched online
+// phase, centered on MULTI-MODEL windows: streams striping 1, 2 and 4
+// registry models are served twice — with the shared-window scheduler
+// (one SearchEngine::BatchQueryMulti per k group: the window's row union
+// gathered once, every row scored under all its models by the
+// multi-weight kernels) and with the legacy per-(model, k) grouping (one
+// BatchQuery per model) — plus the unbatched baseline (max_batch = 1).
 //
-// What micro-batching amortizes end to end: every window of queries is
-// split into per-(model, k) groups, each ranked by ONE
-// SearchEngine::BatchQuery call, so touched node rows are gathered once
-// per group instead of once per query, through the engine's reusable
-// epoch-marked BatchScratch (O(touched) per call, not O(|V|)). A mixed
-// window forms two groups — the coalescing stats (batches, per-model
-// serves) land in the JSON report.
+// The bench HARD-FAILS unless the shared window beats per-model grouping
+// at every mixed-model count: that superiority is this subsystem's reason
+// to exist, so losing it is a regression, not a footnote. The
+// gather-amortization counters (rows_gathered, rows_saved_vs_per_model,
+// models_per_window) and a closed-loop per-model p50 latency probe land
+// in the JSON report next to the throughput numbers.
 //
 // Also verifies the server determinism contract on every configuration:
 // every response must carry exactly the nodes and bitwise-identical
 // scores of an offline engine.Query() for that node UNDER THE MODEL THE
 // REQUEST NAMED (scores cross the wire as %.17g text, which round-trips
-// the double bits).
+// the double bits) — the shared-window and per-group schedules must be
+// byte-indistinguishable to clients.
 //
 // Flags/env: --threads/--shards apply to the engine (offline build AND
 // the server's scoring pool); --json / METAPROX_BENCH_JSON write the
@@ -45,24 +46,28 @@ using namespace metaprox::bench;  // NOLINT
 namespace {
 
 constexpr size_t kTopK = 10;
-constexpr int kReps = 2;  // best-of reps: timing noise, not results
-constexpr const char* kDefaultModel = "uniform";
-constexpr const char* kSecondModel = "evens";
+constexpr int kReps = 3;  // best-of reps: timing noise, not results
+// Model 0 is the server default (v1 `Q <node>` lines); the rest arrive as
+// protocol-v2 `Q <model> <node> <k>` lines.
+const char* const kModelNames[] = {"uniform", "evens", "odds", "taper"};
+constexpr size_t kMaxModels = 4;
 
 struct Config {
   const char* label;
   size_t clients;
   size_t max_batch;
   uint64_t window_micros;
-  /// Mixed workload: every odd stream index queries kSecondModel through
-  /// a v2 `Q <model> <node> <k>` line (even indices stay v1 lines against
-  /// the default model).
-  bool mixed = false;
+  /// Stream index i queries model i % num_models — every window mixes
+  /// every model.
+  size_t num_models;
+  /// Shared-window scheduler (BatchQueryMulti per k group) vs. the legacy
+  /// per-(model, k) grouping. Same responses either way; only the
+  /// schedule — and the throughput — differs.
+  bool shared;
 };
 
-/// Whether stream index i of a mixed run goes to the second model.
-bool UsesSecondModel(const Config& config, size_t i) {
-  return config.mixed && i % 2 == 1;
+size_t ModelOf(const Config& config, size_t i) {
+  return i % config.num_models;
 }
 
 // One client connection's slice of the stream, fully pipelined. Returns
@@ -72,8 +77,7 @@ bool UsesSecondModel(const Config& config, size_t i) {
 bool RunClientSlice(uint16_t port, const Config& config,
                     const std::vector<NodeId>& stream, size_t begin,
                     size_t end,
-                    const std::vector<QueryResult>& reference_default,
-                    const std::vector<QueryResult>& reference_second,
+                    const std::vector<std::vector<QueryResult>>& references,
                     std::string* error) {
   auto client = server::QueryClient::Connect("127.0.0.1", port);
   if (!client.ok()) {
@@ -81,9 +85,10 @@ bool RunClientSlice(uint16_t port, const Config& config,
     return false;
   }
   for (size_t i = begin; i < end; ++i) {
-    auto status = UsesSecondModel(config, i)
-                      ? client->SendQuery(kSecondModel, stream[i], kTopK)
-                      : client->SendQuery(stream[i], kTopK);
+    const size_t m = ModelOf(config, i);
+    auto status = m == 0
+                      ? client->SendQuery(stream[i], kTopK)
+                      : client->SendQuery(kModelNames[m], stream[i], kTopK);
     if (!status.ok()) {
       *error = status.ToString();
       return false;
@@ -95,9 +100,7 @@ bool RunClientSlice(uint16_t port, const Config& config,
       *error = response.status().ToString();
       return false;
     }
-    const QueryResult& expected = UsesSecondModel(config, i)
-                                      ? reference_second[stream[i]]
-                                      : reference_default[stream[i]];
+    const QueryResult& expected = references[ModelOf(config, i)][stream[i]];
     if (response->query != stream[i] ||
         response->entries.size() != expected.size()) {
       *error = "response shape differs from offline Query";
@@ -118,22 +121,60 @@ bool RunClientSlice(uint16_t port, const Config& config,
   return true;
 }
 
+// Closed-loop p50 round-trip latency per model: one connection, one query
+// outstanding at a time (so each sample pays the full accumulation
+// window — the latency a sparse client actually sees).
+std::vector<double> ProbeP50Millis(uint16_t port, const Config& config,
+                                   const std::vector<NodeId>& stream) {
+  std::vector<double> p50(config.num_models, -1.0);
+  auto client = server::QueryClient::Connect("127.0.0.1", port);
+  if (!client.ok()) return p50;
+  const size_t samples_per_model = 40;
+  for (size_t m = 0; m < config.num_models; ++m) {
+    std::vector<double> millis;
+    millis.reserve(samples_per_model);
+    for (size_t s = 0; s < samples_per_model; ++s) {
+      const NodeId node = stream[(s * 17) % stream.size()];
+      util::Stopwatch timer;
+      auto status = m == 0 ? client->SendQuery(node, kTopK)
+                           : client->SendQuery(kModelNames[m], node, kTopK);
+      if (!status.ok()) return p50;
+      auto response = client->ReceiveResponse();
+      if (!response.ok()) return p50;
+      millis.push_back(timer.ElapsedSeconds() * 1e3);
+    }
+    std::nth_element(millis.begin(), millis.begin() + millis.size() / 2,
+                     millis.end());
+    p50[m] = millis[millis.size() / 2];
+  }
+  return p50;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ParseBenchArgs(argc, argv);
-  std::printf("== query server: micro-batching window x clients sweep ==\n");
+  std::printf(
+      "== query server: shared-window vs per-model grouping, 1/2/4 models "
+      "==\n");
   std::printf("hardware concurrency: %zu\n\n", util::ResolveNumThreads(0));
 
   Bundle b = MakeFacebook(5, 450, 1200);
   b.engine->MatchAll();
-  const MgpModel model{UniformWeights(b.engine->index())};
-  // A second model over the SAME index (odd metagraphs muted): the mixed
-  // configuration serves both from one registry, which is the whole
-  // multi-class point — no second engine, no second index.
-  MgpModel second = model;
-  for (size_t i = 1; i < second.weights.size(); i += 2) {
-    second.weights[i] = 0.0;
+  // Four models over the SAME index — the multi-class point: one engine,
+  // one finalized index, N weight vectors. uniform serves v1 lines;
+  // evens/odds mute complementary halves (so ranking under the wrong
+  // model would be caught); taper weights every metagraph differently.
+  std::vector<MgpModel> models(kMaxModels);
+  models[0].weights = UniformWeights(b.engine->index());
+  const size_t n_weights = models[0].weights.size();
+  for (size_t m = 1; m < kMaxModels; ++m) {
+    models[m].weights.assign(n_weights, 0.0);
+  }
+  for (size_t i = 0; i < n_weights; ++i) {
+    if (i % 2 == 0) models[1].weights[i] = 1.0;
+    if (i % 2 == 1) models[2].weights[i] = 1.0;
+    models[3].weights[i] = 1.0 / static_cast<double>(1 + i % 7);
   }
 
   // Query stream: the user pool cycled to a fixed length (service-style
@@ -145,49 +186,57 @@ int main(int argc, char** argv) {
     stream.push_back(b.user_pool[i % b.user_pool.size()]);
   }
 
-  // Offline references, indexed by node id: what every server response
-  // must equal bit for bit, per model.
-  std::vector<QueryResult> reference_default(b.ds.graph.num_nodes());
-  std::vector<QueryResult> reference_second(b.ds.graph.num_nodes());
-  for (NodeId u : b.user_pool) {
-    reference_default[u] = b.engine->Query(model, u, kTopK);
-    reference_second[u] = b.engine->Query(second, u, kTopK);
+  // Offline references, [model][node]: what every server response must
+  // equal bit for bit.
+  std::vector<std::vector<QueryResult>> references(kMaxModels);
+  for (size_t m = 0; m < kMaxModels; ++m) {
+    references[m].resize(b.ds.graph.num_nodes());
+    for (NodeId u : b.user_pool) {
+      references[m][u] = b.engine->Query(models[m], u, kTopK);
+    }
   }
 
   const std::vector<Config> configs = {
-      {"unbatched", 4, 1, 0},
-      {"window 8", 4, 8, 1000},
-      {"window 64", 4, 64, 2000},
-      {"window 64, 8 conns", 8, 64, 2000},
-      {"window 64, two models", 4, 64, 2000, /*mixed=*/true},
+      {"unbatched", 4, 1, 0, 1, true},
+      {"1 model, shared", 4, 64, 2000, 1, true},
+      {"2 models, per-group", 4, 64, 2000, 2, false},
+      {"2 models, shared", 4, 64, 2000, 2, true},
+      {"4 models, per-group", 4, 64, 2000, 4, false},
+      {"4 models, shared", 4, 64, 2000, 4, true},
   };
 
-  util::TablePrinter table({"config", "clients", "max batch", "window (us)",
-                            "time (s)", "queries/s", "speedup", "batches"});
+  util::TablePrinter table({"config", "models", "sched", "time (s)",
+                            "queries/s", "speedup", "rows saved",
+                            "models/window"});
   JsonReport report("server_throughput");
   double unbatched_qps = 0.0;
-  double best_batched_qps = 0.0;
+  double batched_single_qps = 0.0;
+  // qps by num_models for the shared-vs-per-group verdict.
+  std::vector<double> shared_qps(kMaxModels + 1, 0.0);
+  std::vector<double> per_group_qps(kMaxModels + 1, 0.0);
   bool all_ok = true;
   for (const Config& config : configs) {
     double best_seconds = -1.0;
-    uint64_t batches = 0;
-    uint64_t serves_default = 0;
-    uint64_t serves_second = 0;
+    server::ServerStats stats;
+    std::vector<uint64_t> serves(config.num_models, 0);
+    std::vector<double> p50(config.num_models, -1.0);
     for (int rep = 0; rep < kReps && all_ok; ++rep) {
       // A fresh registry per rep keeps the per-model serve counters an
       // exact record of this run.
-      server::ModelRegistry registry(model.weights.size());
-      if (!registry.Load(kDefaultModel, model).ok() ||
-          !registry.Load(kSecondModel, second).ok()) {
-        std::fprintf(stderr, "registry load failed\n");
-        return 1;
+      server::ModelRegistry registry(n_weights);
+      for (size_t m = 0; m < kMaxModels; ++m) {
+        if (!registry.Load(kModelNames[m], models[m]).ok()) {
+          std::fprintf(stderr, "registry load failed\n");
+          return 1;
+        }
       }
       server::ServerOptions options;
       options.port = 0;
       options.max_batch = config.max_batch;
       options.window_micros = config.window_micros;
       options.default_k = kTopK;
-      options.default_model = kDefaultModel;
+      options.default_model = kModelNames[0];
+      options.shared_window_scoring = config.shared;
       server::QueryServer server(b.engine.get(), &registry, options);
       auto status = server.Start();
       if (!status.ok()) {
@@ -206,17 +255,25 @@ int main(int argc, char** argv) {
         const size_t end = stream.size() * (c + 1) / config.clients;
         threads.emplace_back([&, c, begin, end] {
           ok[c] = RunClientSlice(server.port(), config, stream, begin, end,
-                                 reference_default, reference_second,
-                                 &errors[c])
+                                 references, &errors[c])
                       ? 1
                       : 0;
         });
       }
       for (std::thread& thread : threads) thread.join();
       const double seconds = timer.ElapsedSeconds();
-      batches = server.stats().batches;
-      serves_default = registry.Get(kDefaultModel)->serves_count();
-      serves_second = registry.Get(kSecondModel)->serves_count();
+      if (best_seconds < 0.0 || seconds < best_seconds) {
+        best_seconds = seconds;
+        stats = server.stats();
+        for (size_t m = 0; m < config.num_models; ++m) {
+          serves[m] = registry.Get(kModelNames[m])->serves_count();
+        }
+      }
+      if (rep == kReps - 1) {
+        // Latency probe on the still-running server, after the throughput
+        // burst has drained.
+        p50 = ProbeP50Millis(server.port(), config, stream);
+      }
       server.Stop();
 
       for (size_t c = 0; c < config.clients; ++c) {
@@ -226,70 +283,97 @@ int main(int argc, char** argv) {
           all_ok = false;
         }
       }
-      if (best_seconds < 0.0 || seconds < best_seconds) {
-        best_seconds = seconds;
-      }
     }
     if (!all_ok) break;
 
     const double qps = static_cast<double>(stream.size()) / best_seconds;
     if (config.max_batch == 1) {
       unbatched_qps = qps;
-    } else if (!config.mixed) {
-      best_batched_qps = std::max(best_batched_qps, qps);
+    } else if (config.num_models == 1) {
+      batched_single_qps = qps;
+    } else if (config.shared) {
+      shared_qps[config.num_models] = qps;
+    } else {
+      per_group_qps[config.num_models] = qps;
     }
     const double speedup = unbatched_qps > 0.0 ? qps / unbatched_qps : 1.0;
-    table.AddRow({config.label, std::to_string(config.clients),
-                  std::to_string(config.max_batch),
-                  std::to_string(config.window_micros),
+    const double models_per_window =
+        stats.windows > 0 ? static_cast<double>(stats.window_model_groups) /
+                                static_cast<double>(stats.windows)
+                          : 0.0;
+    table.AddRow({config.label, std::to_string(config.num_models),
+                  config.shared ? "shared" : "per-group",
                   util::FormatDouble(best_seconds, 3),
                   util::FormatDouble(qps, 0),
                   util::FormatDouble(speedup, 2) + "x",
-                  std::to_string(batches)});
+                  std::to_string(stats.rows_saved_vs_per_model),
+                  util::FormatDouble(models_per_window, 2)});
     report.BeginRecord()
         .Str("config", config.label)
         .Num("clients", static_cast<double>(config.clients))
         .Num("max_batch", static_cast<double>(config.max_batch))
         .Num("window_micros", static_cast<double>(config.window_micros))
-        .Num("mixed_models", config.mixed ? 1.0 : 0.0)
+        .Num("num_models", static_cast<double>(config.num_models))
+        .Num("shared_window", config.shared ? 1.0 : 0.0)
         .Num("seconds", best_seconds)
         .Num("queries_per_second", qps)
         .Num("speedup_vs_unbatched", speedup)
-        .Num("batches", static_cast<double>(batches))
-        .Num("serves_" + std::string(kDefaultModel),
-             static_cast<double>(serves_default))
-        .Num("serves_" + std::string(kSecondModel),
-             static_cast<double>(serves_second))
-        .Num("mean_group_size",
-             batches > 0 ? static_cast<double>(serves_default +
-                                               serves_second) /
-                               static_cast<double>(batches)
-                         : 0.0);
+        .Num("batches", static_cast<double>(stats.batches))
+        .Num("windows", static_cast<double>(stats.windows))
+        .Num("rows_gathered", static_cast<double>(stats.rows_gathered))
+        .Num("rows_saved_vs_per_model",
+             static_cast<double>(stats.rows_saved_vs_per_model))
+        .Num("models_per_window", models_per_window);
+    for (size_t m = 0; m < config.num_models; ++m) {
+      report.Num("serves_" + std::string(kModelNames[m]),
+                 static_cast<double>(serves[m]));
+      report.Num("p50_ms_" + std::string(kModelNames[m]), p50[m]);
+    }
   }
   table.Print(std::cout);
+
+  // The shared-vs-per-group verdict, in the JSON next to the raw numbers.
+  for (size_t n : {size_t{2}, size_t{4}}) {
+    if (per_group_qps[n] > 0.0 && shared_qps[n] > 0.0) {
+      report.BeginRecord()
+          .Str("config", "verdict")
+          .Num("num_models", static_cast<double>(n))
+          .Num("shared_speedup_vs_per_group",
+               shared_qps[n] / per_group_qps[n]);
+    }
+  }
   if (!report.WriteIfRequested()) return 1;
 
   std::printf(
-      "\nexpected shape: micro-batching (max batch >= 8) clearly beats the "
-      "unbatched row — a window is ranked by one BatchQuery call per "
-      "(model, k) group, so node rows are gathered once per group instead "
-      "of once per query. The two-model row splits each window into two "
-      "groups (see serves_%s/serves_%s and mean_group_size in the JSON), "
-      "the per-model price of multi-class serving on one index. Every "
-      "response checked bitwise against offline Query() under its model.\n",
-      kDefaultModel, kSecondModel);
+      "\nexpected shape: batching beats unbatched everywhere; at 2+ models "
+      "the shared schedule beats per-model grouping (the window's row "
+      "union is gathered once and scored under all models — rows saved "
+      "and models/window say how much sharing each window found); p50_ms_* "
+      "in the JSON is the closed-loop single-client latency per model. "
+      "Every response is checked bitwise against offline Query() under "
+      "its model, so the two schedules are provably byte-identical to "
+      "clients.\n");
 
   if (!all_ok) {
     std::fprintf(stderr,
                  "FATAL: server responses differ from offline Query\n");
     return 1;
   }
-  if (best_batched_qps <= unbatched_qps) {
+  if (batched_single_qps <= unbatched_qps) {
     std::fprintf(stderr,
                  "FATAL: micro-batching does not beat one-query-per-request "
                  "throughput (%.0f vs %.0f q/s)\n",
-                 best_batched_qps, unbatched_qps);
+                 batched_single_qps, unbatched_qps);
     return 1;
+  }
+  for (size_t n : {size_t{2}, size_t{4}}) {
+    if (shared_qps[n] <= per_group_qps[n]) {
+      std::fprintf(stderr,
+                   "FATAL: shared-window scoring loses to per-model "
+                   "grouping at %zu models (%.0f vs %.0f q/s)\n",
+                   n, shared_qps[n], per_group_qps[n]);
+      return 1;
+    }
   }
   return 0;
 }

@@ -166,6 +166,19 @@ std::vector<std::vector<std::pair<NodeId, double>>> SearchEngine::BatchQuery(
                               &batch_scratch_);
 }
 
+std::vector<std::vector<std::pair<NodeId, double>>>
+SearchEngine::BatchQueryMulti(std::span<const std::span<const double>> models,
+                              std::span<const NodeId> queries,
+                              std::span<const uint32_t> model_of, size_t k,
+                              BatchMultiStats* stats) {
+  MX_CHECK(index_ != nullptr);
+  const size_t workers = util::ResolveNumThreads(options_.num_threads);
+  util::ThreadPool* pool =
+      (workers > 1 && queries.size() > 1) ? &Pool(workers) : nullptr;
+  return BatchRankByProximityMulti(*index_, models, queries, model_of, k, pool,
+                                   &batch_scratch_, stats);
+}
+
 double SearchEngine::Proximity(const MgpModel& model, NodeId x,
                                NodeId y) const {
   MX_CHECK(index_ != nullptr);

@@ -113,14 +113,30 @@ class SearchEngine {
   /// method it must not run concurrently with itself. Query() stays const
   /// and safe to call from other threads meanwhile.
   ///
-  /// Multi-model serving sits entirely above this call: the model is a
-  /// per-call argument, so one engine (one finalized index) serves any
-  /// number of per-class models — server::QueryServer's batcher issues one
-  /// BatchQuery per (model, k) group of each accumulation window, with
-  /// model snapshots published/hot-swapped by server::ModelRegistry and
-  /// persisted via learning/model_io.h.
   std::vector<std::vector<std::pair<NodeId, double>>> BatchQuery(
       const MgpModel& model, std::span<const NodeId> queries, size_t k);
+
+  /// Shared-window, multi-model batch: ranks queries[i] under
+  /// models[model_of[i]], gathering the union of the window's touched node
+  /// rows ONCE and scoring each gathered row under every model in a single
+  /// walk through the multi-weight score kernels (see
+  /// BatchRankByProximityMulti). Result i is bitwise identical to
+  /// Query(model_of[i]'s model, queries[i], k) — same contract as
+  /// BatchQuery, extended over the model axis — for any window
+  /// composition, model mix, thread count and kernel. Same pool/scratch
+  /// behavior as BatchQuery (engine-owned scratch; not self-concurrent).
+  /// With a non-null `stats`, fills the gather-amortization counters.
+  ///
+  /// Multi-model serving sits entirely above these calls: weights are
+  /// per-call arguments, so one engine (one finalized index) serves any
+  /// number of per-class models — server::QueryServer's batcher issues one
+  /// BatchQueryMulti per k-group of each accumulation window (however many
+  /// models the window mixes), with model snapshots published/hot-swapped
+  /// by server::ModelRegistry and persisted via learning/model_io.h.
+  std::vector<std::vector<std::pair<NodeId, double>>> BatchQueryMulti(
+      std::span<const std::span<const double>> models,
+      std::span<const NodeId> queries, std::span<const uint32_t> model_of,
+      size_t k, BatchMultiStats* stats = nullptr);
 
   /// Proximity between two specific nodes.
   double Proximity(const MgpModel& model, NodeId x, NodeId y) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "core/score_kernels.h"
 #include "learning/proximity.h"
 #include "util/macros.h"
 #include "util/parallel_for.h"
@@ -41,16 +42,24 @@ QueryResult ScoreOne(const MetagraphVectorIndex& index,
 
 }  // namespace
 
-void BatchScratch::BeginBatch(size_t num_nodes) {
+void BatchScratch::BeginBatch(size_t num_nodes, size_t num_models) {
+  MX_CHECK(num_models >= 1);
   if (epoch_of_.size() != num_nodes) {
     // Different graph (or first use): full (re)allocation. Epoch restarts
     // at 1 with every mark at 0, so nothing from the old graph survives.
     epoch_of_.assign(num_nodes, 0);
-    node_dots_.assign(num_nodes, 0.0);
     epoch_ = 0;
   }
+  num_models_ = num_models;
+  // The dot cache only ever grows (to the largest nodes x models layout
+  // seen); stale contents need no zeroing — the epoch gates every read.
+  if (node_dots_.size() < num_nodes * num_models_) {
+    node_dots_.resize(num_nodes * num_models_);
+  }
   ++epoch_;
+  touched_high_water_ = std::max(touched_high_water_, touched_.size());
   touched_.clear();
+  touched_.reserve(touched_high_water_);
 }
 
 std::vector<QueryResult> BatchRankByProximity(
@@ -107,6 +116,204 @@ std::vector<QueryResult> BatchRankByProximity(
   for (size_t i = 0; i < queries.size(); ++i) {
     const size_t pos = static_cast<size_t>(
         std::lower_bound(uniq.begin(), uniq.end(), queries[i]) - uniq.begin());
+    results[i] = uniq_results[pos];
+  }
+  return results;
+}
+
+std::vector<QueryResult> BatchRankByProximityMulti(
+    const MetagraphVectorIndex& index,
+    std::span<const std::span<const double>> models,
+    std::span<const NodeId> queries, std::span<const uint32_t> model_of,
+    size_t k, util::ThreadPool* pool, BatchScratch* scratch,
+    BatchMultiStats* stats) {
+  MX_CHECK(model_of.size() == queries.size());
+  MX_CHECK(!models.empty());
+  const size_t n_models = models.size();
+  for (std::span<const double> w : models) {
+    MX_CHECK(w.size() == index.num_metagraphs());
+  }
+
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) {
+    if (stats != nullptr) *stats = BatchMultiStats{};
+    return results;
+  }
+
+  const size_t num_nodes = index.num_graph_nodes();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    MX_CHECK(queries[i] < num_nodes);
+    MX_CHECK(model_of[i] < n_models);
+  }
+
+  BatchScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+
+  // Duplicates of a (query, model) pair share one scored result: collapse
+  // to sorted unique pairs. Sorting by (node, model) also groups a node's
+  // model memberships contiguously for the scoring pass, and keeps the
+  // scatter a binary search.
+  std::vector<std::pair<NodeId, uint32_t>> uniq;
+  uniq.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    uniq.emplace_back(queries[i], model_of[i]);
+  }
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+  // Unique query NODES (a node queried under several models still gathers
+  // once); uniq is sorted by node first, so this falls out in order.
+  std::vector<NodeId> qnodes;
+  qnodes.reserve(uniq.size());
+  for (const auto& [q, m] : uniq) {
+    if (qnodes.empty() || qnodes.back() != q) qnodes.push_back(q);
+  }
+
+  // Optional what-if accounting: how many rows N independent per-model
+  // BatchRankByProximity calls would have gathered for this same window.
+  // Costs one extra marking walk per model, no dots — only taken when the
+  // caller wants the counters.
+  if (stats != nullptr) {
+    *stats = BatchMultiStats{};
+    for (uint32_t m = 0; m < n_models; ++m) {
+      scratch->BeginBatch(num_nodes);
+      for (const auto& [q, qm] : uniq) {
+        if (qm != m) continue;
+        scratch->MarkTouched(q);
+        for (NodeId y : index.Candidates(q)) scratch->MarkTouched(y);
+      }
+      stats->rows_per_model += scratch->touched().size();
+    }
+  }
+
+  // The shared window: mark the UNION of every query's touched rows, once.
+  scratch->BeginBatch(num_nodes, n_models);
+  for (NodeId q : qnodes) {
+    scratch->MarkTouched(q);
+    for (NodeId y : index.Candidates(q)) scratch->MarkTouched(y);
+  }
+
+  kernels::MultiWeightSet wset;
+  wset.Assign(models);
+
+  // Gather pass, all models at once: each touched row is walked (and its
+  // count transform computed) exactly once, filling the row's n_models
+  // cached dots through the multi-weight kernel.
+  const std::span<const NodeId> nodes = scratch->touched();
+  if (stats != nullptr) stats->rows_gathered = nodes.size();
+  const kernels::RowTransform transform = index.row_transform();
+  util::ParallelChunks(pool, nodes.size(), [&](size_t begin, size_t end) {
+    std::vector<double> lanes(wset.lane_scratch_size());
+    for (size_t i = begin; i < end; ++i) {
+      kernels::RowDotMulti(index.NodeRow(nodes[i]), wset, transform,
+                           scratch->MutableNodeDots(nodes[i]), lanes.data());
+    }
+  });
+
+  // Pair rows between two query nodes of the window are read by both
+  // endpoints' scorings: precompute those once for all models. Collected
+  // from both directions and de-duplicated by slot, so a symmetric slot is
+  // dotted exactly once however the index numbered it.
+  std::vector<uint32_t> shared_slots;
+  for (NodeId q : qnodes) {
+    const std::span<const NodeId> candidates = index.Candidates(q);
+    const std::span<const uint32_t> slots = index.CandidateSlots(q);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const NodeId y = candidates[i];
+      if (y == q) continue;
+      if (std::binary_search(qnodes.begin(), qnodes.end(), y)) {
+        shared_slots.push_back(slots[i]);
+      }
+    }
+  }
+  std::sort(shared_slots.begin(), shared_slots.end());
+  shared_slots.erase(std::unique(shared_slots.begin(), shared_slots.end()),
+                     shared_slots.end());
+  if (stats != nullptr) stats->shared_pair_rows = shared_slots.size();
+
+  std::vector<double> shared_dots(shared_slots.size() * n_models);
+  util::ParallelChunks(pool, shared_slots.size(), [&](size_t begin,
+                                                      size_t end) {
+    std::vector<double> lanes(wset.lane_scratch_size());
+    for (size_t i = begin; i < end; ++i) {
+      kernels::RowDotMulti(index.PairRow(shared_slots[i]), wset, transform,
+                           shared_dots.data() + i * n_models, lanes.data());
+    }
+  });
+
+  // Offsets of each node's run of (node, model) members in uniq, with a
+  // sentinel: group g (aligned with qnodes) spans
+  // uniq[group_begin[g] .. group_begin[g + 1]).
+  std::vector<size_t> group_begin;
+  group_begin.reserve(qnodes.size() + 1);
+  for (size_t i = 0; i < uniq.size(); ++i) {
+    if (i == 0 || uniq[i].first != uniq[i - 1].first) group_begin.push_back(i);
+  }
+  group_begin.push_back(uniq.size());
+
+  // Scoring pass: one group per query node, walking its candidate postings
+  // ONCE for all member models. Each candidate's pair row yields its
+  // n_models dots in one kernel call (or a precomputed shared-slot read),
+  // then every member applies ScoreOne's exact guards and arithmetic under
+  // its own model — so member (q, m)'s result is bitwise ScoreOne(q)
+  // under weights m.
+  std::vector<QueryResult> uniq_results(uniq.size());
+  util::ParallelChunks(pool, qnodes.size(), [&](size_t begin, size_t end) {
+    std::vector<double> lanes(wset.lane_scratch_size());
+    std::vector<double> local_dots(n_models);
+    for (size_t g = begin; g < end; ++g) {
+      const NodeId q = qnodes[g];
+      const size_t members_begin = group_begin[g];
+      const size_t members_end = group_begin[g + 1];
+      const size_t members = members_end - members_begin;
+      const std::span<const NodeId> candidates = index.Candidates(q);
+      const std::span<const uint32_t> slots = index.CandidateSlots(q);
+      const double* q_dots = scratch->NodeDots(q);
+
+      std::vector<QueryResult> scored(members);
+      for (QueryResult& s : scored) s.reserve(candidates.size());
+
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        const NodeId y = candidates[i];
+        if (y == q) continue;
+        const double* pair_dots;
+        const auto it = std::lower_bound(shared_slots.begin(),
+                                         shared_slots.end(), slots[i]);
+        if (it != shared_slots.end() && *it == slots[i]) {
+          pair_dots = shared_dots.data() +
+                      static_cast<size_t>(it - shared_slots.begin()) * n_models;
+        } else {
+          kernels::RowDotMulti(index.PairRow(slots[i]), wset, transform,
+                               local_dots.data(), lanes.data());
+          pair_dots = local_dots.data();
+        }
+        const double* y_dots = scratch->NodeDots(y);
+        for (size_t j = 0; j < members; ++j) {
+          const uint32_t m = uniq[members_begin + j].second;
+          const double numer = 2.0 * pair_dots[m];
+          if (numer <= 0.0) continue;
+          const double denom = q_dots[m] + y_dots[m];
+          if (denom <= 0.0) continue;
+          scored[j].emplace_back(y, numer / denom);
+        }
+      }
+
+      for (size_t j = 0; j < members; ++j) {
+        QueryResult& s = scored[j];
+        const size_t take = std::min(k, s.size());
+        std::partial_sort(s.begin(), s.begin() + static_cast<int64_t>(take),
+                          s.end(), ProximityRankBefore);
+        s.resize(take);
+        uniq_results[members_begin + j] = std::move(s);
+      }
+    }
+  });
+
+  // Scatter back into batch order; duplicates copy the shared result.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::pair<NodeId, uint32_t> key(queries[i], model_of[i]);
+    const size_t pos = static_cast<size_t>(
+        std::lower_bound(uniq.begin(), uniq.end(), key) - uniq.begin());
     results[i] = uniq_results[pos];
   }
   return results;

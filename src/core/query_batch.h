@@ -14,14 +14,27 @@
 //   * distinct queries score independently, so the scoring pass fans out
 //     over a util::ThreadPool.
 //
+// The MULTI entry point (BatchRankByProximityMulti) extends the batch
+// across weight vectors — gather once, score many: a window mixing N
+// models runs ONE node-dedup + row-gather pass over the union of every
+// query's touched rows, and each gathered row is scored under all N
+// weight vectors in one walk through the multi-weight score kernels
+// (core/score_kernels.h, interleaved weights, one transform per entry),
+// driving the marginal cost of an extra model toward one fma per row
+// entry. Pair rows shared between two queries of the window (q1, q2
+// mutual candidates) are likewise walked once for all models.
+//
 // Determinism contract (the batched counterpart of the offline pipeline's
 // contract in docs/ARCHITECTURE.md): for any batch composition and any
 // thread count, result i is IDENTICAL — same nodes, same (bitwise) scores,
 // same tie-break order — to RankByProximity(index, weights, queries[i],
 // Candidates(queries[i]), k), i.e. to what SearchEngine::Query(model,
-// queries[i], k) returns. Every cached dot product accumulates in the same
-// order as its per-query counterpart, and the shared ProximityRankBefore
-// order is total, so parallelism has nothing to reorder.
+// queries[i], k) returns; for the multi path, under queries[i]'s OWN model
+// (weights = models[model_of[i]]). Every dot product — per-query, batched,
+// multi, scalar or SIMD — evaluates through the same score kernel with the
+// same canonical accumulation, and the shared ProximityRankBefore order is
+// total, so neither parallelism nor kernel dispatch has anything to
+// reorder.
 #ifndef METAPROX_CORE_QUERY_BATCH_H_
 #define METAPROX_CORE_QUERY_BATCH_H_
 
@@ -41,16 +54,25 @@ namespace metaprox {
 /// ProximityRankBefore order, proximity > 0 only.
 using QueryResult = std::vector<std::pair<NodeId, double>>;
 
-/// Reusable epoch-marked scratch for BatchRankByProximity: the batch-wide
-/// node dedup mark and node-dot cache, dense over the graph's nodes but
-/// allocated once and never cleared between batches. BeginBatch() bumps an
-/// epoch instead of zeroing, so a long-lived caller (the query server's
-/// batch loop, SearchEngine::BatchQuery) pays O(rows touched) per batch —
-/// not O(|V|) — which is what makes tiny batches on multi-million-node
-/// graphs cheap. A scratch belongs to ONE caller at a time: concurrent
-/// BatchRankByProximity calls must use distinct scratches. (The gather
-/// pass's workers may write dots of distinct nodes concurrently; marking
-/// stays on the coordinating thread.)
+/// Reusable epoch-marked scratch for the batched online path: the
+/// batch-wide node dedup mark and node-dot cache, dense over the graph's
+/// nodes but allocated once and never cleared between batches.
+/// BeginBatch() bumps an epoch instead of zeroing, so a long-lived caller
+/// (the query server's batch loop, SearchEngine::BatchQuery) pays O(rows
+/// touched) per batch — not O(|V|) — which is what makes tiny batches on
+/// multi-million-node graphs cheap.
+///
+/// Multi-model batches widen the dot cache: BeginBatch(n, m) lays the
+/// cache out as node_dots_[x * m + model], still epoch-marked per NODE
+/// (one gather fills a row's m dots together). The cache grows
+/// monotonically to the largest (nodes x models) seen and the epoch
+/// expires stale layouts, so alternating single- and multi-model batches
+/// never reallocates back and forth.
+///
+/// A scratch belongs to ONE caller at a time: concurrent batch calls must
+/// use distinct scratches. (The gather pass's workers may write dots of
+/// distinct nodes concurrently; marking stays on the coordinating
+/// thread.)
 class BatchScratch {
  public:
   BatchScratch() = default;
@@ -60,10 +82,14 @@ class BatchScratch {
   BatchScratch& operator=(BatchScratch&&) = default;
   MX_DISALLOW_COPY_AND_ASSIGN(BatchScratch);
 
-  /// Starts a new batch over a graph of `num_nodes` nodes. Previous marks
-  /// and cached dots expire in O(1) (epoch bump, no per-node clear);
-  /// tables are (re)allocated only when `num_nodes` changes.
-  void BeginBatch(size_t num_nodes);
+  /// Starts a new batch over a graph of `num_nodes` nodes, caching
+  /// `num_models` dots per touched node. Previous marks and cached dots
+  /// expire in O(1) (epoch bump, no per-node clear); tables are
+  /// (re)allocated only when `num_nodes` changes or the dot cache must
+  /// grow. The touched list's capacity is pre-reserved to the high-water
+  /// mark of earlier batches, so a long-lived serving scratch stops
+  /// paying re-growth churn after warm-up.
+  void BeginBatch(size_t num_nodes, size_t num_models = 1);
 
   /// Marks x as touched by the current batch; returns true on x's first
   /// touch since BeginBatch(). Stale marks from earlier batches are
@@ -77,21 +103,43 @@ class BatchScratch {
 
   /// Rows marked since BeginBatch(), in first-touch order.
   std::span<const NodeId> touched() const { return touched_; }
+  /// Current capacity of the touched list (>= the high-water mark of past
+  /// batches; exposed so tests can pin the no-regrowth behavior).
+  size_t touched_capacity() const { return touched_.capacity(); }
 
-  /// Caches / reads m_x . w for a row marked in the current batch. Reading
-  /// an unmarked row is a bug (the slot may hold a stale dot from an
-  /// earlier batch); debug builds check.
-  void SetNodeDot(NodeId x, double dot) { node_dots_[x] = dot; }
+  /// Models per node this batch caches (BeginBatch's num_models).
+  size_t num_models() const { return num_models_; }
+
+  /// Caches / reads m_x . w for a row marked in the current batch (model
+  /// 0 when the batch is multi-model). Reading an unmarked row is a bug
+  /// (the slot may hold a stale dot from an earlier batch); debug builds
+  /// check (MX_DCHECK).
+  void SetNodeDot(NodeId x, double dot) {
+    node_dots_[static_cast<size_t>(x) * num_models_] = dot;
+  }
   double NodeDot(NodeId x) const {
     MX_DCHECK(epoch_of_[x] == epoch_);
-    return node_dots_[x];
+    return node_dots_[static_cast<size_t>(x) * num_models_];
+  }
+
+  /// The num_models()-wide dot row of a marked node: NodeDots(x)[m] is
+  /// m_x . w_m. MutableNodeDots is the gather pass's write target (rows of
+  /// distinct nodes may be written concurrently).
+  double* MutableNodeDots(NodeId x) {
+    return node_dots_.data() + static_cast<size_t>(x) * num_models_;
+  }
+  const double* NodeDots(NodeId x) const {
+    MX_DCHECK(epoch_of_[x] == epoch_);
+    return node_dots_.data() + static_cast<size_t>(x) * num_models_;
   }
 
  private:
   uint64_t epoch_ = 0;  // 0 = no batch yet; epoch_of_ entries start at 0
   std::vector<uint64_t> epoch_of_;  // epoch_of_[x] == epoch_ <=> x touched
-  std::vector<double> node_dots_;   // valid only where touched
+  std::vector<double> node_dots_;   // [x * num_models_ + m], valid if marked
   std::vector<NodeId> touched_;
+  size_t num_models_ = 1;
+  size_t touched_high_water_ = 0;  // max touched_.size() across batches
 };
 
 /// Ranks every query of `queries` by descending pi(q, .; weights) over its
@@ -106,6 +154,39 @@ std::vector<QueryResult> BatchRankByProximity(
     const MetagraphVectorIndex& index, std::span<const double> weights,
     std::span<const NodeId> queries, size_t k, util::ThreadPool* pool = nullptr,
     BatchScratch* scratch = nullptr);
+
+/// Gather-amortization accounting of one BatchRankByProximityMulti call,
+/// for callers (the query server, benches) that surface the shared-window
+/// saving. Filled only when requested (the what-if pass costs extra
+/// candidate walks).
+struct BatchMultiStats {
+  /// Node rows the shared window gathered (dotted once, all models).
+  uint64_t rows_gathered = 0;
+  /// Node rows N per-model BatchRankByProximity calls would have gathered
+  /// for the same window (the sum over models of each model's own union).
+  /// rows_per_model - rows_gathered is the saving; equal when one model.
+  uint64_t rows_per_model = 0;
+  /// Pair rows between two query nodes of the window, precomputed once
+  /// for all models instead of once per endpoint per model.
+  uint64_t shared_pair_rows = 0;
+};
+
+/// The shared-window, multi-model batch: ranks queries[i] under
+/// models[model_of[i]] (N weight vectors, each of the index's weight
+/// count), gathering the union of touched node rows ONCE and scoring every
+/// gathered row under all N models through the multi-weight score
+/// kernels. Result i is identical — same nodes, same bitwise scores, same
+/// tie-break order — to the per-query path under model_of[i]'s weights,
+/// and therefore to per-model BatchRankByProximity, for any window
+/// composition, model mix, thread count and kernel. `model_of` is aligned
+/// with `queries`; duplicates of a (query, model) pair share one scored
+/// result. Pool/scratch semantics as above.
+std::vector<QueryResult> BatchRankByProximityMulti(
+    const MetagraphVectorIndex& index,
+    std::span<const std::span<const double>> models,
+    std::span<const NodeId> queries, std::span<const uint32_t> model_of,
+    size_t k, util::ThreadPool* pool = nullptr, BatchScratch* scratch = nullptr,
+    BatchMultiStats* stats = nullptr);
 
 }  // namespace metaprox
 

@@ -6,9 +6,17 @@
 #include <ostream>
 #include <string>
 
+#include "core/score_kernels.h"
 #include "util/macros.h"
 
 namespace metaprox {
+
+// row_transform() maps CountTransform onto the kernels enum by value.
+static_assert(static_cast<int>(CountTransform::kRaw) ==
+                      static_cast<int>(kernels::RowTransform::kRaw) &&
+                  static_cast<int>(CountTransform::kLog1p) ==
+                      static_cast<int>(kernels::RowTransform::kLog1p),
+              "CountTransform and kernels::RowTransform must correspond");
 
 SymPairCountingSink::SymPairCountingSink(const SymmetryInfo& sym,
                                          uint64_t embedding_cap)
@@ -232,21 +240,21 @@ void MetagraphVectorIndex::AppendPairRow(uint64_t key, SparseVec vec) {
   shards_[ShardOf(key)]->pairs.emplace(key, std::move(vec));
 }
 
+kernels::RowTransform MetagraphVectorIndex::row_transform() const {
+  return static_cast<kernels::RowTransform>(transform_);
+}
+
 double MetagraphVectorIndex::NodeDot(NodeId x,
                                      std::span<const double> w) const {
   MX_DCHECK(w.size() == num_metagraphs_);
-  double dot = 0.0;
-  for (const auto& [i, c] : node_vectors_[x]) dot += w[i] * Transform(c);
-  return dot;
+  return kernels::RowDot(node_vectors_[x], w, row_transform());
 }
 
 double MetagraphVectorIndex::PairDot(NodeId x, NodeId y,
                                      std::span<const double> w) const {
   const SparseVec* vec = FindPairVec(x, y);
   if (vec == nullptr) return 0.0;
-  double dot = 0.0;
-  for (const auto& [i, c] : *vec) dot += w[i] * Transform(c);
-  return dot;
+  return kernels::RowDot(*vec, w, row_transform());
 }
 
 void MetagraphVectorIndex::DenseNodeVector(NodeId x,
@@ -294,9 +302,7 @@ std::span<const uint32_t> MetagraphVectorIndex::CandidateSlots(NodeId x) const {
 double MetagraphVectorIndex::SlotDot(uint32_t slot,
                                      std::span<const double> w) const {
   MX_DCHECK(finalized_ && slot < pair_vectors_.size());
-  double dot = 0.0;
-  for (const auto& [i, c] : pair_vectors_[slot]) dot += w[i] * Transform(c);
-  return dot;
+  return kernels::RowDot(pair_vectors_[slot], w, row_transform());
 }
 
 namespace {

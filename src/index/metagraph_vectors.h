@@ -60,6 +60,13 @@
 #include "util/macros.h"
 #include "util/status.h"
 
+namespace metaprox::kernels {
+// From core/score_kernels.h (a dependency-free leaf this layer's .cc
+// routes its dot products through; forward-declared here to keep the
+// header include graph pointing downward).
+enum class RowTransform;
+}  // namespace metaprox::kernels
+
 namespace metaprox {
 
 /// Packs an unordered node pair into a 64-bit key, 32 bits per endpoint.
@@ -160,6 +167,12 @@ class MetagraphVectorIndex {
   /// m_x . w (transformed counts). The batched online path
   /// (core/query_batch.cc) calls this once per node row touched by a
   /// batch, caching the results across queries.
+  ///
+  /// NodeDot/PairDot/SlotDot all evaluate through the shared score
+  /// kernels (core/score_kernels.h) — one canonical accumulation, scalar
+  /// or SIMD per runtime dispatch, bitwise-identical either way — so the
+  /// per-query, batched and shared-window multi-model paths agree bit for
+  /// bit by construction.
   double NodeDot(NodeId x, std::span<const double> w) const;
 
   /// m_xy . w (transformed counts).
@@ -195,6 +208,23 @@ class MetagraphVectorIndex {
   /// result is bitwise-equal to PairDot(x, y, w) of the slot's pair.
   /// Requires Finalize().
   double SlotDot(uint32_t slot, std::span<const double> w) const;
+
+  /// Raw sparse rows — (metagraph index, raw count) entries in canonical
+  /// order — for callers that evaluate several weight vectors per row
+  /// through the multi-weight score kernels (kernels::RowDotMulti with
+  /// transform_kind()). NodeRow(x) is m_x; PairRow(slot) is the finalized
+  /// pair row of `slot` (requires Finalize()). Spans are invalidated by
+  /// Commit/Seal/Finalize, like every other read.
+  std::span<const std::pair<uint32_t, float>> NodeRow(NodeId x) const {
+    return node_vectors_[x];
+  }
+  std::span<const std::pair<uint32_t, float>> PairRow(uint32_t slot) const {
+    MX_DCHECK(finalized_ && slot < pair_vectors_.size());
+    return pair_vectors_[slot];
+  }
+  /// This index's transform as the score kernels' enum, for passing index
+  /// rows to kernels::RowDot/RowDotMulti directly.
+  kernels::RowTransform row_transform() const;
 
   double Transform(double raw) const;
 

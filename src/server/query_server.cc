@@ -170,7 +170,11 @@ bool QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                      std::to_string(s.queries) + ' ' +
                      std::to_string(s.batches) + ' ' +
                      std::to_string(s.largest_batch) + ' ' +
-                     std::to_string(s.protocol_errors) + '\n');
+                     std::to_string(s.protocol_errors) + ' ' +
+                     std::to_string(s.windows) + ' ' +
+                     std::to_string(s.rows_gathered) + ' ' +
+                     std::to_string(s.rows_saved_vs_per_model) + ' ' +
+                     std::to_string(s.window_model_groups) + '\n');
       return true;
     }
     case Request::Kind::kHello:
@@ -367,45 +371,105 @@ void QueryServer::BatcherLoop() {
 }
 
 void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
-  // One BatchQuery per distinct (model snapshot, k) in the window.
-  // Grouping keys on the snapshot POINTER: two queries grouped together
-  // provably score under identical weights, and a query that pinned a
-  // pre-RELOAD snapshot simply forms its own group — determinism per
-  // request, whatever the interleaving.
+  // Shared-window scoring: one BatchQueryMulti per distinct k in the
+  // window, carrying EVERY model the window mixes — the engine gathers
+  // the union of the group's touched rows once and scores each row under
+  // all its models. Model identity keys on the snapshot POINTER: two
+  // queries sharing a model slot provably score under identical weights,
+  // and a query that pinned a pre-RELOAD snapshot simply rides along as
+  // its own model column — determinism per request, whatever the
+  // interleaving. With shared_window_scoring off, the legacy schedule
+  // (one BatchQuery per (snapshot, k) group) ranks the same window to the
+  // same bytes, one model at a time.
   struct Group {
-    const ServableModel* model = nullptr;
     size_t k = 0;
+    // Distinct snapshots of this group, first-appearance order; model_of
+    // indexes into it, aligned with nodes.
+    std::vector<const ServableModel*> models;
     std::vector<NodeId> nodes;
+    std::vector<uint32_t> model_of;
     std::vector<QueryResult> results;
   };
+  const bool shared = options_.shared_window_scoring;
   std::vector<Group> groups;
   std::vector<std::pair<size_t, size_t>> member_of(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     const ServableModel* model = batch[i].model.get();
     size_t g = 0;
     while (g < groups.size() &&
-           (groups[g].model != model || groups[g].k != batch[i].k)) {
+           (groups[g].k != batch[i].k ||
+            (!shared && groups[g].models[0] != model))) {
       ++g;
     }
     if (g == groups.size()) {
       groups.emplace_back();
-      groups.back().model = model;
       groups.back().k = batch[i].k;
+      if (!shared) groups.back().models.push_back(model);
     }
-    member_of[i] = {g, groups[g].nodes.size()};
-    groups[g].nodes.push_back(batch[i].node);
+    Group& group = groups[g];
+    uint32_t m = 0;
+    while (m < group.models.size() && group.models[m] != model) ++m;
+    if (m == group.models.size()) group.models.push_back(model);
+    member_of[i] = {g, group.nodes.size()};
+    group.nodes.push_back(batch[i].node);
+    group.model_of.push_back(m);
+  }
+
+  // Distinct snapshots across the whole window, for the models_per_window
+  // counter (same value either schedule).
+  size_t window_models = 0;
+  for (const Group& group : groups) window_models += group.models.size();
+  if (!shared) {
+    // Legacy groups split one snapshot across k values; count distinct
+    // snapshots window-wide instead so the two schedules report the same
+    // mix.
+    std::vector<const ServableModel*> distinct;
+    for (const PendingQuery& pending : batch) {
+      const ServableModel* model = pending.model.get();
+      if (std::find(distinct.begin(), distinct.end(), model) ==
+          distinct.end()) {
+        distinct.push_back(model);
+      }
+    }
+    window_models = distinct.size();
   }
 
   for (Group& group : groups) {
     // The batcher is the engine's only non-const user while the server
-    // runs, so this reuses the engine's ThreadPool and BatchScratch.
-    group.results =
-        engine_->BatchQuery(group.model->model, group.nodes, group.k);
-    group.model->CountServed(group.nodes.size());
+    // runs, so these calls reuse the engine's ThreadPool and BatchScratch.
+    BatchMultiStats mstats;
+    if (shared) {
+      std::vector<std::span<const double>> weights;
+      weights.reserve(group.models.size());
+      for (const ServableModel* model : group.models) {
+        weights.push_back(model->model.weights);
+      }
+      group.results = engine_->BatchQueryMulti(weights, group.nodes,
+                                               group.model_of, group.k,
+                                               &mstats);
+      std::vector<uint64_t> served(group.models.size(), 0);
+      for (uint32_t m : group.model_of) ++served[m];
+      for (size_t m = 0; m < group.models.size(); ++m) {
+        group.models[m]->CountServed(served[m]);
+      }
+    } else {
+      group.results =
+          engine_->BatchQuery(group.models[0]->model, group.nodes, group.k);
+      group.models[0]->CountServed(group.nodes.size());
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.batches;
     stats_.largest_batch =
         std::max<uint64_t>(stats_.largest_batch, group.nodes.size());
+    stats_.rows_gathered += mstats.rows_gathered;
+    stats_.rows_saved_vs_per_model +=
+        mstats.rows_per_model - mstats.rows_gathered;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.windows;
+    stats_.window_model_groups += window_models;
   }
 
   // Count the batch as served BEFORE the responses go out: a client that

@@ -14,12 +14,17 @@
 //                         ▼
 //                     batcher thread: waits up to `window_micros` for up to
 //                         │           `max_batch` queries (micro-batching),
-//                         │           groups the window by (model, k)
+//                         │           groups the window by k ONLY
 //                         ▼
-//                     SearchEngine::BatchQuery(model, nodes, k)
-//                         │           one call per (model, k) group,
-//                         │           on the engine's shared ThreadPool,
-//                         │           reusing its epoch-marked BatchScratch
+//                     SearchEngine::BatchQueryMulti(models, nodes,
+//                         │           model_of, k): one shared-window call
+//                         │           per k group, however many models the
+//                         │           window mixes — the union of touched
+//                         │           rows is gathered once and scored
+//                         │           under every model through the
+//                         │           multi-weight kernels, on the engine's
+//                         │           shared ThreadPool and epoch-marked
+//                         │           BatchScratch
 //                         ▼
 //                     responses written back per connection, in each
 //                     connection's request order
@@ -105,6 +110,13 @@ struct ServerOptions {
   /// stream. Far above anything the tests or benches queue; exists so an
   /// unbounded pipelining client cannot grow server memory without limit.
   size_t max_pending = 1 << 20;
+  /// Rank each window with one shared BatchQueryMulti call per k group
+  /// (gather the window's row union once, score under every model). When
+  /// false, the batcher falls back to the pre-shared-window behavior — one
+  /// BatchQuery per (model snapshot, k) group. Responses are byte-identical
+  /// either way (the multi path's bitwise contract); the flag exists so
+  /// benches can A/B the two schedules on live traffic.
+  bool shared_window_scoring = true;
 };
 
 // Counters advance before their event becomes externally observable (a
@@ -115,11 +127,25 @@ struct ServerOptions {
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t queries = 0;          // 'Q' requests ranked
-  uint64_t batches = 0;          // BatchQuery calls issued (one per
-                                 // (model, k) group of a window)
+  uint64_t batches = 0;          // engine batch calls issued (one per k
+                                 // group of a window when shared-window
+                                 // scoring is on; one per (model, k)
+                                 // group on the legacy path)
   uint64_t largest_batch = 0;    // max queries ranked by one call
   uint64_t protocol_errors = 0;  // 'E' responses sent
   uint64_t admin_commands = 0;   // admin verbs accepted (admin enabled)
+
+  // Gather-amortization counters of the shared-window batcher (zero when
+  // shared_window_scoring is off, except windows/window_model_groups,
+  // which both paths maintain). models_per_window, the mean number of
+  // distinct model snapshots a window mixes, is window_model_groups /
+  // windows.
+  uint64_t windows = 0;               // batcher windows popped and ranked
+  uint64_t window_model_groups = 0;   // sum of distinct snapshots per window
+  uint64_t rows_gathered = 0;         // node rows gathered (dotted), total
+  uint64_t rows_saved_vs_per_model = 0;  // rows per-(model,k) grouping would
+                                         // have gathered on the same
+                                         // windows, minus rows_gathered
 };
 
 /// One server instance: Start() once, Stop() once (or let the destructor).

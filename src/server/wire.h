@@ -28,6 +28,12 @@
 //   HELLO <version> <max_k> <default_model>
 //   PONG
 //   STATS <connections> <queries> <batches> <largest_batch> <errors>
+//         <windows> <rows_gathered> <rows_saved_vs_per_model>
+//         <window_model_groups>
+//                          (one line; the last four are the shared-window
+//                          batcher's gather-amortization counters — see
+//                          ServerStats. Parse STATS left to right and
+//                          ignore trailing fields you don't know.)
 //   OK LOAD <model> <version>      (and OK RELOAD / OK UNLOAD <model>)
 //   MODELS <n> {<name> <version> <weights> <serves>}...
 //   STAT <model> <version> <weights> <serves>

@@ -171,5 +171,57 @@ TEST(BatchScratch, EpochSemantics) {
   EXPECT_TRUE(scratch.MarkTouched(3));
 }
 
+TEST(BatchScratch, MultiModelDotRows) {
+  BatchScratch scratch;
+  scratch.BeginBatch(8, 3);
+  EXPECT_EQ(scratch.num_models(), 3u);
+  EXPECT_TRUE(scratch.MarkTouched(5));
+  double* dots = scratch.MutableNodeDots(5);
+  dots[0] = 1.0;
+  dots[1] = 2.0;
+  dots[2] = 3.0;
+  EXPECT_EQ(scratch.NodeDots(5)[1], 2.0);
+  // NodeDot (the single-model accessor) reads model 0's slot.
+  EXPECT_EQ(scratch.NodeDot(5), 1.0);
+
+  // Narrowing back to one model: same node id maps to a different slot in
+  // the packed layout; the epoch must have expired the old row.
+  scratch.BeginBatch(8, 1);
+  EXPECT_EQ(scratch.num_models(), 1u);
+  EXPECT_TRUE(scratch.MarkTouched(5));
+  scratch.SetNodeDot(5, 7.5);
+  EXPECT_EQ(scratch.NodeDot(5), 7.5);
+}
+
+TEST(BatchScratch, TouchedCapacityHoldsTheHighWaterMark) {
+  BatchScratch scratch;
+  scratch.BeginBatch(64);
+  for (NodeId x = 0; x < 40; ++x) scratch.MarkTouched(x);
+  // The NEXT batch reserves at least the previous batch's touched count up
+  // front, so a serving loop stops re-growing the list after warm-up.
+  scratch.BeginBatch(64);
+  EXPECT_GE(scratch.touched_capacity(), 40u);
+  const size_t warm_capacity = scratch.touched_capacity();
+  for (NodeId x = 0; x < 40; ++x) scratch.MarkTouched(x);
+  EXPECT_EQ(scratch.touched_capacity(), warm_capacity)
+      << "a batch no larger than the high-water mark must not reallocate";
+}
+
+TEST(BatchScratchDeathTest, ReadingAnUnmarkedRowDiesInDebugBuilds) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "MX_DCHECK is compiled out in NDEBUG builds";
+#else
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  BatchScratch scratch;
+  scratch.BeginBatch(8);
+  scratch.MarkTouched(3);
+  scratch.SetNodeDot(3, 1.0);
+  // Node 4 was never marked this batch: its slot may hold a stale dot from
+  // an earlier epoch, so the read must be rejected, not served.
+  EXPECT_DEATH((void)scratch.NodeDot(4), "");
+  EXPECT_DEATH((void)scratch.NodeDots(4), "");
+#endif
+}
+
 }  // namespace
 }  // namespace metaprox

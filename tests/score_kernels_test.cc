@@ -1,0 +1,130 @@
+// The score kernels' bitwise contract (core/score_kernels.h): the
+// dispatched kernel — whichever the CPU and METAPROX_FORCE_SCALAR_KERNELS
+// selected for this process — and the scalar reference must agree to the
+// bit on every input, and the multi-weight kernel must reproduce the
+// single-weight dot per model exactly. Everything downstream ("batch ==
+// Query, bitwise", "scalar server == SIMD server, byte for byte") reduces
+// to these properties.
+#include "core/score_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace metaprox::kernels {
+namespace {
+
+constexpr size_t kNumWeights = 96;
+
+std::vector<RowEntry> RandomRow(size_t len, util::Rng& rng) {
+  std::vector<RowEntry> row;
+  row.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Counts like the index produces: non-negative, often large (embedding
+    // counts), occasionally zero.
+    const float count =
+        rng.UniformInt(10) == 0
+            ? 0.0f
+            : static_cast<float>(rng.UniformDouble(0.0, 3.0e6));
+    row.emplace_back(static_cast<uint32_t>(rng.UniformInt(kNumWeights)),
+                     count);
+  }
+  return row;
+}
+
+std::vector<double> RandomWeights(util::Rng& rng) {
+  std::vector<double> w(kNumWeights);
+  // Mixed-sign weights (training produces them); exact zeros exercise the
+  // numer/denom guards downstream.
+  for (double& x : w) {
+    x = rng.UniformInt(8) == 0 ? 0.0 : rng.UniformDouble(-2.0, 2.0);
+  }
+  return w;
+}
+
+TEST(ScoreKernels, DispatchedMatchesScalarBitwise) {
+  util::Rng rng(1234);
+  for (RowTransform transform : {RowTransform::kRaw, RowTransform::kLog1p}) {
+    for (size_t len : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                       size_t{5}, size_t{7}, size_t{8}, size_t{13}, size_t{64},
+                       size_t{200}, size_t{4096}}) {
+      const std::vector<RowEntry> row = RandomRow(len, rng);
+      const std::vector<double> w = RandomWeights(rng);
+      const double scalar = RowDotScalar(row, w, transform);
+      const double dispatched = RowDot(row, w, transform);
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit equality.
+      EXPECT_EQ(scalar, dispatched)
+          << "len " << len << ", transform " << static_cast<int>(transform)
+          << " (active kernel: " << KernelName(ActiveKernel()) << ")";
+    }
+  }
+}
+
+TEST(ScoreKernels, EmptyRowIsExactlyZero) {
+  const std::vector<double> w(kNumWeights, 1.5);
+  EXPECT_EQ(RowDot({}, w, RowTransform::kRaw), 0.0);
+  EXPECT_EQ(RowDotScalar({}, w, RowTransform::kLog1p), 0.0);
+}
+
+TEST(ScoreKernels, MultiWeightSetInterleavesByIndex) {
+  std::vector<double> w0 = {1.0, 2.0, 3.0};
+  std::vector<double> w1 = {10.0, 20.0, 30.0};
+  const std::vector<std::span<const double>> models = {w0, w1};
+  MultiWeightSet set;
+  set.Assign(models);
+  ASSERT_EQ(set.num_models(), 2u);
+  ASSERT_EQ(set.num_weights(), 3u);
+  EXPECT_EQ(set.lane_scratch_size(), 8u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(set.row(i)[0], w0[i]);
+    EXPECT_EQ(set.row(i)[1], w1[i]);
+  }
+}
+
+TEST(ScoreKernels, MultiMatchesSingleWeightPerModelBitwise) {
+  util::Rng rng(987);
+  for (RowTransform transform : {RowTransform::kRaw, RowTransform::kLog1p}) {
+    for (size_t n_models :
+         {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5}, size_t{8}}) {
+      std::vector<std::vector<double>> storage;
+      std::vector<std::span<const double>> models;
+      for (size_t m = 0; m < n_models; ++m) {
+        storage.push_back(RandomWeights(rng));
+      }
+      for (const auto& w : storage) models.push_back(w);
+      MultiWeightSet set;
+      set.Assign(models);
+
+      for (size_t len : {size_t{0}, size_t{1}, size_t{3}, size_t{4},
+                         size_t{9}, size_t{100}}) {
+        const std::vector<RowEntry> row = RandomRow(len, rng);
+        std::vector<double> out(n_models), out_scalar(n_models);
+        std::vector<double> lanes(set.lane_scratch_size());
+        RowDotMulti(row, set, transform, out.data(), lanes.data());
+        RowDotMultiScalar(row, set, transform, out_scalar.data(),
+                          lanes.data());
+        for (size_t m = 0; m < n_models; ++m) {
+          const double single = RowDot(row, storage[m], transform);
+          EXPECT_EQ(out[m], single)
+              << "multi vs single, " << n_models << " models, len " << len
+              << ", model " << m;
+          EXPECT_EQ(out_scalar[m], single)
+              << "scalar multi vs single, " << n_models << " models, len "
+              << len << ", model " << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(ScoreKernels, KernelNamesAreStable) {
+  EXPECT_STREQ(KernelName(KernelKind::kScalar), "scalar");
+  EXPECT_STREQ(KernelName(KernelKind::kAvx2Fma), "avx2+fma");
+  // Whatever dispatch picked, it must name itself.
+  EXPECT_NE(KernelName(ActiveKernel()), nullptr);
+}
+
+}  // namespace
+}  // namespace metaprox::kernels

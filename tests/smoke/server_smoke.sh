@@ -15,10 +15,14 @@
 #      LIST/STAT admin bookkeeping.
 #
 # The diffs passing prove the whole chain — model save/load round-trip,
-# registry resolution, accumulation window, per-(model,k) batch grouping,
-# concurrent fan-out, wire round-trip, hot-swap — returns results
-# identical to the offline batched path per model, scores included
-# (%.17g round-trips double bits).
+# registry resolution, accumulation window, shared-window multi-model
+# batch scoring, concurrent fan-out, wire round-trip, hot-swap — returns
+# results identical to the offline batched path per model, scores
+# included (%.17g round-trips double bits).
+#
+# A final phase restarts the server with METAPROX_FORCE_SCALAR_KERNELS=1
+# and byte-diffs the same streams again: the scalar fallback and the
+# runtime-dispatched SIMD kernels must serve identical bytes end to end.
 #
 # Usage: server_smoke.sh <mgps_cli> <metaprox_server> <mgps_client>
 set -euo pipefail
@@ -147,4 +151,35 @@ wait "${SERVER_PID}"
 SERVER_PID=
 echo "server shut down cleanly"
 grep "served" server.log || true
+
+echo "== scalar-kernel rerun (METAPROX_FORCE_SCALAR_KERNELS=1) =="
+# Same server, same queries, SIMD dispatch forced off: the scalar
+# fallback is the semantic source of truth, so every byte must match the
+# dispatched run above.
+METAPROX_FORCE_SCALAR_KERNELS=1 \
+  "${SERVER}" --port=0 --port-file=port_scalar.txt --max-batch=16 \
+    --window-us=2000 --threads=2 --models-dir=models \
+    "${DATASET[@]}" idx "${CLASS_A},${CLASS_B}" > server_scalar.log 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 600); do
+  [[ -s port_scalar.txt ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "FATAL: scalar-kernel server died during startup" >&2
+    cat server_scalar.log >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(cat port_scalar.txt)
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --query-file=queries.txt > "scalar_${CLASS_A}.tsv"
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --model="${CLASS_B}" --query-file=queries.txt > "scalar_${CLASS_B}.tsv"
+diff "server_${CLASS_A}.tsv" "scalar_${CLASS_A}.tsv"
+diff "server_${CLASS_B}.tsv" "scalar_${CLASS_B}.tsv"
+echo "scalar and dispatched kernels serve byte-identical responses"
+
+kill "${SERVER_PID}"
+wait "${SERVER_PID}"
+SERVER_PID=
 echo "PASS"
