@@ -94,8 +94,11 @@ inline MgpModel TrainClassModel(SearchEngine& engine,
 /// smoke checks rely on, now without retraining in every process.
 inline util::StatusOr<MgpModel> LoadOrTrainClassModel(
     SearchEngine& engine, const datagen::Dataset& ds, const GroundTruth& gt,
-    uint64_t seed, const std::string& model_path) {
+    uint64_t seed, const std::string& model_path,
+    util::ArtifactFormat save_format = util::ArtifactFormat::kText) {
   if (!model_path.empty()) {
+    // Loads autodetect the on-disk format; save_format only shapes what a
+    // train-and-save writes.
     auto loaded = LoadModel(model_path, engine.index().num_metagraphs());
     if (loaded.ok()) {
       std::fprintf(stderr, "loaded '%s' model from %s\n",
@@ -110,7 +113,7 @@ inline util::StatusOr<MgpModel> LoadOrTrainClassModel(
   }
   MgpModel model = TrainClassModel(engine, ds, gt, seed);
   if (!model_path.empty()) {
-    auto saved = SaveModel(model, model_path);
+    auto saved = SaveModel(model, model_path, save_format);
     if (!saved.ok()) return saved;
     std::fprintf(stderr, "trained '%s' model and saved it to %s\n",
                  gt.class_name().c_str(), model_path.c_str());

@@ -33,6 +33,11 @@
 //                    'E' reply (default 1048576)
 //   --models-dir=D   load/save per-class model artifacts as D/<class>.model
 //                    (absent artifact: train once, save, then serve)
+//   --mmap           map a binary aligned-layout index artifact read-only
+//                    instead of parsing it: the server starts serving
+//                    without materializing the rows, and concurrent server
+//                    processes share one set of physical pages (text and
+//                    compact artifacts fall back to an eager load)
 //   --admin          enable the LOAD/RELOAD/UNLOAD/LIST/STAT admin verbs
 //                    (model hot-swapping); off by default
 //   --port-file=F    write the bound port to F (atomically, via rename) —
@@ -60,7 +65,7 @@ int Usage() {
       "usage:\n"
       "  metaprox_server [--port=P] [--window-us=W] [--max-batch=B]\n"
       "                  [--threads=N] [--shards=S] [--k=K] [--max-k=K]\n"
-      "                  [--models-dir=D] [--admin] [--port-file=F]\n"
+      "                  [--models-dir=D] [--mmap] [--admin] [--port-file=F]\n"
       "                  <facebook|linkedin|citation> <num> <seed>\n"
       "                  <prefix> <class>[,<class>...]\n"
       "the first class is the default model (v1 'Q <node>' lines);\n"
@@ -100,6 +105,7 @@ int main(int argc, char** argv) {
   size_t num_shards = 0;
   std::string port_file;
   std::string models_dir;
+  bool use_mmap = false;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     char* arg = argv[i];
@@ -153,6 +159,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--models-dir needs a path\n");
         return Usage();
       }
+    } else if (std::strcmp(arg, "--mmap") == 0) {
+      use_mmap = true;
     } else if (std::strcmp(arg, "--admin") == 0) {
       server_options.admin = true;
     } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
@@ -186,14 +194,17 @@ int main(int argc, char** argv) {
 
   SearchEngine engine(ds.graph,
                       examples::MakeEngineOptions(ds, num_threads, num_shards));
-  auto status = engine.LoadOffline(prefix);
+  IndexLoadOptions load_options;
+  load_options.use_mmap = use_mmap;
+  auto status = engine.LoadOffline(prefix, load_options);
   if (!status.ok()) {
     std::fprintf(stderr, "load failed (run 'mgps_cli offline' first?): %s\n",
                  status.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "restored %zu metagraphs from %s\n",
-               engine.metagraphs().size(), prefix.c_str());
+  std::fprintf(stderr, "restored %zu metagraphs from %s%s\n",
+               engine.metagraphs().size(), prefix.c_str(),
+               engine.index().is_mapped() ? " (index mmapped)" : "");
 
   // One registry slot per class, each obtained through the shared
   // load-or-train-and-save path — saved artifacts make restarts (and

@@ -79,6 +79,13 @@ int Usage() {
       "                   once and save it there (metaprox_server loads\n"
       "                   the same artifacts)\n"
       "  --save-model=P   force retrain and (over)write the model to P\n"
+      "  --binary[=L]     write artifacts (index + saved models) in the v2\n"
+      "                   binary container instead of text; L picks the\n"
+      "                   index layout: 'compact' (default; smallest) or\n"
+      "                   'aligned' (mmap-able). Loads autodetect either\n"
+      "                   format, so this only matters when writing\n"
+      "  --mmap           'query': map a binary aligned index instead of\n"
+      "                   parsing it (text/compact artifacts load eagerly)\n"
       "  --tsv            machine-readable results on stdout\n"
       "                   (query<TAB>rank<TAB>node<TAB>score, %%.17g\n"
       "                   scores), narration on stderr; byte-comparable\n"
@@ -104,10 +111,25 @@ int main(int argc, char** argv) {
   std::string model_file;      // non-empty = load-or-train-and-save here
   std::string save_model;      // non-empty = force retrain and save here
   bool tsv = false;            // machine-readable results on stdout
+  bool binary = false;         // write v2 binary artifacts
+  BinaryLayout layout = BinaryLayout::kCompact;
+  bool use_mmap = false;       // map binary index artifacts on load
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tsv") == 0) {
       tsv = true;
+    } else if (std::strcmp(argv[i], "--mmap") == 0) {
+      use_mmap = true;
+    } else if (std::strcmp(argv[i], "--binary") == 0 ||
+               std::strcmp(argv[i], "--binary=compact") == 0) {
+      binary = true;
+      layout = BinaryLayout::kCompact;
+    } else if (std::strcmp(argv[i], "--binary=aligned") == 0) {
+      binary = true;
+      layout = BinaryLayout::kAligned;
+    } else if (std::strncmp(argv[i], "--binary=", 9) == 0) {
+      std::fprintf(stderr, "--binary layout must be compact or aligned\n");
+      return Usage();
     } else if (std::strncmp(argv[i], "--query-file=", 13) == 0) {
       query_file = argv[i] + 13;
       if (query_file.empty()) {
@@ -182,13 +204,20 @@ int main(int argc, char** argv) {
                 num_threads == 0 ? static_cast<unsigned>(
                                        util::ResolveNumThreads(0))
                                  : num_threads);
-    auto status = engine.SaveOffline(path);
+    auto status = engine.SaveOffline(path,
+                                     binary ? util::ArtifactFormat::kBinary
+                                            : util::ArtifactFormat::kText,
+                                     layout);
     if (!status.ok()) {
       std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
       return 1;
     }
-    std::printf("saved offline phase to %s.{metagraphs,index}\n",
-                path.c_str());
+    std::printf("saved offline phase to %s.{metagraphs,index}%s\n",
+                path.c_str(),
+                !binary ? ""
+                : layout == BinaryLayout::kAligned
+                    ? " (binary, aligned layout)"
+                    : " (binary, compact layout)");
     return 0;
   }
 
@@ -248,21 +277,26 @@ int main(int argc, char** argv) {
 
     SearchEngine engine(
         ds.graph, examples::MakeEngineOptions(ds, num_threads, num_shards));
-    auto status = engine.LoadOffline(path);
+    IndexLoadOptions load_options;
+    load_options.use_mmap = use_mmap;
+    auto status = engine.LoadOffline(path, load_options);
     if (!status.ok()) {
       std::fprintf(stderr, "load failed (run 'offline' first?): %s\n",
                    status.ToString().c_str());
       return 1;
     }
-    std::fprintf(info, "restored %zu metagraphs from %s\n",
-                 engine.metagraphs().size(), path.c_str());
+    std::fprintf(info, "restored %zu metagraphs from %s%s\n",
+                 engine.metagraphs().size(), path.c_str(),
+                 engine.index().is_mapped() ? " (index mmapped)" : "");
 
     MgpModel model;
     if (!save_model.empty()) {
       // Forced retrain: --save-model refreshes the artifact even when a
       // stale one exists (e.g. after a new offline phase).
       model = examples::TrainClassModel(engine, ds, *gt, seed);
-      auto saved = SaveModel(model, save_model);
+      auto saved = SaveModel(model, save_model,
+                             binary ? util::ArtifactFormat::kBinary
+                                    : util::ArtifactFormat::kText);
       if (!saved.ok()) {
         std::fprintf(stderr, "save model failed: %s\n",
                      saved.ToString().c_str());
@@ -271,8 +305,10 @@ int main(int argc, char** argv) {
       std::fprintf(info, "trained '%s' model and saved it to %s\n",
                    class_name.c_str(), save_model.c_str());
     } else {
-      auto obtained =
-          examples::LoadOrTrainClassModel(engine, ds, *gt, seed, model_file);
+      auto obtained = examples::LoadOrTrainClassModel(
+          engine, ds, *gt, seed, model_file,
+          binary ? util::ArtifactFormat::kBinary
+                 : util::ArtifactFormat::kText);
       if (!obtained.ok()) {
         std::fprintf(stderr, "model failed: %s\n",
                      obtained.status().ToString().c_str());

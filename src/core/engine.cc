@@ -185,7 +185,9 @@ double SearchEngine::Proximity(const MgpModel& model, NodeId x,
   return MgpProximity(*index_, model.weights, x, y);
 }
 
-util::Status SearchEngine::SaveOffline(const std::string& path_prefix) const {
+util::Status SearchEngine::SaveOffline(const std::string& path_prefix,
+                                       util::ArtifactFormat format,
+                                       BinaryLayout layout) const {
   MX_CHECK_MSG(index_ != nullptr, "nothing to save before Mine()");
   {
     std::ofstream out(path_prefix + ".metagraphs");
@@ -193,22 +195,24 @@ util::Status SearchEngine::SaveOffline(const std::string& path_prefix) const {
     MX_RETURN_IF_ERROR(WriteMinedMetagraphs(metagraphs_, out));
   }
   {
-    std::ofstream out(path_prefix + ".index");
+    std::ofstream out(path_prefix + ".index", std::ios::binary);
     if (!out) return util::Status::IoError("cannot write index");
-    MX_RETURN_IF_ERROR(index_->WriteTo(out));
+    MX_RETURN_IF_ERROR(format == util::ArtifactFormat::kBinary
+                           ? index_->WriteBinaryTo(out, layout)
+                           : index_->WriteTo(out));
   }
   return util::Status::Ok();
 }
 
-util::Status SearchEngine::LoadOffline(const std::string& path_prefix) {
+util::Status SearchEngine::LoadOffline(const std::string& path_prefix,
+                                       const IndexLoadOptions& options) {
   std::ifstream mg_in(path_prefix + ".metagraphs");
   if (!mg_in) return util::Status::IoError("cannot read metagraph set");
   auto mined = ReadMinedMetagraphs(mg_in);
   if (!mined.ok()) return mined.status();
 
-  std::ifstream idx_in(path_prefix + ".index");
-  if (!idx_in) return util::Status::IoError("cannot read index");
-  auto index = MetagraphVectorIndex::ReadFrom(idx_in);
+  auto index =
+      MetagraphVectorIndex::LoadFromFile(path_prefix + ".index", options);
   if (!index.ok()) return index.status();
   if (index->num_metagraphs() != mined->size()) {
     return util::Status::InvalidArgument(

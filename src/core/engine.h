@@ -21,6 +21,7 @@
 #include "learning/trainer.h"
 #include "matching/matcher.h"
 #include "mining/miner.h"
+#include "util/container.h"
 #include "util/thread_pool.h"
 
 namespace metaprox {
@@ -163,12 +164,21 @@ class SearchEngine {
   const Timings& timings() const { return timings_; }
 
   /// Persists the offline phase (mined metagraphs + vector index) to
-  /// `<path_prefix>.metagraphs` and `<path_prefix>.index`.
-  util::Status SaveOffline(const std::string& path_prefix) const;
+  /// `<path_prefix>.metagraphs` and `<path_prefix>.index`. The metagraph
+  /// set is always text (it is small and diff-friendly); `format` picks
+  /// the index artifact's format, and `layout` its physical layout when
+  /// binary (kAligned makes it mmap-able, kCompact the smallest).
+  util::Status SaveOffline(
+      const std::string& path_prefix,
+      util::ArtifactFormat format = util::ArtifactFormat::kText,
+      BinaryLayout layout = BinaryLayout::kCompact) const;
 
   /// Restores a persisted offline phase; replaces any mined/matched state.
-  /// The graph must be the same one the artifacts were built from.
-  util::Status LoadOffline(const std::string& path_prefix);
+  /// The graph must be the same one the artifacts were built from. The
+  /// index format is autodetected by magic; `options` selects mmap vs
+  /// eager materialization for binary artifacts.
+  util::Status LoadOffline(const std::string& path_prefix,
+                           const IndexLoadOptions& options = {});
 
  private:
   struct MatchTaskResult;

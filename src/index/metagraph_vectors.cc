@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -177,8 +178,13 @@ void MetagraphVectorIndex::Finalize() {
   shards_.clear();
   node_stripes_.clear();
 
+  BuildPostings();
+  finalized_ = true;
+}
+
+void MetagraphVectorIndex::BuildPostings() {
   // CSR candidate postings, walked in sorted key order (deterministic).
-  const size_t n = node_vectors_.size();
+  const size_t n = num_graph_nodes();
   std::vector<uint32_t> degree(n, 0);
   for (uint64_t key : pair_keys_) {
     ++degree[static_cast<NodeId>(key >> 32)];
@@ -200,11 +206,10 @@ void MetagraphVectorIndex::Finalize() {
     cand_slots_[cursor[y]] = static_cast<uint32_t>(slot);
     candidates_[cursor[y]++] = x;
   }
-  finalized_ = true;
 }
 
 size_t MetagraphVectorIndex::num_pairs() const {
-  if (finalized_) return pair_vectors_.size();
+  if (finalized_) return pair_keys_.size();
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->pairs.size();
   return total;
@@ -220,20 +225,26 @@ double MetagraphVectorIndex::Transform(double raw) const {
   return raw;
 }
 
-const MetagraphVectorIndex::SparseVec* MetagraphVectorIndex::FindPairVec(
+std::span<const std::pair<uint32_t, float>> MetagraphVectorIndex::FindPairRow(
     NodeId x, NodeId y) const {
   const uint64_t key = PairKey(x, y);
+  if (mapped_ != nullptr) {
+    // No hash table in mapped mode: binary search the sorted keys.
+    auto it = std::lower_bound(pair_keys_.begin(), pair_keys_.end(), key);
+    if (it == pair_keys_.end() || *it != key) return {};
+    return PairRow(static_cast<uint32_t>(it - pair_keys_.begin()));
+  }
   if (finalized_) {
     auto it = pair_slots_.find(key);
-    if (it == pair_slots_.end()) return nullptr;
-    return &pair_vectors_[it->second];
+    if (it == pair_slots_.end()) return {};
+    return pair_vectors_[it->second];
   }
   // Pre-Finalize read: consult the owning shard. Callers must not race
   // this with a commit batch (see the class comment).
   const Shard& shard = *shards_[ShardOf(key)];
   auto it = shard.pairs.find(key);
-  if (it == shard.pairs.end()) return nullptr;
-  return &it->second;
+  if (it == shard.pairs.end()) return {};
+  return it->second;
 }
 
 void MetagraphVectorIndex::AppendPairRow(uint64_t key, SparseVec vec) {
@@ -247,33 +258,29 @@ kernels::RowTransform MetagraphVectorIndex::row_transform() const {
 double MetagraphVectorIndex::NodeDot(NodeId x,
                                      std::span<const double> w) const {
   MX_DCHECK(w.size() == num_metagraphs_);
-  return kernels::RowDot(node_vectors_[x], w, row_transform());
+  return kernels::RowDot(NodeRow(x), w, row_transform());
 }
 
 double MetagraphVectorIndex::PairDot(NodeId x, NodeId y,
                                      std::span<const double> w) const {
-  const SparseVec* vec = FindPairVec(x, y);
-  if (vec == nullptr) return 0.0;
-  return kernels::RowDot(*vec, w, row_transform());
+  return kernels::RowDot(FindPairRow(x, y), w, row_transform());
 }
 
 void MetagraphVectorIndex::DenseNodeVector(NodeId x,
                                            std::vector<double>* out) const {
   out->assign(num_metagraphs_, 0.0);
-  for (const auto& [i, c] : node_vectors_[x]) (*out)[i] = Transform(c);
+  for (const auto& [i, c] : NodeRow(x)) (*out)[i] = Transform(c);
 }
 
 void MetagraphVectorIndex::DensePairVector(NodeId x, NodeId y,
                                            std::vector<double>* out) const {
   out->assign(num_metagraphs_, 0.0);
-  const SparseVec* vec = FindPairVec(x, y);
-  if (vec == nullptr) return;
-  for (const auto& [i, c] : *vec) (*out)[i] = Transform(c);
+  for (const auto& [i, c] : FindPairRow(x, y)) (*out)[i] = Transform(c);
 }
 
 void MetagraphVectorIndex::SparseNodeVector(
     NodeId x, std::vector<std::pair<uint32_t, double>>* out) const {
-  for (const auto& [i, c] : node_vectors_[x]) {
+  for (const auto& [i, c] : NodeRow(x)) {
     out->emplace_back(i, Transform(c));
   }
 }
@@ -281,9 +288,9 @@ void MetagraphVectorIndex::SparseNodeVector(
 void MetagraphVectorIndex::SparsePairVector(
     NodeId x, NodeId y,
     std::vector<std::pair<uint32_t, double>>* out) const {
-  const SparseVec* vec = FindPairVec(x, y);
-  if (vec == nullptr) return;
-  for (const auto& [i, c] : *vec) out->emplace_back(i, Transform(c));
+  for (const auto& [i, c] : FindPairRow(x, y)) {
+    out->emplace_back(i, Transform(c));
+  }
 }
 
 std::span<const NodeId> MetagraphVectorIndex::Candidates(NodeId x) const {
@@ -301,31 +308,47 @@ std::span<const uint32_t> MetagraphVectorIndex::CandidateSlots(NodeId x) const {
 
 double MetagraphVectorIndex::SlotDot(uint32_t slot,
                                      std::span<const double> w) const {
-  MX_DCHECK(finalized_ && slot < pair_vectors_.size());
-  return kernels::RowDot(pair_vectors_[slot], w, row_transform());
+  return kernels::RowDot(PairRow(slot), w, row_transform());
 }
 
 namespace {
 constexpr char kIndexMagic[] = "metaprox-index v1";
 
+// 9 significant digits (FLT_DECIMAL_DIG) round-trip every finite float32
+// exactly through the stream extraction on read, so the text and binary
+// formats of one index load to bitwise-identical counts — and therefore
+// bitwise-identical query results.
+void WriteCount(std::ostream& os, float c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(c));
+  os << buf;
+}
+
 // Writes one sparse row in the canonical kRowOrder; sorts a copy first if
 // the caller skipped Seal(), so the serialization is deterministic no
 // matter what.
 void WriteRow(std::ostream& os,
-              const std::vector<std::pair<uint32_t, float>>& row) {
+              std::span<const std::pair<uint32_t, float>> row) {
   if (std::is_sorted(row.begin(), row.end(), kRowOrder)) {
-    for (const auto& [i, c] : row) os << ' ' << i << ' ' << c;
+    for (const auto& [i, c] : row) {
+      os << ' ' << i << ' ';
+      WriteCount(os, c);
+    }
     return;
   }
-  auto sorted = row;
+  std::vector<std::pair<uint32_t, float>> sorted(row.begin(), row.end());
   std::sort(sorted.begin(), sorted.end(), kRowOrder);
-  for (const auto& [i, c] : sorted) os << ' ' << i << ' ' << c;
+  for (const auto& [i, c] : sorted) {
+    os << ' ' << i << ' ';
+    WriteCount(os, c);
+  }
 }
 }  // namespace
 
 util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
+  const size_t num_nodes = num_graph_nodes();
   os << kIndexMagic << '\n';
-  os << num_metagraphs_ << ' ' << node_vectors_.size() << ' '
+  os << num_metagraphs_ << ' ' << num_nodes << ' '
      << static_cast<int>(transform_) << '\n';
   os << "committed";
   for (size_t i = 0; i < num_metagraphs_; ++i) {
@@ -333,10 +356,10 @@ util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
   }
   os << '\n';
   size_t nonempty_nodes = 0;
-  for (const auto& vec : node_vectors_) nonempty_nodes += !vec.empty();
+  for (NodeId v = 0; v < num_nodes; ++v) nonempty_nodes += !NodeRow(v).empty();
   os << "nodes " << nonempty_nodes << '\n';
-  for (NodeId v = 0; v < node_vectors_.size(); ++v) {
-    const SparseVec& vec = node_vectors_[v];
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const auto vec = NodeRow(v);
     if (vec.empty()) continue;
     os << v << ' ' << vec.size();
     WriteRow(os, vec);
@@ -357,10 +380,9 @@ util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
   for (uint64_t key : keys) {
     NodeId x = static_cast<NodeId>(key >> 32);
     NodeId y = static_cast<NodeId>(key & 0xffffffffu);
-    const SparseVec* vec = FindPairVec(x, y);
-    MX_DCHECK(vec != nullptr);
-    os << key << ' ' << vec->size();
-    WriteRow(os, *vec);
+    const auto vec = FindPairRow(x, y);
+    os << key << ' ' << vec.size();
+    WriteRow(os, vec);
     os << '\n';
   }
   if (!os.good()) return util::Status::IoError("index write failed");
@@ -368,6 +390,21 @@ util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
 }
 
 util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadFrom(
+    std::istream& is) {
+  // The dimension checks in ReadTextFrom bound every allocation a
+  // well-formed-looking file can request, but a hostile one can still
+  // claim in-range dimensions vastly larger than memory (text has no
+  // section sizes to cross-check against, unlike the binary container);
+  // that must surface as a structured error, not an unhandled bad_alloc.
+  try {
+    return ReadTextFrom(is);
+  } catch (const std::bad_alloc&) {
+    return util::Status::InvalidArgument(
+        "index text artifact dimensions do not fit in memory");
+  }
+}
+
+util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadTextFrom(
     std::istream& is) {
   std::string magic;
   std::getline(is, magic);
@@ -379,6 +416,12 @@ util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadFrom(
   is >> num_metagraphs >> num_nodes >> transform;
   if (!is || transform < 0 || transform > 1) {
     return util::Status::InvalidArgument("bad index dimensions");
+  }
+  // Same ceilings as the binary reader: metagraph indices and node ids
+  // are 32-bit in memory.
+  if (num_metagraphs > 0xffffffffull || num_nodes > 0xffffffffull) {
+    return util::Status::InvalidArgument(
+        "index text artifact declares out-of-range dimensions");
   }
   MetagraphVectorIndex index(num_metagraphs, num_nodes,
                              static_cast<CountTransform>(transform));
@@ -401,7 +444,7 @@ util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadFrom(
     uint64_t v = 0;
     size_t entries = 0;
     is >> v >> entries;
-    if (!is || v >= num_nodes) {
+    if (!is || v >= num_nodes || entries > num_metagraphs) {
       return util::Status::InvalidArgument("bad node vector row");
     }
     SparseVec vec;
@@ -425,7 +468,9 @@ util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadFrom(
     uint64_t key = 0;
     size_t entries = 0;
     is >> key >> entries;
-    if (!is) return util::Status::InvalidArgument("bad pair vector row");
+    if (!is || entries > num_metagraphs) {
+      return util::Status::InvalidArgument("bad pair vector row");
+    }
     NodeId x = static_cast<NodeId>(key >> 32);
     NodeId y = static_cast<NodeId>(key & 0xffffffffu);
     if (x >= num_nodes || y >= num_nodes) {

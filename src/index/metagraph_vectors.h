@@ -41,6 +41,15 @@
 //
 // Read accessors are safe from multiple threads as long as no Commit /
 // Seal / Finalize runs concurrently; they must not race a commit batch.
+//
+// Persistence: the index serializes to the v1 text format (WriteTo /
+// ReadFrom, debug/interop path) and to the v2 binary container
+// (WriteBinaryTo / ReadBinaryFrom / MapFromFile; byte-level spec in
+// docs/ARCHITECTURE.md "Persistence formats"). A binary artifact written
+// with the aligned layout can be memory-MAPPED instead of parsed: the
+// index then serves its hot row arrays zero-copy out of the page cache.
+// A mapped index is finalized and read-only — Commit/Finalize abort on
+// it, exactly as they do on a finalized owned index.
 #ifndef METAPROX_INDEX_METAGRAPH_VECTORS_H_
 #define METAPROX_INDEX_METAGRAPH_VECTORS_H_
 
@@ -49,6 +58,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -58,6 +68,7 @@
 #include "matching/instance_sink.h"
 #include "metagraph/automorphism.h"
 #include "util/macros.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace metaprox::kernels {
@@ -70,12 +81,15 @@ enum class RowTransform;
 namespace metaprox {
 
 /// Packs an unordered node pair into a 64-bit key, 32 bits per endpoint.
-/// The whole sparse pair-slot table (and the serialized index format) rides
-/// on this packing; widening NodeId beyond 32 bits for graph-scale work
-/// requires moving to a 128-bit or struct key first.
+/// The in-memory pair-slot table rides on this packing. Since the v2
+/// binary format the packing is a PROCESS-LOCAL detail: artifacts carry
+/// each endpoint as its own varint (up to 64 bits), so widening NodeId is
+/// an in-memory key change only — existing artifacts stay readable. (The
+/// v1 text format wrote the packed key verbatim and so baked the 32-bit
+/// limit into files; that coupling is retired with the format bump.)
 static_assert(std::is_unsigned_v<NodeId> && sizeof(NodeId) * 8 <= 32,
-              "PairKey packs two NodeIds into 64 bits; widen the key before "
-              "widening NodeId");
+              "the in-memory PairKey packs two NodeIds into 64 bits; widen "
+              "the key before widening NodeId (artifacts are unaffected)");
 
 inline uint64_t PairKey(NodeId x, NodeId y) {
   if (x > y) std::swap(x, y);
@@ -86,6 +100,29 @@ inline uint64_t PairKey(NodeId x, NodeId y) {
 /// Count transform applied when vectors are read (the paper suggests e.g.
 /// logarithmic transforms of the raw counts).
 enum class CountTransform { kRaw, kLog1p };
+
+/// Physical layout of a v2 binary index artifact (both parse back
+/// identically; they trade file size against mappability):
+///   kCompact — row entries delta/varint-packed and LZW-compressed: the
+///     smallest files, for artifact distribution and cold storage. Must be
+///     loaded eagerly (ReadBinaryFrom).
+///   kAligned — row entries as raw 64-byte-aligned {u32 index, f32 count}
+///     arrays: larger, but MapFromFile serves them zero-copy straight out
+///     of the page cache (instant start, pages shared across processes).
+/// Cold sections (lengths, pair keys, committed bitmap) are packed and
+/// compressed in both layouts.
+enum class BinaryLayout { kCompact, kAligned };
+
+/// How LoadFromFile materializes a binary artifact.
+struct IndexLoadOptions {
+  /// Map the file instead of parsing it (aligned-layout artifacts only;
+  /// text and compact artifacts fall back to an eager load).
+  bool use_mmap = false;
+  /// Verify section CRCs — and, for mapped loads, deep-validate the row
+  /// entries. Turning this off is the documented trusted-file fast path:
+  /// a mapped open then touches no payload pages at all.
+  bool verify_checksums = true;
+};
 
 /// Upper bound on build-time pair-table shards, applied by the index
 /// constructor. Guards against nonsense requests (e.g. a huge --shards
@@ -155,9 +192,14 @@ class MetagraphVectorIndex {
   void Finalize();
 
   size_t num_metagraphs() const { return num_metagraphs_; }
-  size_t num_graph_nodes() const { return node_vectors_.size(); }
+  size_t num_graph_nodes() const {
+    return mapped_ != nullptr ? mapped_->num_nodes : node_vectors_.size();
+  }
   size_t num_shards() const { return num_shards_; }
   bool finalized() const { return finalized_; }
+  /// True when the row arrays are served zero-copy from a mapped artifact
+  /// (MapFromFile). A mapped index is always finalized.
+  bool is_mapped() const { return mapped_ != nullptr; }
   /// Number of distinct (x, y) pair slots committed so far.
   size_t num_pairs() const;
   bool IsCommitted(uint32_t metagraph_index) const {
@@ -216,10 +258,18 @@ class MetagraphVectorIndex {
   /// pair row of `slot` (requires Finalize()). Spans are invalidated by
   /// Commit/Seal/Finalize, like every other read.
   std::span<const std::pair<uint32_t, float>> NodeRow(NodeId x) const {
+    if (mapped_ != nullptr) {
+      const std::vector<uint64_t>& off = mapped_->node_offsets;
+      return mapped_->node_entries.subspan(off[x], off[x + 1] - off[x]);
+    }
     return node_vectors_[x];
   }
   std::span<const std::pair<uint32_t, float>> PairRow(uint32_t slot) const {
-    MX_DCHECK(finalized_ && slot < pair_vectors_.size());
+    MX_DCHECK(finalized_ && slot < pair_keys_.size());
+    if (mapped_ != nullptr) {
+      const std::vector<uint64_t>& off = mapped_->pair_offsets;
+      return mapped_->pair_entries.subspan(off[slot], off[slot + 1] - off[slot]);
+    }
     return pair_vectors_[slot];
   }
   /// This index's transform as the score kernels' enum, for passing index
@@ -231,11 +281,41 @@ class MetagraphVectorIndex {
   /// Serializes the committed vectors (finalized or not) to a text stream.
   /// Pairs are written in sorted PairKey order and rows in metagraph-index
   /// order, so the output is byte-identical for any thread/shard count.
-  /// The postings are rebuilt on load, so only the raw stores are written.
+  /// Counts are printed with 9 significant digits, which round-trips every
+  /// finite float32 exactly — text and binary loads of the same index give
+  /// bitwise-identical query results. The postings are rebuilt on load, so
+  /// only the raw stores are written.
   util::Status WriteTo(std::ostream& os) const;
 
   /// Reads an index written by WriteTo. The result is finalized.
   static util::StatusOr<MetagraphVectorIndex> ReadFrom(std::istream& is);
+
+  /// Serializes to the v2 binary container (open `os` in binary mode).
+  /// Like WriteTo, works finalized or not and is byte-deterministic: the
+  /// same committed contents produce the same bytes for any thread/shard
+  /// count — the property the golden-file test pins.
+  util::Status WriteBinaryTo(
+      std::ostream& os, BinaryLayout layout = BinaryLayout::kCompact) const;
+
+  /// Parses a v2 binary artifact (either layout) into a fully owned,
+  /// finalized index. Every structural invariant is checked and every
+  /// section CRC verified; any corruption or truncation is a structured
+  /// error, never a crash.
+  static util::StatusOr<MetagraphVectorIndex> ReadBinaryFrom(
+      std::span<const uint8_t> bytes);
+
+  /// Maps an aligned-layout v2 artifact read-only and serves its row
+  /// arrays zero-copy (cold sections — lengths, keys, bitmap — are still
+  /// decoded eagerly; the candidate postings are rebuilt). Compact-layout
+  /// artifacts are refused with a pointer at ReadBinaryFrom.
+  static util::StatusOr<MetagraphVectorIndex> MapFromFile(
+      const std::string& path, const IndexLoadOptions& options = {});
+
+  /// Loads `path` whatever its format: binary containers are detected by
+  /// magic and read via ReadBinaryFrom / MapFromFile per `options`; other
+  /// files take the v1 text path.
+  static util::StatusOr<MetagraphVectorIndex> LoadFromFile(
+      const std::string& path, const IndexLoadOptions& options = {});
 
  private:
   using SparseVec = std::vector<std::pair<uint32_t, float>>;
@@ -256,9 +336,34 @@ class MetagraphVectorIndex {
     std::vector<NodeId> dirty;  // guarded by mu
   };
 
+  /// Zero-copy backing of a mapped artifact: the container file plus spans
+  /// into its raw entries sections, and the (small, decoded) row-offset
+  /// tables that delimit rows within them. The shared_ptr pins the mapping
+  /// for as long as any returned row span may be dereferenced.
+  struct MappedStore {
+    std::shared_ptr<util::MmapFile> file;
+    std::span<const std::pair<uint32_t, float>> node_entries;
+    std::span<const std::pair<uint32_t, float>> pair_entries;
+    std::vector<uint64_t> node_offsets;  // num_nodes + 1 prefix sums
+    std::vector<uint64_t> pair_offsets;  // num_pairs + 1 prefix sums
+    size_t num_nodes = 0;
+  };
+
+  /// The v1 text parser behind ReadFrom, which wraps it in the
+  /// allocation-failure guard (a text file can claim dimensions no
+  /// section size bounds, unlike the binary container).
+  static util::StatusOr<MetagraphVectorIndex> ReadTextFrom(std::istream& is);
+
   size_t ShardOf(uint64_t key) const { return key % num_shards_; }
-  const SparseVec* FindPairVec(NodeId x, NodeId y) const;
-  void AppendPairRow(uint64_t key, SparseVec vec);  // ReadFrom backdoor
+  /// The (x, y) pair row, or an empty span when the pair has no slot. In
+  /// mapped mode the lookup is a binary search over the sorted pair keys
+  /// (no hash table is materialized for a mapped artifact).
+  std::span<const std::pair<uint32_t, float>> FindPairRow(NodeId x,
+                                                          NodeId y) const;
+  void AppendPairRow(uint64_t key, SparseVec vec);  // binary/text read backdoor
+  /// Builds the CSR candidate postings from the (already sorted) pair
+  /// keys. The tail of Finalize(), shared with the mapped-load path.
+  void BuildPostings();
 
   size_t num_metagraphs_;
   CountTransform transform_;
@@ -286,6 +391,11 @@ class MetagraphVectorIndex {
   std::vector<NodeId> candidates_;
   std::vector<uint32_t> cand_slots_;
   bool finalized_ = false;
+
+  // Set only by MapFromFile; see MappedStore. When set, node_vectors_,
+  // pair_vectors_ and pair_slots_ stay empty and the row accessors serve
+  // spans into the mapping instead.
+  std::unique_ptr<MappedStore> mapped_;
 };
 
 }  // namespace metaprox

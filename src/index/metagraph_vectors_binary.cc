@@ -1,0 +1,556 @@
+// The v2 binary persistence of MetagraphVectorIndex: writer for both
+// layouts (compact / aligned), the eager reader, and the zero-copy mapped
+// loader. Byte-level spec in docs/ARCHITECTURE.md "Persistence formats".
+//
+// Wire contract highlights:
+//   * Deterministic: the same committed contents serialize to the same
+//     bytes for any thread/shard count (rows in canonical order, pairs in
+//     sorted key order, LZW is a pure function of its input).
+//   * Key-width clean: pair endpoints travel as individual varints, so
+//     the format does not inherit the in-memory 64-bit PairKey packing.
+//   * Candidate postings are NOT stored — they are a pure function of the
+//     pair keys and are rebuilt on load (BuildPostings), keeping files
+//     small without costing determinism.
+//   * Hostile-input safe: every decode is bounds-checked and every
+//     structural invariant (strictly increasing row indices, strictly
+//     increasing pair keys, section sizes consistent with the declared
+//     dimensions) is validated, returning a structured Status — the
+//     corruption battery in tests/binary_format_test.cc holds this file
+//     to "never crash, never silently mis-answer".
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "index/metagraph_vectors.h"
+#include "util/binary_io.h"
+#include "util/container.h"
+#include "util/macros.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace metaprox {
+namespace {
+
+// Section ids of a kIndexArtifact container, in file order.
+constexpr uint32_t kSecMeta = 1;         // dims + transform
+constexpr uint32_t kSecCommitted = 2;    // metagraph bitmap
+constexpr uint32_t kSecNodeLens = 3;     // per-node row lengths, varint
+constexpr uint32_t kSecNodeEntries = 4;  // concatenated node rows (hot)
+constexpr uint32_t kSecPairKeys = 5;     // sorted pair keys, delta/varint
+constexpr uint32_t kSecPairLens = 6;     // per-pair row lengths, varint
+constexpr uint32_t kSecPairEntries = 7;  // concatenated pair rows (hot)
+
+constexpr size_t kMetaSize = 24;
+
+using Entry = std::pair<uint32_t, float>;
+using Row = std::span<const Entry>;
+// Raw (aligned-layout) entry sections are reinterpreted in place when
+// mapped; the wire layout IS the in-memory layout (same precondition the
+// SIMD kernels assert in core/score_kernels.h).
+static_assert(sizeof(Entry) == 8 && alignof(Entry) == 4 &&
+                  std::is_trivially_destructible_v<Entry>,
+              "raw entry sections memcpy/map {u32 index, f32 count} pairs");
+
+constexpr auto kRowOrder = [](const Entry& a, const Entry& b) {
+  return a.first < b.first;
+};
+
+// Rows serialize in canonical metagraph-index order even if the caller
+// skipped Seal() — mirrors the text writer's sort-a-copy fallback.
+Row Canonical(Row row, std::vector<Entry>* scratch) {
+  if (std::is_sorted(row.begin(), row.end(), kRowOrder)) return row;
+  scratch->assign(row.begin(), row.end());
+  std::sort(scratch->begin(), scratch->end(), kRowOrder);
+  return *scratch;
+}
+
+// One row onto the wire. Packed: per entry a varint index delta (first
+// entry: the index itself; later: index - prev - 1, exploiting the strict
+// increase) followed by the raw float32 bits. Raw: the entries verbatim.
+void AppendRow(std::string* out, Row row, bool packed) {
+  if (!packed) {
+    out->append(reinterpret_cast<const char*>(row.data()),
+                row.size() * sizeof(Entry));
+    return;
+  }
+  uint32_t prev = 0;
+  bool first = true;
+  for (const auto& [i, c] : row) {
+    util::AppendVarint(out, first ? uint64_t{i} : uint64_t{i} - prev - 1);
+    util::AppendScalar<float>(out, c);
+    prev = i;
+    first = false;
+  }
+}
+
+// Decodes one concatenated entries section (either encoding), validating
+// the strict index increase and index < num_metagraphs per row, and that
+// the section holds exactly the bytes the row lengths imply. Emits each
+// row as `emit(row_number, row)` — including empty rows.
+template <typename Emit>
+util::Status DecodeEntrySection(std::span<const uint8_t> bytes, bool packed,
+                                const std::vector<uint64_t>& lens,
+                                uint64_t num_metagraphs, const char* what,
+                                Emit&& emit) {
+  size_t pos = 0;
+  std::vector<Entry> row;
+  for (size_t r = 0; r < lens.size(); ++r) {
+    row.clear();
+    row.reserve(lens[r]);
+    uint64_t prev = 0;
+    for (uint64_t e = 0; e < lens[r]; ++e) {
+      uint64_t idx = 0;
+      float c = 0;
+      if (packed) {
+        uint64_t delta = 0;
+        if (!util::ReadVarint(bytes, &pos, &delta) ||
+            !util::ReadScalar<float>(bytes, &pos, &c)) {
+          return util::Status::InvalidArgument(std::string(what) +
+                                               " section truncated");
+        }
+        // delta < num_metagraphs for any valid row, so prev + delta + 1
+        // cannot wrap (both < 2^32).
+        if (delta >= num_metagraphs) {
+          return util::Status::InvalidArgument(std::string(what) +
+                                               " entry index out of range");
+        }
+        idx = e == 0 ? delta : prev + delta + 1;
+      } else {
+        uint32_t i32 = 0;
+        if (!util::ReadScalar<uint32_t>(bytes, &pos, &i32) ||
+            !util::ReadScalar<float>(bytes, &pos, &c)) {
+          return util::Status::InvalidArgument(std::string(what) +
+                                               " section truncated");
+        }
+        idx = i32;
+        if (e > 0 && idx <= prev) {
+          return util::Status::InvalidArgument(
+              std::string(what) + " row not strictly increasing");
+        }
+      }
+      if (idx >= num_metagraphs) {
+        return util::Status::InvalidArgument(std::string(what) +
+                                             " entry index out of range");
+      }
+      prev = idx;
+      row.emplace_back(static_cast<uint32_t>(idx), c);
+    }
+    emit(r, row);
+  }
+  if (pos != bytes.size()) {
+    return util::Status::InvalidArgument(std::string(what) +
+                                         " section has trailing bytes");
+  }
+  return util::Status::Ok();
+}
+
+// Everything a loader decodes eagerly regardless of mode: dimensions, the
+// committed bitmap, both row-length tables and the sorted pair keys. All
+// dimension-sized allocations are bounded by the (validated) section
+// sizes first, so a corrupt META cannot drive a huge allocation.
+struct ColdSections {
+  uint64_t num_metagraphs = 0;
+  uint64_t num_nodes = 0;
+  CountTransform transform = CountTransform::kRaw;
+  std::vector<uint8_t> committed;    // one 0/1 byte per metagraph
+  std::vector<uint64_t> node_lens;   // num_nodes values
+  std::vector<uint64_t> pair_keys;   // sorted, packed (x << 32 | y)
+  std::vector<uint64_t> pair_lens;   // pair_keys.size() values
+};
+
+util::StatusOr<std::vector<uint64_t>> DecodeLens(
+    std::span<const uint8_t> bytes, uint64_t count, uint64_t max_len,
+    const char* what) {
+  // Each length takes >= 1 byte, so a count beyond the section size is
+  // structurally impossible — checked before the allocation it would size.
+  if (count > bytes.size()) {
+    return util::Status::InvalidArgument(std::string(what) +
+                                         " section too small for its count");
+  }
+  std::vector<uint64_t> lens(count);
+  size_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!util::ReadVarint(bytes, &pos, &lens[i])) {
+      return util::Status::InvalidArgument(std::string(what) +
+                                           " section truncated");
+    }
+    if (lens[i] > max_len) {
+      return util::Status::InvalidArgument(std::string(what) +
+                                           " row length exceeds |M|");
+    }
+  }
+  if (pos != bytes.size()) {
+    return util::Status::InvalidArgument(std::string(what) +
+                                         " section has trailing bytes");
+  }
+  return lens;
+}
+
+util::StatusOr<std::vector<uint64_t>> DecodePairKeys(
+    std::span<const uint8_t> bytes, uint64_t num_nodes) {
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!util::ReadVarint(bytes, &pos, &count)) {
+    return util::Status::InvalidArgument("pair key section truncated");
+  }
+  // Each pair takes >= 2 bytes (two varints).
+  if (count > bytes.size()) {
+    return util::Status::InvalidArgument(
+        "pair key section too small for its count");
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(count);
+  uint64_t px = 0, py = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t a = 0, b = 0;
+    if (!util::ReadVarint(bytes, &pos, &a) ||
+        !util::ReadVarint(bytes, &pos, &b)) {
+      return util::Status::InvalidArgument("pair key section truncated");
+    }
+    // Endpoints ride as (delta-x, y) when x advances, (0, delta-y) within
+    // one x. Deltas of a valid file are < num_nodes, which also rules out
+    // wraparound in the adds below.
+    if (a >= num_nodes || b > num_nodes) {
+      return util::Status::InvalidArgument("pair key delta out of range");
+    }
+    uint64_t x = 0, y = 0;
+    if (i == 0) {
+      x = a;
+      y = b;
+    } else if (a != 0) {
+      x = px + a;
+      y = b;
+    } else {
+      if (b == 0) {
+        return util::Status::InvalidArgument(
+            "pair keys not strictly increasing");
+      }
+      x = px;
+      y = py + b;
+    }
+    if (x > y || y >= num_nodes) {
+      return util::Status::InvalidArgument("pair key node out of range");
+    }
+    keys.push_back((x << 32) | y);
+    px = x;
+    py = y;
+  }
+  if (pos != bytes.size()) {
+    return util::Status::InvalidArgument(
+        "pair key section has trailing bytes");
+  }
+  return keys;
+}
+
+util::StatusOr<ColdSections> DecodeColdSections(
+    const util::ContainerReader& reader) {
+  ColdSections cold;
+
+  auto meta = reader.Section(kSecMeta);
+  if (!meta.ok()) return meta.status();
+  if (meta->bytes.size() != kMetaSize) {
+    return util::Status::InvalidArgument("index meta section malformed");
+  }
+  size_t pos = 0;
+  uint32_t transform = 0, reserved = 0;
+  util::ReadScalar(meta->bytes, &pos, &cold.num_metagraphs);
+  util::ReadScalar(meta->bytes, &pos, &cold.num_nodes);
+  util::ReadScalar(meta->bytes, &pos, &transform);
+  util::ReadScalar(meta->bytes, &pos, &reserved);
+  if (transform > 1) {
+    return util::Status::InvalidArgument("unknown index count transform");
+  }
+  cold.transform = static_cast<CountTransform>(transform);
+  // Entry indices are u32 on the wire and NodeId is 32-bit in this build;
+  // wider artifacts are rejected, not wrapped. (The FORMAT allows wider —
+  // endpoints are varints — so a future wide-NodeId build reads today's
+  // files unchanged.)
+  if (cold.num_metagraphs > 0xffffffffull) {
+    return util::Status::InvalidArgument(
+        "metagraph count exceeds the 32-bit entry index");
+  }
+  if (cold.num_nodes > 0xffffffffull) {
+    return util::Status::InvalidArgument(
+        "node count exceeds this build's 32-bit NodeId");
+  }
+
+  auto committed = reader.Section(kSecCommitted);
+  if (!committed.ok()) return committed.status();
+  if (committed->bytes.size() != (cold.num_metagraphs + 7) / 8) {
+    return util::Status::InvalidArgument(
+        "committed bitmap disagrees with metagraph count");
+  }
+  cold.committed.assign(cold.num_metagraphs, 0);
+  for (uint64_t i = 0; i < cold.num_metagraphs; ++i) {
+    cold.committed[i] = (committed->bytes[i / 8] >> (i % 8)) & 1u;
+  }
+
+  auto node_lens = reader.Section(kSecNodeLens);
+  if (!node_lens.ok()) return node_lens.status();
+  auto decoded_node_lens = DecodeLens(node_lens->bytes, cold.num_nodes,
+                                      cold.num_metagraphs, "node length");
+  if (!decoded_node_lens.ok()) return decoded_node_lens.status();
+  cold.node_lens = std::move(*decoded_node_lens);
+
+  auto pair_keys = reader.Section(kSecPairKeys);
+  if (!pair_keys.ok()) return pair_keys.status();
+  auto decoded_keys = DecodePairKeys(pair_keys->bytes, cold.num_nodes);
+  if (!decoded_keys.ok()) return decoded_keys.status();
+  cold.pair_keys = std::move(*decoded_keys);
+
+  auto pair_lens = reader.Section(kSecPairLens);
+  if (!pair_lens.ok()) return pair_lens.status();
+  auto decoded_pair_lens = DecodeLens(pair_lens->bytes, cold.pair_keys.size(),
+                                      cold.num_metagraphs, "pair length");
+  if (!decoded_pair_lens.ok()) return decoded_pair_lens.status();
+  cold.pair_lens = std::move(*decoded_pair_lens);
+
+  return cold;
+}
+
+// Row offsets (in entries) from the length table: lens.size() + 1 prefix
+// sums. Total bounded by sum <= lens.size() * max_len <= 2^64-safe since
+// both factors were validated <= 2^32.
+std::vector<uint64_t> PrefixSums(const std::vector<uint64_t>& lens) {
+  std::vector<uint64_t> offsets(lens.size() + 1, 0);
+  for (size_t i = 0; i < lens.size(); ++i) {
+    offsets[i + 1] = offsets[i] + lens[i];
+  }
+  return offsets;
+}
+
+}  // namespace
+
+util::Status MetagraphVectorIndex::WriteBinaryTo(std::ostream& os,
+                                                 BinaryLayout layout) const {
+  const bool packed = layout == BinaryLayout::kCompact;
+  const uint32_t entry_flags = packed ? util::kSectionPacked : 0;
+  const size_t num_nodes = num_graph_nodes();
+
+  util::ContainerWriter writer(util::kIndexArtifact);
+
+  std::string meta;
+  util::AppendScalar<uint64_t>(&meta, num_metagraphs_);
+  util::AppendScalar<uint64_t>(&meta, num_nodes);
+  util::AppendScalar<uint32_t>(&meta, static_cast<uint32_t>(transform_));
+  util::AppendScalar<uint32_t>(&meta, 0);
+  MX_DCHECK(meta.size() == kMetaSize);
+  writer.AddSection(kSecMeta, std::move(meta));
+
+  std::string bits((num_metagraphs_ + 7) / 8, '\0');
+  for (size_t i = 0; i < num_metagraphs_; ++i) {
+    if (committed_[i] != 0) {
+      bits[i / 8] = static_cast<char>(
+          static_cast<uint8_t>(bits[i / 8]) | (1u << (i % 8)));
+    }
+  }
+  writer.AddSection(kSecCommitted, std::move(bits), 0, /*try_compress=*/true);
+
+  std::vector<Entry> scratch;
+  std::string node_lens, node_entries;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const Row row = Canonical(NodeRow(v), &scratch);
+    util::AppendVarint(&node_lens, row.size());
+    AppendRow(&node_entries, row, packed);
+  }
+  writer.AddSection(kSecNodeLens, std::move(node_lens), 0, true);
+  writer.AddSection(kSecNodeEntries, std::move(node_entries), entry_flags,
+                    packed);
+
+  // Pairs in sorted key order, like the text writer: byte-identical for
+  // any thread/shard count, finalized or not.
+  std::vector<uint64_t> keys;
+  if (finalized_) {
+    keys = pair_keys_;
+  } else {
+    keys.reserve(num_pairs());
+    for (const auto& shard : shards_) {
+      for (const auto& [key, row] : shard->pairs) keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+  }
+  std::string pk;
+  util::AppendVarint(&pk, keys.size());
+  uint64_t px = 0, py = 0;
+  bool first = true;
+  for (uint64_t key : keys) {
+    const uint64_t x = key >> 32;
+    const uint64_t y = key & 0xffffffffu;
+    if (first) {
+      util::AppendVarint(&pk, x);
+      util::AppendVarint(&pk, y);
+      first = false;
+    } else if (x != px) {
+      util::AppendVarint(&pk, x - px);
+      util::AppendVarint(&pk, y);
+    } else {
+      util::AppendVarint(&pk, 0);
+      util::AppendVarint(&pk, y - py);
+    }
+    px = x;
+    py = y;
+  }
+  writer.AddSection(kSecPairKeys, std::move(pk), 0, true);
+
+  std::string pair_lens, pair_entries;
+  for (uint64_t key : keys) {
+    const NodeId x = static_cast<NodeId>(key >> 32);
+    const NodeId y = static_cast<NodeId>(key & 0xffffffffu);
+    const Row row = Canonical(FindPairRow(x, y), &scratch);
+    util::AppendVarint(&pair_lens, row.size());
+    AppendRow(&pair_entries, row, packed);
+  }
+  writer.AddSection(kSecPairLens, std::move(pair_lens), 0, true);
+  writer.AddSection(kSecPairEntries, std::move(pair_entries), entry_flags,
+                    packed);
+
+  return writer.WriteTo(os);
+}
+
+util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::ReadBinaryFrom(
+    std::span<const uint8_t> bytes) {
+  // The eager path reads every byte anyway, so checksums are always on.
+  auto reader = util::ContainerReader::Parse(bytes, util::kIndexArtifact,
+                                             /*verify_checksums=*/true);
+  if (!reader.ok()) return reader.status();
+  auto cold = DecodeColdSections(*reader);
+  if (!cold.ok()) return cold.status();
+
+  MetagraphVectorIndex index(cold->num_metagraphs, cold->num_nodes,
+                             cold->transform, /*num_shards=*/1);
+  index.committed_ = std::move(cold->committed);
+
+  auto node_entries = reader->Section(kSecNodeEntries);
+  if (!node_entries.ok()) return node_entries.status();
+  util::Status status = DecodeEntrySection(
+      node_entries->bytes,
+      (reader->Flags(kSecNodeEntries) & util::kSectionPacked) != 0,
+      cold->node_lens, cold->num_metagraphs, "node entries",
+      [&](size_t r, Row row) {
+        index.node_vectors_[r].assign(row.begin(), row.end());
+      });
+  if (!status.ok()) return status;
+
+  auto pair_entries = reader->Section(kSecPairEntries);
+  if (!pair_entries.ok()) return pair_entries.status();
+  status = DecodeEntrySection(
+      pair_entries->bytes,
+      (reader->Flags(kSecPairEntries) & util::kSectionPacked) != 0,
+      cold->pair_lens, cold->num_metagraphs, "pair entries",
+      [&](size_t r, Row row) {
+        index.AppendPairRow(cold->pair_keys[r],
+                            SparseVec(row.begin(), row.end()));
+      });
+  if (!status.ok()) return status;
+
+  index.Finalize();
+  return index;
+}
+
+util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::MapFromFile(
+    const std::string& path, const IndexLoadOptions& options) {
+  auto file = util::MmapFile::OpenReadOnly(path);
+  if (!file.ok()) return file.status();
+  auto reader = util::ContainerReader::Parse(
+      (*file)->bytes(), util::kIndexArtifact, options.verify_checksums);
+  if (!reader.ok()) return reader.status();
+  auto cold = DecodeColdSections(*reader);
+  if (!cold.ok()) return cold.status();
+
+  auto store = std::make_unique<MappedStore>();
+  store->file = *file;
+  store->num_nodes = cold->num_nodes;
+  store->node_offsets = PrefixSums(cold->node_lens);
+  store->pair_offsets = PrefixSums(cold->pair_lens);
+
+  struct Hot {
+    uint32_t id;
+    const std::vector<uint64_t>* offsets;
+    std::span<const Entry>* out;
+    const char* what;
+  };
+  const Hot hot[2] = {
+      {kSecNodeEntries, &store->node_offsets, &store->node_entries,
+       "node entries"},
+      {kSecPairEntries, &store->pair_offsets, &store->pair_entries,
+       "pair entries"},
+  };
+  for (const Hot& h : hot) {
+    if ((reader->Flags(h.id) &
+         (util::kSectionPacked | util::kSectionLzw)) != 0) {
+      return util::Status::FailedPrecondition(
+          "compact-layout artifact cannot be mapped: its entry sections "
+          "are packed/compressed; load it eagerly (ReadBinaryFrom) or "
+          "re-encode with BinaryLayout::kAligned");
+    }
+    auto section = reader->Section(h.id);
+    if (!section.ok()) return section.status();
+    const std::span<const uint8_t> raw = section->bytes;
+    if (raw.size() != h.offsets->back() * sizeof(Entry)) {
+      return util::Status::InvalidArgument(
+          std::string(h.what) + " section disagrees with row lengths");
+    }
+    *h.out = std::span<const Entry>(
+        reinterpret_cast<const Entry*>(raw.data()), raw.size() / sizeof(Entry));
+    if (options.verify_checksums) {
+      // Deep entry validation; the CRC pass above already paid the page
+      // touches, so this is the same-order cost.
+      const std::vector<uint64_t>& off = *h.offsets;
+      for (size_t r = 0; r + 1 < off.size(); ++r) {
+        uint64_t prev = 0;
+        for (uint64_t e = off[r]; e < off[r + 1]; ++e) {
+          const uint32_t idx = (*h.out)[e].first;
+          if (idx >= cold->num_metagraphs ||
+              (e > off[r] && idx <= prev)) {
+            return util::Status::InvalidArgument(
+                std::string(h.what) + " row entries invalid");
+          }
+          prev = idx;
+        }
+      }
+    }
+  }
+
+  MetagraphVectorIndex index(cold->num_metagraphs, /*num_graph_nodes=*/0,
+                             cold->transform, /*num_shards=*/1);
+  index.committed_ = std::move(cold->committed);
+  index.pair_keys_ = std::move(cold->pair_keys);
+  index.shards_.clear();
+  index.node_stripes_.clear();
+  index.mapped_ = std::move(store);
+  index.BuildPostings();
+  index.finalized_ = true;
+  return index;
+}
+
+util::StatusOr<MetagraphVectorIndex> MetagraphVectorIndex::LoadFromFile(
+    const std::string& path, const IndexLoadOptions& options) {
+  auto is_container = util::PathIsContainer(path);
+  if (!is_container.ok()) return is_container.status();
+  if (*is_container) {
+    if (options.use_mmap) {
+      auto mapped = MapFromFile(path, options);
+      // kFailedPrecondition = "not an aligned-layout artifact": mmap is
+      // advisory in LoadFromFile, so compact artifacts fall back to the
+      // eager parse below. Any other failure (corruption, IO) surfaces.
+      if (mapped.ok() ||
+          mapped.status().code() != util::StatusCode::kFailedPrecondition) {
+        return mapped;
+      }
+    }
+    auto file = util::MmapFile::OpenReadOnly(path);
+    if (!file.ok()) return file.status();
+    return ReadBinaryFrom((*file)->bytes());
+  }
+  // Text artifact: the v1 debug/interop path (use_mmap is advisory and
+  // does not apply).
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  return ReadFrom(in);
+}
+
+}  // namespace metaprox

@@ -3,15 +3,24 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <string>
 
+#include "util/binary_io.h"
+#include "util/macros.h"
+#include "util/mmap_file.h"
+
 namespace metaprox {
 namespace {
 
 constexpr char kMagic[] = "metaprox-model v1";
+
+// Section ids of a kModelArtifact container.
+constexpr uint32_t kSecModelMeta = 1;     // weight count
+constexpr uint32_t kSecModelWeights = 2;  // raw LE binary64, aligned
 
 // %.17g round-trips an IEEE binary64 exactly through strtod — the same
 // rule server::FormatScore follows, restated here so learning/ does not
@@ -90,15 +99,71 @@ util::StatusOr<MgpModel> ReadMgpModel(std::istream& is,
   return model;
 }
 
-util::Status SaveModel(const MgpModel& model, const std::string& path) {
+util::Status WriteMgpModelBinary(const MgpModel& model, std::ostream& os) {
+  util::ContainerWriter writer(util::kModelArtifact);
+  std::string meta;
+  util::AppendScalar<uint64_t>(&meta, model.weights.size());
+  writer.AddSection(kSecModelMeta, std::move(meta));
+  // Raw binary64 bits, uncompressed: trained weights have near-random
+  // mantissas LZW cannot shrink, and leaving them raw keeps the section
+  // aligned for direct in-place reads.
+  std::string weights;
+  weights.resize(model.weights.size() * sizeof(double));
+  if (!model.weights.empty()) {
+    std::memcpy(weights.data(), model.weights.data(), weights.size());
+  }
+  writer.AddSection(kSecModelWeights, std::move(weights));
+  return writer.WriteTo(os);
+}
+
+util::StatusOr<MgpModel> ReadMgpModelBinary(std::span<const uint8_t> bytes,
+                                            size_t expected_weights) {
+  auto reader = util::ContainerReader::Parse(bytes, util::kModelArtifact,
+                                             /*verify_checksums=*/true);
+  if (!reader.ok()) return reader.status();
+  auto meta = reader->Section(kSecModelMeta);
+  if (!meta.ok()) return meta.status();
+  if (meta->bytes.size() != sizeof(uint64_t)) {
+    return util::Status::InvalidArgument("model meta section malformed");
+  }
+  size_t pos = 0;
+  uint64_t count = 0;
+  util::ReadScalar(meta->bytes, &pos, &count);
+  if (expected_weights != 0 && count != expected_weights) {
+    return util::Status::InvalidArgument(
+        "model has " + std::to_string(count) + " weights but the index has " +
+        std::to_string(expected_weights) +
+        " metagraphs (trained on a different offline phase?)");
+  }
+  auto weights = reader->Section(kSecModelWeights);
+  if (!weights.ok()) return weights.status();
+  // The size cross-check also bounds the allocation below: a corrupt
+  // count cannot exceed the (already size-validated) section itself.
+  if (weights->bytes.size() != count * sizeof(double)) {
+    return util::Status::InvalidArgument(
+        "model weights section disagrees with weight count");
+  }
+  MgpModel model;
+  model.weights.resize(static_cast<size_t>(count));
+  if (count > 0) {
+    std::memcpy(model.weights.data(), weights->bytes.data(),
+                weights->bytes.size());
+  }
+  return model;
+}
+
+util::Status SaveModel(const MgpModel& model, const std::string& path,
+                       util::ArtifactFormat format) {
   // Write-then-rename so a concurrent LoadModel — e.g. a server admin
   // RELOAD racing a trainer's refresh of the same artifact — never reads
   // a half-written file (same pattern as the server's port file).
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream out(tmp);
+    std::ofstream out(tmp, std::ios::binary);
     if (!out) return util::Status::IoError("cannot write model to " + tmp);
-    MX_RETURN_IF_ERROR(WriteMgpModel(model, out));
+    MX_RETURN_IF_ERROR(format == util::ArtifactFormat::kBinary
+                           ? WriteMgpModelBinary(model, out)
+                           : WriteMgpModel(model, out));
     out.close();
     if (!out) return util::Status::IoError("cannot finish writing " + tmp);
   }
@@ -111,14 +176,26 @@ util::Status SaveModel(const MgpModel& model, const std::string& path) {
 
 util::StatusOr<MgpModel> LoadModel(const std::string& path,
                                    size_t expected_weights) {
+  auto is_container = util::PathIsContainer(path);
+  if (!is_container.ok()) {
+    return util::Status::NotFound("cannot open model file " + path);
+  }
+  auto annotate =
+      [&](util::StatusOr<MgpModel> model) -> util::StatusOr<MgpModel> {
+    if (!model.ok()) {
+      return util::Status(model.status().code(),
+                          path + ": " + model.status().message());
+    }
+    return model;
+  };
+  if (*is_container) {
+    auto file = util::MmapFile::OpenReadOnly(path);
+    if (!file.ok()) return file.status();
+    return annotate(ReadMgpModelBinary((*file)->bytes(), expected_weights));
+  }
   std::ifstream in(path);
   if (!in) return util::Status::NotFound("cannot open model file " + path);
-  auto model = ReadMgpModel(in, expected_weights);
-  if (!model.ok()) {
-    return util::Status(model.status().code(),
-                        path + ": " + model.status().message());
-  }
-  return model;
+  return annotate(ReadMgpModel(in, expected_weights));
 }
 
 }  // namespace metaprox

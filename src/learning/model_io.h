@@ -3,19 +3,28 @@
 // with mgps_cli, then serve (and hot-swap) the saved weights from any
 // number of server processes without retraining.
 //
-// Format: a versioned text header, the weight count, then one weight per
-// line serialized with %.17g — the same exact-double-round-trip rule the
-// wire protocol uses (server/wire.h), so a saved-then-loaded model scores
-// bitwise identically to the freshly trained one. The weight count is
-// checked against the index on load (a model only makes sense over the
-// metagraph set it was trained on).
+// Two formats, autodetected on load by magic:
+//   * v1 text (WriteMgpModel/ReadMgpModel): a versioned text header, the
+//     weight count, then one weight per line serialized with %.17g — the
+//     same exact-double-round-trip rule the wire protocol uses
+//     (server/wire.h), so a saved-then-loaded model scores bitwise
+//     identically to the freshly trained one. Debug/interop path.
+//   * v2 binary (WriteMgpModelBinary/ReadMgpModelBinary): the same
+//     util/container.h envelope the index uses — checksummed sections,
+//     weights as raw little-endian binary64 at a 64-byte-aligned offset.
+//     Exact by construction (no decimal round trip at all).
+// The weight count is checked against the index on load (a model only
+// makes sense over the metagraph set it was trained on).
 #ifndef METAPROX_LEARNING_MODEL_IO_H_
 #define METAPROX_LEARNING_MODEL_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 
 #include "learning/proximity.h"
+#include "util/container.h"
 #include "util/status.h"
 
 namespace metaprox {
@@ -30,12 +39,25 @@ util::Status WriteMgpModel(const MgpModel& model, std::ostream& os);
 util::StatusOr<MgpModel> ReadMgpModel(std::istream& is,
                                       size_t expected_weights = 0);
 
-/// WriteMgpModel to `path`. Overwrites.
-util::Status SaveModel(const MgpModel& model, const std::string& path);
+/// Serializes `model` as a v2 binary container (open `os` in binary
+/// mode). Byte-deterministic for the same weights.
+util::Status WriteMgpModelBinary(const MgpModel& model, std::ostream& os);
 
-/// ReadMgpModel from `path`. A missing/unopenable file is NotFound —
-/// distinct from a corrupt one (InvalidArgument) so "load or train and
-/// save" flows retrain only when the artifact genuinely is not there.
+/// Parses a v2 binary model artifact. Checksums are always verified;
+/// corruption and truncation are structured errors, never crashes.
+util::StatusOr<MgpModel> ReadMgpModelBinary(std::span<const uint8_t> bytes,
+                                            size_t expected_weights = 0);
+
+/// Writes `model` to `path` in `format`. Overwrites (atomically:
+/// write-then-rename).
+util::Status SaveModel(
+    const MgpModel& model, const std::string& path,
+    util::ArtifactFormat format = util::ArtifactFormat::kText);
+
+/// Loads `path` whatever its format (binary containers detected by
+/// magic). A missing/unopenable file is NotFound — distinct from a
+/// corrupt one (InvalidArgument) so "load or train and save" flows
+/// retrain only when the artifact genuinely is not there.
 util::StatusOr<MgpModel> LoadModel(const std::string& path,
                                    size_t expected_weights = 0);
 

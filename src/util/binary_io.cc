@@ -1,0 +1,58 @@
+#include "util/binary_io.h"
+
+namespace metaprox::util {
+
+void AppendVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool ReadVarint(std::span<const uint8_t> bytes, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    if (*pos >= bytes.size()) return false;
+    const uint8_t byte = bytes[*pos];
+    ++(*pos);
+    // The 10th byte holds bits 63..69; only bit 63 exists in a uint64_t,
+    // so any higher payload bit (or a continuation bit) overflows.
+    if (i == 9 && (byte & 0xfe) != 0) return false;
+    result |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Table for the reflected IEEE 802.3 polynomial 0xEDB88320, built once.
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  static const Crc32Table table;
+  uint32_t crc = 0xffffffffu;
+  for (uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ byte) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace metaprox::util

@@ -1,0 +1,69 @@
+// Primitives of the binary artifact formats (util/container.h): LEB128
+// varints, little-endian fixed-width scalar append/read, and CRC-32 for
+// section checksums.
+//
+// Everything here is deterministic byte-in/byte-out and bounds-checked:
+// the decoders take spans and return false / error instead of reading past
+// the end, because they are fed artifact bytes that may be truncated or
+// corrupt (the corruption battery in tests/binary_format_test.cc flips and
+// truncates artifacts at every offset and expects structured failures).
+#ifndef METAPROX_UTIL_BINARY_IO_H_
+#define METAPROX_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+namespace metaprox::util {
+
+// ---- varints ---------------------------------------------------------------
+
+/// Appends `value` as an LEB128 varint (7 bits per byte, low first; 1-10
+/// bytes).
+void AppendVarint(std::string* out, uint64_t value);
+
+/// Reads one varint from `bytes` at `*pos`, advancing `*pos` past it.
+/// Returns false (leaving `*pos` unspecified) on truncation, on a varint
+/// longer than 10 bytes, and on a 10th byte carrying bits beyond 2^64 —
+/// every encoding AppendVarint cannot produce is rejected rather than
+/// wrapped.
+bool ReadVarint(std::span<const uint8_t> bytes, size_t* pos, uint64_t* value);
+
+// ---- fixed-width little-endian scalars -------------------------------------
+
+/// Appends sizeof(T) little-endian bytes. T must be trivially copyable
+/// (uint32_t/uint64_t/float/double in practice).
+template <typename T>
+void AppendScalar(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+/// Reads sizeof(T) little-endian bytes at `*pos`, advancing it. Returns
+/// false on truncation.
+template <typename T>
+bool ReadScalar(std::span<const uint8_t> bytes, size_t* pos, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() - *pos < sizeof(T) || *pos > bytes.size()) return false;
+  std::memcpy(value, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+// ---- CRC-32 ----------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG crc32). Software
+/// table-driven; plenty for artifact checksums, which are read once per
+/// process start.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+inline uint32_t Crc32(const std::string& bytes) {
+  return Crc32(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()));
+}
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_BINARY_IO_H_

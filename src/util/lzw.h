@@ -1,0 +1,46 @@
+// Bounded-window LZW codec for the cold sections of the binary artifact
+// container (util/container.h).
+//
+// Classic byte-oriented LZW with fixed-width 16-bit codes: the dictionary
+// starts at the 256 single-byte strings plus two reserved codes and grows
+// one entry per emitted code until it reaches 2^16 entries, at which point
+// it RESETS — the "bounded window" that keeps both encoder and decoder
+// memory flat no matter how long the stream is, the same shape as the
+// streaming LZW filters this design borrows from (dictionary cleared on a
+// clear-code, decode always bounded by the declared output size).
+//
+// This is deliberately not a general-purpose compressor: it exists so cold
+// artifact sections (committed bitmaps, delta-varint key streams, packed
+// sparse rows with highly repetitive float patterns) shrink without any
+// external dependency, while staying byte-deterministic — the golden-file
+// test pins the exact encoded bytes. The container keeps a section
+// compressed only when LzwCompress actually shrank it, so incompressible
+// sections ride raw and the codec can never lose.
+//
+// Decode is hardened for hostile input (the corruption battery feeds it
+// flipped/truncated/random bytes): every code is validated against the
+// current dictionary, output is capped by the caller's declared size, and
+// failure is a Status — never a crash or an unbounded allocation.
+#ifndef METAPROX_UTIL_LZW_H_
+#define METAPROX_UTIL_LZW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace metaprox::util {
+
+/// Compresses `input` (returns the encoded bytes; "" for empty input).
+std::string LzwCompress(const std::string& input);
+
+/// Decompresses LzwCompress output. `expected_size` is the exact decoded
+/// size recorded out of band (the container's raw_size field); any
+/// mismatch — short stream, overlong stream, invalid code, truncated
+/// 16-bit unit — is an InvalidArgument error.
+StatusOr<std::string> LzwDecompress(const std::string& input,
+                                    size_t expected_size);
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_LZW_H_

@@ -1,0 +1,71 @@
+#include "util/mmap_file.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define METAPROX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace metaprox::util {
+
+StatusOr<std::shared_ptr<MmapFile>> MmapFile::OpenReadOnly(
+    const std::string& path) {
+  auto file = std::shared_ptr<MmapFile>(new MmapFile());
+  file->path_ = path;
+#if METAPROX_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* addr =
+        ::mmap(nullptr, file->size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return Status::IoError("cannot mmap " + path);
+    }
+    file->data_ = addr;
+    file->mapped_ = true;
+  }
+  // The mapping survives the descriptor.
+  ::close(fd);
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  file->fallback_.resize(static_cast<size_t>(end));
+  if (end > 0 && std::fread(file->fallback_.data(), 1, file->fallback_.size(),
+                            f) != file->fallback_.size()) {
+    std::fclose(f);
+    return Status::IoError("cannot read " + path);
+  }
+  std::fclose(f);
+  file->data_ = file->fallback_.data();
+  file->size_ = file->fallback_.size();
+#endif
+  return file;
+}
+
+MmapFile::~MmapFile() {
+#if METAPROX_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace metaprox::util

@@ -1,0 +1,57 @@
+// Read-only memory-mapped files for zero-copy artifact loading.
+//
+// MmapFile maps a whole file read-only (MAP_SHARED) and exposes it as a
+// byte span. A server that maps its index this way starts serving without
+// parsing or copying the hot sections, and every server process on the
+// machine shares one set of physical pages through the page cache.
+//
+// Holders keep the mapping alive through a shared_ptr: an index loaded in
+// mapped mode (MetagraphVectorIndex::MapFromFile) pins its MmapFile for as
+// long as any row span may be dereferenced. On platforms without mmap the
+// open falls back to reading the file into an owned buffer — same
+// interface, no zero-copy.
+#ifndef METAPROX_UTIL_MMAP_FILE_H_
+#define METAPROX_UTIL_MMAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metaprox::util {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only. NotFound for a missing/unopenable file,
+  /// IoError for map failures. An empty file maps to an empty span.
+  static StatusOr<std::shared_ptr<MmapFile>> OpenReadOnly(
+      const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::span<const uint8_t> bytes() const {
+    return {static_cast<const uint8_t*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  /// True when the bytes are a real mapping (false: owned fallback copy).
+  bool mapped() const { return mapped_; }
+
+ private:
+  MmapFile() = default;
+
+  std::string path_;
+  const void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace metaprox::util
+
+#endif  // METAPROX_UTIL_MMAP_FILE_H_

@@ -9,10 +9,29 @@
 namespace metaprox {
 namespace {
 
-// Builds an index over the toy graph for the given metagraphs using SymISO.
+// Every index-behavior test runs once per serialization round trip (see
+// test_helpers.h): the semantics below must hold identically for a
+// directly built index and for one restored from each persistence format,
+// including a memory-mapped artifact.
+class IndexTest : public ::testing::TestWithParam<testing::IndexRoundTrip> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, IndexTest,
+    ::testing::Values(testing::IndexRoundTrip::kDirect,
+                      testing::IndexRoundTrip::kText,
+                      testing::IndexRoundTrip::kBinaryCompact,
+                      testing::IndexRoundTrip::kBinaryAligned,
+                      testing::IndexRoundTrip::kMapped),
+    [](const ::testing::TestParamInfo<testing::IndexRoundTrip>& info) {
+      return testing::IndexRoundTripName(info.param);
+    });
+
+// Builds an index over the toy graph for the given metagraphs using SymISO,
+// then sends it through the requested serialization round trip.
 MetagraphVectorIndex BuildToyIndex(const testing::ToyGraph& toy,
                                    const std::vector<Metagraph>& metagraphs,
                                    CountTransform transform,
+                                   testing::IndexRoundTrip mode,
                                    std::vector<SymmetryInfo>* syms = nullptr) {
   MetagraphVectorIndex index(metagraphs.size(), toy.graph.num_nodes(),
                              transform);
@@ -25,16 +44,16 @@ MetagraphVectorIndex BuildToyIndex(const testing::ToyGraph& toy,
     if (syms != nullptr) syms->push_back(sym);
   }
   index.Finalize();
-  return index;
+  return testing::ApplyRoundTrip(std::move(index), mode);
 }
 
-TEST(Index, Eq1CountsOnToyGraph) {
+TEST_P(IndexTest, Eq1CountsOnToyGraph) {
   auto toy = testing::MakeToyGraph();
   // M3: user-address-user.
   std::vector<Metagraph> metagraphs = {
       MakePath({toy.user, toy.address, toy.user})};
   MetagraphVectorIndex index =
-      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw, GetParam());
 
   std::vector<double> w = {1.0};
   // m_{alice,bob}[M3] = 1 (shared Green St) -> PairDot = 1.
@@ -44,12 +63,12 @@ TEST(Index, Eq1CountsOnToyGraph) {
   EXPECT_DOUBLE_EQ(index.PairDot(toy.bob, toy.tom, w), 0.0);
 }
 
-TEST(Index, Eq2CountsOnToyGraph) {
+TEST_P(IndexTest, Eq2CountsOnToyGraph) {
   auto toy = testing::MakeToyGraph();
   std::vector<Metagraph> metagraphs = {
       MakePath({toy.user, toy.school, toy.user})};
   MetagraphVectorIndex index =
-      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw, GetParam());
 
   std::vector<double> w = {1.0};
   // Each of Kate, Jay, Bob, Tom appears in exactly one user-school-user
@@ -61,7 +80,7 @@ TEST(Index, Eq2CountsOnToyGraph) {
   EXPECT_DOUBLE_EQ(index.NodeDot(toy.alice, w), 0.0);
 }
 
-TEST(Index, AutomorphismDivisionYieldsInstanceCounts) {
+TEST_P(IndexTest, AutomorphismDivisionYieldsInstanceCounts) {
   auto toy = testing::MakeToyGraph();
   // M1 (school+major): Kate-Jay share school AND major; the metagraph has
   // aut size 2, and the pair count must be 1 instance (not 2 embeddings).
@@ -75,21 +94,21 @@ TEST(Index, AutomorphismDivisionYieldsInstanceCounts) {
   m1.AddEdge(u1, j);
   m1.AddEdge(u2, j);
   MetagraphVectorIndex index =
-      BuildToyIndex(toy, {m1}, CountTransform::kRaw);
+      BuildToyIndex(toy, {m1}, CountTransform::kRaw, GetParam());
   std::vector<double> w = {1.0};
   EXPECT_DOUBLE_EQ(index.PairDot(toy.kate, toy.jay, w), 1.0);
   EXPECT_DOUBLE_EQ(index.PairDot(toy.bob, toy.tom, w), 1.0);
   EXPECT_DOUBLE_EQ(index.PairDot(toy.alice, toy.bob, w), 0.0);
 }
 
-TEST(Index, MultipleMetagraphVectors) {
+TEST_P(IndexTest, MultipleMetagraphVectors) {
   auto toy = testing::MakeToyGraph();
   std::vector<Metagraph> metagraphs = {
       MakePath({toy.user, toy.address, toy.user}),
       MakePath({toy.user, toy.school, toy.user}),
       MakePath({toy.user, toy.employer, toy.user})};
   MetagraphVectorIndex index =
-      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw, GetParam());
 
   std::vector<double> dense;
   index.DensePairVector(toy.kate, toy.jay, &dense);
@@ -103,27 +122,27 @@ TEST(Index, MultipleMetagraphVectors) {
   EXPECT_DOUBLE_EQ(dense[2], 1.0);  // Company X
 }
 
-TEST(Index, Log1pTransform) {
+TEST_P(IndexTest, Log1pTransform) {
   auto toy = testing::MakeToyGraph();
   std::vector<Metagraph> metagraphs = {
       MakePath({toy.user, toy.address, toy.user})};
   MetagraphVectorIndex raw =
-      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw, GetParam());
   MetagraphVectorIndex logged =
-      BuildToyIndex(toy, metagraphs, CountTransform::kLog1p);
+      BuildToyIndex(toy, metagraphs, CountTransform::kLog1p, GetParam());
   std::vector<double> w = {1.0};
   EXPECT_DOUBLE_EQ(raw.PairDot(toy.alice, toy.bob, w), 1.0);
   EXPECT_DOUBLE_EQ(logged.PairDot(toy.alice, toy.bob, w),
                    std::log1p(1.0));
 }
 
-TEST(Index, CandidatesPostings) {
+TEST_P(IndexTest, CandidatesPostings) {
   auto toy = testing::MakeToyGraph();
   std::vector<Metagraph> metagraphs = {
       MakePath({toy.user, toy.school, toy.user}),
       MakePath({toy.user, toy.employer, toy.user})};
   MetagraphVectorIndex index =
-      BuildToyIndex(toy, metagraphs, CountTransform::kRaw);
+      BuildToyIndex(toy, metagraphs, CountTransform::kRaw, GetParam());
 
   auto kate_cands = index.Candidates(toy.kate);
   // Kate shares a school instance with Jay and an employer instance with
@@ -140,13 +159,13 @@ TEST(Index, CandidatesPostings) {
   EXPECT_TRUE(index.Candidates(toy.music).empty());
 }
 
-TEST(Index, SparseAccessorsMatchDense) {
+TEST_P(IndexTest, SparseAccessorsMatchDense) {
   auto toy = testing::MakeToyGraph();
   std::vector<Metagraph> metagraphs = {
       MakePath({toy.user, toy.address, toy.user}),
       MakePath({toy.user, toy.school, toy.user})};
   MetagraphVectorIndex index =
-      BuildToyIndex(toy, metagraphs, CountTransform::kLog1p);
+      BuildToyIndex(toy, metagraphs, CountTransform::kLog1p, GetParam());
 
   std::vector<double> dense;
   index.DenseNodeVector(toy.kate, &dense);
@@ -158,16 +177,18 @@ TEST(Index, SparseAccessorsMatchDense) {
   EXPECT_DOUBLE_EQ(sum_dense, sum_sparse);
 }
 
-TEST(Index, UncommittedMetagraphsContributeNothing) {
+TEST_P(IndexTest, UncommittedMetagraphsContributeNothing) {
   auto toy = testing::MakeToyGraph();
-  MetagraphVectorIndex index(2, toy.graph.num_nodes(), CountTransform::kRaw);
+  MetagraphVectorIndex built(2, toy.graph.num_nodes(), CountTransform::kRaw);
   // Commit only metagraph 0.
   Metagraph m = MakePath({toy.user, toy.address, toy.user});
   SymmetryInfo sym = AnalyzeSymmetry(m);
   SymPairCountingSink sink(sym, UINT64_MAX);
   CreateMatcher(MatcherKind::kSymISO)->Match(toy.graph, m, &sink);
-  index.Commit(0, sink, sym.aut_size());
-  index.Finalize();
+  built.Commit(0, sink, sym.aut_size());
+  built.Finalize();
+  MetagraphVectorIndex index =
+      testing::ApplyRoundTrip(std::move(built), GetParam());
 
   EXPECT_TRUE(index.IsCommitted(0));
   EXPECT_FALSE(index.IsCommitted(1));

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/engine.h"
@@ -44,45 +45,66 @@ TEST(MinedSetIo, RejectsGarbage) {
   EXPECT_FALSE(ReadMinedMetagraphs(is2).ok());
 }
 
-TEST(IndexIo, RoundTripPreservesDots) {
+// ---- index round trips, one per persistence format -------------------------
+//
+// Both formats are exact: text prints float counts with 9 significant
+// digits (lossless for binary32) and binary stores the raw bits, so a
+// restored index must agree with the original BITWISE — hence EXPECT_EQ
+// on the dots, not EXPECT_NEAR.
+class IndexIoTest : public ::testing::TestWithParam<testing::IndexRoundTrip> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, IndexIoTest,
+    ::testing::Values(testing::IndexRoundTrip::kText,
+                      testing::IndexRoundTrip::kBinaryCompact,
+                      testing::IndexRoundTrip::kBinaryAligned,
+                      testing::IndexRoundTrip::kMapped),
+    [](const ::testing::TestParamInfo<testing::IndexRoundTrip>& info) {
+      return testing::IndexRoundTripName(info.param);
+    });
+
+TEST_P(IndexIoTest, RoundTripPreservesDots) {
   auto toy = testing::MakeToyGraph();
   std::vector<Metagraph> metagraphs = {
       MakePath({toy.user, toy.school, toy.user}),
       MakePath({toy.user, toy.address, toy.user}),
       MakePath({toy.user, toy.employer, toy.user})};
-  MetagraphVectorIndex index(metagraphs.size(), toy.graph.num_nodes(),
-                             CountTransform::kLog1p);
-  auto matcher = CreateMatcher(MatcherKind::kSymISO);
-  for (uint32_t i = 0; i < 2; ++i) {  // leave metagraph 2 uncommitted
-    SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
-    SymPairCountingSink sink(sym, UINT64_MAX);
-    matcher->Match(toy.graph, metagraphs[i], &sink);
-    index.Commit(i, sink, sym.aut_size());
-  }
-  index.Finalize();
+  auto build = [&] {
+    MetagraphVectorIndex index(metagraphs.size(), toy.graph.num_nodes(),
+                               CountTransform::kLog1p);
+    auto matcher = CreateMatcher(MatcherKind::kSymISO);
+    for (uint32_t i = 0; i < 2; ++i) {  // leave metagraph 2 uncommitted
+      SymmetryInfo sym = AnalyzeSymmetry(metagraphs[i]);
+      SymPairCountingSink sink(sym, UINT64_MAX);
+      matcher->Match(toy.graph, metagraphs[i], &sink);
+      index.Commit(i, sink, sym.aut_size());
+    }
+    index.Finalize();
+    return index;
+  };
+  MetagraphVectorIndex index = build();
+  MetagraphVectorIndex loaded = testing::ApplyRoundTrip(build(), GetParam());
 
-  std::ostringstream os;
-  ASSERT_TRUE(index.WriteTo(os).ok());
-  std::istringstream is(os.str());
-  auto loaded = MetagraphVectorIndex::ReadFrom(is);
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-
-  EXPECT_EQ(loaded->num_metagraphs(), index.num_metagraphs());
-  EXPECT_EQ(loaded->num_pairs(), index.num_pairs());
-  EXPECT_TRUE(loaded->IsCommitted(0));
-  EXPECT_TRUE(loaded->IsCommitted(1));
-  EXPECT_FALSE(loaded->IsCommitted(2));
+  EXPECT_EQ(loaded.num_metagraphs(), index.num_metagraphs());
+  EXPECT_EQ(loaded.num_graph_nodes(), index.num_graph_nodes());
+  EXPECT_EQ(loaded.num_pairs(), index.num_pairs());
+  EXPECT_TRUE(loaded.finalized());
+  EXPECT_TRUE(loaded.IsCommitted(0));
+  EXPECT_TRUE(loaded.IsCommitted(1));
+  EXPECT_FALSE(loaded.IsCommitted(2));
+  EXPECT_EQ(loaded.is_mapped(), GetParam() == testing::IndexRoundTrip::kMapped);
 
   std::vector<double> w = {0.5, 0.9, 0.3};
-  for (NodeId x : {toy.kate, toy.alice, toy.bob}) {
-    EXPECT_NEAR(loaded->NodeDot(x, w), index.NodeDot(x, w), 1e-9);
-    for (NodeId y : {toy.jay, toy.tom}) {
-      EXPECT_NEAR(loaded->PairDot(x, y, w), index.PairDot(x, y, w), 1e-9);
+  for (NodeId x = 0; x < toy.graph.num_nodes(); ++x) {
+    EXPECT_EQ(loaded.NodeDot(x, w), index.NodeDot(x, w)) << "node " << x;
+    for (NodeId y = 0; y < toy.graph.num_nodes(); ++y) {
+      EXPECT_EQ(loaded.PairDot(x, y, w), index.PairDot(x, y, w))
+          << "pair (" << x << ", " << y << ")";
     }
   }
   // Candidate postings rebuilt identically (as sets).
-  for (NodeId x : {toy.kate, toy.bob}) {
-    auto a = loaded->Candidates(x);
+  for (NodeId x = 0; x < toy.graph.num_nodes(); ++x) {
+    auto a = loaded.Candidates(x);
     auto b = index.Candidates(x);
     std::vector<NodeId> va(a.begin(), a.end()), vb(b.begin(), b.end());
     std::sort(va.begin(), va.end());
@@ -96,7 +118,41 @@ TEST(IndexIo, RejectsBadHeader) {
   EXPECT_FALSE(MetagraphVectorIndex::ReadFrom(is).ok());
 }
 
-TEST(EngineOffline, SaveLoadRoundTrip) {
+// ---- engine save/load, one per (format, layout, load mode) -----------------
+
+struct SaveLoadParam {
+  const char* name;
+  util::ArtifactFormat format;
+  BinaryLayout layout;
+  bool use_mmap;     // IndexLoadOptions.use_mmap on restore
+  bool expect_mmap;  // restored.index().is_mapped()
+};
+
+class EngineOfflineTest : public ::testing::TestWithParam<SaveLoadParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, EngineOfflineTest,
+    ::testing::Values(
+        SaveLoadParam{"Text", util::ArtifactFormat::kText,
+                      BinaryLayout::kCompact, false, false},
+        SaveLoadParam{"BinaryCompact", util::ArtifactFormat::kBinary,
+                      BinaryLayout::kCompact, false, false},
+        SaveLoadParam{"BinaryAligned", util::ArtifactFormat::kBinary,
+                      BinaryLayout::kAligned, false, false},
+        SaveLoadParam{"BinaryAlignedMmap", util::ArtifactFormat::kBinary,
+                      BinaryLayout::kAligned, true, true},
+        // --mmap on a compact artifact falls back to the eager load.
+        SaveLoadParam{"BinaryCompactMmapFallback", util::ArtifactFormat::kBinary,
+                      BinaryLayout::kCompact, true, false},
+        // --mmap on a text artifact likewise.
+        SaveLoadParam{"TextMmapFallback", util::ArtifactFormat::kText,
+                      BinaryLayout::kCompact, true, false}),
+    [](const ::testing::TestParamInfo<SaveLoadParam>& info) {
+      return info.param.name;
+    });
+
+TEST_P(EngineOfflineTest, SaveLoadRoundTrip) {
+  const SaveLoadParam& param = GetParam();
   datagen::FacebookConfig cfg;
   cfg.num_users = 150;
   auto ds = datagen::GenerateFacebook(cfg, 5);
@@ -109,14 +165,19 @@ TEST(EngineOffline, SaveLoadRoundTrip) {
   engine.Mine();
   engine.MatchAll();
 
-  const std::string prefix = ::testing::TempDir() + "/offline_phase";
-  ASSERT_TRUE(engine.SaveOffline(prefix).ok());
+  const std::string prefix = testing::UniqueTempPath("offline_phase");
+  ASSERT_TRUE(engine.SaveOffline(prefix, param.format, param.layout).ok());
 
   SearchEngine restored(ds.graph, options);
-  ASSERT_TRUE(restored.LoadOffline(prefix).ok());
+  IndexLoadOptions load_options;
+  load_options.use_mmap = param.use_mmap;
+  ASSERT_TRUE(restored.LoadOffline(prefix, load_options).ok());
   ASSERT_EQ(restored.metagraphs().size(), engine.metagraphs().size());
+  EXPECT_EQ(restored.index().is_mapped(), param.expect_mmap);
 
-  // Queries against the restored engine match the original.
+  // Queries against the restored engine match the original EXACTLY: both
+  // formats round-trip the stored counts bit for bit and the scoring path
+  // is shared, so node order, scores and tie-breaks must all agree.
   std::vector<double> w(engine.metagraphs().size(), 1.0);
   MgpModel model{w};
   auto users = ds.graph.NodesOfType(ds.user_type);
@@ -127,7 +188,7 @@ TEST(EngineOffline, SaveLoadRoundTrip) {
     ASSERT_EQ(a.size(), b.size());
     for (size_t j = 0; j < a.size(); ++j) {
       EXPECT_EQ(a[j].first, b[j].first);
-      EXPECT_NEAR(a[j].second, b[j].second, 1e-9);
+      EXPECT_EQ(a[j].second, b[j].second);
     }
   }
 }

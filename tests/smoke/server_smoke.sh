@@ -24,6 +24,12 @@
 # and byte-diffs the same streams again: the scalar fallback and the
 # runtime-dispatched SIMD kernels must serve identical bytes end to end.
 #
+# A binary-artifact phase then repeats the offline run and the server run
+# over v2 binary artifacts — an aligned-layout (mmap-able) index plus
+# binary model saves, served with --mmap — and byte-diffs everything
+# against the text-artifact outputs: the persistence format must be
+# invisible to results.
+#
 # Usage: server_smoke.sh <mgps_cli> <metaprox_server> <mgps_client>
 set -euo pipefail
 
@@ -178,6 +184,54 @@ PORT=$(cat port_scalar.txt)
 diff "server_${CLASS_A}.tsv" "scalar_${CLASS_A}.tsv"
 diff "server_${CLASS_B}.tsv" "scalar_${CLASS_B}.tsv"
 echo "scalar and dispatched kernels serve byte-identical responses"
+
+kill "${SERVER_PID}"
+wait "${SERVER_PID}"
+SERVER_PID=
+
+echo "== binary artifact phase: aligned index + binary models =="
+# Same pipeline, v2 binary artifacts: mgps_cli writes an aligned-layout
+# (mmap-able) index and saves the class models in the binary container.
+# The TSVs must be byte-identical to the text-artifact references — the
+# on-disk format must be invisible to results, scores included.
+mkdir models_bin
+"${MGPS_CLI}" --threads=2 --binary=aligned offline "${DATASET[@]}" idx_bin
+"${MGPS_CLI}" --threads=2 --tsv --query-file=queries.txt --binary=aligned \
+    --mmap --model="models_bin/${CLASS_A}.model" \
+    query "${DATASET[@]}" idx_bin "${CLASS_A}" "${K}" > "binary_${CLASS_A}.tsv"
+"${MGPS_CLI}" --threads=2 --tsv --query-file=queries.txt --binary=aligned \
+    --mmap --model="models_bin/${CLASS_B}.model" \
+    query "${DATASET[@]}" idx_bin "${CLASS_B}" "${K}" > "binary_${CLASS_B}.tsv"
+diff "offline_${CLASS_A}.tsv" "binary_${CLASS_A}.tsv"
+diff "offline_${CLASS_B}.tsv" "binary_${CLASS_B}.tsv"
+echo "binary-artifact offline runs match the text-artifact references"
+
+echo "== mmap server over the binary artifacts =="
+"${SERVER}" --port=0 --port-file=port_bin.txt --max-batch=16 \
+    --window-us=2000 --threads=2 --models-dir=models_bin --mmap \
+    "${DATASET[@]}" idx_bin "${CLASS_A},${CLASS_B}" > server_bin.log 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 600); do
+  [[ -s port_bin.txt ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "FATAL: mmap server died during startup" >&2
+    cat server_bin.log >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(cat port_bin.txt)
+# The aligned index must actually be memory-mapped, not eagerly parsed.
+grep -q "(index mmapped)" server_bin.log \
+  || { echo "FATAL: server did not mmap the aligned index" >&2;
+       cat server_bin.log >&2; exit 1; }
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --query-file=queries.txt > "mmap_${CLASS_A}.tsv"
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --model="${CLASS_B}" --query-file=queries.txt > "mmap_${CLASS_B}.tsv"
+diff "server_${CLASS_A}.tsv" "mmap_${CLASS_A}.tsv"
+diff "server_${CLASS_B}.tsv" "mmap_${CLASS_B}.tsv"
+echo "mmap-served responses are byte-identical to the text-artifact run"
 
 kill "${SERVER_PID}"
 wait "${SERVER_PID}"

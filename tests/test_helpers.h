@@ -4,11 +4,20 @@
 #ifndef METAPROX_TESTS_TEST_HELPERS_H_
 #define METAPROX_TESTS_TEST_HELPERS_H_
 
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <span>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
+#include "index/metagraph_vectors.h"
 #include "metagraph/metagraph.h"
 #include "util/rng.h"
 
@@ -161,6 +170,91 @@ inline uint64_t BruteForceCountEmbeddings(const Graph& g, const Metagraph& m) {
   };
   rec(rec, 0);
   return count;
+}
+
+// ---- index serialization round trips ---------------------------------------
+//
+// Index-behavior tests parameterize over these modes so every semantic
+// assertion (counts, dots, candidates, ...) is enforced not just on a
+// directly built index but on one restored through each persistence
+// format — the cheap way to prove the formats are lossless for ALL the
+// properties the suite checks, not only the ones a dedicated round-trip
+// test happens to compare.
+
+enum class IndexRoundTrip {
+  kDirect,         // no serialization: the baseline the others must match
+  kText,           // v1 text (WriteTo / ReadFrom)
+  kBinaryCompact,  // v2 binary, delta/varint-packed rows (ReadBinaryFrom)
+  kBinaryAligned,  // v2 binary, raw aligned rows, loaded eagerly
+  kMapped,         // v2 binary aligned, memory-mapped (MapFromFile)
+};
+
+inline const char* IndexRoundTripName(IndexRoundTrip mode) {
+  switch (mode) {
+    case IndexRoundTrip::kDirect: return "Direct";
+    case IndexRoundTrip::kText: return "Text";
+    case IndexRoundTrip::kBinaryCompact: return "BinaryCompact";
+    case IndexRoundTrip::kBinaryAligned: return "BinaryAligned";
+    case IndexRoundTrip::kMapped: return "Mapped";
+  }
+  return "Unknown";
+}
+
+/// A fresh path under the test temp dir, unique within and across
+/// concurrently running test binaries.
+inline std::string UniqueTempPath(const std::string& stem) {
+  static std::atomic<uint64_t> counter{0};
+  return ::testing::TempDir() + "/" + stem + "_" + std::to_string(getpid()) +
+         "_" + std::to_string(counter.fetch_add(1));
+}
+
+/// Sends `index` through the given serialization round trip and returns
+/// the restored index (`kDirect` returns it untouched). Serialization
+/// failures are reported as test failures and yield the original index so
+/// the calling test can still proceed.
+inline MetagraphVectorIndex ApplyRoundTrip(MetagraphVectorIndex&& index,
+                                           IndexRoundTrip mode) {
+  auto take = [&index](util::StatusOr<MetagraphVectorIndex> loaded)
+      -> MetagraphVectorIndex {
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    if (!loaded.ok()) return std::move(index);
+    return std::move(*loaded);
+  };
+  switch (mode) {
+    case IndexRoundTrip::kDirect:
+      return std::move(index);
+    case IndexRoundTrip::kText: {
+      std::ostringstream os;
+      util::Status written = index.WriteTo(os);
+      EXPECT_TRUE(written.ok()) << written.ToString();
+      std::istringstream is(os.str());
+      return take(MetagraphVectorIndex::ReadFrom(is));
+    }
+    case IndexRoundTrip::kBinaryCompact:
+    case IndexRoundTrip::kBinaryAligned: {
+      const BinaryLayout layout = mode == IndexRoundTrip::kBinaryCompact
+                                      ? BinaryLayout::kCompact
+                                      : BinaryLayout::kAligned;
+      std::ostringstream os(std::ios::binary);
+      util::Status written = index.WriteBinaryTo(os, layout);
+      EXPECT_TRUE(written.ok()) << written.ToString();
+      const std::string bytes = os.str();
+      return take(MetagraphVectorIndex::ReadBinaryFrom(std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())));
+    }
+    case IndexRoundTrip::kMapped: {
+      const std::string path = UniqueTempPath("mapped_index");
+      {
+        std::ofstream out(path, std::ios::binary);
+        EXPECT_TRUE(out.good()) << "cannot open " << path;
+        util::Status written =
+            index.WriteBinaryTo(out, BinaryLayout::kAligned);
+        EXPECT_TRUE(written.ok()) << written.ToString();
+      }
+      return take(MetagraphVectorIndex::MapFromFile(path));
+    }
+  }
+  return std::move(index);
 }
 
 }  // namespace metaprox::testing
