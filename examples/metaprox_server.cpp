@@ -31,6 +31,23 @@
 //   --k=K            default top-k for requests that omit k (default 10)
 //   --max-k=K        per-request k ceiling; larger k is refused with an
 //                    'E' reply (default 1048576)
+//   --max-conns=C    connection cap; beyond it, accepts are refused with
+//                    an 'E' reply (default 256)
+//   --max-pipeline=N per-connection cap on queries awaiting responses;
+//                    excess queries get an immediate E PIPELINE_LIMIT
+//                    (default 16384)
+//   --max-queue-bytes=B  per-connection response backlog bound; a client
+//                    that stops reading while the backlog is past B is
+//                    evicted with E SLOW_CONSUMER (default 33554432)
+//   --max-qps=Q      per-connection token-bucket rate limit, queries/sec
+//                    (fractional OK; 0 = off, the default); excess gets
+//                    an immediate E RATE_LIMITED
+//   --deadline-us=D  per-query queue deadline in microseconds; a query
+//                    still unranked after D is answered E DEADLINE
+//                    in its FIFO position (0 = off, the default)
+//   --drain-ms=T     Stop()/signal drain budget: how long to keep
+//                    flushing already-computed responses before closing
+//                    sockets anyway (default 5000)
 //   --models-dir=D   load/save per-class model artifacts as D/<class>.model
 //                    (absent artifact: train once, save, then serve)
 //   --mmap           map a binary aligned-layout index artifact read-only
@@ -65,6 +82,9 @@ int Usage() {
       "usage:\n"
       "  metaprox_server [--port=P] [--window-us=W] [--max-batch=B]\n"
       "                  [--threads=N] [--shards=S] [--k=K] [--max-k=K]\n"
+      "                  [--max-conns=C] [--max-pipeline=N]\n"
+      "                  [--max-queue-bytes=B] [--max-qps=Q]\n"
+      "                  [--deadline-us=D] [--drain-ms=T]\n"
       "                  [--models-dir=D] [--mmap] [--admin] [--port-file=F]\n"
       "                  <facebook|linkedin|citation> <num> <seed>\n"
       "                  <prefix> <class>[,<class>...]\n"
@@ -153,6 +173,48 @@ int main(int argc, char** argv) {
         return Usage();
       }
       server_options.max_k = value;
+    } else if (std::strncmp(arg, "--max-conns=", 12) == 0) {
+      if (!util::ParseCount(arg + 12, &value) || value == 0) {
+        std::fprintf(stderr, "bad flag: %s (expected --max-conns=C>=1)\n",
+                     arg);
+        return Usage();
+      }
+      server_options.max_connections = value;
+    } else if (std::strncmp(arg, "--max-pipeline=", 15) == 0) {
+      if (!util::ParseCount(arg + 15, &value) || value == 0) {
+        std::fprintf(stderr, "bad flag: %s (expected --max-pipeline=N>=1)\n",
+                     arg);
+        return Usage();
+      }
+      server_options.max_pipeline = value;
+    } else if (std::strncmp(arg, "--max-queue-bytes=", 18) == 0) {
+      if (!util::ParseCount(arg + 18, &value) || value == 0) {
+        std::fprintf(stderr,
+                     "bad flag: %s (expected --max-queue-bytes=B>=1)\n", arg);
+        return Usage();
+      }
+      server_options.max_response_queue_bytes = value;
+    } else if (std::strncmp(arg, "--max-qps=", 10) == 0) {
+      char* end = nullptr;
+      const double qps = std::strtod(arg + 10, &end);
+      if (end == arg + 10 || *end != '\0' || qps < 0.0) {
+        std::fprintf(stderr, "bad flag: %s (expected --max-qps=Q>=0)\n", arg);
+        return Usage();
+      }
+      server_options.max_queries_per_second = qps;
+    } else if (std::strncmp(arg, "--deadline-us=", 14) == 0) {
+      if (!util::ParseCount(arg + 14, &value)) {
+        std::fprintf(stderr, "bad flag: %s (expected --deadline-us=D)\n",
+                     arg);
+        return Usage();
+      }
+      server_options.request_deadline_micros = value;
+    } else if (std::strncmp(arg, "--drain-ms=", 11) == 0) {
+      if (!util::ParseCount(arg + 11, &value)) {
+        std::fprintf(stderr, "bad flag: %s (expected --drain-ms=T)\n", arg);
+        return Usage();
+      }
+      server_options.drain_timeout_millis = value;
     } else if (std::strncmp(arg, "--models-dir=", 13) == 0) {
       models_dir = arg + 13;
       if (models_dir.empty()) {
@@ -280,6 +342,18 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.largest_batch),
                static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.protocol_errors));
+  if (stats.slow_consumer_evictions + stats.pipeline_refused +
+          stats.rate_limited + stats.deadline_expired >
+      0) {
+    std::fprintf(
+        stderr,
+        "limits engaged: %llu slow-consumer evictions, %llu pipeline "
+        "refusals, %llu rate-limited, %llu deadline-expired\n",
+        static_cast<unsigned long long>(stats.slow_consumer_evictions),
+        static_cast<unsigned long long>(stats.pipeline_refused),
+        static_cast<unsigned long long>(stats.rate_limited),
+        static_cast<unsigned long long>(stats.deadline_expired));
+  }
   for (const server::ModelInfo& info : registry.List()) {
     std::fprintf(stderr, "  model '%s' v%llu: %llu queries served\n",
                  info.name.c_str(),

@@ -1,10 +1,31 @@
-// Blocking client for the metaprox query server (server/wire.h protocol).
-// One QueryClient owns one connection; queries may be pipelined — send any
-// number with SendQuery(), then drain the responses in the same order with
-// ReceiveResponse() (the server preserves per-connection FIFO). Queries
-// naming different models may be interleaved freely on one connection.
-// A client belongs to one thread; for concurrent load, open one client per
-// thread (examples/mgps_client.cpp, bench_server_throughput).
+// Blocking client for the metaprox query server (docs/WIRE_PROTOCOL.md).
+// One QueryClient owns one connection. A client belongs to one thread; for
+// concurrent load, open one client per thread (examples/mgps_client.cpp,
+// bench_server_throughput).
+//
+// Pipelining guarantees (what you may rely on):
+//   * Any number of SendQuery() calls may be outstanding at once; the
+//     matching responses arrive via ReceiveResponse() in exactly the send
+//     order — the server preserves per-connection FIFO for query
+//     responses, including `E` refusals and deadline expiries, which hold
+//     the refused query's position... with ONE exception: limit refusals
+//     (k/node/model validation, pipeline, rate) are answered immediately
+//     at parse time and may OVERTAKE 'R' responses still pending for
+//     earlier queries. A client that never trips a limit sees pure FIFO.
+//   * Queries naming different models may be interleaved freely on one
+//     connection; ordering is still per-connection, not per-model.
+//   * Pipeline depth is bounded by the server's max_pipeline (beyond it,
+//     E kPipelineLimit), and a client that sends without reading long
+//     enough will first be throttled (the server stops reading) and
+//     eventually evicted (E kSlowConsumer) — drain as you send.
+//   * HELLO/PING/STATS/admin replies are out of band and may overtake
+//     pending 'R' responses, which is why Hello()/Ping()/Roundtrip()
+//     require no queries in flight.
+//
+// The server may drop a connection mid-pipeline (slow-consumer eviction,
+// drain timeout, malformed line): every outstanding ReceiveResponse()
+// then fails with a non-OK Status — treat it as "resend on a fresh
+// connection", not as an answer.
 //
 // Protocol v2 is optional: a client that never calls Hello() and sends
 // only model-less queries behaves exactly like a v1 client and works

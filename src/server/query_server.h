@@ -1,40 +1,51 @@
 // QueryServer: a long-lived, dependency-free TCP front end over the
-// batched online phase — multi-model serving over one shared index (the
-// ROADMAP's "multi-class serving" milestone).
+// batched online phase — multi-model serving over one shared index, on a
+// nonblocking epoll reactor (the ROADMAP's "async server core" milestone).
 //
-// Request flow (see also docs/ARCHITECTURE.md, "The server layer"):
+// Request flow (see also docs/ARCHITECTURE.md, "The server layer", and
+// docs/SERVING.md for the operator view):
 //
-//   accept thread ──► one reader thread per connection
-//                         │  parse line (server/wire.h), validate node/k,
-//                         │  resolve the model name to a registry snapshot
-//                         │  (admin verbs answered here, out of band)
-//                         ▼
-//                     pending queue  (FIFO across all connections; each
-//                         │           entry pins its model snapshot)
-//                         ▼
-//                     batcher thread: waits up to `window_micros` for up to
-//                         │           `max_batch` queries (micro-batching),
-//                         │           groups the window by k ONLY
-//                         ▼
-//                     SearchEngine::BatchQueryMulti(models, nodes,
-//                         │           model_of, k): one shared-window call
-//                         │           per k group, however many models the
-//                         │           window mixes — the union of touched
-//                         │           rows is gathered once and scored
-//                         │           under every model through the
-//                         │           multi-weight kernels, on the engine's
-//                         │           shared ThreadPool and epoch-marked
-//                         │           BatchScratch
-//                         ▼
-//                     responses written back per connection, in each
-//                     connection's request order
+//   reactor thread ──► ONE epoll event loop owns the listener and every
+//       │              connection socket: accepts, reads, splits lines
+//       │              (util::LineBuffer), parses (server/wire.h),
+//       │              validates node/k/model and enforces the per-client
+//       │              limits (pipeline depth, rate, with structured `E`
+//       │              refusals); answers HELLO/PING/STATS inline and
+//       │              hands admin verbs to the admin worker
+//       ▼
+//   pending queue  (FIFO across all connections; each entry pins its
+//       │           model snapshot and its deadline)
+//       ▼
+//   batcher thread: waits up to `window_micros` for up to `max_batch`
+//       │           queries (micro-batching), expires queries past their
+//       │           deadline (E in FIFO position), groups the rest by k
+//       ▼
+//   SearchEngine::BatchQueryMulti(models, nodes, model_of, k): one
+//       │           shared-window call per k group, however many models
+//       │           the window mixes — row union gathered once, scored
+//       │           under every model through the multi-weight kernels,
+//       │           on the engine's ThreadPool and BatchScratch
+//       ▼
+//   per-connection OUTBOXES (bounded): the batcher appends response
+//       lines in pop order (per-connection FIFO preserved) and wakes the
+//       reactor, which flushes each outbox with nonblocking sends as the
+//       socket accepts bytes
 //
 // Because BatchQuery results are identical to per-query Query() (the
 // batched determinism contract), the accumulation window and batch cap are
 // pure throughput/latency knobs: no setting changes any response byte.
 //
+// Backpressure, not head-of-line blocking: a client that stops reading
+// only fills its OWN outbox. At half of `max_response_queue_bytes` the
+// reactor stops reading that connection (TCP pushes back on the sender);
+// at the full bound — and only after one more nonblocking flush attempt
+// proves the socket itself won't take the bytes, so reactor lag alone
+// never evicts — the connection is evicted with `E 18 SLOW_CONSUMER`
+// (best-effort flush, then close). Other connections never wait on it —
+// the batcher never blocks on a socket.
+//
 // Models: the server owns no model — it serves whatever the external
-// ModelRegistry publishes. A request pins its snapshot when the reader
+// ModelRegistry publishes. A request pins its snapshot when the reactor
 // enqueues it, so a RELOAD hot-swap never affects a query already
 // accepted (it is ranked under the weights that were current when it
 // arrived) and never stalls serving: the next accepted query simply picks
@@ -42,27 +53,23 @@
 // `options.default_model`, which must exist at Start() and cannot be
 // UNLOADed through this server's admin interface.
 //
-// Threading: the batcher is the only thread that touches the engine's
-// non-const API, so one QueryServer may share an engine with concurrent
-// const readers (Query()), but not with another running QueryServer or any
-// offline mutation. The registry is safe to mutate from anywhere at any
-// time (reader threads do, on admin verbs). Reader threads never block on
-// response writes of other connections; requests keep draining while the
-// batcher writes, so a client that pipelines queries before reading only
-// grows the pending queue (bounded by `max_pending`).
+// Threading: three threads at most. The reactor thread does all socket
+// I/O and all epoll bookkeeping; the batcher is the only thread that
+// touches the engine's non-const API (so one QueryServer may share an
+// engine with concurrent const readers, but not with another running
+// QueryServer or any offline mutation); an admin worker (spawned only
+// with options.admin) runs model disk I/O so a LOAD never stalls the
+// event loop. The registry is safe to mutate from anywhere at any time.
+// Producer threads hand response bytes to the reactor through the
+// per-connection outboxes plus an eventfd wake — they never touch a
+// socket or epoll.
 //
-// Known limitation (single-host building block, not an internet-facing
-// server — see the ROADMAP hardening follow-on): the batcher writes
-// responses with blocking sends, so a client that stops reading
-// head-of-line-blocks responses for every connection once its TCP buffers
-// fill, and a client with more than `max_pending` unread queries in
-// flight can wedge the server until it is stopped or the client is
-// killed. Trusted well-behaved clients (ours drain their pipelines) never
-// hit either bound.
+// Shutdown is a graceful drain (see Stop()).
 #ifndef METAPROX_SERVER_QUERY_SERVER_H_
 #define METAPROX_SERVER_QUERY_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -75,6 +82,7 @@
 
 #include "core/engine.h"
 #include "server/model_registry.h"
+#include "server/reactor.h"
 #include "server/wire.h"
 #include "util/socket.h"
 #include "util/status.h"
@@ -105,10 +113,10 @@ struct ServerOptions {
   bool admin = false;
   /// Connections beyond this are refused with an 'E' response.
   size_t max_connections = 256;
-  /// Backpressure bound on queued-but-unranked queries: a reader whose
-  /// enqueue would exceed it waits, which in turn stalls that client's TCP
-  /// stream. Far above anything the tests or benches queue; exists so an
-  /// unbounded pipelining client cannot grow server memory without limit.
+  /// Global bound on queued-but-unranked queries. When the queue is full
+  /// the reactor stops READING the offending connections (their parsed-
+  /// but-unqueued query waits; TCP pushes back on the client) until the
+  /// batcher makes room — server memory stays bounded, nobody is evicted.
   size_t max_pending = 1 << 20;
   /// Rank each window with one shared BatchQueryMulti call per k group
   /// (gather the window's row union once, score under every model). When
@@ -117,6 +125,35 @@ struct ServerOptions {
   /// either way (the multi path's bitwise contract); the flag exists so
   /// benches can A/B the two schedules on live traffic.
   bool shared_window_scoring = true;
+
+  // ---- per-client limits (docs/SERVING.md documents each in depth) ----
+
+  /// Max unanswered queries one connection may have in flight. The
+  /// excess is refused with E kPipelineLimit (the refusal is immediate
+  /// and may overtake pending 'R' responses, like every out-of-band
+  /// reply). Generous by default: a well-behaved pipelining client never
+  /// sees it.
+  size_t max_pipeline = 1 << 14;
+  /// Bound on one connection's unsent response bytes. At HALF this bound
+  /// the reactor stops reading the connection (backpressure through
+  /// TCP); once the unsent backlog exceeds the full bound AND a direct
+  /// nonblocking flush can't bring it back under (the kernel socket
+  /// buffer is full because the client is not reading), the connection
+  /// is evicted: E kSlowConsumer is appended, the outbox is flushed
+  /// best-effort, and the socket is closed. Clamped to >= 4096.
+  size_t max_response_queue_bytes = size_t{32} << 20;
+  /// Per-connection rate limit in queries/second (token bucket with one
+  /// second of burst). Queries beyond it are refused with E kRateLimited.
+  /// 0 = unlimited (the default).
+  double max_queries_per_second = 0.0;
+  /// Deadline for a query to REACH ranking. A query still queued after
+  /// this long is answered with E kDeadlineExceeded in its FIFO response
+  /// position instead of being ranked — bounded staleness under
+  /// overload. 0 = no deadline (the default).
+  uint64_t request_deadline_micros = 0;
+  /// How long Stop() keeps flushing outboxes after the batcher finishes
+  /// before force-closing what remains unsent.
+  uint64_t drain_timeout_millis = 5000;
 };
 
 // Counters advance before their event becomes externally observable (a
@@ -132,7 +169,7 @@ struct ServerStats {
                                  // scoring is on; one per (model, k)
                                  // group on the legacy path)
   uint64_t largest_batch = 0;    // max queries ranked by one call
-  uint64_t protocol_errors = 0;  // 'E' responses sent
+  uint64_t protocol_errors = 0;  // 'E' responses sent (all codes)
   uint64_t admin_commands = 0;   // admin verbs accepted (admin enabled)
 
   // Gather-amortization counters of the shared-window batcher (zero when
@@ -146,6 +183,12 @@ struct ServerStats {
   uint64_t rows_saved_vs_per_model = 0;  // rows per-(model,k) grouping would
                                          // have gathered on the same
                                          // windows, minus rows_gathered
+
+  // Per-client limit counters (each also counts into protocol_errors).
+  uint64_t slow_consumer_evictions = 0;  // connections closed with E 18
+  uint64_t pipeline_refused = 0;         // queries refused with E 19
+  uint64_t rate_limited = 0;             // queries refused with E 20
+  uint64_t deadline_expired = 0;         // queries answered with E 21
 };
 
 /// One server instance: Start() once, Stop() once (or let the destructor).
@@ -161,14 +204,17 @@ class QueryServer {
   ~QueryServer();
   MX_DISALLOW_COPY_AND_ASSIGN(QueryServer);
 
-  /// Binds 127.0.0.1 and spawns the accept/batcher threads. On return the
-  /// socket is listening: a subsequent connect cannot be refused.
+  /// Binds 127.0.0.1 and spawns the reactor/batcher threads. On return
+  /// the socket is listening: a subsequent connect cannot be refused.
   /// Fails if the index is not finalized or the default model is absent.
   util::Status Start();
 
-  /// Stops accepting, disconnects every client, joins all threads.
-  /// Queries still pending in the queue are dropped (their connections are
-  /// closing anyway). Idempotent.
+  /// Graceful drain: stops accepting and reading, lets the batcher rank
+  /// every query already accepted into the queue (skipping window
+  /// waits), flushes the resulting responses to their connections, then
+  /// closes every socket and joins all threads. A connection that won't
+  /// take its bytes within `drain_timeout_millis` is force-closed.
+  /// Idempotent from one thread.
   void Stop();
 
   /// The bound port (valid after Start()).
@@ -180,7 +226,27 @@ class QueryServer {
   struct Connection {
     uint64_t id = 0;
     util::Socket socket;
-    std::mutex write_mu;  // serializes response lines on this socket
+
+    // ---- reactor-thread-only state ----
+    util::LineBuffer input;
+    bool paused_backpressure = false;  // EPOLLIN off: outbox too deep
+    bool paused_queue_full = false;    // EPOLLIN off: global queue full
+    bool reg_read = true;              // EPOLLIN currently registered
+    bool reg_write = false;            // EPOLLOUT currently registered
+    bool has_stashed = false;          // a parsed query waiting for queue
+    Request stashed;                   //   space (paused_queue_full)
+    double tokens = 0.0;               // rate-limit token bucket
+    std::chrono::steady_clock::time_point tokens_refilled{};
+
+    // ---- cross-thread state (producers append, reactor flushes) ----
+    std::mutex out_mu;
+    std::string outbox;    // response bytes, guarded by out_mu
+    size_t out_off = 0;    // sent prefix of outbox
+    bool evict = false;    // slow consumer: flush best-effort, then close
+    bool closed = false;   // torn down; late responses are dropped
+
+    std::atomic<size_t> in_flight{0};  // enqueued, not yet answered
+    std::atomic<bool> dirty{false};    // on the reactor's flush list
   };
 
   struct PendingQuery {
@@ -190,24 +256,60 @@ class QueryServer {
     std::shared_ptr<const ServableModel> model;
     NodeId node = kInvalidNode;
     size_t k = 0;
+    /// Ranking deadline (request_deadline_micros after acceptance);
+    /// time_point::max() when deadlines are off.
+    std::chrono::steady_clock::time_point deadline{};
   };
 
-  void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Connection> conn);
-  /// Handles one parsed request on the reader thread. Returns false when
-  /// the reader should stop (server stopping).
+  struct AdminTask {
+    std::shared_ptr<Connection> conn;
+    Request request;
+  };
+
+  // ---- reactor thread ----
+  void ReactorLoop();
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void ProcessInput(const std::shared_ptr<Connection>& conn);
+  /// Handles one parsed request. Returns false when input processing for
+  /// this connection must pause (global queue full; the request is
+  /// stashed).
   bool HandleRequest(const std::shared_ptr<Connection>& conn,
                      const Request& request);
-  /// Admin verbs (LOAD/RELOAD/UNLOAD/LIST/STAT), reader-thread, out of
-  /// band. Replies directly on the connection.
-  void HandleAdmin(Connection& conn, const Request& request);
-  void SendError(Connection& conn, ErrorCode code, std::string_view message);
+  /// Validated query -> pending queue. False = queue full (caller
+  /// stashes and pauses).
+  bool EnqueuePending(const std::shared_ptr<Connection>& conn,
+                      const Request& request);
+  /// Flushes as much of the outbox as the socket takes now; manages
+  /// EPOLLOUT interest, backpressure pause/resume, and eviction close.
+  void FlushOutbox(const std::shared_ptr<Connection>& conn);
+  void ResumeQueueBlocked();
+  void SweepDirty();
+  void UpdateReadInterest(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void SendError(const std::shared_ptr<Connection>& conn, ErrorCode code,
+                 std::string_view message);
+
+  // ---- any thread ----
+  /// Appends a response line to the connection's outbox (dropping it if
+  /// the connection is closed or evicted; evicting it if the line would
+  /// exceed max_response_queue_bytes) and puts the connection on the
+  /// reactor's dirty list. The caller wakes the reactor (batched: one
+  /// Wake may cover many enqueues).
+  void EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                       std::string line);
+  void MarkDirty(const std::shared_ptr<Connection>& conn);
+  std::string BuildStatsResponse();
+
+  // ---- batcher thread ----
   void BatcherLoop();
-  /// Ranks one popped window (grouped by (model, k)) and writes the
-  /// responses in pop order, preserving per-connection FIFO.
+  /// Ranks one popped window (expired queries answered in place) and
+  /// enqueues the responses in pop order, preserving per-connection FIFO.
   void RankAndRespond(std::vector<PendingQuery> batch);
-  void SendToConnection(Connection& conn, const std::string& line);
-  void JoinFinishedReaders();
+
+  // ---- admin worker thread ----
+  void AdminLoop();
+  void RunAdminTask(const AdminTask& task);
 
   SearchEngine* engine_;
   ModelRegistry* registry_;
@@ -215,24 +317,37 @@ class QueryServer {
   uint16_t port_ = 0;
   util::Socket listener_;
   bool started_ = false;
+  std::unique_ptr<EpollLoop> loop_;
 
-  std::thread accept_thread_;
+  std::thread reactor_thread_;
   std::thread batcher_thread_;
+  std::thread admin_thread_;
 
   std::mutex queue_mu_;
-  std::condition_variable queue_cv_;     // batcher waits: work or stop
-  std::condition_variable backpressure_cv_;  // readers wait: queue space
-  std::deque<PendingQuery> queue_;       // guarded by queue_mu_
-  // Written under queue_mu_ (so the cv waits are race-free); atomic so the
-  // accept/reader threads may read it without the lock.
-  std::atomic<bool> stopping_{false};
+  std::condition_variable queue_cv_;  // batcher waits: work or drain
+  std::deque<PendingQuery> queue_;    // guarded by queue_mu_
+  // Set under queue_mu_ (so the cv waits are race-free); atomic so other
+  // threads may read it without the lock. draining_ starts the graceful
+  // drain; producers_done_ tells the reactor no thread will enqueue
+  // responses anymore, so "all outboxes empty" is final.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> producers_done_{false};
+  // Connections paused because the queue was full; the batcher wakes the
+  // reactor after popping when this is nonzero.
+  std::atomic<size_t> queue_blocked_count_{0};
 
-  std::mutex conns_mu_;
-  uint64_t next_conn_id_ = 1;                       // guarded by conns_mu_
-  std::unordered_map<uint64_t, std::shared_ptr<Connection>>
-      connections_;                                 // guarded by conns_mu_
-  std::unordered_map<uint64_t, std::thread> readers_;  // guarded by conns_mu_
-  std::vector<uint64_t> finished_readers_;          // guarded by conns_mu_
+  std::mutex admin_mu_;
+  std::condition_variable admin_cv_;
+  std::deque<AdminTask> admin_tasks_;  // guarded by admin_mu_
+
+  std::mutex dirty_mu_;
+  std::vector<std::shared_ptr<Connection>> dirty_;  // guarded by dirty_mu_
+
+  // Reactor-thread-only: tag -> connection (epoll tags are conn ids).
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  std::vector<uint64_t> queue_blocked_;  // conn ids paused on queue space
+  bool drain_started_ = false;  // the reactor has observed draining_
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;  // guarded by stats_mu_

@@ -1,0 +1,108 @@
+#include "server/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace metaprox::server {
+
+namespace {
+
+util::Status Errno(const char* what) {
+  return util::Status::IoError(std::string(what) + ": " +
+                               std::strerror(errno));
+}
+
+}  // namespace
+
+util::StatusOr<EpollLoop> EpollLoop::Create() {
+  util::Socket epoll_fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd.valid()) return Errno("epoll_create1");
+  // Nonblocking so draining a burst of coalesced Wakes never sleeps;
+  // counter semantics (not EFD_SEMAPHORE) so N Wakes collapse to one
+  // event.
+  util::Socket wake_fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd.valid()) return Errno("eventfd");
+
+  EpollLoop loop(std::move(epoll_fd), std::move(wake_fd));
+  auto status =
+      loop.Add(loop.wake_.fd(), kWakeTag, /*want_read=*/true,
+               /*want_write=*/false);
+  if (!status.ok()) return status;
+  return loop;
+}
+
+util::Status EpollLoop::Ctl(int op, int fd, uint64_t tag, bool want_read,
+                            bool want_write) {
+  epoll_event ev{};
+  ev.events = 0;
+  if (want_read) ev.events |= EPOLLIN;
+  if (want_write) ev.events |= EPOLLOUT;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_.fd(), op, fd, &ev) < 0) return Errno("epoll_ctl");
+  return util::Status::Ok();
+}
+
+util::Status EpollLoop::Add(int fd, uint64_t tag, bool want_read,
+                            bool want_write) {
+  return Ctl(EPOLL_CTL_ADD, fd, tag, want_read, want_write);
+}
+
+util::Status EpollLoop::Mod(int fd, uint64_t tag, bool want_read,
+                            bool want_write) {
+  return Ctl(EPOLL_CTL_MOD, fd, tag, want_read, want_write);
+}
+
+util::Status EpollLoop::Del(int fd) {
+  epoll_event ev{};  // ignored for DEL, but pre-2.6.9 kernels want non-null
+  if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, fd, &ev) < 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<size_t> EpollLoop::Wait(int timeout_millis,
+                                       std::vector<Event>* out) {
+  out->clear();
+  epoll_event events[256];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_.fd(), events, 256, timeout_millis);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Errno("epoll_wait");
+
+  out->reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Event event;
+    event.tag = events[i].data.u64;
+    event.readable = (events[i].events & EPOLLIN) != 0;
+    event.writable = (events[i].events & EPOLLOUT) != 0;
+    event.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    if (event.tag == kWakeTag) {
+      // Drain the counter so level-triggered epoll re-arms only on the
+      // next Wake.
+      uint64_t count = 0;
+      ssize_t got;
+      do {
+        got = ::read(wake_.fd(), &count, sizeof(count));
+      } while (got < 0 && errno == EINTR);
+    }
+    out->push_back(event);
+  }
+  return out->size();
+}
+
+void EpollLoop::Wake() {
+  const uint64_t one = 1;
+  ssize_t sent;
+  do {
+    sent = ::write(wake_.fd(), &one, sizeof(one));
+  } while (sent < 0 && errno == EINTR);
+  // EAGAIN means the counter is saturated — a wake is already pending,
+  // which is all Wake promises.
+}
+
+}  // namespace metaprox::server

@@ -1,0 +1,88 @@
+// EpollLoop: the nonblocking event-notification core of the query server
+// (and of the C10K bench driver). A thin RAII wrapper over one epoll
+// instance plus an eventfd wake channel, so a single thread can multiplex
+// a listener and thousands of connections:
+//
+//   * Add/Mod/Del register an fd under a caller-chosen 64-bit tag and
+//     declare read/write interest (level-triggered: an fd stays ready
+//     until drained, so a partially consumed event re-arms itself).
+//   * Wait blocks until at least one fd is ready (or the timeout), and
+//     reports each as an Event{tag, readable, writable, error}.
+//   * Wake, callable from ANY thread, makes the current (or next) Wait
+//     return with an Event tagged kWakeTag — how producer threads (the
+//     batcher, an admin worker) tell the loop thread "outboxes changed".
+//
+// Threading: everything except Wake must be called from one thread — the
+// loop thread. Wake is the only cross-thread door, by design: confining
+// epoll_ctl to one thread makes "is this fd still registered?" a plain
+// single-threaded question instead of a race.
+//
+// Linux-only (epoll + eventfd), like the rest of the server layer.
+#ifndef METAPROX_SERVER_REACTOR_H_
+#define METAPROX_SERVER_REACTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace metaprox::server {
+
+class EpollLoop {
+ public:
+  /// The tag Wait() reports for a Wake() — never use it for your own fds.
+  static constexpr uint64_t kWakeTag = ~uint64_t{0};
+
+  struct Event {
+    uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    /// EPOLLERR/EPOLLHUP: the fd is dead or half-dead; reading it will
+    /// return the specific error/EOF. Reported regardless of interest.
+    bool error = false;
+  };
+
+  static util::StatusOr<EpollLoop> Create();
+
+  EpollLoop(EpollLoop&&) = default;
+  EpollLoop& operator=(EpollLoop&&) = default;
+  MX_DISALLOW_COPY_AND_ASSIGN(EpollLoop);
+
+  /// Registers `fd` under `tag`. Interest may be empty (error events are
+  /// still delivered).
+  util::Status Add(int fd, uint64_t tag, bool want_read, bool want_write);
+
+  /// Replaces an fd's tag/interest.
+  util::Status Mod(int fd, uint64_t tag, bool want_read, bool want_write);
+
+  util::Status Del(int fd);
+
+  /// Blocks up to `timeout_millis` (-1 = forever) for readiness; appends
+  /// the ready events to `*out` (cleared first) and returns their count.
+  /// 0 events = timeout. A pending Wake() is delivered as an Event with
+  /// tag kWakeTag (its eventfd is drained internally, so one Wake wakes
+  /// one Wait).
+  util::StatusOr<size_t> Wait(int timeout_millis, std::vector<Event>* out);
+
+  /// Thread-safe: makes the current/next Wait return a kWakeTag event.
+  /// Multiple Wakes before a Wait coalesce into one event.
+  void Wake();
+
+ private:
+  EpollLoop(util::Socket epoll_fd, util::Socket wake_fd)
+      : epoll_(std::move(epoll_fd)), wake_(std::move(wake_fd)) {}
+
+  util::Status Ctl(int op, int fd, uint64_t tag, bool want_read,
+                   bool want_write);
+
+  // util::Socket is just a close-on-destroy fd owner; it works as well
+  // for epoll/eventfd descriptors as for sockets.
+  util::Socket epoll_;
+  util::Socket wake_;
+};
+
+}  // namespace metaprox::server
+
+#endif  // METAPROX_SERVER_REACTOR_H_

@@ -3,69 +3,20 @@
 // server stays dependency-free and a smoke test can drive it with a few
 // lines of shell.
 //
-// Protocol v2 (versioned; v1 lines keep working — see below):
+// THE SPEC LIVES IN docs/WIRE_PROTOCOL.md — the versioned grammar (v1 and
+// v2 request/response lines), the HELLO negotiation rules, the full
+// error-code table, the STATS left-to-right compatibility rule, ordering
+// and connection-lifetime semantics, and the determinism contract that
+// makes server responses byte-diffable against offline output. This
+// header only declares the builders/parsers and the stable ErrorCode
+// numbers; when the doc and an implementation disagree, the doc is the
+// contract and the code has a bug.
 //
-// Requests (client -> server):
-//   HELLO <version>        handshake: ask for protocol <version> (1 or 2)
-//   Q <node> [k]           v1 query: rank node's candidates under the
-//                          server's DEFAULT model
-//   Q <model> <node> [k]   v2 query: rank under the named registry model;
-//                          k defaults server-side and is bounded by the
-//                          server's max_k (exceeding it is an error reply,
-//                          not a silent clamp)
-//   PING                   liveness probe
-//   STATS                  server counters
-// Admin requests (answered only when the server runs with admin enabled):
-//   LOAD <model> <path>    publish a NEW model slot from a saved model file
-//   RELOAD <model> <path>  hot-swap an EXISTING slot (in-flight batches
-//                          finish on the old snapshot)
-//   UNLOAD <model>         remove a slot (the default model is refused)
-//   LIST                   one line describing every slot
-//   STAT <model>           one slot's version/weights/serve counter
-//
-// Responses (server -> client):
-//   R <node> <n> <cand_1> <score_1> ... <cand_n> <score_n>
-//   HELLO <version> <max_k> <default_model>
-//   PONG
-//   STATS <connections> <queries> <batches> <largest_batch> <errors>
-//         <windows> <rows_gathered> <rows_saved_vs_per_model>
-//         <window_model_groups>
-//                          (one line; the last four are the shared-window
-//                          batcher's gather-amortization counters — see
-//                          ServerStats. Parse STATS left to right and
-//                          ignore trailing fields you don't know.)
-//   OK LOAD <model> <version>      (and OK RELOAD / OK UNLOAD <model>)
-//   MODELS <n> {<name> <version> <weights> <serves>}...
-//   STAT <model> <version> <weights> <serves>
-//   E <code> <message>     protocol error; the connection stays open.
-//                          Codes are stable (enum ErrorCode); v1 clients
-//                          that only check the "E " prefix keep working.
-//
-// v1 compatibility: a v1 client never sends HELLO and uses `Q <node> [k]`,
-// which the server answers from its default model — every v1 line parses
-// and behaves exactly as before. The grammar is unambiguous because model
-// names must start with a letter (IsValidModelName) while node ids are
-// all digits.
-//
-// Ordering: 'R' responses on one connection arrive in the order their 'Q'
-// requests were sent (the batcher preserves per-connection FIFO), so
-// clients may pipeline queries freely — including queries naming
-// different models. HELLO/PING/STATS/E and the admin replies are answered
-// out of band by the reader thread and may overtake pending 'R'
-// responses — don't interleave them with outstanding queries if ordering
-// matters.
-//
-// Connection lifetime: EOF on the request direction is a full disconnect.
-// A peer that half-closes its sending side (shutdown(SHUT_WR)) while
-// responses are still pending forfeits them — keep the connection open
-// until the last response has been read.
-//
-// Determinism: scores are serialized with FormatScore (%.17g), which
-// round-trips an IEEE double exactly. The server's scores are bitwise
-// identical to offline BatchQuery/Query scores under the same model (see
-// the batched determinism contract in docs/ARCHITECTURE.md), so client
-// output can be byte-diffed against offline `mgps_cli --tsv` output per
-// model — that diff is the CI end-to-end smoke check.
+// Quick orientation (see the doc for the normative text):
+//   Q <node> [k] / Q <model> <node> [k]  ->  R <node> <n> {<cand> <score>}...
+//   HELLO, PING, STATS; LOAD/RELOAD/UNLOAD/LIST/STAT behind --admin
+//   E <code> <message> on any refusal; the connection stays open except
+//   after E 18 SLOW_CONSUMER, which is an eviction notice.
 #ifndef METAPROX_SERVER_WIRE_H_
 #define METAPROX_SERVER_WIRE_H_
 
@@ -105,7 +56,10 @@ bool IsValidModelName(std::string_view name);
 // ---- error codes ----------------------------------------------------------
 
 /// Stable numeric codes carried on 'E' lines, so scripted clients can
-/// branch on failures without parsing prose.
+/// branch on failures without parsing prose. The normative description of
+/// each code (and which ones precede a disconnect) is the error table in
+/// docs/WIRE_PROTOCOL.md; docs/SERVING.md maps each to the ServerOptions
+/// limit that triggers it.
 enum class ErrorCode : int {
   kMalformed = 10,           // unparseable request line
   kUnknownModel = 11,        // query/STAT named a model not in the registry
@@ -116,6 +70,16 @@ enum class ErrorCode : int {
   kServerFull = 16,          // connection limit reached
   kModelError = 17,          // admin LOAD/RELOAD/UNLOAD failed (bad file,
                              // duplicate name, unloading the default, ...)
+  kSlowConsumer = 18,        // response backlog exceeded
+                             // max_response_queue_bytes: eviction notice,
+                             // the server closes the connection after a
+                             // best-effort flush
+  kPipelineLimit = 19,       // more than max_pipeline unanswered queries
+                             // in flight on this connection
+  kRateLimited = 20,         // connection exceeded max_queries_per_second
+  kDeadlineExceeded = 21,    // query waited longer than
+                             // request_deadline_micros before ranking; the
+                             // E holds the query's FIFO response position
 };
 
 // ---- requests -------------------------------------------------------------

@@ -1,6 +1,7 @@
 #include "util/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -124,23 +125,90 @@ Status SendAll(const Socket& socket, std::string_view data) {
   return Status::Ok();
 }
 
+Status SetNonBlocking(const Socket& socket) {
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Status SetTcpNoDelay(const Socket& socket) {
+  int one = 1;
+  if (::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one)) < 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Socket> AcceptNonBlocking(const Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket();
+    // Per-connection accept failures (ECONNABORTED, out of fds, ...) are
+    // transient from the listener's point of view: report, don't abort.
+    return Errno("accept");
+  }
+}
+
+StatusOr<IoChunk> RecvSome(const Socket& socket, char* buf, size_t capacity) {
+  while (true) {
+    const ssize_t got = ::recv(socket.fd(), buf, capacity, 0);
+    if (got > 0) return IoChunk{static_cast<size_t>(got), false, false};
+    if (got == 0) return IoChunk{0, false, true};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoChunk{0, true, false};
+    }
+    return Errno("recv");
+  }
+}
+
+StatusOr<IoChunk> SendSome(const Socket& socket, std::string_view data) {
+  while (true) {
+    const ssize_t sent =
+        ::send(socket.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent >= 0) return IoChunk{static_cast<size_t>(sent), false, false};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoChunk{0, true, false};
+    }
+    return Errno("send");
+  }
+}
+
+void LineBuffer::Append(std::string_view data) {
+  buffer_.append(data);
+}
+
+bool LineBuffer::TakeLine(std::string* line) {
+  if (overflowed_) return false;
+  const size_t newline = buffer_.find('\n', pos_);
+  if (newline == std::string::npos) {
+    if (buffer_.size() - pos_ > max_line_bytes_) overflowed_ = true;
+    return false;
+  }
+  size_t end = newline;
+  if (end > pos_ && buffer_[end - 1] == '\r') --end;
+  line->assign(buffer_, pos_, end - pos_);
+  pos_ = newline + 1;
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow with connection lifetime.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
 bool LineReader::ReadLine(std::string* line) {
   while (true) {
-    const size_t newline = buffer_.find('\n', pos_);
-    if (newline != std::string::npos) {
-      size_t end = newline;
-      if (end > pos_ && buffer_[end - 1] == '\r') --end;
-      line->assign(buffer_, pos_, end - pos_);
-      pos_ = newline + 1;
-      // Compact once the consumed prefix dominates, so the buffer does not
-      // grow with connection lifetime.
-      if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
-        buffer_.erase(0, pos_);
-        pos_ = 0;
-      }
-      return true;
-    }
-    if (buffer_.size() - pos_ > max_line_bytes_) return false;
+    if (buffer_.TakeLine(line)) return true;
+    if (buffer_.overflowed()) return false;
 
     char chunk[4096];
     ssize_t got;
@@ -148,7 +216,7 @@ bool LineReader::ReadLine(std::string* line) {
       got = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
     } while (got < 0 && errno == EINTR);
     if (got <= 0) return false;  // EOF, error, or Shutdown() from Stop()
-    buffer_.append(chunk, static_cast<size_t>(got));
+    buffer_.Append({chunk, static_cast<size_t>(got)});
   }
 }
 

@@ -1,7 +1,9 @@
 // Minimal RAII TCP helpers for the query server layer (src/server): an fd
-// wrapper, loopback listen/connect/accept, full-buffer send, and a buffered
-// line reader. POSIX sockets only — the server is dependency-free by
-// design; nothing here knows about the wire protocol (src/server/wire.h).
+// wrapper, loopback listen/connect/accept, full-buffer send, a buffered
+// line reader, and the nonblocking primitives the epoll reactor
+// (src/server/reactor.h) is built on. POSIX sockets only — the server is
+// dependency-free by design; nothing here knows about the wire protocol
+// (src/server/wire.h).
 //
 // All helpers report recoverable failures (refused connection, peer reset,
 // out of fds) through util::Status; programmer errors abort via MX_CHECK.
@@ -80,29 +82,92 @@ StatusOr<Socket> ConnectTcp(const std::string& host, uint16_t port);
 /// (a peer hanging up must surface as a Status, not kill the server).
 Status SendAll(const Socket& socket, std::string_view data);
 
-/// Buffered reader of '\n'-terminated lines from a socket. Non-owning: the
-/// socket must outlive the reader and not move while it is in use.
+// ---- nonblocking primitives (the reactor's substrate) ---------------------
+
+/// Puts the fd into O_NONBLOCK mode: recv/send/accept return immediately
+/// with EAGAIN (surfaced as IoChunk::would_block below) instead of
+/// sleeping.
+Status SetNonBlocking(const Socket& socket);
+
+/// Disables Nagle's algorithm. A pipelined query protocol writes many
+/// small lines; without TCP_NODELAY the kernel may hold a response back
+/// ~40ms waiting to coalesce, which dominates p99 at low load.
+Status SetTcpNoDelay(const Socket& socket);
+
+/// One accept attempt on a NONBLOCKING listener. Returns an invalid
+/// Socket (valid() == false) when no connection is pending (EAGAIN) —
+/// that is the "drained the accept backlog" signal, not an error.
+StatusOr<Socket> AcceptNonBlocking(const Socket& listener);
+
+/// Result of one nonblocking read/write attempt.
+struct IoChunk {
+  size_t bytes = 0;        // bytes actually transferred (may be 0)
+  bool would_block = false;  // EAGAIN: retry when epoll signals readiness
+  bool eof = false;        // RecvSome only: orderly peer shutdown
+};
+
+/// One recv() into `buf` (at most `capacity` bytes). Fatal socket errors
+/// (reset, bad fd) surface as a non-OK Status; EAGAIN and EOF are normal
+/// outcomes reported in the chunk.
+StatusOr<IoChunk> RecvSome(const Socket& socket, char* buf, size_t capacity);
+
+/// One send() of as much of `data` as the socket buffer takes right now.
+/// SIGPIPE suppressed, like SendAll.
+StatusOr<IoChunk> SendSome(const Socket& socket, std::string_view data);
+
+// ---- line buffering -------------------------------------------------------
+
+/// Splits an incrementally appended byte stream into '\n'-terminated
+/// lines; the socket-free core shared by the blocking LineReader and the
+/// reactor's per-connection input buffers. Terminators (and a trailing
+/// '\r', so telnet-style peers work) are stripped from returned lines.
+class LineBuffer {
+ public:
+  /// Once the unconsumed bytes exceed `max_line_bytes` without a newline,
+  /// the buffer is poisoned (overflowed() == true, TakeLine always false)
+  /// — a guard against a broken or hostile peer streaming an endless line
+  /// into server memory.
+  explicit LineBuffer(size_t max_line_bytes = 1 << 20)
+      : max_line_bytes_(max_line_bytes) {}
+
+  void Append(std::string_view data);
+
+  /// Extracts the next complete line into `*line`. Returns false when no
+  /// full line is buffered yet (check overflowed() to tell "need more
+  /// bytes" from "line too long").
+  bool TakeLine(std::string* line);
+
+  bool overflowed() const { return overflowed_; }
+  /// Bytes appended but not yet returned through TakeLine.
+  size_t pending_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;  // start of unconsumed bytes in buffer_
+  bool overflowed_ = false;
+};
+
+/// Buffered reader of '\n'-terminated lines from a BLOCKING socket (a
+/// LineBuffer fed by blocking recv). Non-owning: the socket must outlive
+/// the reader and not move while it is in use.
 class LineReader {
  public:
   /// Lines longer than `max_line_bytes` are treated as a protocol error
-  /// (ReadLine fails) — a guard against a broken or hostile peer streaming
-  /// an endless line into server memory.
+  /// (ReadLine fails) — see LineBuffer.
   explicit LineReader(const Socket& socket,
                       size_t max_line_bytes = 1 << 20)
-      : socket_(&socket), max_line_bytes_(max_line_bytes) {}
+      : socket_(&socket), buffer_(max_line_bytes) {}
   MX_DISALLOW_COPY_AND_ASSIGN(LineReader);
 
-  /// Reads the next line into `*line` (terminator stripped; a trailing
-  /// '\r' is stripped too, so telnet-style peers work). Returns false on
-  /// clean EOF, read error, or an over-long line — for a server all three
-  /// mean "drop the connection".
+  /// Reads the next line into `*line` (terminators stripped). Returns
+  /// false on clean EOF, read error, or an over-long line — for a server
+  /// all three mean "drop the connection".
   bool ReadLine(std::string* line);
 
  private:
   const Socket* socket_;
-  size_t max_line_bytes_;
-  std::string buffer_;
-  size_t pos_ = 0;  // start of unconsumed bytes in buffer_
+  LineBuffer buffer_;
 };
 
 }  // namespace metaprox::util

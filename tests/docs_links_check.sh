@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# docs_links_check: keeps docs/SERVING.md's error-code table and
+# src/server/wire.h's ErrorCode enum from drifting apart.
+#
+#   forward: every `| <num> | `k<Name>` |` row in SERVING.md must have a
+#            matching `k<Name> = <num>` enumerator in wire.h
+#   reverse: every ErrorCode enumerator in wire.h must appear (name and
+#            number) in SERVING.md
+#
+# Usage: docs_links_check.sh [repo-root]   (default: the script's ../)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+serving="$root/docs/SERVING.md"
+wire="$root/src/server/wire.h"
+fail=0
+
+for f in "$serving" "$wire"; do
+  if [ ! -f "$f" ]; then
+    echo "docs_links_check: missing $f" >&2
+    exit 1
+  fi
+done
+
+# SERVING.md table rows: "| 18 | `kSlowConsumer` | ... |"
+doc_rows=$(sed -n 's/^| *\([0-9][0-9]*\) *| *`\(k[A-Za-z]*\)`.*/\1 \2/p' \
+  "$serving" | sort -u)
+if [ -z "$doc_rows" ]; then
+  echo "docs_links_check: no error-code table rows found in $serving" >&2
+  exit 1
+fi
+
+# wire.h enumerators: "kSlowConsumer = 18,"
+enum_rows=$(sed -n 's/^ *\(k[A-Za-z]*\) *= *\([0-9][0-9]*\),.*/\2 \1/p' \
+  "$wire" | sort -u)
+if [ -z "$enum_rows" ]; then
+  echo "docs_links_check: no ErrorCode enumerators found in $wire" >&2
+  exit 1
+fi
+
+while read -r num name; do
+  if ! printf '%s\n' "$enum_rows" | grep -qx "$num $name"; then
+    echo "docs_links_check: SERVING.md documents '$name' as code $num," \
+         "but wire.h has no such enumerator" >&2
+    fail=1
+  fi
+done <<EOF
+$doc_rows
+EOF
+
+while read -r num name; do
+  if ! printf '%s\n' "$doc_rows" | grep -qx "$num $name"; then
+    echo "docs_links_check: wire.h defines '$name = $num' but SERVING.md's" \
+         "error table does not document it" >&2
+    fail=1
+  fi
+done <<EOF
+$enum_rows
+EOF
+
+if [ "$fail" -eq 0 ]; then
+  count=$(printf '%s\n' "$doc_rows" | wc -l)
+  echo "docs_links_check: OK ($count error codes in sync)"
+fi
+exit "$fail"

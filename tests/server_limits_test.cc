@@ -1,0 +1,332 @@
+// The reactor server's failure modes and limits, end to end over
+// loopback: a stalled client must be evicted (E SLOW_CONSUMER) without
+// blocking anyone else's responses, pipeline-depth and rate limits must
+// refuse with their structured codes, deadline expiry must answer in FIFO
+// position, and Stop() must drain — rank and deliver every accepted
+// query — before closing. Runs under TSan in CI (label `concurrency`).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/simple.h"
+#include "core/engine.h"
+#include "datagen/facebook.h"
+#include "server/client.h"
+#include "server/model_registry.h"
+#include "server/query_server.h"
+#include "server/wire.h"
+#include "util/socket.h"
+
+namespace metaprox {
+namespace {
+
+using server::ErrorCode;
+using server::ModelRegistry;
+using server::QueryClient;
+using server::QueryServer;
+using server::ServerOptions;
+using server::ServerStats;
+
+struct Pipeline {
+  datagen::Dataset ds;
+  std::unique_ptr<SearchEngine> engine;
+  MgpModel model;
+  std::unique_ptr<ModelRegistry> registry;
+  std::vector<NodeId> users;
+};
+
+// One matched engine + model shared by every test; servers run strictly
+// one at a time (the batcher is the engine's only non-const user).
+const Pipeline& SharedPipeline() {
+  static const Pipeline* pipeline = [] {
+    auto* p = new Pipeline();
+    datagen::FacebookConfig cfg;
+    cfg.num_users = 120;
+    p->ds = datagen::GenerateFacebook(cfg, 31);
+    EngineOptions options;
+    options.miner.anchor_type = p->ds.user_type;
+    options.miner.min_support = 3;
+    options.miner.max_nodes = 4;
+    options.num_threads = 2;
+    p->engine = std::make_unique<SearchEngine>(p->ds.graph, options);
+    p->engine->Mine();
+    p->engine->MatchAll();
+    p->model.weights = UniformWeights(p->engine->index());
+    p->registry = std::make_unique<ModelRegistry>(p->model.weights.size());
+    EXPECT_TRUE(p->registry->Load("main", p->model).ok());
+    auto pool = p->ds.graph.NodesOfType(p->ds.user_type);
+    p->users.assign(pool.begin(), pool.end());
+    return p;
+  }();
+  return *pipeline;
+}
+
+std::unique_ptr<QueryServer> StartServer(ServerOptions options) {
+  Pipeline& p = const_cast<Pipeline&>(SharedPipeline());
+  options.default_model = "main";
+  auto server =
+      std::make_unique<QueryServer>(p.engine.get(), p.registry.get(),
+                                    options);
+  auto status = server->Start();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return server;
+}
+
+/// The exact response line (with terminator) the offline engine would
+/// produce — server responses must equal it byte for byte.
+std::string ExpectedLine(NodeId node, size_t k) {
+  const Pipeline& p = SharedPipeline();
+  return server::BuildQueryResponse(node, p.engine->Query(p.model, node, k));
+}
+
+int CodeOf(const std::string& line) {
+  int code = -1;
+  std::string message;
+  EXPECT_TRUE(server::ParseErrorResponse(line, &code, &message)) << line;
+  return code;
+}
+
+// A stalled client (pipelines thousands of queries, never reads) must be
+// evicted once its response backlog crosses the bound — and, the
+// tentpole property, must NOT delay anyone else: a concurrent well-
+// behaved client's responses keep flowing and stay byte-identical to
+// offline output the whole time.
+TEST(ServerLimits, SlowConsumerIsEvictedWithoutBlockingOthers) {
+  ServerOptions options;
+  options.window_micros = 0;
+  options.max_response_queue_bytes = 4096;  // evict fast
+  auto server = StartServer(options);
+  const Pipeline& p = SharedPipeline();
+
+  // The stall: a raw socket that writes one huge pipeline of large-k
+  // queries and never reads a byte. Response volume (thousands of
+  // ~2.5KB lines) dwarfs anything kernel socket buffers can absorb, so
+  // the server-side backlog must cross the bound.
+  auto stalled = util::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(stalled.ok());
+  std::string burst;
+  for (int i = 0; i < 6000; ++i) {
+    burst += server::BuildQueryRequest(p.users[i % p.users.size()], 120);
+  }
+  ASSERT_TRUE(util::SendAll(*stalled, burst).ok());
+
+  // Meanwhile a normal client round-trips queries one at a time; every
+  // single one must come back promptly and bitwise-correct while the
+  // stalled connection backs up and dies.
+  auto client = QueryClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    const NodeId q = p.users[(i * 7) % p.users.size()];
+    auto response = client->Rank(q, 10);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const QueryResult expected = p.engine->Query(p.model, q, 10);
+    ASSERT_EQ(response->entries.size(), expected.size());
+    for (size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_EQ(response->entries[r].node, expected[r].first);
+      EXPECT_EQ(response->entries[r].score, expected[r].second);
+    }
+  }
+
+  // The eviction must have registered by the time the stalled
+  // connection's fate is externally visible: the server closes it, so
+  // reading it eventually hits EOF or a reset.
+  char sink[4096];
+  while (true) {
+    ssize_t got = ::recv(stalled->fd(), sink, sizeof(sink), 0);
+    if (got <= 0) break;
+  }
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.slow_consumer_evictions, 1u);
+  EXPECT_GE(stats.protocol_errors, 1u);
+}
+
+// A client that pipelines deeply but READS as it goes is a good citizen:
+// its backlog keeps draining, so it must never be evicted, however many
+// queries it pushes through a tight response bound.
+TEST(ServerLimits, DrainingClientIsNeverEvicted) {
+  ServerOptions options;
+  options.window_micros = 0;
+  options.max_response_queue_bytes = 4096;
+  auto server = StartServer(options);
+  const Pipeline& p = SharedPipeline();
+
+  auto client = QueryClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  for (int round = 0; round < 10; ++round) {
+    std::vector<NodeId> sent;
+    for (int i = 0; i < 20; ++i) {
+      const NodeId q = p.users[(round * 20 + i) % p.users.size()];
+      ASSERT_TRUE(client->SendQuery(q, 25).ok());
+      sent.push_back(q);
+    }
+    for (NodeId q : sent) {
+      auto response = client->ReceiveResponse();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response->query, q);
+    }
+  }
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.slow_consumer_evictions, 0u);
+  EXPECT_EQ(stats.queries, 200u);
+}
+
+// Queries beyond max_pipeline are refused immediately with E 19 — the
+// refusals overtake the queued queries' responses (documented), and the
+// queries that were within the limit still rank byte-identically.
+TEST(ServerLimits, PipelineDepthRefusalIsImmediateAndStructured) {
+  ServerOptions options;
+  options.max_pipeline = 4;
+  options.window_micros = 400000;  // hold the window open: in_flight stays 4
+  auto server = StartServer(options);
+  const Pipeline& p = SharedPipeline();
+
+  auto raw = util::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(raw.ok());
+  std::string burst;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(p.users[i]);
+    burst += server::BuildQueryRequest(nodes.back(), 5);
+  }
+  ASSERT_TRUE(util::SendAll(*raw, burst).ok());
+
+  util::LineReader reader(*raw);
+  std::string line;
+  // First the 8 refusals (immediate), then — after the window closes —
+  // the 4 ranked responses, in send order.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(reader.ReadLine(&line)) << "refusal " << i;
+    EXPECT_EQ(CodeOf(line), static_cast<int>(ErrorCode::kPipelineLimit));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(reader.ReadLine(&line)) << "response " << i;
+    EXPECT_EQ(line + "\n", ExpectedLine(nodes[i], 5));
+  }
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.pipeline_refused, 8u);
+  EXPECT_EQ(stats.queries, 4u);
+}
+
+// With a deadline far shorter than the batching window, every query of an
+// underfull window expires in the queue and is answered E 21 in its FIFO
+// position; with a sane configuration the same queries rank fine.
+TEST(ServerLimits, DeadlineExpiryAnswersInFifoPosition) {
+  const Pipeline& p = SharedPipeline();
+  {
+    ServerOptions options;
+    options.request_deadline_micros = 20000;  // 20ms...
+    options.window_micros = 300000;           // ...inside a 300ms window
+    auto server = StartServer(options);
+
+    auto raw = util::ConnectTcp("127.0.0.1", server->port());
+    ASSERT_TRUE(raw.ok());
+    std::string burst;
+    for (int i = 0; i < 5; ++i) {
+      burst += server::BuildQueryRequest(p.users[i], 5);
+    }
+    ASSERT_TRUE(util::SendAll(*raw, burst).ok());
+
+    util::LineReader reader(*raw);
+    std::string line;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(reader.ReadLine(&line)) << "expiry " << i;
+      EXPECT_EQ(CodeOf(line),
+                static_cast<int>(ErrorCode::kDeadlineExceeded));
+    }
+    const ServerStats stats = server->stats();
+    EXPECT_EQ(stats.deadline_expired, 5u);
+    EXPECT_EQ(stats.queries, 0u);
+  }  // server stops here; one engine, one server at a time
+
+  ServerOptions sane;
+  sane.request_deadline_micros = 10'000'000;
+  sane.window_micros = 0;
+  auto server = StartServer(sane);
+  auto client = QueryClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Rank(p.users[0], 5);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(server->stats().deadline_expired, 0u);
+}
+
+// A burst far over the per-connection rate gets token-bucket refusals:
+// roughly one second's burst allowance is served, the rest answered E 20.
+TEST(ServerLimits, RateLimitRefusesTheExcess) {
+  ServerOptions options;
+  options.max_queries_per_second = 5.0;
+  options.window_micros = 0;
+  auto server = StartServer(options);
+  const Pipeline& p = SharedPipeline();
+
+  auto raw = util::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(raw.ok());
+  std::string burst;
+  for (int i = 0; i < 30; ++i) {
+    burst += server::BuildQueryRequest(p.users[i % p.users.size()], 5);
+  }
+  ASSERT_TRUE(util::SendAll(*raw, burst).ok());
+
+  util::LineReader reader(*raw);
+  std::string line;
+  size_t ranked = 0;
+  size_t refused = 0;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(reader.ReadLine(&line)) << "line " << i;
+    if (line.rfind("R ", 0) == 0) {
+      ++ranked;
+    } else {
+      EXPECT_EQ(CodeOf(line), static_cast<int>(ErrorCode::kRateLimited));
+      ++refused;
+    }
+  }
+  // The bucket holds one second of burst (5 tokens); a slow test machine
+  // may refill a few tokens mid-burst, never dozens.
+  EXPECT_GE(ranked, 5u);
+  EXPECT_LE(ranked, 10u);
+  EXPECT_EQ(refused, 30u - ranked);
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.rate_limited, refused);
+}
+
+// Stop() is a graceful drain: queries accepted before the Stop — still
+// waiting in an open batching window — are ranked and DELIVERED before
+// the socket closes, byte-identical to offline output, with EOF after.
+TEST(ServerLimits, StopDrainsInFlightWindowThenCloses) {
+  ServerOptions options;
+  options.window_micros = 500000;  // 500ms: Stop() lands mid-window
+  auto server = StartServer(options);
+  const Pipeline& p = SharedPipeline();
+
+  auto raw = util::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(raw.ok());
+  std::string burst;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 10; ++i) {
+    nodes.push_back(p.users[i * 3]);
+    burst += server::BuildQueryRequest(nodes.back(), 10);
+  }
+  ASSERT_TRUE(util::SendAll(*raw, burst).ok());
+  // Give the reactor a beat to accept the queries into the queue, then
+  // stop mid-window: the drain must skip the remaining ~400ms of window
+  // and still answer everything.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server->Stop();
+
+  util::LineReader reader(*raw);
+  std::string line;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(reader.ReadLine(&line)) << "drained response " << i;
+    EXPECT_EQ(line + "\n", ExpectedLine(nodes[i], 10));
+  }
+  EXPECT_FALSE(reader.ReadLine(&line));  // EOF: the server is gone
+  EXPECT_EQ(server->stats().queries, 10u);
+}
+
+}  // namespace
+}  // namespace metaprox
