@@ -50,6 +50,7 @@
 #include "baselines/simple.h"
 #include "bench_common.h"
 #include "server/client.h"
+#include "server/index_registry.h"
 #include "server/model_registry.h"
 #include "server/query_server.h"
 #include "util/stopwatch.h"
@@ -378,7 +379,7 @@ C10kResult RunC10kDriver(uint16_t port, size_t num_conns, size_t per_conn,
 // deliberately stalled connections (huge pipelined bursts, never read a
 // byte) that must be evicted without the normal traffic noticing.
 // Returns a process exit code.
-int RunC10k(Bundle& b, const MgpModel& default_model,
+int RunC10k(server::IndexRegistry& indexes, const MgpModel& default_model,
             const std::vector<NodeId>& stream,
             const std::vector<QueryResult>& reference, JsonReport& report) {
   const size_t num_conns = 512;
@@ -410,7 +411,8 @@ int RunC10k(Bundle& b, const MgpModel& default_model,
   // run; a draining client at depth 4 (~1KB of responses in flight) never
   // comes near it.
   options.max_response_queue_bytes = size_t{1} << 20;
-  server::QueryServer server(b.engine.get(), &registry, options);
+  options.num_threads = BenchThreads();
+  server::QueryServer server(&indexes, &registry, options);
   auto status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -498,6 +500,7 @@ int main(int argc, char** argv) {
 
   Bundle b = MakeFacebook(5, 450, 1200);
   b.engine->MatchAll();
+  server::IndexRegistry indexes(b.engine->Snapshot());
   // Four models over the SAME index — the multi-class point: one engine,
   // one finalized index, N weight vectors. uniform serves v1 lines;
   // evens/odds mute complementary halves (so ranking under the wrong
@@ -578,7 +581,8 @@ int main(int argc, char** argv) {
       options.default_k = kTopK;
       options.default_model = kModelNames[0];
       options.shared_window_scoring = config.shared;
-      server::QueryServer server(b.engine.get(), &registry, options);
+      options.num_threads = BenchThreads();
+      server::QueryServer server(&indexes, &registry, options);
       auto status = server.Start();
       if (!status.ok()) {
         std::fprintf(stderr, "server start failed: %s\n",
@@ -724,7 +728,7 @@ int main(int argc, char** argv) {
   // when the matrix already proved the responses wrong.
   if (all_ok) {
     exit_code = std::max(
-        exit_code, RunC10k(b, models[0], stream, references[0], report));
+        exit_code, RunC10k(indexes, models[0], stream, references[0], report));
   }
 
   if (!report.WriteIfRequested()) return 1;

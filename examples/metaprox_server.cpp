@@ -55,19 +55,25 @@
 //                    without materializing the rows, and concurrent server
 //                    processes share one set of physical pages (text and
 //                    compact artifacts fall back to an eager load)
-//   --admin          enable the LOAD/RELOAD/UNLOAD/LIST/STAT admin verbs
-//                    (model hot-swapping); off by default
+//   --admin          enable the admin verbs: LOAD/RELOAD/UNLOAD/LIST/STAT
+//                    (model hot-swapping) plus APPEND/REFRESH (streaming
+//                    graph updates with incremental index refresh) and
+//                    SWAPINDEX (hot-swap a precomputed index artifact);
+//                    off by default
 //   --port-file=F    write the bound port to F (atomically, via rename) —
 //                    how scripts find an OS-assigned port
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/index_maintainer.h"
 #include "example_common.h"
+#include "server/index_registry.h"
 #include "server/model_registry.h"
 #include "server/query_server.h"
 #include "util/parse.h"
@@ -256,9 +262,9 @@ int main(int argc, char** argv) {
 
   SearchEngine engine(ds.graph,
                       examples::MakeEngineOptions(ds, num_threads, num_shards));
-  IndexLoadOptions load_options;
-  load_options.use_mmap = use_mmap;
-  auto status = engine.LoadOffline(prefix, load_options);
+  ArtifactOptions artifact_options;
+  artifact_options.use_mmap = use_mmap;
+  auto status = engine.LoadOffline(prefix, artifact_options);
   if (!status.ok()) {
     std::fprintf(stderr, "load failed (run 'mgps_cli offline' first?): %s\n",
                  status.ToString().c_str());
@@ -307,8 +313,27 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(*version));
   }
   server_options.default_model = classes.front();
+  server_options.num_threads = num_threads;
 
-  server::QueryServer query_server(&engine, &registry, server_options);
+  // The registry is the serve-side publication point; the maintainer owns
+  // the mutable index lineage behind the APPEND/REFRESH admin verbs (it
+  // copies the graph into owned state, so it is built only when admin is
+  // on — without it the engine's own snapshot is served as-is and the
+  // index admin verbs answer E 22).
+  std::unique_ptr<IndexMaintainer> maintainer;
+  if (server_options.admin) {
+    MaintainerOptions maintainer_options;
+    maintainer_options.matcher = engine.options().matcher;
+    maintainer_options.embedding_cap = engine.options().embedding_cap;
+    maintainer_options.num_threads = num_threads;
+    maintainer_options.num_shards = num_shards;
+    maintainer = std::make_unique<IndexMaintainer>(engine, maintainer_options);
+  }
+  server::IndexRegistry index_registry(
+      maintainer != nullptr ? maintainer->snapshot() : engine.Snapshot());
+
+  server::QueryServer query_server(&index_registry, &registry, server_options,
+                                   maintainer.get());
   status = query_server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -353,6 +378,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.pipeline_refused),
         static_cast<unsigned long long>(stats.rate_limited),
         static_cast<unsigned long long>(stats.deadline_expired));
+  }
+  if (stats.append_nodes + stats.append_edges + stats.index_refreshes +
+          stats.index_swaps >
+      0) {
+    std::fprintf(
+        stderr,
+        "index maintenance: %llu nodes + %llu edges appended, "
+        "%llu refreshes, %llu swaps (serving generation %llu)\n",
+        static_cast<unsigned long long>(stats.append_nodes),
+        static_cast<unsigned long long>(stats.append_edges),
+        static_cast<unsigned long long>(stats.index_refreshes),
+        static_cast<unsigned long long>(stats.index_swaps),
+        static_cast<unsigned long long>(index_registry.Info().generation));
   }
   for (const server::ModelInfo& info : registry.List()) {
     std::fprintf(stderr, "  model '%s' v%llu: %llu queries served\n",

@@ -204,10 +204,11 @@ int main(int argc, char** argv) {
                 num_threads == 0 ? static_cast<unsigned>(
                                        util::ResolveNumThreads(0))
                                  : num_threads);
-    auto status = engine.SaveOffline(path,
-                                     binary ? util::ArtifactFormat::kBinary
-                                            : util::ArtifactFormat::kText,
-                                     layout);
+    ArtifactOptions artifact_options;
+    artifact_options.format = binary ? util::ArtifactFormat::kBinary
+                                     : util::ArtifactFormat::kText;
+    artifact_options.layout = layout;
+    auto status = engine.SaveOffline(path, artifact_options);
     if (!status.ok()) {
       std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
       return 1;
@@ -277,9 +278,9 @@ int main(int argc, char** argv) {
 
     SearchEngine engine(
         ds.graph, examples::MakeEngineOptions(ds, num_threads, num_shards));
-    IndexLoadOptions load_options;
-    load_options.use_mmap = use_mmap;
-    auto status = engine.LoadOffline(path, load_options);
+    ArtifactOptions artifact_options;
+    artifact_options.use_mmap = use_mmap;
+    auto status = engine.LoadOffline(path, artifact_options);
     if (!status.ok()) {
       std::fprintf(stderr, "load failed (run 'offline' first?): %s\n",
                    status.ToString().c_str());

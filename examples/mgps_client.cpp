@@ -59,7 +59,9 @@ int Usage() {
       "  --model=NAME     query the named registry model (protocol v2);\n"
       "                   default: the server's default model (v1 lines)\n"
       "  --admin=CMD      send one admin line (LOAD/RELOAD/UNLOAD/LIST/\n"
-      "                   STAT, also STATS), print the reply, exit\n"
+      "                   STAT/APPEND/REFRESH/SWAPINDEX, also STATS),\n"
+      "                   print the reply, exit; a wire 'E' reply prints\n"
+      "                   its code/message on stderr and exits 1\n"
       "  --query-file=F   whitespace-separated node ids to rank\n");
   return 2;
 }
@@ -167,13 +169,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
       return 1;
     }
-    auto reply = client->Roundtrip(admin_cmd);
+    auto reply = client->Admin(admin_cmd);
     if (!reply.ok()) {
       std::fprintf(stderr, "admin failed: %s\n",
                    reply.status().ToString().c_str());
       return 1;
     }
-    std::printf("%s\n", reply->c_str());
+    if (!reply->ok()) {
+      // A structured wire refusal: scripts branch on the exit code, the
+      // stderr line carries the stable E code for log grepping.
+      std::fprintf(stderr, "admin refused (E %d): %s\n", reply->error_code,
+                   reply->message.c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply->raw.c_str());
     return 0;
   }
 

@@ -30,8 +30,9 @@ void SearchEngine::Mine() {
       options_.num_shards != 0
           ? options_.num_shards
           : (workers > 1 ? std::min<size_t>(4 * workers, 64) : 1);
-  index_ = std::make_unique<MetagraphVectorIndex>(
+  index_ = std::make_shared<MetagraphVectorIndex>(
       metagraphs_.size(), graph_.num_nodes(), options_.transform, shards);
+  snapshot_ = nullptr;  // a new build starts a new snapshot lineage
   match_stats_.assign(metagraphs_.size(), MetagraphMatchStats{});
 }
 
@@ -131,6 +132,17 @@ void SearchEngine::FinalizeIndex() {
   util::Stopwatch timer;
   index_->Finalize();
   timings_.finalize_seconds += timer.ElapsedSeconds();
+  PublishSnapshot();
+}
+
+void SearchEngine::PublishSnapshot() {
+  // The engine's graph is a caller-owned reference, so the snapshot holds
+  // a non-owning alias; see Snapshot()'s lifetime note. The mined set is
+  // copied: it is small, and the snapshot must not see later re-mines.
+  snapshot_ = std::make_shared<IndexSnapshot>(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &graph_),
+      std::make_shared<std::vector<MinedMetagraph>>(metagraphs_), index_,
+      /*generation=*/1);
 }
 
 MgpModel SearchEngine::Train(std::span<const Example> examples,
@@ -152,18 +164,17 @@ DualStageResult SearchEngine::TrainDualStage(
 
 std::vector<std::pair<NodeId, double>> SearchEngine::Query(
     const MgpModel& model, NodeId q, size_t k) const {
-  MX_CHECK(index_ != nullptr);
-  return RankByProximity(*index_, model.weights, q, index_->Candidates(q), k);
+  MX_CHECK_MSG(snapshot_ != nullptr, "Query() needs a finalized index");
+  return snapshot_->Query(model, q, k);
 }
 
 std::vector<std::vector<std::pair<NodeId, double>>> SearchEngine::BatchQuery(
     const MgpModel& model, std::span<const NodeId> queries, size_t k) {
-  MX_CHECK(index_ != nullptr);
+  MX_CHECK_MSG(snapshot_ != nullptr, "BatchQuery() needs a finalized index");
   const size_t workers = util::ResolveNumThreads(options_.num_threads);
   util::ThreadPool* pool =
       (workers > 1 && queries.size() > 1) ? &Pool(workers) : nullptr;
-  return BatchRankByProximity(*index_, model.weights, queries, k, pool,
-                              &batch_scratch_);
+  return snapshot_->BatchQuery(model, queries, k, pool, &batch_scratch_);
 }
 
 std::vector<std::vector<std::pair<NodeId, double>>>
@@ -171,12 +182,13 @@ SearchEngine::BatchQueryMulti(std::span<const std::span<const double>> models,
                               std::span<const NodeId> queries,
                               std::span<const uint32_t> model_of, size_t k,
                               BatchMultiStats* stats) {
-  MX_CHECK(index_ != nullptr);
+  MX_CHECK_MSG(snapshot_ != nullptr,
+               "BatchQueryMulti() needs a finalized index");
   const size_t workers = util::ResolveNumThreads(options_.num_threads);
   util::ThreadPool* pool =
       (workers > 1 && queries.size() > 1) ? &Pool(workers) : nullptr;
-  return BatchRankByProximityMulti(*index_, models, queries, model_of, k, pool,
-                                   &batch_scratch_, stats);
+  return snapshot_->BatchQueryMulti(models, queries, model_of, k, pool,
+                                    &batch_scratch_, stats);
 }
 
 double SearchEngine::Proximity(const MgpModel& model, NodeId x,
@@ -186,8 +198,7 @@ double SearchEngine::Proximity(const MgpModel& model, NodeId x,
 }
 
 util::Status SearchEngine::SaveOffline(const std::string& path_prefix,
-                                       util::ArtifactFormat format,
-                                       BinaryLayout layout) const {
+                                       const ArtifactOptions& options) const {
   MX_CHECK_MSG(index_ != nullptr, "nothing to save before Mine()");
   {
     std::ofstream out(path_prefix + ".metagraphs");
@@ -197,34 +208,58 @@ util::Status SearchEngine::SaveOffline(const std::string& path_prefix,
   {
     std::ofstream out(path_prefix + ".index", std::ios::binary);
     if (!out) return util::Status::IoError("cannot write index");
-    MX_RETURN_IF_ERROR(format == util::ArtifactFormat::kBinary
-                           ? index_->WriteBinaryTo(out, layout)
+    MX_RETURN_IF_ERROR(options.format == util::ArtifactFormat::kBinary
+                           ? index_->WriteBinaryTo(out, options.layout)
                            : index_->WriteTo(out));
   }
   return util::Status::Ok();
 }
 
 util::Status SearchEngine::LoadOffline(const std::string& path_prefix,
-                                       const IndexLoadOptions& options) {
+                                       const ArtifactOptions& options) {
   std::ifstream mg_in(path_prefix + ".metagraphs");
   if (!mg_in) return util::Status::IoError("cannot read metagraph set");
   auto mined = ReadMinedMetagraphs(mg_in);
   if (!mined.ok()) return mined.status();
 
-  auto index =
-      MetagraphVectorIndex::LoadFromFile(path_prefix + ".index", options);
+  auto index = MetagraphVectorIndex::LoadFromFile(path_prefix + ".index",
+                                                  options.load_options());
   if (!index.ok()) return index.status();
   if (index->num_metagraphs() != mined->size()) {
     return util::Status::InvalidArgument(
         "index/metagraph-set cardinality mismatch");
   }
+  if (index->num_graph_nodes() != graph_.num_nodes()) {
+    return util::Status::InvalidArgument(
+        "index built over " + std::to_string(index->num_graph_nodes()) +
+        " nodes but the engine's graph has " +
+        std::to_string(graph_.num_nodes()));
+  }
 
   metagraphs_ = std::move(*mined);
-  index_ = std::make_unique<MetagraphVectorIndex>(std::move(*index));
+  index_ = std::make_shared<MetagraphVectorIndex>(std::move(*index));
   // The artifacts carry no per-task stats; anything matched later (e.g. an
   // uncommitted remainder) records fresh entries.
   match_stats_.assign(metagraphs_.size(), MetagraphMatchStats{});
+  PublishSnapshot();
   return util::Status::Ok();
+}
+
+util::Status SearchEngine::SaveOffline(const std::string& path_prefix,
+                                       util::ArtifactFormat format,
+                                       BinaryLayout layout) const {
+  ArtifactOptions options;
+  options.format = format;
+  options.layout = layout;
+  return SaveOffline(path_prefix, options);
+}
+
+util::Status SearchEngine::LoadOffline(const std::string& path_prefix,
+                                       const IndexLoadOptions& options) {
+  ArtifactOptions artifact_options;
+  artifact_options.use_mmap = options.use_mmap;
+  artifact_options.verify_checksums = options.verify_checksums;
+  return LoadOffline(path_prefix, artifact_options);
 }
 
 }  // namespace metaprox

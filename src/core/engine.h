@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/index_snapshot.h"
 #include "core/query_batch.h"
 #include "graph/graph.h"
 #include "index/metagraph_vectors.h"
@@ -98,6 +99,8 @@ class SearchEngine {
                                  StructuralSimilarityCache* ss_cache = nullptr);
 
   /// Online phase: top-k nodes by pi(q, .; w). Requires a finalized index.
+  /// Like every engine read path, this routes through the engine's
+  /// current IndexSnapshot (see Snapshot()).
   std::vector<std::pair<NodeId, double>> Query(const MgpModel& model, NodeId q,
                                                size_t k) const;
 
@@ -142,6 +145,22 @@ class SearchEngine {
   /// Proximity between two specific nodes.
   double Proximity(const MgpModel& model, NodeId x, NodeId y) const;
 
+  /// The engine's current immutable snapshot — the unit every read path
+  /// above pins, and what serving infrastructure shares (IndexMaintainer,
+  /// server::IndexRegistry). Created by FinalizeIndex()/LoadOffline();
+  /// null before the index is finalized. The snapshot aliases the
+  /// caller-owned graph without owning it: the graph must outlive any
+  /// snapshot obtained here (IndexMaintainer copies the graph into owned
+  /// state for exactly this reason).
+  std::shared_ptr<const IndexSnapshot> Snapshot() const { return snapshot_; }
+
+  /// Shared handle to the built index (finalized or not), for maintenance
+  /// infrastructure that outlives this engine's build phase.
+  std::shared_ptr<const MetagraphVectorIndex> shared_index() const {
+    MX_CHECK(index_ != nullptr);
+    return index_;
+  }
+
   // ---- introspection ----------------------------------------------------
   const Graph& graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
@@ -165,20 +184,30 @@ class SearchEngine {
 
   /// Persists the offline phase (mined metagraphs + vector index) to
   /// `<path_prefix>.metagraphs` and `<path_prefix>.index`. The metagraph
-  /// set is always text (it is small and diff-friendly); `format` picks
-  /// the index artifact's format, and `layout` its physical layout when
-  /// binary (kAligned makes it mmap-able, kCompact the smallest).
-  util::Status SaveOffline(
-      const std::string& path_prefix,
-      util::ArtifactFormat format = util::ArtifactFormat::kText,
-      BinaryLayout layout = BinaryLayout::kCompact) const;
+  /// set is always text (it is small and diff-friendly); `options.format`
+  /// picks the index artifact's format, and `options.layout` its physical
+  /// layout when binary (kAligned makes it mmap-able, kCompact the
+  /// smallest). One ArtifactOptions bag covers save and load, shared with
+  /// mgps_cli and metaprox_server.
+  util::Status SaveOffline(const std::string& path_prefix,
+                           const ArtifactOptions& options = {}) const;
 
   /// Restores a persisted offline phase; replaces any mined/matched state.
   /// The graph must be the same one the artifacts were built from. The
-  /// index format is autodetected by magic; `options` selects mmap vs
-  /// eager materialization for binary artifacts.
+  /// index format is autodetected by magic; `options.use_mmap` /
+  /// `options.verify_checksums` select mmap vs eager materialization for
+  /// binary artifacts.
   util::Status LoadOffline(const std::string& path_prefix,
-                           const IndexLoadOptions& options = {});
+                           const ArtifactOptions& options = {});
+
+  [[deprecated("pass one ArtifactOptions instead of loose format/layout")]]
+  util::Status SaveOffline(const std::string& path_prefix,
+                           util::ArtifactFormat format,
+                           BinaryLayout layout = BinaryLayout::kCompact) const;
+
+  [[deprecated("pass ArtifactOptions instead of IndexLoadOptions")]]
+  util::Status LoadOffline(const std::string& path_prefix,
+                           const IndexLoadOptions& options);
 
  private:
   struct MatchTaskResult;
@@ -189,11 +218,19 @@ class SearchEngine {
   void CommitMatchTask(uint32_t metagraph_index, MatchTaskResult result);
   util::ThreadPool& Pool(size_t num_threads);
 
+  /// (Re)publishes snapshot_ from the current graph/metagraphs/index.
+  /// Called whenever the index reaches a finalized state.
+  void PublishSnapshot();
+
   const Graph& graph_;
   EngineOptions options_;
   std::unique_ptr<Matcher> matcher_;
   std::vector<MinedMetagraph> metagraphs_;
-  std::unique_ptr<MetagraphVectorIndex> index_;
+  /// Shared (not unique) so snapshots and maintainers can pin it past
+  /// this engine's next rebuild.
+  std::shared_ptr<MetagraphVectorIndex> index_;
+  /// The published generation all read paths pin; see Snapshot().
+  std::shared_ptr<const IndexSnapshot> snapshot_;
   MiningStats mining_stats_;
   std::vector<MetagraphMatchStats> match_stats_;
   Timings timings_;

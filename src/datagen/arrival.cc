@@ -1,0 +1,106 @@
+#include "datagen/arrival.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/graph_builder.h"
+#include "util/macros.h"
+
+namespace metaprox::datagen {
+
+ArrivalTimeline SliceByArrival(const Graph& full, TypeId anchor_type,
+                               const ArrivalConfig& config) {
+  const size_t n = full.num_nodes();
+  const size_t num_slices = config.num_slices;
+  const auto anchors = full.NodesOfType(anchor_type);
+  MX_CHECK_MSG(!anchors.empty(), "the anchor type has no nodes to slice");
+
+  // How many anchors arrive with the base. Clamped so both sides of the
+  // split are nonempty whenever slices were asked for.
+  size_t base_anchors = static_cast<size_t>(
+      config.base_fraction * static_cast<double>(anchors.size()));
+  base_anchors = std::max<size_t>(1, base_anchors);
+  if (num_slices > 0 && base_anchors >= anchors.size()) {
+    base_anchors = anchors.size() - 1;
+  }
+
+  // slice_of[v]: 0 = base; s >= 1 = arrives with slice s. Anchors past
+  // the base split are spread over the slices in equal contiguous runs
+  // (the last takes the remainder), all in original-id order.
+  std::vector<uint32_t> slice_of(n, 0);
+  const size_t late = anchors.size() - base_anchors;
+  if (num_slices > 0 && late > 0) {
+    const size_t per_slice = std::max<size_t>(1, late / num_slices);
+    for (size_t i = base_anchors; i < anchors.size(); ++i) {
+      const size_t rank = (i - base_anchors) / per_slice;
+      slice_of[anchors[i]] = static_cast<uint32_t>(
+          1 + std::min(rank, num_slices - 1));
+    }
+  }
+
+  // Renumber by (slice, original id): counting sort over the slices.
+  const size_t num_buckets = num_slices + 1;
+  std::vector<size_t> slice_count(num_buckets, 0);
+  for (NodeId v = 0; v < n; ++v) ++slice_count[slice_of[v]];
+  std::vector<size_t> slice_begin(num_buckets + 1, 0);
+  for (size_t s = 0; s < num_buckets; ++s) {
+    slice_begin[s + 1] = slice_begin[s] + slice_count[s];
+  }
+  std::vector<NodeId> new_id(n, kInvalidNode);
+  {
+    std::vector<size_t> next = slice_begin;
+    for (NodeId v = 0; v < n; ++v) {
+      new_id[v] = static_cast<NodeId>(next[slice_of[v]]++);
+    }
+  }
+
+  ArrivalTimeline timeline;
+
+  // Base graph: same type registry (all names interned in registration
+  // order, whether or not the base uses them yet — delta nodes of those
+  // types then resolve to the same ids), slice-0 nodes, and every edge
+  // both of whose endpoints are in the base.
+  GraphBuilder builder;
+  for (const std::string& type_name : full.type_registry().names()) {
+    builder.InternType(type_name);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (slice_of[v] == 0) builder.AddNode(full.TypeOf(v), full.NameOf(v));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (slice_of[v] != 0) continue;
+    for (NodeId w : full.Neighbors(v)) {
+      if (v < w && slice_of[w] == 0) {
+        MX_CHECK(builder.AddEdge(new_id[v], new_id[w]).ok());
+      }
+    }
+  }
+  timeline.base = builder.Build();
+
+  // Each slice: its nodes in original-id order, then every edge whose
+  // LATER endpoint arrives with it (the other endpoint already exists, so
+  // the delta validates against the grown node count).
+  timeline.slices.reserve(num_slices);
+  for (uint32_t s = 1; s <= num_slices; ++s) {
+    GraphDelta delta(slice_begin[s]);
+    const TypeRegistry& registry = full.type_registry();
+    for (NodeId v = 0; v < n; ++v) {
+      if (slice_of[v] == s) {
+        delta.AddNode(registry.Name(full.TypeOf(v)), full.NameOf(v));
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (slice_of[v] > s) continue;
+      for (NodeId w : full.Neighbors(v)) {
+        if (v < w && slice_of[w] <= s &&
+            std::max(slice_of[v], slice_of[w]) == s) {
+          MX_CHECK(delta.AddEdge(new_id[v], new_id[w]).ok());
+        }
+      }
+    }
+    timeline.slices.push_back(std::move(delta));
+  }
+  return timeline;
+}
+
+}  // namespace metaprox::datagen

@@ -1,0 +1,60 @@
+// Time-sliced "arrival" view of a generated dataset: a base graph plus a
+// sequence of GraphDeltas that replay the rest of the dataset as
+// streaming updates — the workload behind bench_incremental and the
+// server's APPEND/REFRESH smoke phase.
+//
+// The split is deterministic: a fraction of the anchor-type nodes (users,
+// authors, members) "arrive" with the base, the rest arrive in
+// `num_slices` equal batches in node-id order; every other node type is
+// infrastructure (schools, venues, employers) and is present from the
+// start. An edge arrives with its later endpoint, so each delta only
+// references nodes that already exist — exactly what GraphDelta and
+// IndexMaintainer::Append accept.
+//
+// Replaying base + slices[0..i] through ApplyDelta yields exactly the
+// full dataset's nodes and edges restricted to what has arrived (under a
+// deterministic renumbering), so at every refresh point the
+// delta-refreshed index can be byte-diffed against a full rebuild over
+// the same grown graph — the incremental-refresh correctness gate.
+#ifndef METAPROX_DATAGEN_ARRIVAL_H_
+#define METAPROX_DATAGEN_ARRIVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+
+namespace metaprox::datagen {
+
+struct ArrivalConfig {
+  /// Update batches after the base. Each holds an equal share of the
+  /// late-arriving anchor nodes (the last batch takes the remainder).
+  size_t num_slices = 4;
+  /// Fraction of anchor-type nodes present in the base graph. Clamped so
+  /// the base holds at least one anchor and the slices at least one in
+  /// total when the config asks for any slices.
+  double base_fraction = 0.5;
+};
+
+struct ArrivalTimeline {
+  /// The graph at time zero: all non-anchor nodes, the first
+  /// base_fraction of anchors, and every edge between them.
+  Graph base;
+  /// slices[i] is primed against base + slices[0..i-1] (its base_nodes()
+  /// counts them), so the timeline replays through repeated
+  /// ApplyDelta/Append without renumbering.
+  std::vector<GraphDelta> slices;
+};
+
+/// Splits `full` into an arrival timeline. `anchor_type` is the type whose
+/// nodes arrive over time (Dataset::user_type for the bundled generators);
+/// nodes of every other type are in the base. Node ids are renumbered by
+/// (arrival slice, original id); the mapping is internal — callers treat
+/// the timeline as its own dataset.
+ArrivalTimeline SliceByArrival(const Graph& full, TypeId anchor_type,
+                               const ArrivalConfig& config);
+
+}  // namespace metaprox::datagen
+
+#endif  // METAPROX_DATAGEN_ARRIVAL_H_

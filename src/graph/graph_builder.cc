@@ -13,6 +13,7 @@ TypeId GraphBuilder::InternType(const std::string& name) {
 NodeId GraphBuilder::AddNode(TypeId type, std::string name) {
   MX_CHECK(type < registry_.size());
   MX_CHECK_MSG(types_.size() < kInvalidNode, "too many nodes");
+  built_ = false;  // starting a new graph re-arms the builder
   NodeId id = static_cast<NodeId>(types_.size());
   types_.push_back(type);
   if (!name.empty()) any_name_ = true;
@@ -24,11 +25,22 @@ NodeId GraphBuilder::AddNode(const std::string& type_name, std::string name) {
   return AddNode(InternType(type_name), std::move(name));
 }
 
-void GraphBuilder::AddEdge(NodeId u, NodeId v) {
-  MX_CHECK(u < types_.size() && v < types_.size());
-  if (u == v) return;  // no self-loops
+util::Status GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (built_) {
+    return util::Status::FailedPrecondition(
+        "graph already built; finalized indexes would not reflect this "
+        "edge — append through GraphDelta instead");
+  }
+  if (u >= types_.size() || v >= types_.size()) {
+    return util::Status::InvalidArgument(
+        "edge endpoint out of range (node " +
+        std::to_string(u >= types_.size() ? u : v) + " >= " +
+        std::to_string(types_.size()) + ")");
+  }
+  if (u == v) return util::Status::Ok();  // no self-loops
   if (u > v) std::swap(u, v);
   edges_.emplace_back(u, v);
+  return util::Status::Ok();
 }
 
 Graph GraphBuilder::Build() {
@@ -93,6 +105,7 @@ Graph GraphBuilder::Build() {
   edges_.clear();
   names_.clear();
   any_name_ = false;
+  built_ = true;
   return g;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace metaprox {
 
@@ -23,12 +24,16 @@ class GraphBuilder {
   NodeId AddNode(const std::string& type_name, std::string name = "");
 
   /// Records an undirected edge {u, v}. Parallel edges and self-loops are
-  /// silently dropped at Build() time.
-  void AddEdge(NodeId u, NodeId v);
+  /// silently dropped at Build() time. Errors — out-of-range endpoints, or
+  /// an edge added after Build() already ran (a finalized graph no longer
+  /// reflects builder state; append via GraphDelta instead) — are
+  /// structured, never silent mutations.
+  util::Status AddEdge(NodeId u, NodeId v);
 
   size_t num_nodes() const { return types_.size(); }
 
-  /// Finalizes into an immutable Graph. The builder is left empty.
+  /// Finalizes into an immutable Graph. The builder is left empty;
+  /// AddEdge refuses until a new graph is started with AddNode.
   Graph Build();
 
  private:
@@ -36,6 +41,7 @@ class GraphBuilder {
   std::vector<TypeId> types_;
   std::vector<std::string> names_;
   bool any_name_ = false;
+  bool built_ = false;
   std::vector<std::pair<NodeId, NodeId>> edges_;
 };
 

@@ -1,0 +1,71 @@
+#include "graph/graph_delta.h"
+
+#include <string>
+
+#include "graph/graph_builder.h"
+
+namespace metaprox {
+
+NodeId GraphDelta::AddNode(std::string type, std::string name) {
+  NodeId id = static_cast<NodeId>(base_nodes_ + nodes.size());
+  nodes.push_back(Node{std::move(type), std::move(name)});
+  return id;
+}
+
+util::Status GraphDelta::AddEdge(NodeId u, NodeId v) {
+  const size_t limit = base_nodes_ + nodes.size();
+  if (u >= limit || v >= limit) {
+    return util::Status::InvalidArgument(
+        "delta edge endpoint out of range (node " +
+        std::to_string(u >= limit ? u : v) + " >= " + std::to_string(limit) +
+        ")");
+  }
+  if (u == v) {
+    return util::Status::InvalidArgument("delta edge is a self-loop on node " +
+                                         std::to_string(u));
+  }
+  edges.emplace_back(u, v);
+  return util::Status::Ok();
+}
+
+util::StatusOr<Graph> ApplyDelta(const Graph& g, const GraphDelta& delta) {
+  if (delta.base_nodes() != g.num_nodes()) {
+    return util::Status::FailedPrecondition(
+        "delta primed against " + std::to_string(delta.base_nodes()) +
+        " nodes but the graph has " + std::to_string(g.num_nodes()));
+  }
+  const size_t total = g.num_nodes() + delta.nodes.size();
+  for (const auto& [u, v] : delta.edges) {
+    if (u >= total || v >= total || u == v) {
+      return util::Status::InvalidArgument(
+          "delta contains an invalid edge {" + std::to_string(u) + ", " +
+          std::to_string(v) + "}");
+    }
+  }
+
+  // Replay the existing graph in its original construction order (types in
+  // registry order, nodes in id order, edges from the CSR), then append.
+  // Build() is a pure function of that content, so the result is
+  // bit-identical to a from-scratch build of the grown graph.
+  GraphBuilder builder;
+  for (const std::string& type_name : g.type_registry().names()) {
+    builder.InternType(type_name);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    builder.AddNode(g.TypeOf(v), g.NameOf(v));
+  }
+  for (const GraphDelta::Node& node : delta.nodes) {
+    builder.AddNode(node.type, node.name);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.Neighbors(v)) {
+      if (v < w) MX_RETURN_IF_ERROR(builder.AddEdge(v, w));
+    }
+  }
+  for (const auto& [u, v] : delta.edges) {
+    MX_RETURN_IF_ERROR(builder.AddEdge(u, v));
+  }
+  return builder.Build();
+}
+
+}  // namespace metaprox

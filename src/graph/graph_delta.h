@@ -1,0 +1,60 @@
+// Append-only graph mutations for the incremental-maintenance path.
+//
+// A GraphDelta records nodes and edges to append to an existing immutable
+// Graph. Node ids are assigned up front: a delta built against a graph of N
+// nodes names its j-th new node N + j, so edges can reference both existing
+// and not-yet-applied nodes. ApplyDelta() rebuilds the graph through
+// GraphBuilder, which makes the result a pure function of the combined
+// node/edge sets — a graph grown through any sequence of deltas is
+// bit-identical to one built from scratch with the same content.
+#ifndef METAPROX_GRAPH_GRAPH_DELTA_H_
+#define METAPROX_GRAPH_GRAPH_DELTA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace metaprox {
+
+/// A batch of appends against a graph with `base_nodes()` nodes. Plain
+/// data plus validating helpers; apply with ApplyDelta().
+struct GraphDelta {
+  struct Node {
+    std::string type;  // type name; unknown names are interned on apply
+    std::string name;  // optional display name
+  };
+
+  GraphDelta() = default;
+  explicit GraphDelta(size_t base_nodes) : base_nodes_(base_nodes) {}
+
+  /// Appends a node; returns the id it will have once applied.
+  NodeId AddNode(std::string type, std::string name = "");
+
+  /// Appends an undirected edge. Endpoints may be existing nodes or nodes
+  /// added to this delta. Self-loops and out-of-range endpoints are
+  /// structured errors (parallel edges are deduplicated on apply, exactly
+  /// as GraphBuilder does).
+  util::Status AddEdge(NodeId u, NodeId v);
+
+  size_t base_nodes() const { return base_nodes_; }
+  bool empty() const { return nodes.empty() && edges.empty(); }
+
+  std::vector<Node> nodes;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+ private:
+  size_t base_nodes_ = 0;
+};
+
+/// Rebuilds `g` with `delta` appended. Fails if the delta was primed
+/// against a different node count or references out-of-range endpoints.
+/// Deterministic: equals building one GraphBuilder from the union.
+util::StatusOr<Graph> ApplyDelta(const Graph& g, const GraphDelta& delta);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_GRAPH_GRAPH_DELTA_H_

@@ -80,6 +80,13 @@ MetagraphVectorIndex::MetagraphVectorIndex(size_t num_metagraphs,
 void MetagraphVectorIndex::Commit(uint32_t metagraph_index,
                                   const SymPairCountingSink& sink,
                                   size_t aut_size) {
+  Commit(metagraph_index, sink.pair_counts(), sink.node_counts(), aut_size);
+}
+
+void MetagraphVectorIndex::Commit(
+    uint32_t metagraph_index,
+    const std::unordered_map<uint64_t, uint64_t>& pair_counts,
+    const std::unordered_map<NodeId, uint64_t>& node_counts, size_t aut_size) {
   MX_CHECK(metagraph_index < num_metagraphs_);
   MX_CHECK_MSG(committed_[metagraph_index] == 0, "metagraph committed twice");
   MX_CHECK(aut_size > 0);
@@ -92,7 +99,7 @@ void MetagraphVectorIndex::Commit(uint32_t metagraph_index,
   // shard mutex is taken once per commit instead of once per entry.
   std::vector<std::vector<std::pair<uint64_t, float>>> pair_buckets(
       num_shards_);
-  for (const auto& [key, count] : sink.pair_counts()) {
+  for (const auto& [key, count] : pair_counts) {
     pair_buckets[ShardOf(key)].emplace_back(
         key, static_cast<float>(count * inv_aut));
   }
@@ -107,7 +114,7 @@ void MetagraphVectorIndex::Commit(uint32_t metagraph_index,
   }
 
   std::vector<std::vector<std::pair<NodeId, float>>> node_buckets(num_shards_);
-  for (const auto& [node, count] : sink.node_counts()) {
+  for (const auto& [node, count] : node_counts) {
     MX_CHECK(node < node_vectors_.size());
     node_buckets[node % num_shards_].emplace_back(
         node, static_cast<float>(count * inv_aut));
@@ -206,6 +213,48 @@ void MetagraphVectorIndex::BuildPostings() {
     cand_slots_[cursor[y]] = static_cast<uint32_t>(slot);
     candidates_[cursor[y]++] = x;
   }
+}
+
+MetagraphVectorIndex MetagraphVectorIndex::CloneForRefresh(
+    size_t new_num_graph_nodes, std::span<const uint32_t> rematch,
+    size_t num_shards) const {
+  MX_CHECK_MSG(finalized_, "CloneForRefresh() requires a finalized index");
+  MX_CHECK_MSG(new_num_graph_nodes >= num_graph_nodes(),
+               "the refresh path only grows graphs");
+
+  std::vector<uint8_t> drop(num_metagraphs_, 0);
+  for (uint32_t i : rematch) {
+    MX_CHECK(i < num_metagraphs_);
+    drop[i] = 1;
+  }
+
+  MetagraphVectorIndex out(num_metagraphs_, new_num_graph_nodes, transform_,
+                           num_shards);
+  out.committed_ = committed_;
+  for (uint32_t i : rematch) out.committed_[i] = 0;
+
+  // Seed the surviving entries. Rows (and pair slots) left empty by the
+  // filter are dropped — a from-scratch rebuild would never create them.
+  // NodeRow/PairRow serve owned and mapped indexes alike, and the source
+  // rows are already in canonical (ascending metagraph) order, so the
+  // seeded rows need no Seal of their own.
+  SparseVec filtered;
+  const size_t old_nodes = num_graph_nodes();
+  for (NodeId x = 0; x < old_nodes; ++x) {
+    filtered.clear();
+    for (const auto& entry : NodeRow(x)) {
+      if (!drop[entry.first]) filtered.push_back(entry);
+    }
+    if (!filtered.empty()) out.node_vectors_[x] = filtered;
+  }
+  for (uint32_t slot = 0; slot < pair_keys_.size(); ++slot) {
+    filtered.clear();
+    for (const auto& entry : PairRow(slot)) {
+      if (!drop[entry.first]) filtered.push_back(entry);
+    }
+    if (!filtered.empty()) out.AppendPairRow(pair_keys_[slot], filtered);
+  }
+  return out;
 }
 
 size_t MetagraphVectorIndex::num_pairs() const {

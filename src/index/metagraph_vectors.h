@@ -67,6 +67,7 @@
 #include "graph/types.h"
 #include "matching/instance_sink.h"
 #include "metagraph/automorphism.h"
+#include "util/container.h"
 #include "util/macros.h"
 #include "util/mmap_file.h"
 #include "util/status.h"
@@ -124,6 +125,22 @@ struct IndexLoadOptions {
   bool verify_checksums = true;
 };
 
+/// One bag of knobs for saving and loading offline artifacts, shared by
+/// SearchEngine::SaveOffline/LoadOffline, mgps_cli and metaprox_server
+/// (replaces the loose ArtifactFormat / BinaryLayout / IndexLoadOptions
+/// parameter lists those paths used to take). Save paths read `format` and
+/// `layout`; load paths read `use_mmap` and `verify_checksums`.
+struct ArtifactOptions {
+  util::ArtifactFormat format = util::ArtifactFormat::kText;
+  BinaryLayout layout = BinaryLayout::kCompact;
+  bool use_mmap = false;
+  bool verify_checksums = true;
+
+  IndexLoadOptions load_options() const {
+    return IndexLoadOptions{use_mmap, verify_checksums};
+  }
+};
+
 /// Upper bound on build-time pair-table shards, applied by the index
 /// constructor. Guards against nonsense requests (e.g. a huge --shards
 /// value) allocating one mutex + hash map per shard until the process
@@ -178,6 +195,17 @@ class MetagraphVectorIndex {
   void Commit(uint32_t metagraph_index, const SymPairCountingSink& sink,
               size_t aut_size);
 
+  /// Raw-count overload of Commit(): same contract, but the counts arrive
+  /// as the maps a sink would hold rather than as a sink. This is the
+  /// incremental-refresh entry point — the maintainer merges a ledger of
+  /// old raw counts with a delta run's counts (plain uint64 addition) and
+  /// commits the sum, which makes the committed float rows bitwise-equal
+  /// to a from-scratch re-match delivering the same totals.
+  void Commit(uint32_t metagraph_index,
+              const std::unordered_map<uint64_t, uint64_t>& pair_counts,
+              const std::unordered_map<NodeId, uint64_t>& node_counts,
+              size_t aut_size);
+
   /// Sorts every pair/node row touched since the last Seal() by metagraph
   /// index. Call from ONE thread after a batch of (possibly concurrent)
   /// Commits has completed, before reading the index; it erases any trace
@@ -191,11 +219,29 @@ class MetagraphVectorIndex {
   /// a second Finalize() — or any later Commit() — aborts.
   void Finalize();
 
+  /// The incremental-refresh seed: a fresh BUILD-state index over
+  /// `new_num_graph_nodes` (>= the current node count) carrying every row
+  /// entry of this finalized (owned or mapped) index EXCEPT those of the
+  /// metagraphs in `rematch`, which return to uncommitted so they can be
+  /// Commit()ed again against the grown graph. Rows left empty by the
+  /// filter are dropped entirely, so after the re-matched metagraphs are
+  /// committed and the clone is Sealed + Finalized its contents — and its
+  /// serialization — are byte-identical to a from-scratch rebuild that
+  /// committed every metagraph against the new graph (unaffected
+  /// metagraphs gain no instances from appended nodes/edges, so their old
+  /// rows are exactly what a rebuild recomputes). This is the one place
+  /// the one-commit-per-metagraph contract relaxes: a metagraph may be
+  /// re-committed, but only through a clone that first dropped its rows.
+  MetagraphVectorIndex CloneForRefresh(size_t new_num_graph_nodes,
+                                       std::span<const uint32_t> rematch,
+                                       size_t num_shards) const;
+
   size_t num_metagraphs() const { return num_metagraphs_; }
   size_t num_graph_nodes() const {
     return mapped_ != nullptr ? mapped_->num_nodes : node_vectors_.size();
   }
   size_t num_shards() const { return num_shards_; }
+  CountTransform transform() const { return transform_; }
   bool finalized() const { return finalized_; }
   /// True when the row arrays are served zero-copy from a mapped artifact
   /// (MapFromFile). A mapped index is always finalized.

@@ -1,0 +1,207 @@
+#include "matching/delta_match.h"
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace metaprox {
+namespace {
+
+/// Canonical unordered-pair key for a graph edge (same packing as the
+/// index's PairKey, kept local: this map never leaves the process).
+inline uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Static extension order for a search rooted at metagraph edge {p, q}:
+/// the remaining nodes in connected-expansion order (always a node with an
+/// already-matched neighbor, smallest id first). Counts are independent of
+/// the order, so a simple deterministic one suffices.
+std::vector<MetaNodeId> ExtensionOrder(const Metagraph& m, MetaNodeId p,
+                                       MetaNodeId q) {
+  std::vector<MetaNodeId> order;
+  order.reserve(static_cast<size_t>(m.num_nodes()) - 2);
+  uint8_t matched = static_cast<uint8_t>((1u << p) | (1u << q));
+  for (int step = 2; step < m.num_nodes(); ++step) {
+    int pick = -1;
+    for (int u = 0; u < m.num_nodes(); ++u) {
+      if ((matched >> u) & 1u) continue;
+      if (m.NeighborMask(u) & matched) {
+        pick = u;
+        break;
+      }
+    }
+    MX_CHECK(pick >= 0);  // guaranteed by the connectivity precondition
+    order.push_back(static_cast<MetaNodeId>(pick));
+    matched |= static_cast<uint8_t>(1u << pick);
+  }
+  return order;
+}
+
+// The shared backtracking search (cf. BacktrackState in backtracking.cc),
+// extended with a pre-assigned seed edge and the minimal-root prune: any
+// branch mapping a metagraph edge onto a new edge ranked below the root
+// is abandoned, so each new embedding is enumerated exactly once — from
+// the lowest-ranked new edge it uses.
+class DeltaState {
+ public:
+  DeltaState(const Graph& g, const Metagraph& m,
+             const std::unordered_map<uint64_t, size_t>& rank,
+             InstanceSink* sink)
+      : g_(g), m_(m), rank_(rank), sink_(sink) {
+    embedding_.fill(kInvalidNode);
+  }
+
+  // One rooted search with f(p) = x, f(q) = y (types already checked by
+  // the caller). Returns false if the sink aborted.
+  bool SearchRooted(std::span<const MetaNodeId> order, MetaNodeId p,
+                    MetaNodeId q, NodeId x, NodeId y, size_t root_rank) {
+    embedding_[p] = x;
+    embedding_[q] = y;
+    matched_mask_ = static_cast<uint8_t>((1u << p) | (1u << q));
+    root_rank_ = root_rank;
+    const bool keep_going = Search(order, 0);
+    if (!keep_going) stats_.aborted = true;
+    embedding_[p] = kInvalidNode;
+    embedding_[q] = kInvalidNode;
+    return keep_going;
+  }
+
+  MatchStats stats() const { return stats_; }
+
+ private:
+  bool Search(std::span<const MetaNodeId> order, size_t pos) {
+    if (pos == order.size()) {
+      ++stats_.embeddings;
+      return sink_->OnEmbedding(
+          {embedding_.data(), static_cast<size_t>(m_.num_nodes())});
+    }
+    const MetaNodeId u = order[pos];
+    const TypeId ut = m_.TypeOf(u);
+    const uint8_t matched_nbrs =
+        static_cast<uint8_t>(m_.NeighborMask(u) & matched_mask_);
+
+    // Candidate source: the typed adjacency slice of the matched neighbor
+    // with the fewest type-ut neighbors. The seed guarantees a matched
+    // neighbor exists at every position (connected expansion order).
+    std::span<const NodeId> candidates;
+    int pivot = -1;
+    if (matched_nbrs) {
+      size_t best = SIZE_MAX;
+      for (int w = 0; w < m_.num_nodes(); ++w) {
+        if (!((matched_nbrs >> w) & 1u)) continue;
+        auto slice = g_.NeighborsOfType(embedding_[w], ut);
+        if (slice.size() < best) {
+          best = slice.size();
+          candidates = slice;
+          pivot = w;
+        }
+      }
+    } else {
+      candidates = g_.NodesOfType(ut);
+    }
+
+    for (NodeId c : candidates) {
+      ++stats_.search_nodes;
+      if (IsUsed(c)) continue;
+      bool ok = true;
+      for (int w = 0; w < m_.num_nodes() && ok; ++w) {
+        if (!((matched_nbrs >> w) & 1u)) continue;
+        // Edges to matched neighbors must exist (the pivot's does by
+        // construction) and none may be a new edge below the root.
+        if (w != pivot && !g_.HasEdge(c, embedding_[w])) {
+          ok = false;
+          break;
+        }
+        auto it = rank_.find(EdgeKey(c, embedding_[w]));
+        if (it != rank_.end() && it->second < root_rank_) ok = false;
+      }
+      if (!ok) continue;
+      embedding_[u] = c;
+      matched_mask_ |= static_cast<uint8_t>(1u << u);
+      const bool keep_going = Search(order, pos + 1);
+      matched_mask_ &= static_cast<uint8_t>(~(1u << u));
+      embedding_[u] = kInvalidNode;
+      if (!keep_going) {
+        stats_.aborted = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool IsUsed(NodeId c) const {
+    for (int i = 0; i < m_.num_nodes(); ++i) {
+      if (((matched_mask_ >> i) & 1u) && embedding_[i] == c) return true;
+    }
+    return false;
+  }
+
+  const Graph& g_;
+  const Metagraph& m_;
+  const std::unordered_map<uint64_t, size_t>& rank_;
+  InstanceSink* sink_;
+  std::array<NodeId, Metagraph::kMaxNodes> embedding_{};
+  uint8_t matched_mask_ = 0;
+  size_t root_rank_ = 0;
+  MatchStats stats_;
+};
+
+}  // namespace
+
+MatchStats DeltaMatch(const Graph& g, const Metagraph& m,
+                      std::span<const std::pair<NodeId, NodeId>> new_edges,
+                      InstanceSink* sink) {
+  // Connectivity (with >= 2 nodes, hence >= 1 edge) is what makes edge
+  // rooting complete: every embedding touching an appended NODE must also
+  // map some metagraph edge onto one of that node's (all new) edges.
+  // Callers fall back to a full re-match for metagraphs outside this
+  // precondition.
+  MX_CHECK(m.num_nodes() >= 2 && m.IsConnected());
+  if (new_edges.empty()) return {};
+
+  std::unordered_map<uint64_t, size_t> rank;
+  rank.reserve(new_edges.size());
+  for (size_t i = 0; i < new_edges.size(); ++i) {
+    MX_DCHECK(new_edges[i].first != new_edges[i].second);
+    rank.emplace(EdgeKey(new_edges[i].first, new_edges[i].second), i);
+  }
+  MX_CHECK(rank.size() == new_edges.size());  // pairwise distinct
+
+  const auto meta_edges = m.Edges();
+  std::vector<std::vector<MetaNodeId>> orders(meta_edges.size());
+  for (size_t j = 0; j < meta_edges.size(); ++j) {
+    orders[j] = ExtensionOrder(m, meta_edges[j].first, meta_edges[j].second);
+  }
+
+  DeltaState state(g, m, rank, sink);
+  for (size_t r = 0; r < new_edges.size(); ++r) {
+    const auto [x, y] = new_edges[r];
+    const TypeId tx = g.TypeOf(x);
+    const TypeId ty = g.TypeOf(y);
+    for (size_t j = 0; j < meta_edges.size(); ++j) {
+      const auto [p, q] = meta_edges[j];
+      // Both orientations when both type-check: f(p)=x,f(q)=y and
+      // f(p)=y,f(q)=x are distinct mappings, so no double count — and
+      // injectivity sends at most one metagraph edge onto {x, y}, so no
+      // other (p, q) can reach the same embedding from this root.
+      if (m.TypeOf(p) == tx && m.TypeOf(q) == ty) {
+        if (!state.SearchRooted(orders[j], p, q, x, y, r)) {
+          return state.stats();
+        }
+      }
+      if (m.TypeOf(p) == ty && m.TypeOf(q) == tx) {
+        if (!state.SearchRooted(orders[j], p, q, y, x, r)) {
+          return state.stats();
+        }
+      }
+    }
+  }
+  return state.stats();
+}
+
+}  // namespace metaprox

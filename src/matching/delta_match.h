@@ -1,0 +1,45 @@
+// Delta-rooted embedding enumeration for incremental index refresh.
+//
+// Appends never remove embeddings, so the grown graph's embedding set is
+// the old set plus exactly the embeddings that map at least one metagraph
+// edge onto a NEW graph edge (an edge of the grown graph absent before —
+// this includes every edge incident to an appended node, which did not
+// exist either). DeltaMatch enumerates precisely that difference,
+// delivering each new embedding to the sink exactly once, so raw counts
+// refresh additively: counts(grown) = counts(old) + counts(DeltaMatch).
+//
+// Rooting: for each new edge e_r (in `new_edges` order) and each metagraph
+// edge (p, q) whose endpoint types match — both orientations — the shared
+// backtracking search of Sect. IV-A runs with f(p), f(q) pre-assigned to
+// e_r's endpoints. A branch is pruned the moment any metagraph edge maps
+// onto a new edge ranked below r, so an embedding is enumerated only from
+// its minimal new edge — and there exactly once, because an injective
+// mapping sends at most one metagraph edge onto e_r.
+//
+// Cost scales with the number of new edges times the embeddings around
+// them, not with graph size — the property bench_incremental's refresh-vs-
+// rebuild gate rests on.
+#ifndef METAPROX_MATCHING_DELTA_MATCH_H_
+#define METAPROX_MATCHING_DELTA_MATCH_H_
+
+#include <span>
+#include <utility>
+
+#include "graph/graph.h"
+#include "matching/instance_sink.h"
+#include "matching/matcher.h"
+#include "metagraph/metagraph.h"
+
+namespace metaprox {
+
+/// Enumerates the embeddings of `m` in `g` that use at least one edge of
+/// `new_edges` into `sink`, each exactly once. `new_edges` must be edges
+/// of `g`, self-loop-free and pairwise distinct as unordered pairs; the
+/// counts delivered are independent of their order.
+MatchStats DeltaMatch(const Graph& g, const Metagraph& m,
+                      std::span<const std::pair<NodeId, NodeId>> new_edges,
+                      InstanceSink* sink);
+
+}  // namespace metaprox
+
+#endif  // METAPROX_MATCHING_DELTA_MATCH_H_

@@ -102,4 +102,40 @@ util::StatusOr<std::string> QueryClient::Roundtrip(
   return line;
 }
 
+util::StatusOr<AdminResult> QueryClient::Admin(
+    const std::string& request_line) {
+  std::string request = request_line;
+  if (request.empty() || request.back() != '\n') request += '\n';
+  MX_RETURN_IF_ERROR(util::SendAll(*socket_, request));
+  std::string line;
+  if (!reader_->ReadLine(&line)) {
+    return util::Status::IoError("connection closed by server");
+  }
+
+  AdminResult result;
+  result.raw = line;
+  if (ParseErrorResponse(line, &result.error_code, &result.message)) {
+    // A pre-v2 `E <message>` form parses to code 0, which would read as
+    // success; report it as an unclassified error instead.
+    if (result.error_code == 0) result.error_code = -1;
+    return result;
+  }
+
+  // Tokenize the reply: "OK <verb> <fields>..." or "<verb> <fields>..."
+  // (MODELS/STAT/STATS/HELLO answer without the OK prefix).
+  std::string_view rest = line;
+  auto take = [&rest]() {
+    const size_t space = rest.find(' ');
+    std::string_view token = rest.substr(0, space);
+    rest.remove_prefix(space == std::string_view::npos ? rest.size()
+                                                       : space + 1);
+    return token;
+  };
+  std::string_view token = take();
+  if (token == "OK") token = take();
+  result.verb.assign(token);
+  while (!rest.empty()) result.fields.emplace_back(take());
+  return result;
+}
+
 }  // namespace metaprox::server

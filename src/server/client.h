@@ -36,12 +36,37 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "server/wire.h"
 #include "util/socket.h"
 #include "util/status.h"
 
 namespace metaprox::server {
+
+/// Structured outcome of one admin round-trip (Admin()). A wire 'E'
+/// reply is a RESULT here, not a transport failure: scripted operators
+/// branch on error_code (the stable wire codes) instead of grepping
+/// status prose. Transport problems (connection dropped) still surface
+/// as a non-OK Status from Admin().
+struct AdminResult {
+  /// First token of a success reply after "OK " (e.g. "REFRESH"), or the
+  /// reply's own leading token for verbs that answer without "OK"
+  /// (MODELS, STAT, STATS, HELLO). Empty on an 'E' reply.
+  std::string verb;
+  /// 0 on success; the wire ErrorCode on an 'E' reply.
+  int error_code = 0;
+  /// The 'E' reply's message. Empty on success.
+  std::string message;
+  /// The reply's remaining space-separated tokens after `verb` (e.g. for
+  /// "OK REFRESH 2 5 0 1": {"2", "5", "0", "1"}).
+  std::vector<std::string> fields;
+  /// The full reply line, terminator stripped — what --admin scripts
+  /// print, byte-identical to the server's reply.
+  std::string raw;
+
+  bool ok() const { return error_code == 0; }
+};
 
 class QueryClient {
  public:
@@ -86,6 +111,13 @@ class QueryClient {
   /// LIST/STAT, also STATS). An 'E' reply surfaces as a non-OK Status.
   /// Only valid with no queries in flight.
   util::StatusOr<std::string> Roundtrip(const std::string& request_line);
+
+  /// Roundtrip with a structured result: the admin path for callers that
+  /// branch on outcomes (mgps_client --admin, the refresh tests). Unlike
+  /// Roundtrip(), a wire 'E' reply returns OK with the code/message in
+  /// the AdminResult; only transport failures are a non-OK Status. Only
+  /// valid with no queries in flight.
+  util::StatusOr<AdminResult> Admin(const std::string& request_line);
 
  private:
   explicit QueryClient(util::Socket socket);

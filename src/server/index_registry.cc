@@ -1,0 +1,56 @@
+#include "server/index_registry.h"
+
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace metaprox::server {
+
+IndexRegistry::IndexRegistry(std::shared_ptr<const IndexSnapshot> initial)
+    : num_metagraphs_(initial != nullptr ? initial->index().num_metagraphs()
+                                         : 0),
+      current_(std::move(initial)) {
+  MX_CHECK_MSG(current_ != nullptr,
+               "IndexRegistry needs an initial snapshot to serve");
+}
+
+std::shared_ptr<const IndexSnapshot> IndexRegistry::Get() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+util::Status IndexRegistry::Publish(
+    std::shared_ptr<const IndexSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return util::Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  if (snapshot->index().num_metagraphs() != num_metagraphs_) {
+    return util::Status::InvalidArgument(
+        "snapshot has " + std::to_string(snapshot->index().num_metagraphs()) +
+        " metagraphs; this registry serves " +
+        std::to_string(num_metagraphs_));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot->graph().num_nodes() < current_->graph().num_nodes()) {
+    return util::Status::FailedPrecondition(
+        "snapshot graph has " + std::to_string(snapshot->graph().num_nodes()) +
+        " nodes, fewer than the " +
+        std::to_string(current_->graph().num_nodes()) + " being served");
+  }
+  current_ = std::move(snapshot);
+  ++publishes_;
+  return util::Status::Ok();
+}
+
+IndexInfo IndexRegistry::Info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IndexInfo info;
+  info.generation = current_->generation();
+  info.publishes = publishes_;
+  info.num_nodes = current_->graph().num_nodes();
+  info.num_metagraphs = current_->index().num_metagraphs();
+  return info;
+}
+
+}  // namespace metaprox::server

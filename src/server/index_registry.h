@@ -1,0 +1,58 @@
+// IndexRegistry: the serving-side publication point for IndexSnapshot
+// generations — ModelRegistry's RCU pattern applied to the index.
+//
+// The reactor/batcher pin the current snapshot per query (shared_ptr), so
+// Publish() swaps generations under live traffic without locks on the read
+// path beyond one mutex-guarded shared_ptr copy; in-flight batches keep
+// ranking on the generation they pinned and simply finish there. One
+// registry serves one index lineage (unlike models there is nothing to
+// name: the server serves exactly one index at a time).
+#ifndef METAPROX_SERVER_INDEX_REGISTRY_H_
+#define METAPROX_SERVER_INDEX_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/index_snapshot.h"
+#include "util/status.h"
+
+namespace metaprox::server {
+
+/// Point-in-time public info of the registry, for STATS/diagnostics.
+struct IndexInfo {
+  uint64_t generation = 0;   // the published snapshot's generation
+  uint64_t publishes = 0;    // Publish() calls that succeeded (swap count)
+  size_t num_nodes = 0;      // the published snapshot's graph size
+  size_t num_metagraphs = 0;
+};
+
+class IndexRegistry {
+ public:
+  /// Starts with `initial` published. The snapshot fixes the expected
+  /// metagraph count: every later Publish() must match it (models are
+  /// validated against that same count by ModelRegistry).
+  explicit IndexRegistry(std::shared_ptr<const IndexSnapshot> initial);
+
+  /// The current generation. Callers pin the returned snapshot for the
+  /// duration of any read through it. Never null.
+  std::shared_ptr<const IndexSnapshot> Get() const;
+
+  /// Atomically replaces the served snapshot. Refuses snapshots of a
+  /// different metagraph count (loaded models would stop matching the
+  /// index) or with a smaller graph than currently served (node ids
+  /// already validated against the live graph must stay valid).
+  util::Status Publish(std::shared_ptr<const IndexSnapshot> snapshot);
+
+  IndexInfo Info() const;
+
+ private:
+  const size_t num_metagraphs_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const IndexSnapshot> current_;  // guarded by mu_
+  uint64_t publishes_ = 0;                        // guarded by mu_
+};
+
+}  // namespace metaprox::server
+
+#endif  // METAPROX_SERVER_INDEX_REGISTRY_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/index_maintainer.h"
 #include "learning/model_io.h"
 #include "util/logging.h"
 
@@ -17,10 +18,13 @@ constexpr uint64_t kListenerTag = 0;
 
 }  // namespace
 
-QueryServer::QueryServer(SearchEngine* engine, ModelRegistry* registry,
-                         ServerOptions options)
-    : engine_(engine), registry_(registry), options_(std::move(options)) {
-  MX_CHECK_MSG(engine_ != nullptr, "QueryServer needs an engine");
+QueryServer::QueryServer(IndexRegistry* indexes, ModelRegistry* models,
+                         ServerOptions options, IndexMaintainer* maintainer)
+    : indexes_(indexes),
+      registry_(models),
+      maintainer_(maintainer),
+      options_(std::move(options)) {
+  MX_CHECK_MSG(indexes_ != nullptr, "QueryServer needs an index registry");
   MX_CHECK_MSG(registry_ != nullptr, "QueryServer needs a model registry");
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
   options_.default_k = std::max<size_t>(1, options_.default_k);
@@ -35,10 +39,17 @@ QueryServer::~QueryServer() { Stop(); }
 
 util::Status QueryServer::Start() {
   MX_CHECK_MSG(!started_, "QueryServer::Start() called twice");
-  if (!engine_->index().finalized()) {
+  // The registries must be paired: every registered model scores against
+  // the served index's metagraph axis. A mismatch here means the caller
+  // wired a registry built for some other offline phase.
+  if (registry_->expected_weights() !=
+      indexes_->Get()->index().num_metagraphs()) {
     return util::Status::FailedPrecondition(
-        "QueryServer needs a finalized index (run MatchAll/FinalizeIndex "
-        "or LoadOffline first)");
+        "model registry expects " +
+        std::to_string(registry_->expected_weights()) +
+        " weights but the served index has " +
+        std::to_string(indexes_->Get()->index().num_metagraphs()) +
+        " metagraphs");
   }
   if (!IsValidModelName(options_.default_model)) {
     return util::Status::InvalidArgument("invalid default model name: '" +
@@ -71,6 +82,9 @@ util::Status QueryServer::Start() {
   auto added = loop_->Add(listener_.fd(), kListenerTag, /*want_read=*/true,
                           /*want_write=*/false);
   if (!added.ok()) return added;
+
+  const size_t workers = util::ResolveNumThreads(options_.num_threads);
+  if (workers > 1) pool_ = std::make_unique<util::ThreadPool>(workers);
 
   started_ = true;
   reactor_thread_ = std::thread(&QueryServer::ReactorLoop, this);
@@ -308,7 +322,11 @@ bool QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     case Request::Kind::kReload:
     case Request::Kind::kUnload:
     case Request::Kind::kList:
-    case Request::Kind::kStat: {
+    case Request::Kind::kStat:
+    case Request::Kind::kAppendNode:
+    case Request::Kind::kAppendEdge:
+    case Request::Kind::kRefresh:
+    case Request::Kind::kSwapIndex: {
       if (!options_.admin) {
         SendError(conn, ErrorCode::kAdminDisabled,
                   "admin verbs are disabled on this server");
@@ -342,7 +360,10 @@ bool QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   }
   // Validate here, not in the batcher: BatchQuery MX_CHECKs its node
   // ids, and a bad remote request must be an 'E' response, not a crash.
-  if (request.node >= engine_->graph().num_nodes()) {
+  // The registry only ever publishes graphs that grow (Publish refuses
+  // shrinks), so a node valid now stays valid for the snapshot the query
+  // pins in EnqueuePending.
+  if (request.node >= indexes_->Get()->graph().num_nodes()) {
     SendError(conn, ErrorCode::kNodeOutOfRange, "node out of range");
     return true;
   }
@@ -413,6 +434,9 @@ bool QueryServer::EnqueuePending(const std::shared_ptr<Connection>& conn,
   PendingQuery pending;
   pending.conn = conn;
   pending.model = std::move(snapshot);
+  // Pinned together with the model: this query ranks on the index
+  // generation current NOW, even if a REFRESH publishes while it queues.
+  pending.index = indexes_->Get();
   pending.node = request.node;
   pending.k = request.k == 0 ? options_.default_k : request.k;
   pending.deadline =
@@ -641,7 +665,11 @@ std::string QueryServer::BuildStatsResponse() {
          std::to_string(s.slow_consumer_evictions) + ' ' +
          std::to_string(s.pipeline_refused) + ' ' +
          std::to_string(s.rate_limited) + ' ' +
-         std::to_string(s.deadline_expired) + '\n';
+         std::to_string(s.deadline_expired) + ' ' +
+         std::to_string(s.append_nodes) + ' ' +
+         std::to_string(s.append_edges) + ' ' +
+         std::to_string(s.index_refreshes) + ' ' +
+         std::to_string(s.index_swaps) + '\n';
 }
 
 // ---- batcher thread -------------------------------------------------------
@@ -700,18 +728,20 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
     }
   }
 
-  // Shared-window scoring: one BatchQueryMulti per distinct k in the
-  // window, carrying EVERY model the window mixes — the engine gathers
-  // the union of the group's touched rows once and scores each row under
-  // all its models. Model identity keys on the snapshot POINTER: two
-  // queries sharing a model slot provably score under identical weights,
-  // and a query that pinned a pre-RELOAD snapshot simply rides along as
-  // its own model column — determinism per request, whatever the
+  // Shared-window scoring: one BatchQueryMulti per distinct (index
+  // snapshot, k) in the window, carrying EVERY model the group mixes —
+  // the snapshot gathers the union of the group's touched rows once and
+  // scores each row under all its models. Identity keys on the snapshot
+  // POINTERS: two queries sharing a model slot provably score under
+  // identical weights, and a query that pinned a pre-RELOAD model (or a
+  // pre-REFRESH index generation) simply rides along as its own column
+  // (or its own group) — determinism per request, whatever the
   // interleaving. With shared_window_scoring off, the legacy schedule
-  // (one BatchQuery per (snapshot, k) group) ranks the same window to the
-  // same bytes, one model at a time.
+  // (one BatchQuery per (index, model, k) group) ranks the same window
+  // to the same bytes, one model at a time.
   struct Group {
     size_t k = 0;
+    const IndexSnapshot* index = nullptr;  // kept alive by batch entries
     // Distinct snapshots of this group, first-appearance order; model_of
     // indexes into it, aligned with nodes.
     std::vector<const ServableModel*> models;
@@ -725,15 +755,17 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     if (expired[i]) continue;
     const ServableModel* model = batch[i].model.get();
+    const IndexSnapshot* index = batch[i].index.get();
     size_t g = 0;
     while (g < groups.size() &&
-           (groups[g].k != batch[i].k ||
+           (groups[g].k != batch[i].k || groups[g].index != index ||
             (!shared && groups[g].models[0] != model))) {
       ++g;
     }
     if (g == groups.size()) {
       groups.emplace_back();
       groups.back().k = batch[i].k;
+      groups.back().index = index;
       if (!shared) groups.back().models.push_back(model);
     }
     Group& group = groups[g];
@@ -766,8 +798,9 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
   }
 
   for (Group& group : groups) {
-    // The batcher is the engine's only non-const user while the server
-    // runs, so these calls reuse the engine's ThreadPool and BatchScratch.
+    // The batcher is the pool/scratch's only user; each call ranks on the
+    // group's pinned snapshot (stateless, so sharing one scratch across
+    // generations is fine — it is epoch-marked per call).
     BatchMultiStats mstats;
     if (shared) {
       std::vector<std::span<const double>> weights;
@@ -775,9 +808,9 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
       for (const ServableModel* model : group.models) {
         weights.push_back(model->model.weights);
       }
-      group.results = engine_->BatchQueryMulti(weights, group.nodes,
-                                               group.model_of, group.k,
-                                               &mstats);
+      group.results = group.index->BatchQueryMulti(
+          weights, group.nodes, group.model_of, group.k, pool_.get(),
+          &batch_scratch_, &mstats);
       std::vector<uint64_t> served(group.models.size(), 0);
       for (uint32_t m : group.model_of) ++served[m];
       for (size_t m = 0; m < group.models.size(); ++m) {
@@ -785,7 +818,8 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
       }
     } else {
       group.results =
-          engine_->BatchQuery(group.models[0]->model, group.nodes, group.k);
+          group.index->BatchQuery(group.models[0]->model, group.nodes,
+                                  group.k, pool_.get(), &batch_scratch_);
       group.models[0]->CountServed(group.nodes.size());
     }
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -870,8 +904,7 @@ void QueryServer::RunAdminTask(const AdminTask& task) {
     case Request::Kind::kReload: {
       // Disk read + parse happen on this worker, out of band — neither
       // the reactor nor the batcher ever waits on model I/O.
-      auto model =
-          LoadModel(request.path, engine_->index().num_metagraphs());
+      auto model = LoadModel(request.path, registry_->expected_weights());
       if (!model.ok()) {
         fail(ErrorCode::kModelError, model.status().ToString());
         return;
@@ -932,6 +965,104 @@ void QueryServer::RunAdminTask(const AdminTask& task) {
             std::to_string(snapshot->version) + ' ' +
             std::to_string(snapshot->model.weights.size()) + ' ' +
             std::to_string(snapshot->serves_count()) + '\n');
+      return;
+    }
+    case Request::Kind::kAppendNode:
+    case Request::Kind::kAppendEdge:
+    case Request::Kind::kRefresh: {
+      if (maintainer_ == nullptr) {
+        fail(ErrorCode::kIndexAdminError,
+             "this server has no index maintainer");
+        return;
+      }
+      if (request.kind == Request::Kind::kAppendNode) {
+        const NodeId id = maintainer_->AppendNode(request.model);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.append_nodes;
+        }
+        reply("OK APPEND N " + std::to_string(id) + '\n');
+        return;
+      }
+      if (request.kind == Request::Kind::kAppendEdge) {
+        auto status = maintainer_->AppendEdge(request.node, request.node2);
+        if (!status.ok()) {
+          fail(ErrorCode::kBadDelta, status.ToString());
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.append_edges;
+        }
+        reply("OK APPEND E " + std::to_string(request.node) + ' ' +
+              std::to_string(request.node2) + '\n');
+        return;
+      }
+      // REFRESH: the incremental re-match runs here on the admin worker —
+      // serving never stalls, and the registry flips generations only
+      // once the refreshed snapshot is complete.
+      RefreshStats rstats;
+      auto refreshed = maintainer_->Refresh(&rstats);
+      if (!refreshed.ok()) {
+        fail(ErrorCode::kIndexAdminError, refreshed.status().ToString());
+        return;
+      }
+      auto published = indexes_->Publish(*refreshed);
+      if (!published.ok()) {
+        fail(ErrorCode::kIndexAdminError, published.ToString());
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.index_refreshes;
+      }
+      reply("OK REFRESH " + std::to_string((*refreshed)->generation()) +
+            ' ' + std::to_string(rstats.affected_metagraphs) + ' ' +
+            std::to_string(rstats.appended_nodes) + ' ' +
+            std::to_string(rstats.appended_edges) + '\n');
+      return;
+    }
+    case Request::Kind::kSwapIndex: {
+      // Hot index swap: publish a precomputed index artifact (e.g. a full
+      // offline rebuild) over the live graph and metagraph set. The new
+      // generation aliases both — only the vectors change.
+      const auto current = indexes_->Get();
+      auto index = MetagraphVectorIndex::LoadFromFile(
+          request.path + ".index", IndexLoadOptions{});
+      if (!index.ok()) {
+        fail(ErrorCode::kIndexAdminError, index.status().ToString());
+        return;
+      }
+      if (index->num_metagraphs() != current->index().num_metagraphs()) {
+        fail(ErrorCode::kIndexAdminError,
+             "artifact has " + std::to_string(index->num_metagraphs()) +
+                 " metagraphs; the served index has " +
+                 std::to_string(current->index().num_metagraphs()));
+        return;
+      }
+      if (index->num_graph_nodes() != current->graph().num_nodes()) {
+        fail(ErrorCode::kIndexAdminError,
+             "artifact built over " +
+                 std::to_string(index->num_graph_nodes()) +
+                 " nodes; the served graph has " +
+                 std::to_string(current->graph().num_nodes()));
+        return;
+      }
+      auto snapshot = std::make_shared<const IndexSnapshot>(
+          current->shared_graph(), current->shared_metagraphs(),
+          std::make_shared<const MetagraphVectorIndex>(std::move(*index)),
+          current->generation() + 1);
+      auto published = indexes_->Publish(std::move(snapshot));
+      if (!published.ok()) {
+        fail(ErrorCode::kIndexAdminError, published.ToString());
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.index_swaps;
+      }
+      reply("OK SWAPINDEX " + std::to_string(indexes_->Info().generation) +
+            '\n');
       return;
     }
     default:

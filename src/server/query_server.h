@@ -20,11 +20,12 @@
 //       │           queries (micro-batching), expires queries past their
 //       │           deadline (E in FIFO position), groups the rest by k
 //       ▼
-//   SearchEngine::BatchQueryMulti(models, nodes, model_of, k): one
-//       │           shared-window call per k group, however many models
-//       │           the window mixes — row union gathered once, scored
-//       │           under every model through the multi-weight kernels,
-//       │           on the engine's ThreadPool and BatchScratch
+//   IndexSnapshot::BatchQueryMulti(models, nodes, model_of, k): one
+//       │           shared-window call per (index snapshot, k) group,
+//       │           however many models the window mixes — row union
+//       │           gathered once, scored under every model through the
+//       │           multi-weight kernels, on the server's ThreadPool and
+//       │           BatchScratch
 //       ▼
 //   per-connection OUTBOXES (bounded): the batcher appends response
 //       lines in pop order (per-connection FIFO preserved) and wakes the
@@ -53,16 +54,25 @@
 // `options.default_model`, which must exist at Start() and cannot be
 // UNLOADed through this server's admin interface.
 //
+// Indexes: the server owns no index either — it serves whatever
+// IndexSnapshot the external IndexRegistry publishes, under the same
+// RCU discipline as models. Each accepted query pins the current
+// snapshot; a REFRESH or SWAPINDEX that lands mid-window only affects
+// queries accepted after it (in-flight batches finish on the generation
+// they pinned). With an IndexMaintainer attached, the admin verbs
+// APPEND (buffer graph deltas), REFRESH (incremental re-match of the
+// affected metagraphs, then publish) and SWAPINDEX (publish a
+// precomputed index artifact) mutate the served index under live
+// traffic; without one they answer E kIndexAdminError.
+//
 // Threading: three threads at most. The reactor thread does all socket
 // I/O and all epoll bookkeeping; the batcher is the only thread that
-// touches the engine's non-const API (so one QueryServer may share an
-// engine with concurrent const readers, but not with another running
-// QueryServer or any offline mutation); an admin worker (spawned only
-// with options.admin) runs model disk I/O so a LOAD never stalls the
-// event loop. The registry is safe to mutate from anywhere at any time.
-// Producer threads hand response bytes to the reactor through the
-// per-connection outboxes plus an eventfd wake — they never touch a
-// socket or epoll.
+// touches the server's ThreadPool/BatchScratch; an admin worker (spawned
+// only with options.admin) runs model/index disk I/O and index refreshes
+// so a LOAD or REFRESH never stalls the event loop. Both registries are
+// safe to mutate from anywhere at any time. Producer threads hand
+// response bytes to the reactor through the per-connection outboxes plus
+// an eventfd wake — they never touch a socket or epoll.
 //
 // Shutdown is a graceful drain (see Stop()).
 #ifndef METAPROX_SERVER_QUERY_SERVER_H_
@@ -80,12 +90,19 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/index_snapshot.h"
+#include "core/query_batch.h"
+#include "server/index_registry.h"
 #include "server/model_registry.h"
 #include "server/reactor.h"
 #include "server/wire.h"
 #include "util/socket.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metaprox {
+class IndexMaintainer;
+}  // namespace metaprox
 
 namespace metaprox::server {
 
@@ -107,10 +124,16 @@ struct ServerOptions {
   /// Registry model that answers v1 `Q <node>` lines and v2 queries that
   /// name no model. Must exist in the registry at Start().
   std::string default_model = "default";
-  /// Enables the admin verbs (LOAD/RELOAD/UNLOAD/LIST/STAT). Off by
-  /// default: a serving port shouldn't accept model mutations unless the
-  /// operator asked for it.
+  /// Enables the admin verbs (LOAD/RELOAD/UNLOAD/LIST/STAT, plus
+  /// APPEND/REFRESH/SWAPINDEX when an IndexMaintainer is attached). Off
+  /// by default: a serving port shouldn't accept model or index mutations
+  /// unless the operator asked for it.
   bool admin = false;
+  /// Worker threads for the batcher's ranking calls (the server owns its
+  /// ThreadPool and BatchScratch; snapshots are stateless). 0 = hardware
+  /// concurrency; 1 = serial, no pool. Responses are byte-identical for
+  /// any value (the batched determinism contract).
+  unsigned num_threads = 1;
   /// Connections beyond this are refused with an 'E' response.
   size_t max_connections = 256;
   /// Global bound on queued-but-unranked queries. When the queue is full
@@ -189,18 +212,28 @@ struct ServerStats {
   uint64_t pipeline_refused = 0;         // queries refused with E 19
   uint64_t rate_limited = 0;             // queries refused with E 20
   uint64_t deadline_expired = 0;         // queries answered with E 21
+
+  // Index maintenance counters (all zero without a maintainer, except
+  // index_swaps, which SWAPINDEX advances regardless).
+  uint64_t append_nodes = 0;      // nodes buffered via APPEND N
+  uint64_t append_edges = 0;      // edges buffered via APPEND E
+  uint64_t index_refreshes = 0;   // REFRESH verbs that published
+  uint64_t index_swaps = 0;       // SWAPINDEX verbs that published
 };
 
 /// One server instance: Start() once, Stop() once (or let the destructor).
 /// Not restartable — make a new instance.
 class QueryServer {
  public:
-  /// `engine` must have a finalized index and outlive the server.
-  /// `registry` must outlive the server; it may be shared (and mutated)
-  /// by other parties concurrently — e.g. an offline retrainer pushing
-  /// new weights while this server serves.
-  QueryServer(SearchEngine* engine, ModelRegistry* registry,
-              ServerOptions options);
+  /// `indexes` and `models` must outlive the server; both may be shared
+  /// (and mutated) by other parties concurrently — e.g. an offline
+  /// retrainer pushing new weights, or a maintenance job publishing a
+  /// refreshed index, while this server serves. `maintainer` (optional)
+  /// enables the APPEND/REFRESH index-maintenance verbs; it must outlive
+  /// the server, and this server's admin worker must be its only writer.
+  QueryServer(IndexRegistry* indexes, ModelRegistry* models,
+              ServerOptions options,
+              IndexMaintainer* maintainer = nullptr);
   ~QueryServer();
   MX_DISALLOW_COPY_AND_ASSIGN(QueryServer);
 
@@ -254,6 +287,9 @@ class QueryServer {
     /// The model snapshot pinned at accept time (RCU-style: hot-swaps
     /// don't reach queries already in the queue).
     std::shared_ptr<const ServableModel> model;
+    /// The index snapshot pinned at accept time, same discipline: a
+    /// REFRESH/SWAPINDEX never reaches a query already in the queue.
+    std::shared_ptr<const IndexSnapshot> index;
     NodeId node = kInvalidNode;
     size_t k = 0;
     /// Ranking deadline (request_deadline_micros after acceptance);
@@ -311,13 +347,18 @@ class QueryServer {
   void AdminLoop();
   void RunAdminTask(const AdminTask& task);
 
-  SearchEngine* engine_;
+  IndexRegistry* indexes_;
   ModelRegistry* registry_;
+  IndexMaintainer* maintainer_;  // null: index admin verbs answer E 22
   ServerOptions options_;
   uint16_t port_ = 0;
   util::Socket listener_;
   bool started_ = false;
   std::unique_ptr<EpollLoop> loop_;
+  /// The batcher's ranking resources (snapshots are stateless; the
+  /// batcher is their only user, so one scratch suffices).
+  std::unique_ptr<util::ThreadPool> pool_;
+  BatchScratch batch_scratch_;
 
   std::thread reactor_thread_;
   std::thread batcher_thread_;

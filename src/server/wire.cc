@@ -178,6 +178,29 @@ std::string BuildStatRequest(std::string_view model) {
   return line;
 }
 
+std::string BuildAppendNodeRequest(std::string_view type_name) {
+  std::string line = "APPEND N ";
+  line += type_name;
+  line += '\n';
+  return line;
+}
+
+std::string BuildAppendEdgeRequest(NodeId u, NodeId v) {
+  std::string line = "APPEND E ";
+  line += std::to_string(u);
+  line += ' ';
+  line += std::to_string(v);
+  line += '\n';
+  return line;
+}
+
+std::string BuildSwapIndexRequest(std::string_view path_prefix) {
+  std::string line = "SWAPINDEX ";
+  line += path_prefix;
+  line += '\n';
+  return line;
+}
+
 bool ParseRequest(std::string_view line, Request* out) {
   *out = Request{};
   if (line == "PING") {
@@ -190,6 +213,10 @@ bool ParseRequest(std::string_view line, Request* out) {
   }
   if (line == "LIST") {
     out->kind = Request::Kind::kList;
+    return true;
+  }
+  if (line == "REFRESH") {
+    out->kind = Request::Kind::kRefresh;
     return true;
   }
   std::string_view rest = line;
@@ -232,6 +259,35 @@ bool ParseRequest(std::string_view line, Request* out) {
         token == "UNLOAD" ? Request::Kind::kUnload : Request::Kind::kStat;
     if (!NextToken(&rest, &token) || !IsValidModelName(token)) return false;
     out->model.assign(token);
+    return rest.empty();
+  }
+  if (token == "APPEND") {
+    if (!NextToken(&rest, &token)) return false;
+    if (token == "N") {
+      out->kind = Request::Kind::kAppendNode;
+      // Type names follow the model-name grammar: wire-safe and never all
+      // digits, so N/E sublines stay visually unambiguous.
+      if (!NextToken(&rest, &token) || !IsValidModelName(token)) return false;
+      out->model.assign(token);
+      return rest.empty();
+    }
+    if (token == "E") {
+      out->kind = Request::Kind::kAppendEdge;
+      if (!NextToken(&rest, &token) || !ParseNode(token, &out->node)) {
+        return false;
+      }
+      if (!NextToken(&rest, &token) || !ParseNode(token, &out->node2)) {
+        return false;
+      }
+      return rest.empty();
+    }
+    return false;
+  }
+  if (token == "SWAPINDEX") {
+    out->kind = Request::Kind::kSwapIndex;
+    // One token, like LOAD paths: no quoting on the wire.
+    if (!NextToken(&rest, &token)) return false;
+    out->path.assign(token);
     return rest.empty();
   }
   return false;

@@ -14,7 +14,8 @@
 //
 // Quick orientation (see the doc for the normative text):
 //   Q <node> [k] / Q <model> <node> [k]  ->  R <node> <n> {<cand> <score>}...
-//   HELLO, PING, STATS; LOAD/RELOAD/UNLOAD/LIST/STAT behind --admin
+//   HELLO, PING, STATS; LOAD/RELOAD/UNLOAD/LIST/STAT and the index
+//   maintenance verbs APPEND/REFRESH/SWAPINDEX behind --admin
 //   E <code> <message> on any refusal; the connection stays open except
 //   after E 18 SLOW_CONSUMER, which is an eviction notice.
 #ifndef METAPROX_SERVER_WIRE_H_
@@ -80,6 +81,11 @@ enum class ErrorCode : int {
   kDeadlineExceeded = 21,    // query waited longer than
                              // request_deadline_micros before ranking; the
                              // E holds the query's FIFO response position
+  kIndexAdminError = 22,     // APPEND/REFRESH/SWAPINDEX failed (server has
+                             // no maintainer, artifact mismatch, ...)
+  kBadDelta = 23,            // APPEND carried an invalid node type or edge
+                             // (endpoint out of range, self-loop, builder
+                             // already finalized)
 };
 
 // ---- requests -------------------------------------------------------------
@@ -95,14 +101,20 @@ struct Request {
     kUnload,
     kList,
     kStat,
+    kAppendNode,
+    kAppendEdge,
+    kRefresh,
+    kSwapIndex,
   };
   Kind kind = Kind::kQuery;
-  NodeId node = kInvalidNode;  // kQuery only
-  size_t k = 0;                // kQuery only; 0 = use the server default
+  NodeId node = kInvalidNode;   // kQuery; kAppendEdge's first endpoint
+  NodeId node2 = kInvalidNode;  // kAppendEdge's second endpoint
+  size_t k = 0;                 // kQuery only; 0 = use the server default
   /// kQuery: the named model (empty = server default, i.e. a v1 line).
   /// kLoad/kReload/kUnload/kStat: the slot being administered.
+  /// kAppendNode: the node's type name (same token grammar as model names).
   std::string model;
-  std::string path;     // kLoad/kReload only (single token, no spaces)
+  std::string path;     // kLoad/kReload/kSwapIndex only (single token)
   uint64_t version = 0;  // kHello only
 
   bool operator==(const Request&) const = default;
@@ -115,9 +127,13 @@ std::string BuildLoadRequest(std::string_view model, std::string_view path);
 std::string BuildReloadRequest(std::string_view model, std::string_view path);
 std::string BuildUnloadRequest(std::string_view model);
 std::string BuildStatRequest(std::string_view model);
+std::string BuildAppendNodeRequest(std::string_view type_name);
+std::string BuildAppendEdgeRequest(NodeId u, NodeId v);
+std::string BuildSwapIndexRequest(std::string_view path_prefix);
 inline std::string BuildPingRequest() { return "PING\n"; }
 inline std::string BuildStatsRequest() { return "STATS\n"; }
 inline std::string BuildListRequest() { return "LIST\n"; }
+inline std::string BuildRefreshRequest() { return "REFRESH\n"; }
 
 /// Parses one request line (no terminator). Strict: single spaces, no
 /// trailing garbage, counts must parse, model names must be wire-legal.

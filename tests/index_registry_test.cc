@@ -1,0 +1,171 @@
+// server::IndexRegistry under concurrency: readers pin generations while a
+// writer publishes refreshed snapshots, pinned generations answer exactly
+// as they did when pinned, and the publication refusal rules (null,
+// metagraph-count mismatch, shrinking graph) hold. Runs under TSan in CI
+// (label `concurrency`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/index_maintainer.h"
+#include "datagen/facebook.h"
+#include "server/index_registry.h"
+
+namespace metaprox {
+namespace {
+
+using server::IndexRegistry;
+
+struct Base {
+  datagen::Dataset ds;
+  std::unique_ptr<SearchEngine> engine;
+  std::vector<NodeId> users;
+  MgpModel model;
+};
+
+const Base& SharedBase() {
+  static const Base* base = [] {
+    auto* b = new Base();
+    datagen::FacebookConfig cfg;
+    cfg.num_users = 90;
+    b->ds = datagen::GenerateFacebook(cfg, 13);
+    EngineOptions options;
+    options.miner.anchor_type = b->ds.user_type;
+    options.miner.min_support = 3;
+    options.miner.max_nodes = 4;
+    b->engine = std::make_unique<SearchEngine>(b->ds.graph, options);
+    b->engine->Mine();
+    b->engine->MatchAll();
+    auto pool = b->ds.graph.NodesOfType(b->ds.user_type);
+    b->users.assign(pool.begin(), pool.end());
+    b->model.weights.assign(b->engine->metagraphs().size(), 1.0);
+    return b;
+  }();
+  return *base;
+}
+
+TEST(IndexRegistry, PublishSwapsAndInfoTracks) {
+  const Base& base = SharedBase();
+  IndexRegistry registry(base.engine->Snapshot());
+  auto initial = registry.Get();
+  ASSERT_NE(initial, nullptr);
+  EXPECT_EQ(registry.Info().generation, initial->generation());
+  EXPECT_EQ(registry.Info().publishes, 0u);
+  EXPECT_EQ(registry.Info().num_nodes, base.ds.graph.num_nodes());
+
+  IndexMaintainer maintainer(*base.engine);
+  ASSERT_TRUE(maintainer.AppendEdge(base.users[0], base.users[3]).ok());
+  auto refreshed = maintainer.Refresh();
+  ASSERT_TRUE(refreshed.ok());
+  ASSERT_TRUE(registry.Publish(*refreshed).ok());
+  EXPECT_EQ(registry.Get().get(), refreshed->get());
+  EXPECT_EQ(registry.Info().publishes, 1u);
+  EXPECT_EQ(registry.Info().generation, (*refreshed)->generation());
+}
+
+TEST(IndexRegistry, RefusesNullMismatchedAndShrinkingSnapshots) {
+  const Base& base = SharedBase();
+
+  // Grow the graph by a node, then ask the registry to go back to the
+  // engine's original (smaller) generation: refused, node ids already
+  // validated against the live graph must stay valid.
+  IndexMaintainer maintainer(*base.engine);
+  maintainer.AppendNode("user", "grown");
+  ASSERT_TRUE(
+      maintainer.AppendEdge(base.ds.graph.num_nodes(), base.users[1]).ok());
+  auto grown = maintainer.Refresh();
+  ASSERT_TRUE(grown.ok());
+
+  IndexRegistry registry(*grown);
+  EXPECT_FALSE(registry.Publish(nullptr).ok());
+  auto shrink = registry.Publish(base.engine->Snapshot());
+  EXPECT_FALSE(shrink.ok());
+  EXPECT_NE(shrink.ToString().find("fewer"), std::string::npos)
+      << shrink.ToString();
+
+  // A snapshot over a different metagraph set (coarser mining ceiling =
+  // deterministically fewer metagraphs here): loaded models would stop
+  // matching the index, refused.
+  EngineOptions options = base.engine->options();
+  options.miner.max_nodes = 3;
+  SearchEngine smaller(base.ds.graph, options);
+  smaller.Mine();
+  smaller.MatchAll();
+  ASSERT_NE(smaller.metagraphs().size(), base.engine->metagraphs().size());
+  EXPECT_FALSE(registry.Publish(smaller.Snapshot()).ok());
+
+  // The failed publishes left the registry serving the grown snapshot.
+  EXPECT_EQ(registry.Get().get(), grown->get());
+  EXPECT_EQ(registry.Info().publishes, 0u);
+}
+
+TEST(IndexRegistry, ReadersPinGenerationsWhilePublishesRace) {
+  const Base& base = SharedBase();
+
+  // Three generations over the SAME node count (edge-only growth), so
+  // they are mutually publishable in any order.
+  IndexMaintainer maintainer(*base.engine);
+  std::vector<std::shared_ptr<const IndexSnapshot>> generations;
+  generations.push_back(maintainer.snapshot());
+  for (int g = 0; g < 2; ++g) {
+    ASSERT_TRUE(
+        maintainer.AppendEdge(base.users[g], base.users[g + 5]).ok());
+    auto refreshed = maintainer.Refresh();
+    ASSERT_TRUE(refreshed.ok());
+    generations.push_back(*refreshed);
+  }
+
+  // What each generation must answer, keyed by generation number.
+  const NodeId probe = base.users[0];
+  std::map<uint64_t, QueryResult> expected;
+  for (const auto& snapshot : generations) {
+    expected[snapshot->generation()] =
+        snapshot->Query(base.model, probe, 10);
+  }
+
+  IndexRegistry registry(generations[0]);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snapshot = registry.Get();
+        ASSERT_NE(snapshot, nullptr);
+        const QueryResult got = snapshot->Query(base.model, probe, 10);
+        const QueryResult& want = expected.at(snapshot->generation());
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(got[i].first, want[i].first);
+          ASSERT_EQ(got[i].second, want[i].second);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The writer cycles through the generations under the readers.
+  for (int round = 0; round < 50; ++round) {
+    auto status = registry.Publish(generations[round % 3]);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    std::this_thread::yield();
+  }
+  // Let the readers observe the final generation too, then stop.
+  while (reads.load(std::memory_order_relaxed) < 200) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(registry.Info().publishes, 50u);
+  EXPECT_EQ(registry.Get()->generation(),
+            generations[49 % 3]->generation());
+}
+
+}  // namespace
+}  // namespace metaprox

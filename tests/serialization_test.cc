@@ -166,12 +166,14 @@ TEST_P(EngineOfflineTest, SaveLoadRoundTrip) {
   engine.MatchAll();
 
   const std::string prefix = testing::UniqueTempPath("offline_phase");
-  ASSERT_TRUE(engine.SaveOffline(prefix, param.format, param.layout).ok());
+  ArtifactOptions artifact_options;
+  artifact_options.format = param.format;
+  artifact_options.layout = param.layout;
+  ASSERT_TRUE(engine.SaveOffline(prefix, artifact_options).ok());
 
   SearchEngine restored(ds.graph, options);
-  IndexLoadOptions load_options;
-  load_options.use_mmap = param.use_mmap;
-  ASSERT_TRUE(restored.LoadOffline(prefix, load_options).ok());
+  artifact_options.use_mmap = param.use_mmap;
+  ASSERT_TRUE(restored.LoadOffline(prefix, artifact_options).ok());
   ASSERT_EQ(restored.metagraphs().size(), engine.metagraphs().size());
   EXPECT_EQ(restored.index().is_mapped(), param.expect_mmap);
 

@@ -18,6 +18,7 @@
 #include "core/engine.h"
 #include "datagen/facebook.h"
 #include "server/client.h"
+#include "server/index_registry.h"
 #include "server/model_registry.h"
 #include "server/query_server.h"
 #include "server/wire.h"
@@ -38,11 +39,12 @@ struct Pipeline {
   std::unique_ptr<SearchEngine> engine;
   MgpModel model;
   std::unique_ptr<ModelRegistry> registry;
+  std::unique_ptr<server::IndexRegistry> indexes;
   std::vector<NodeId> users;
 };
 
-// One matched engine + model shared by every test; servers run strictly
-// one at a time (the batcher is the engine's only non-const user).
+// One matched engine + model shared by every test; servers read the
+// immutable snapshot through a shared index registry.
 const Pipeline& SharedPipeline() {
   static const Pipeline* pipeline = [] {
     auto* p = new Pipeline();
@@ -60,6 +62,8 @@ const Pipeline& SharedPipeline() {
     p->model.weights = UniformWeights(p->engine->index());
     p->registry = std::make_unique<ModelRegistry>(p->model.weights.size());
     EXPECT_TRUE(p->registry->Load("main", p->model).ok());
+    p->indexes =
+        std::make_unique<server::IndexRegistry>(p->engine->Snapshot());
     auto pool = p->ds.graph.NodesOfType(p->ds.user_type);
     p->users.assign(pool.begin(), pool.end());
     return p;
@@ -70,8 +74,9 @@ const Pipeline& SharedPipeline() {
 std::unique_ptr<QueryServer> StartServer(ServerOptions options) {
   Pipeline& p = const_cast<Pipeline&>(SharedPipeline());
   options.default_model = "main";
+  options.num_threads = 2;  // keep the pooled ranking path under TSan
   auto server =
-      std::make_unique<QueryServer>(p.engine.get(), p.registry.get(),
+      std::make_unique<QueryServer>(p.indexes.get(), p.registry.get(),
                                     options);
   auto status = server->Start();
   EXPECT_TRUE(status.ok()) << status.ToString();

@@ -18,6 +18,7 @@
 #include "datagen/facebook.h"
 #include "learning/model_io.h"
 #include "server/client.h"
+#include "server/index_registry.h"
 #include "server/model_registry.h"
 #include "server/query_server.h"
 #include "server/wire.h"
@@ -39,14 +40,15 @@ struct Pipeline {
   MgpModel model;      // uniform weights — registry slot "main" (default)
   MgpModel alt_model;  // odd metagraphs zeroed — registry slot "alt"
   std::unique_ptr<ModelRegistry> registry;
+  std::unique_ptr<server::IndexRegistry> indexes;
   std::vector<NodeId> users;
 };
 
 // One matched engine + two models shared by every test. Each test runs
-// its own QueryServer over it; servers run strictly one at a time (the
-// batcher is the engine's only non-const user), which the per-test
-// scoping enforces. Tests that MUTATE a registry build their own instead
-// of touching the shared one.
+// its own QueryServer over the shared index registry (read paths only pin
+// the immutable snapshot, so concurrent servers would even be safe — the
+// per-test scoping just keeps ports and stats isolated). Tests that
+// MUTATE a registry build their own instead of touching the shared one.
 const Pipeline& SharedPipeline() {
   static const Pipeline* pipeline = [] {
     auto* p = new Pipeline();
@@ -74,6 +76,9 @@ const Pipeline& SharedPipeline() {
     EXPECT_TRUE(p->registry->Load("main", p->model).ok());
     EXPECT_TRUE(p->registry->Load("alt", p->alt_model).ok());
 
+    p->indexes =
+        std::make_unique<server::IndexRegistry>(p->engine->Snapshot());
+
     auto pool = p->ds.graph.NodesOfType(p->ds.user_type);
     p->users.assign(pool.begin(), pool.end());
     return p;
@@ -85,8 +90,9 @@ std::unique_ptr<QueryServer> StartServer(ServerOptions options,
                                          ModelRegistry* registry = nullptr) {
   Pipeline& p = const_cast<Pipeline&>(SharedPipeline());
   if (options.default_model == "default") options.default_model = "main";
+  options.num_threads = 2;  // the server must drive the pooled path
   auto server = std::make_unique<QueryServer>(
-      p.engine.get(), registry != nullptr ? registry : p.registry.get(),
+      p.indexes.get(), registry != nullptr ? registry : p.registry.get(),
       options);
   auto status = server->Start();
   EXPECT_TRUE(status.ok()) << status.ToString();
@@ -593,18 +599,20 @@ TEST(QueryServer, ServersRunSequentiallyOverOneEngine) {
   }
 }
 
-TEST(QueryServer, StartRequiresFinalizedIndex) {
+TEST(QueryServer, StartRequiresRegistryMatchingTheIndex) {
   const Pipeline& p = SharedPipeline();
-  datagen::FacebookConfig cfg;
-  cfg.num_users = 30;
-  datagen::Dataset ds = datagen::GenerateFacebook(cfg, 5);
-  EngineOptions options;
-  options.miner.anchor_type = ds.user_type;
-  SearchEngine engine(ds.graph, options);
-  engine.Mine();  // index exists but is not finalized
-  ServerOptions server_options;
-  server_options.default_model = "main";
-  QueryServer server(&engine, p.registry.get(), server_options);
+  // A registry sized for one more metagraph than the served index: every
+  // model in it would misalign with the index rows, so Start() refuses
+  // even though the default model is loaded.
+  const size_t wrong = p.model.weights.size() + 1;
+  ModelRegistry registry(wrong);
+  MgpModel model;
+  model.weights.assign(wrong, 1.0);
+  ASSERT_TRUE(registry.Load("main", model).ok());
+  ServerOptions options;
+  options.default_model = "main";
+  QueryServer server(
+      const_cast<Pipeline&>(p).indexes.get(), &registry, options);
   auto status = server.Start();
   EXPECT_FALSE(status.ok());
 }
@@ -615,7 +623,7 @@ TEST(QueryServer, StartRequiresTheDefaultModel) {
   ServerOptions options;
   options.default_model = "main";
   QueryServer server(
-      const_cast<Pipeline&>(p).engine.get(), &registry, options);
+      const_cast<Pipeline&>(p).indexes.get(), &registry, options);
   auto status = server.Start();
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.ToString().find("main"), std::string::npos);

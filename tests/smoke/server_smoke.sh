@@ -10,9 +10,14 @@
 #      on, admin verbs enabled) loading the same artifacts — no retraining,
 #   4. fire the same queries through concurrent pipelined mgps_client runs
 #      — a v1 client (default model) and a v2 client (--model=...) AT THE
-#      SAME TIME — while RELOAD hot-swaps one model mid-run,
+#      SAME TIME — while RELOAD hot-swaps one model AND an empty REFRESH
+#      publishes a new index generation mid-run,
 #   5. byte-diff every output against its offline reference, and check
-#      LIST/STAT admin bookkeeping.
+#      LIST/STAT admin bookkeeping,
+#   6. stream a graph update through the admin plane — APPEND an edge,
+#      REFRESH into a new generation, then SWAPINDEX the original offline
+#      artifact back in — and byte-diff the swapped-in responses against
+#      the offline references again (plus the STATS maintenance counters).
 #
 # The diffs passing prove the whole chain — model save/load round-trip,
 # registry resolution, accumulation window, shared-window multi-model
@@ -124,6 +129,13 @@ V2_PID=$!
     --admin="RELOAD ${CLASS_B} models/${CLASS_B}.model" > reload.txt
 grep -q "OK RELOAD ${CLASS_B} 2" reload.txt \
   || { echo "FATAL: RELOAD failed: $(cat reload.txt)" >&2; exit 1; }
+# Publish a fresh index generation mid-run too: nothing is buffered, so
+# the republished index is byte-identical and the concurrent streams must
+# not change a single response byte across the generation bump.
+"${CLIENT}" --port="${PORT}" --admin="REFRESH" > refresh_empty.txt
+grep -q "^OK REFRESH 2 0 0 0$" refresh_empty.txt \
+  || { echo "FATAL: empty REFRESH failed: $(cat refresh_empty.txt)" >&2;
+       exit 1; }
 wait "${V1_PID}"
 wait "${V2_PID}"
 
@@ -149,6 +161,44 @@ QUERY_COUNT=$(wc -l < queries.txt)
 read -r _ _ STAT_VERSION _ STAT_SERVES < stat.txt
 if [[ "${STAT_VERSION}" != "2" || "${STAT_SERVES}" -lt "${QUERY_COUNT}" ]]; then
   echo "FATAL: unexpected STAT reply: $(cat stat.txt)" >&2
+  exit 1
+fi
+
+echo "== streaming update phase: append -> refresh -> swap -> byte-diff =="
+# Buffer one appended edge, then refresh: generation 3 (the empty mid-run
+# refresh was 2), zero nodes and one edge applied.
+"${CLIENT}" --port="${PORT}" --admin="APPEND E 5 12" > append.txt
+grep -q "^OK APPEND E 5 12$" append.txt \
+  || { echo "FATAL: APPEND failed: $(cat append.txt)" >&2; exit 1; }
+"${CLIENT}" --port="${PORT}" --admin="REFRESH" | tee refresh.txt
+read -r _ _ GEN _ APPLIED_NODES APPLIED_EDGES < refresh.txt
+if [[ "${GEN}" != "3" || "${APPLIED_NODES}" != "0" \
+      || "${APPLIED_EDGES}" != "1" ]]; then
+  echo "FATAL: unexpected REFRESH reply: $(cat refresh.txt)" >&2
+  exit 1
+fi
+
+# Swap the original offline artifact back in (edge-only appends keep the
+# node count fixed, which SWAPINDEX validates): the server must return to
+# serving the EXACT offline reference bytes.
+"${CLIENT}" --port="${PORT}" --admin="SWAPINDEX idx" > swap.txt
+grep -q "^OK SWAPINDEX 4$" swap.txt \
+  || { echo "FATAL: SWAPINDEX failed: $(cat swap.txt)" >&2; exit 1; }
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --query-file=queries.txt > "swapped_${CLASS_A}.tsv"
+"${CLIENT}" --port="${PORT}" --connections=4 --k="${K}" --tsv \
+    --model="${CLASS_B}" --query-file=queries.txt > "swapped_${CLASS_B}.tsv"
+diff "offline_${CLASS_A}.tsv" "swapped_${CLASS_A}.tsv"
+diff "offline_${CLASS_B}.tsv" "swapped_${CLASS_B}.tsv"
+echo "swapped-in artifact serves the exact offline reference bytes"
+
+# The maintenance counters surface on the wire: the last four STATS
+# fields are append_nodes append_edges index_refreshes index_swaps.
+"${CLIENT}" --port="${PORT}" --admin="STATS" > stats.txt
+read -r -a STATS_FIELDS < stats.txt
+if [[ "${STATS_FIELDS[14]}" != "0" || "${STATS_FIELDS[15]}" != "1" \
+      || "${STATS_FIELDS[16]}" != "2" || "${STATS_FIELDS[17]}" != "1" ]]; then
+  echo "FATAL: unexpected maintenance counters: $(cat stats.txt)" >&2
   exit 1
 fi
 

@@ -20,30 +20,38 @@ TEST(Wire, ParseRequestAcceptsEveryWellFormedLine) {
     const char* line;
     Request expected;
   };
+  constexpr NodeId kNone = kInvalidNode;
   const std::vector<Case> cases = {
       // v1 queries (model-less; answered by the server's default model).
-      {"Q 5", {Kind::kQuery, 5, 0, "", "", 0}},
-      {"Q 5 10", {Kind::kQuery, 5, 10, "", "", 0}},
-      {"Q 0 1", {Kind::kQuery, 0, 1, "", "", 0}},
-      {"Q 4294967295", {Kind::kQuery, 4294967295u, 0, "", "", 0}},
+      {"Q 5", {Kind::kQuery, 5, kNone, 0, "", "", 0}},
+      {"Q 5 10", {Kind::kQuery, 5, kNone, 10, "", "", 0}},
+      {"Q 0 1", {Kind::kQuery, 0, kNone, 1, "", "", 0}},
+      {"Q 4294967295", {Kind::kQuery, 4294967295u, kNone, 0, "", "", 0}},
       // v2 queries: a leading model name (never all digits, so the two
       // forms cannot collide).
-      {"Q family 5", {Kind::kQuery, 5, 0, "family", "", 0}},
-      {"Q family 5 10", {Kind::kQuery, 5, 10, "family", "", 0}},
-      {"Q class-2.v1 7 3", {Kind::kQuery, 7, 3, "class-2.v1", "", 0}},
+      {"Q family 5", {Kind::kQuery, 5, kNone, 0, "family", "", 0}},
+      {"Q family 5 10", {Kind::kQuery, 5, kNone, 10, "family", "", 0}},
+      {"Q class-2.v1 7 3", {Kind::kQuery, 7, kNone, 3, "class-2.v1", "", 0}},
       // Handshake and probes.
-      {"HELLO 1", {Kind::kHello, kInvalidNode, 0, "", "", 1}},
-      {"HELLO 2", {Kind::kHello, kInvalidNode, 0, "", "", 2}},
-      {"PING", {Kind::kPing, kInvalidNode, 0, "", "", 0}},
-      {"STATS", {Kind::kStats, kInvalidNode, 0, "", "", 0}},
+      {"HELLO 1", {Kind::kHello, kNone, kNone, 0, "", "", 1}},
+      {"HELLO 2", {Kind::kHello, kNone, kNone, 0, "", "", 2}},
+      {"PING", {Kind::kPing, kNone, kNone, 0, "", "", 0}},
+      {"STATS", {Kind::kStats, kNone, kNone, 0, "", "", 0}},
       // Admin verbs.
       {"LOAD m /tmp/m.model",
-       {Kind::kLoad, kInvalidNode, 0, "m", "/tmp/m.model", 0}},
+       {Kind::kLoad, kNone, kNone, 0, "m", "/tmp/m.model", 0}},
       {"RELOAD m ./m.model",
-       {Kind::kReload, kInvalidNode, 0, "m", "./m.model", 0}},
-      {"UNLOAD m", {Kind::kUnload, kInvalidNode, 0, "m", "", 0}},
-      {"LIST", {Kind::kList, kInvalidNode, 0, "", "", 0}},
-      {"STAT m", {Kind::kStat, kInvalidNode, 0, "m", "", 0}},
+       {Kind::kReload, kNone, kNone, 0, "m", "./m.model", 0}},
+      {"UNLOAD m", {Kind::kUnload, kNone, kNone, 0, "m", "", 0}},
+      {"LIST", {Kind::kList, kNone, kNone, 0, "", "", 0}},
+      {"STAT m", {Kind::kStat, kNone, kNone, 0, "m", "", 0}},
+      // Index-maintenance verbs.
+      {"APPEND N user", {Kind::kAppendNode, kNone, kNone, 0, "user", "", 0}},
+      {"APPEND E 3 9", {Kind::kAppendEdge, 3, 9, 0, "", "", 0}},
+      {"APPEND E 9 3", {Kind::kAppendEdge, 9, 3, 0, "", "", 0}},
+      {"REFRESH", {Kind::kRefresh, kNone, kNone, 0, "", "", 0}},
+      {"SWAPINDEX /tmp/idx",
+       {Kind::kSwapIndex, kNone, kNone, 0, "", "/tmp/idx", 0}},
   };
   for (const Case& c : cases) {
     Request parsed;
@@ -89,6 +97,17 @@ TEST(Wire, ParseRequestRejectsEveryMalformedLine) {
       "UNLOAD m extra",        //
       "STAT",                  //
       "STAT m extra",          //
+      "APPEND",                // missing subverb
+      "APPEND X 1 2",          // unknown subverb
+      "APPEND N",              // missing type
+      "APPEND N 9type",        // type names follow the name grammar
+      "APPEND N user extra",   // one token
+      "APPEND E 1",            // missing second endpoint
+      "APPEND E 1 x",          // endpoint not a number
+      "APPEND E 1 2 3",        // trailing garbage
+      "REFRESH now",           // takes no arguments
+      "SWAPINDEX",             // missing prefix
+      "SWAPINDEX a b",         // prefix is one token
       "BOGUS 1",               // unknown verb
   };
   for (const char* line : cases) {
@@ -105,28 +124,39 @@ TEST(Wire, BuildersRoundTripThroughTheParser) {
     return line;
   };
 
+  constexpr NodeId kNone = kInvalidNode;
   ASSERT_TRUE(ParseRequest(strip(BuildQueryRequest(42, 7)), &parsed));
-  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, 7, "", "", 0}));
+  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, kNone, 7, "", "", 0}));
   // k = 0 ("server default") is omitted on the wire, not sent as 0.
   ASSERT_TRUE(ParseRequest(strip(BuildQueryRequest(42, 0)), &parsed));
-  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, 0, "", "", 0}));
+  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, kNone, 0, "", "", 0}));
   ASSERT_TRUE(
       ParseRequest(strip(BuildQueryRequest("family", 42, 7)), &parsed));
-  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, 7, "family", "", 0}));
+  EXPECT_EQ(parsed, (Request{Kind::kQuery, 42, kNone, 7, "family", "", 0}));
   ASSERT_TRUE(ParseRequest(strip(BuildHelloRequest(2)), &parsed));
-  EXPECT_EQ(parsed, (Request{Kind::kHello, kInvalidNode, 0, "", "", 2}));
+  EXPECT_EQ(parsed, (Request{Kind::kHello, kNone, kNone, 0, "", "", 2}));
   ASSERT_TRUE(ParseRequest(strip(BuildLoadRequest("m", "/p")), &parsed));
-  EXPECT_EQ(parsed, (Request{Kind::kLoad, kInvalidNode, 0, "m", "/p", 0}));
+  EXPECT_EQ(parsed, (Request{Kind::kLoad, kNone, kNone, 0, "m", "/p", 0}));
   ASSERT_TRUE(ParseRequest(strip(BuildReloadRequest("m", "/p")), &parsed));
-  EXPECT_EQ(parsed, (Request{Kind::kReload, kInvalidNode, 0, "m", "/p", 0}));
+  EXPECT_EQ(parsed, (Request{Kind::kReload, kNone, kNone, 0, "m", "/p", 0}));
   ASSERT_TRUE(ParseRequest(strip(BuildUnloadRequest("m")), &parsed));
-  EXPECT_EQ(parsed, (Request{Kind::kUnload, kInvalidNode, 0, "m", "", 0}));
+  EXPECT_EQ(parsed, (Request{Kind::kUnload, kNone, kNone, 0, "m", "", 0}));
   ASSERT_TRUE(ParseRequest(strip(BuildStatRequest("m")), &parsed));
-  EXPECT_EQ(parsed, (Request{Kind::kStat, kInvalidNode, 0, "m", "", 0}));
+  EXPECT_EQ(parsed, (Request{Kind::kStat, kNone, kNone, 0, "m", "", 0}));
   ASSERT_TRUE(ParseRequest(strip(BuildListRequest()), &parsed));
   EXPECT_EQ(parsed.kind, Kind::kList);
   ASSERT_TRUE(ParseRequest(strip(BuildPingRequest()), &parsed));
   EXPECT_EQ(parsed.kind, Kind::kPing);
+  ASSERT_TRUE(ParseRequest(strip(BuildAppendNodeRequest("user")), &parsed));
+  EXPECT_EQ(parsed,
+            (Request{Kind::kAppendNode, kNone, kNone, 0, "user", "", 0}));
+  ASSERT_TRUE(ParseRequest(strip(BuildAppendEdgeRequest(3, 9)), &parsed));
+  EXPECT_EQ(parsed, (Request{Kind::kAppendEdge, 3, 9, 0, "", "", 0}));
+  ASSERT_TRUE(ParseRequest(strip(BuildRefreshRequest()), &parsed));
+  EXPECT_EQ(parsed.kind, Kind::kRefresh);
+  ASSERT_TRUE(ParseRequest(strip(BuildSwapIndexRequest("/p")), &parsed));
+  EXPECT_EQ(parsed,
+            (Request{Kind::kSwapIndex, kNone, kNone, 0, "", "/p", 0}));
 }
 
 TEST(Wire, ModelNameGrammar) {
