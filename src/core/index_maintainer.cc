@@ -50,7 +50,7 @@ IndexMaintainer::IndexMaintainer(
 }
 
 std::shared_ptr<const IndexSnapshot> IndexMaintainer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   return snapshot_;
 }
 
@@ -214,9 +214,12 @@ util::StatusOr<std::shared_ptr<const IndexSnapshot>> IndexMaintainer::Refresh(
                                options_.embedding_cap - led.num_embeddings);
       DeltaMatch(*new_graph, mined.graph, new_edges, &sink);
       if (!sink.saturated()) {
+        // lint:allow-unordered-iter — += merges are commutative, so the
+        // ledger ends identical whatever order the sink is walked in.
         for (const auto& [key, count] : sink.pair_counts()) {
           led.pair_counts[key] += count;
         }
+        // lint:allow-unordered-iter — same commutative merge.
         for (const auto& [node, count] : sink.node_counts()) {
           led.node_counts[node] += count;
         }
@@ -257,7 +260,7 @@ util::StatusOr<std::shared_ptr<const IndexSnapshot>> IndexMaintainer::Refresh(
   index_ = std::move(new_index);
   pending_ = GraphDelta(graph_->num_nodes());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    mx::MutexLock lock(mu_);
     snapshot_ = snapshot;
   }
 

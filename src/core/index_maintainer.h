@@ -43,7 +43,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -56,6 +55,7 @@
 #include "matching/matcher.h"
 #include "mining/miner.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace metaprox {
@@ -112,7 +112,7 @@ class IndexMaintainer {
 
   /// The current published generation. Thread-safe; callers pin it for as
   /// long as they read through it.
-  std::shared_ptr<const IndexSnapshot> snapshot() const;
+  std::shared_ptr<const IndexSnapshot> snapshot() const MX_EXCLUDES(mu_);
 
   /// Nodes in the current graph plus buffered appends — the id the next
   /// AppendNode() returns.
@@ -139,7 +139,7 @@ class IndexMaintainer {
   /// the result is an identical index one generation later. On error the
   /// buffered appends are kept and the published snapshot is unchanged.
   util::StatusOr<std::shared_ptr<const IndexSnapshot>> Refresh(
-      RefreshStats* stats = nullptr);
+      RefreshStats* stats = nullptr) MX_EXCLUDES(mu_);
 
   /// The metagraphs of `metagraphs` whose instance sets can grow under
   /// `delta` against `graph`: those with an edge whose unordered
@@ -181,8 +181,10 @@ class IndexMaintainer {
   std::vector<RawCounts> ledger_;
   uint64_t generation_ = 1;
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const IndexSnapshot> snapshot_;  // guarded by mu_
+  // The ONLY cross-thread state: everything above is single-writer (see
+  // the file comment); snapshot_ is read by any thread via snapshot().
+  mutable mx::Mutex mu_;
+  std::shared_ptr<const IndexSnapshot> snapshot_ MX_GUARDED_BY(mu_);
 };
 
 }  // namespace metaprox

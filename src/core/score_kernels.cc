@@ -49,6 +49,15 @@ void RowDotMultiScalar(std::span<const RowEntry> row,
 
 #ifdef METAPROX_KERNELS_X86
 
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12's avx2intrin.h implements _mm256_i32gather_pd via
+// _mm256_undefined_pd (`__m256d __Y = __Y;`), which trips
+// -Wmaybe-uninitialized when inlined here. The gather's passthrough
+// operand is fully masked, so the read is harmless.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 // AVX2 single-weight kernel: four entries per iteration. The AoS
 // (index, count) pairs are split with one lane permute — indices land in
 // the low 128 bits, counts in the high — then the four weights arrive via
@@ -131,6 +140,10 @@ __attribute__((target("avx2,fma"))) void RowDotMultiAvx2(
     out[j] = (lanes[j] + lanes[m + j]) + (lanes[2 * m + j] + lanes[3 * m + j]);
   }
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 #endif  // METAPROX_KERNELS_X86
 

@@ -99,6 +99,8 @@ void MetagraphVectorIndex::Commit(
   // shard mutex is taken once per commit instead of once per entry.
   std::vector<std::vector<std::pair<uint64_t, float>>> pair_buckets(
       num_shards_);
+  // lint:allow-unordered-iter — each key appears once per commit, so row
+  // contents are order-independent; entry order is erased at Seal/Finalize.
   for (const auto& [key, count] : pair_counts) {
     pair_buckets[ShardOf(key)].emplace_back(
         key, static_cast<float>(count * inv_aut));
@@ -106,7 +108,7 @@ void MetagraphVectorIndex::Commit(
   for (size_t s = 0; s < num_shards_; ++s) {
     if (pair_buckets[s].empty()) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    mx::MutexLock lock(shard.mu);
     for (const auto& [key, value] : pair_buckets[s]) {
       shard.pairs[key].emplace_back(metagraph_index, value);
       shard.dirty.push_back(key);
@@ -114,6 +116,7 @@ void MetagraphVectorIndex::Commit(
   }
 
   std::vector<std::vector<std::pair<NodeId, float>>> node_buckets(num_shards_);
+  // lint:allow-unordered-iter — same argument as the pair loop above.
   for (const auto& [node, count] : node_counts) {
     MX_CHECK(node < node_vectors_.size());
     node_buckets[node % num_shards_].emplace_back(
@@ -122,7 +125,7 @@ void MetagraphVectorIndex::Commit(
   for (size_t s = 0; s < num_shards_; ++s) {
     if (node_buckets[s].empty()) continue;
     NodeStripe& stripe = *node_stripes_[s];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    mx::MutexLock lock(stripe.mu);
     for (const auto& [node, value] : node_buckets[s]) {
       node_vectors_[node].emplace_back(metagraph_index, value);
       stripe.dirty.push_back(node);
@@ -134,19 +137,23 @@ void MetagraphVectorIndex::Seal() {
   if (finalized_) return;  // finalized rows are already sorted
   // Only rows touched since the last Seal(). The dirty lists carry one
   // entry per (row, metagraph) append, so dedupe first — a hub row
-  // touched by m metagraphs would otherwise be re-scanned m times. No
-  // locking: Seal runs with no concurrent Commits (see the class
-  // comment).
+  // touched by m metagraphs would otherwise be re-scanned m times. Seal
+  // runs with no concurrent Commits (see the class comment), so each
+  // shard/stripe lock is uncontended — taken once per shard on this cold
+  // path purely to keep the guarded accesses inside the contract the
+  // annotations state.
   auto dedupe = [](auto& dirty) {
     std::sort(dirty.begin(), dirty.end());
     dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   };
   for (const auto& shard : shards_) {
+    mx::MutexLock lock(shard->mu);
     dedupe(shard->dirty);
     for (uint64_t key : shard->dirty) SortRow(shard->pairs[key]);
     shard->dirty.clear();
   }
   for (const auto& stripe : node_stripes_) {
+    mx::MutexLock lock(stripe->mu);
     dedupe(stripe->dirty);
     for (NodeId node : stripe->dirty) SortRow(node_vectors_[node]);
     stripe->dirty.clear();
@@ -156,31 +163,43 @@ void MetagraphVectorIndex::Seal() {
 void MetagraphVectorIndex::Finalize() {
   MX_CHECK_MSG(!finalized_, "Finalize() called twice");
   // Full sweep, not Seal(): one-time O(index) cost that also covers rows
-  // that never went through Commit (ReadFrom's direct row loads).
-  for (const auto& shard : shards_) {
-    for (auto& [key, row] : shard->pairs) SortRow(row);
-    shard->dirty.clear();
-  }
+  // that never went through Commit (ReadFrom's direct row loads). Each
+  // shard is drained under its (uncontended — Finalize runs with no
+  // concurrent Commits) lock into one flat list, which is then merged in
+  // globally sorted key order. The order is a pure function of the
+  // committed keys, so the finalized layout is independent of the shard
+  // count and of commit interleaving.
   for (SparseVec& row : node_vectors_) SortRow(row);
 
-  // Merge the shards in globally sorted key order. The order is a pure
-  // function of the committed keys, so the finalized layout is independent
-  // of the shard count and of commit interleaving.
-  size_t total = 0;
-  for (const auto& shard : shards_) total += shard->pairs.size();
-  pair_keys_.reserve(total);
-  for (const auto& shard : shards_) {
-    for (const auto& [key, row] : shard->pairs) pair_keys_.push_back(key);
+  std::vector<std::pair<uint64_t, SparseVec>> drained;
+  {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      mx::MutexLock lock(shard->mu);
+      total += shard->pairs.size();
+    }
+    drained.reserve(total);
   }
-  std::sort(pair_keys_.begin(), pair_keys_.end());
-  pair_vectors_.reserve(total);
-  pair_slots_.reserve(total);
-  for (uint64_t key : pair_keys_) {
-    Shard& shard = *shards_[ShardOf(key)];
-    auto it = shard.pairs.find(key);
-    MX_DCHECK(it != shard.pairs.end());
+  for (const auto& shard : shards_) {
+    mx::MutexLock lock(shard->mu);
+    // lint:allow-unordered-iter — drain order is erased by the sort below.
+    for (auto& [key, row] : shard->pairs) {
+      SortRow(row);
+      drained.emplace_back(key, std::move(row));
+    }
+    shard->pairs.clear();
+    shard->dirty.clear();
+  }
+  std::sort(drained.begin(), drained.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  pair_keys_.reserve(drained.size());
+  pair_vectors_.reserve(drained.size());
+  pair_slots_.reserve(drained.size());
+  for (auto& [key, row] : drained) {
     pair_slots_.emplace(key, static_cast<uint32_t>(pair_vectors_.size()));
-    pair_vectors_.push_back(std::move(it->second));
+    pair_keys_.push_back(key);
+    pair_vectors_.push_back(std::move(row));
   }
   shards_.clear();
   node_stripes_.clear();
@@ -260,7 +279,10 @@ MetagraphVectorIndex MetagraphVectorIndex::CloneForRefresh(
 size_t MetagraphVectorIndex::num_pairs() const {
   if (finalized_) return pair_keys_.size();
   size_t total = 0;
-  for (const auto& shard : shards_) total += shard->pairs.size();
+  for (const auto& shard : shards_) {
+    mx::MutexLock lock(shard->mu);
+    total += shard->pairs.size();
+  }
   return total;
 }
 
@@ -288,6 +310,12 @@ std::span<const std::pair<uint32_t, float>> MetagraphVectorIndex::FindPairRow(
     if (it == pair_slots_.end()) return {};
     return pair_vectors_[it->second];
   }
+  return ProbeShardRowUnlocked(key);
+}
+
+// Unlocked by design — the justification lives on the declaration.
+std::span<const std::pair<uint32_t, float>>
+MetagraphVectorIndex::ProbeShardRowUnlocked(uint64_t key) const {
   // Pre-Finalize read: consult the owning shard. Callers must not race
   // this with a commit batch (see the class comment).
   const Shard& shard = *shards_[ShardOf(key)];
@@ -297,7 +325,9 @@ std::span<const std::pair<uint32_t, float>> MetagraphVectorIndex::FindPairRow(
 }
 
 void MetagraphVectorIndex::AppendPairRow(uint64_t key, SparseVec vec) {
-  shards_[ShardOf(key)]->pairs.emplace(key, std::move(vec));
+  Shard& shard = *shards_[ShardOf(key)];
+  mx::MutexLock lock(shard.mu);
+  shard.pairs.emplace(key, std::move(vec));
 }
 
 kernels::RowTransform MetagraphVectorIndex::row_transform() const {
@@ -369,6 +399,7 @@ constexpr char kIndexMagic[] = "metaprox-index v1";
 // bitwise-identical query results.
 void WriteCount(std::ostream& os, float c) {
   char buf[32];
+  // lint:allow-float-format — pinned v1 text format, round-trip exact.
   std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(c));
   os << buf;
 }
@@ -421,6 +452,8 @@ util::Status MetagraphVectorIndex::WriteTo(std::ostream& os) const {
   } else {
     keys.reserve(num_pairs());
     for (const auto& shard : shards_) {
+      mx::MutexLock lock(shard->mu);
+      // lint:allow-unordered-iter — collection order is erased by the sort.
       for (const auto& [key, row] : shard->pairs) keys.push_back(key);
     }
     std::sort(keys.begin(), keys.end());

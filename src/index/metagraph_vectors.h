@@ -56,7 +56,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -71,6 +70,7 @@
 #include "util/macros.h"
 #include "util/mmap_file.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace metaprox::kernels {
 // From core/score_kernels.h (a dependency-free leaf this layer's .cc
@@ -370,16 +370,21 @@ class MetagraphVectorIndex {
   /// satisfies `key % num_shards_ == shard index`. `dirty` records the
   /// keys appended to since the last Seal() (duplicates allowed).
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<uint64_t, SparseVec> pairs;  // guarded by mu
-    std::vector<uint64_t> dirty;                    // guarded by mu
+    mutable mx::Mutex mu;
+    std::unordered_map<uint64_t, SparseVec> pairs MX_GUARDED_BY(mu);
+    std::vector<uint64_t> dirty MX_GUARDED_BY(mu);
   };
 
   /// One stripe of the per-node rows: nodes with `node % num_shards_ ==
   /// stripe index`. Guards node_vectors_ writes and the dirty list.
+  /// (node_vectors_ itself cannot carry a MX_GUARDED_BY: its guard is a
+  /// striped SET of mutexes, one per `node % num_shards_` class, which
+  /// the annotation language cannot express — the write-side contract is
+  /// enforced by construction in Commit() and documented in
+  /// docs/STATIC_ANALYSIS.md.)
   struct NodeStripe {
-    std::mutex mu;
-    std::vector<NodeId> dirty;  // guarded by mu
+    mutable mx::Mutex mu;
+    std::vector<NodeId> dirty MX_GUARDED_BY(mu);
   };
 
   /// Zero-copy backing of a mapped artifact: the container file plus spans
@@ -406,6 +411,16 @@ class MetagraphVectorIndex {
   /// (no hash table is materialized for a mapped artifact).
   std::span<const std::pair<uint32_t, float>> FindPairRow(NodeId x,
                                                           NodeId y) const;
+  /// The pre-Finalize branch of FindPairRow: probes the owning shard's
+  /// table WITHOUT its lock. Escape hatch 1 of <=3 (see
+  /// docs/STATIC_ANALYSIS.md): this probe is the dual-stage trainer's hot
+  /// loop — SparsePairVector/PairDot against a Sealed-but-not-Finalized
+  /// index, one call per scored pair — and the class contract already
+  /// phase-separates reads from commit batches ("read accessors must not
+  /// race a commit batch"), so a per-call shard lock would add cost to
+  /// the training inner loop without excluding any legal schedule.
+  std::span<const std::pair<uint32_t, float>> ProbeShardRowUnlocked(
+      uint64_t key) const MX_NO_THREAD_SAFETY_ANALYSIS;
   void AppendPairRow(uint64_t key, SparseVec vec);  // binary/text read backdoor
   /// Builds the CSR candidate postings from the (already sorted) pair
   /// keys. The tail of Finalize(), shared with the mapped-load path.

@@ -369,6 +369,8 @@ util::Status MetagraphVectorIndex::WriteBinaryTo(std::ostream& os,
   } else {
     keys.reserve(num_pairs());
     for (const auto& shard : shards_) {
+      mx::MutexLock lock(shard->mu);
+      // lint:allow-unordered-iter — collection order is erased by the sort.
       for (const auto& [key, row] : shard->pairs) keys.push_back(key);
     }
     std::sort(keys.begin(), keys.end());

@@ -15,6 +15,14 @@
 //     Exact by construction (no decimal round trip at all).
 // The weight count is checked against the index on load (a model only
 // makes sense over the metagraph set it was trained on).
+//
+// Thread-safety: every function here is stateless (no shared mutable
+// state, no mutexes — nothing for util/thread_annotations.h to guard).
+// Concurrent LoadModel/SaveModel calls on DIFFERENT paths are safe from
+// any thread — the server's admin worker relies on this, loading models
+// while the batcher serves. Two concurrent SaveModel calls on the SAME
+// path are serialized by the atomic write-then-rename: the artifact is
+// always one writer's complete bytes, never an interleaving.
 #ifndef METAPROX_LEARNING_MODEL_IO_H_
 #define METAPROX_LEARNING_MODEL_IO_H_
 

@@ -16,7 +16,7 @@ IndexRegistry::IndexRegistry(std::shared_ptr<const IndexSnapshot> initial)
 }
 
 std::shared_ptr<const IndexSnapshot> IndexRegistry::Get() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   return current_;
 }
 
@@ -31,7 +31,7 @@ util::Status IndexRegistry::Publish(
         " metagraphs; this registry serves " +
         std::to_string(num_metagraphs_));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   if (snapshot->graph().num_nodes() < current_->graph().num_nodes()) {
     return util::Status::FailedPrecondition(
         "snapshot graph has " + std::to_string(snapshot->graph().num_nodes()) +
@@ -44,7 +44,7 @@ util::Status IndexRegistry::Publish(
 }
 
 IndexInfo IndexRegistry::Info() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   IndexInfo info;
   info.generation = current_->generation();
   info.publishes = publishes_;

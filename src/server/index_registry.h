@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "core/index_snapshot.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace metaprox::server {
 
@@ -36,21 +36,22 @@ class IndexRegistry {
 
   /// The current generation. Callers pin the returned snapshot for the
   /// duration of any read through it. Never null.
-  std::shared_ptr<const IndexSnapshot> Get() const;
+  std::shared_ptr<const IndexSnapshot> Get() const MX_EXCLUDES(mu_);
 
   /// Atomically replaces the served snapshot. Refuses snapshots of a
   /// different metagraph count (loaded models would stop matching the
   /// index) or with a smaller graph than currently served (node ids
   /// already validated against the live graph must stay valid).
-  util::Status Publish(std::shared_ptr<const IndexSnapshot> snapshot);
+  util::Status Publish(std::shared_ptr<const IndexSnapshot> snapshot)
+      MX_EXCLUDES(mu_);
 
-  IndexInfo Info() const;
+  IndexInfo Info() const MX_EXCLUDES(mu_);
 
  private:
   const size_t num_metagraphs_;
-  mutable std::mutex mu_;
-  std::shared_ptr<const IndexSnapshot> current_;  // guarded by mu_
-  uint64_t publishes_ = 0;                        // guarded by mu_
+  mutable mx::Mutex mu_;
+  std::shared_ptr<const IndexSnapshot> current_ MX_GUARDED_BY(mu_);
+  uint64_t publishes_ MX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace metaprox::server

@@ -37,7 +37,7 @@ util::StatusOr<uint64_t> ModelRegistry::Load(const std::string& name,
   snapshot->version = 1;
   snapshot->model = std::move(model);
   snapshot->serves = std::make_shared<std::atomic<uint64_t>>(0);
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   auto [it, inserted] = models_.emplace(name, std::move(snapshot));
   if (!inserted) {
     return util::Status::FailedPrecondition(
@@ -52,7 +52,7 @@ util::StatusOr<uint64_t> ModelRegistry::Reload(const std::string& name,
   auto snapshot = std::make_shared<ServableModel>();
   snapshot->name = name;
   snapshot->model = std::move(model);
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return util::Status::NotFound("no model '" + name +
@@ -68,7 +68,7 @@ util::StatusOr<uint64_t> ModelRegistry::Reload(const std::string& name,
 }
 
 util::Status ModelRegistry::Unload(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   if (models_.erase(name) == 0) {
     return util::Status::NotFound("no model '" + name + "' to unload");
   }
@@ -77,7 +77,7 @@ util::Status ModelRegistry::Unload(const std::string& name) {
 
 std::shared_ptr<const ServableModel> ModelRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   auto it = models_.find(name);
   return it == models_.end() ? nullptr : it->second;
 }
@@ -85,7 +85,7 @@ std::shared_ptr<const ServableModel> ModelRegistry::Get(
 std::vector<ModelInfo> ModelRegistry::List() const {
   std::vector<ModelInfo> infos;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    mx::MutexLock lock(mu_);
     infos.reserve(models_.size());
     for (const auto& [name, snapshot] : models_) {
       infos.push_back(ModelInfo{name, snapshot->version,
@@ -101,7 +101,7 @@ std::vector<ModelInfo> ModelRegistry::List() const {
 }
 
 size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  mx::MutexLock lock(mu_);
   return models_.size();
 }
 

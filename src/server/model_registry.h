@@ -24,7 +24,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -33,6 +32,7 @@
 #include "learning/proximity.h"
 #include "util/macros.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace metaprox::server {
 
@@ -79,34 +79,37 @@ class ModelRegistry {
   /// name already present (use Reload to swap a live slot — the caller
   /// must say which it means; a typo'd LOAD silently swapping a serving
   /// model would be an operational footgun). Returns the version (1).
-  util::StatusOr<uint64_t> Load(const std::string& name, MgpModel model);
+  util::StatusOr<uint64_t> Load(const std::string& name, MgpModel model)
+      MX_EXCLUDES(mu_);
 
   /// Atomically replaces the snapshot of an EXISTING slot; in-flight
   /// holders of the old snapshot are unaffected. Errors: unknown name,
   /// weight-count mismatch. Returns the new version.
-  util::StatusOr<uint64_t> Reload(const std::string& name, MgpModel model);
+  util::StatusOr<uint64_t> Reload(const std::string& name, MgpModel model)
+      MX_EXCLUDES(mu_);
 
   /// Removes a slot. Snapshots already handed out stay valid; future
   /// Get() calls return null. Error: unknown name.
-  util::Status Unload(const std::string& name);
+  util::Status Unload(const std::string& name) MX_EXCLUDES(mu_);
 
   /// Current snapshot of `name`, or null if absent. The caller may hold
   /// the snapshot across any number of Reload/Unload calls.
-  std::shared_ptr<const ServableModel> Get(const std::string& name) const;
+  std::shared_ptr<const ServableModel> Get(const std::string& name) const
+      MX_EXCLUDES(mu_);
 
   /// All slots, sorted by name.
-  std::vector<ModelInfo> List() const;
+  std::vector<ModelInfo> List() const MX_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const MX_EXCLUDES(mu_);
   size_t expected_weights() const { return expected_weights_; }
 
  private:
   util::Status Validate(const std::string& name, const MgpModel& model) const;
 
   const size_t expected_weights_;
-  mutable std::mutex mu_;
+  mutable mx::Mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const ServableModel>>
-      models_;  // guarded by mu_
+      models_ MX_GUARDED_BY(mu_);
 };
 
 }  // namespace metaprox::server

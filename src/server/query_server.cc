@@ -98,11 +98,11 @@ util::Status QueryServer::Start() {
 void QueryServer::Stop() {
   if (!started_) return;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    mx::MutexLock lock(queue_mu_);
     draining_.store(true);
   }
-  queue_cv_.notify_all();
-  admin_cv_.notify_all();
+  queue_cv_.NotifyAll();
+  admin_cv_.NotifyAll();
   loop_->Wake();
   // Join the producers first: once they are gone, every response that
   // will ever exist is in an outbox, and the reactor's "all outboxes
@@ -115,7 +115,7 @@ void QueryServer::Stop() {
 }
 
 ServerStats QueryServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  mx::MutexLock lock(stats_mu_);
   return stats_;
 }
 
@@ -180,7 +180,7 @@ void QueryServer::ReactorLoop() {
       }
       bool all_flushed = true;
       for (auto& [id, conn] : conns_) {
-        std::lock_guard<std::mutex> lock(conn->out_mu);
+        mx::MutexLock lock(conn->out_mu);
         if (conn->outbox.size() > conn->out_off) {
           all_flushed = false;
           break;
@@ -194,7 +194,7 @@ void QueryServer::ReactorLoop() {
   // server is gone; anything unflushed past the drain timeout is lost.
   for (auto& [id, conn] : conns_) {
     {
-      std::lock_guard<std::mutex> lock(conn->out_mu);
+      mx::MutexLock lock(conn->out_mu);
       conn->closed = true;
     }
     (void)loop_->Del(conn->socket.fd());
@@ -218,7 +218,7 @@ void QueryServer::AcceptNew() {
       (void)util::SendAll(
           *accepted,
           BuildErrorResponse(ErrorCode::kServerFull, "server full"));
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      mx::MutexLock lock(stats_mu_);
       ++stats_.protocol_errors;
       continue;  // socket closes as `accepted` goes out of scope
     }
@@ -226,7 +226,7 @@ void QueryServer::AcceptNew() {
     // Count BEFORE the connection can be served: a client must never
     // observe its own responses while the counters still miss it.
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      mx::MutexLock lock(stats_mu_);
       ++stats_.connections_accepted;
     }
     auto conn = std::make_shared<Connection>();
@@ -333,17 +333,17 @@ bool QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         return true;
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        mx::MutexLock lock(stats_mu_);
         ++stats_.admin_commands;
       }
       // Model disk I/O must not stall the event loop: the admin worker
       // runs the verb and posts the reply through the outbox like any
       // other producer.
       {
-        std::lock_guard<std::mutex> lock(admin_mu_);
+        mx::MutexLock lock(admin_mu_);
         admin_tasks_.push_back(AdminTask{conn, request});
       }
-      admin_cv_.notify_one();
+      admin_cv_.NotifyOne();
       return true;
     }
     case Request::Kind::kQuery:
@@ -370,7 +370,7 @@ bool QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   if (conn->in_flight.load(std::memory_order_relaxed) >=
       options_.max_pipeline) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      mx::MutexLock lock(stats_mu_);
       ++stats_.pipeline_refused;
     }
     SendError(conn, ErrorCode::kPipelineLimit,
@@ -390,7 +390,7 @@ bool QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     conn->tokens_refilled = now;
     if (conn->tokens < 1.0) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        mx::MutexLock lock(stats_mu_);
         ++stats_.rate_limited;
       }
       SendError(conn, ErrorCode::kRateLimited,
@@ -445,13 +445,28 @@ bool QueryServer::EnqueuePending(const std::shared_ptr<Connection>& conn,
           : std::chrono::steady_clock::now() +
                 std::chrono::microseconds(options_.request_deadline_micros);
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    mx::MutexLock lock(queue_mu_);
     if (draining_.load()) return true;  // dropped; the drain closes us
     if (queue_.size() >= options_.max_pending) return false;
     queue_.push_back(std::move(pending));
     conn->in_flight.fetch_add(1, std::memory_order_relaxed);
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
+  return true;
+}
+
+bool QueryServer::TrySendLocked(Connection& conn) {
+  while (conn.out_off < conn.outbox.size()) {
+    auto chunk = util::SendSome(
+        conn.socket, std::string_view(conn.outbox).substr(conn.out_off));
+    if (!chunk.ok()) return false;
+    if (chunk->would_block) break;
+    conn.out_off += chunk->bytes;
+  }
+  if (conn.out_off == conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.out_off = 0;
+  }
   return true;
 }
 
@@ -461,23 +476,10 @@ void QueryServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
   bool evict = false;
   size_t backlog = 0;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
-    while (conn->out_off < conn->outbox.size()) {
-      auto chunk = util::SendSome(
-          conn->socket,
-          std::string_view(conn->outbox).substr(conn->out_off));
-      if (!chunk.ok()) {
-        dead = true;
-        break;
-      }
-      if (chunk->would_block) break;
-      conn->out_off += chunk->bytes;
-    }
-    if (conn->out_off == conn->outbox.size()) {
-      conn->outbox.clear();
-      conn->out_off = 0;
-    } else if (conn->out_off > (size_t{1} << 16) &&
-               conn->out_off * 2 > conn->outbox.size()) {
+    mx::MutexLock lock(conn->out_mu);
+    dead = !TrySendLocked(*conn);
+    if (conn->out_off > (size_t{1} << 16) &&
+        conn->out_off * 2 > conn->outbox.size()) {
       conn->outbox.erase(0, conn->out_off);
       conn->out_off = 0;
     }
@@ -516,7 +518,7 @@ void QueryServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
 void QueryServer::ResumeQueueBlocked() {
   if (queue_blocked_.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    mx::MutexLock lock(queue_mu_);
     if (queue_.size() >= options_.max_pending) return;
   }
   std::vector<uint64_t> blocked;
@@ -538,7 +540,7 @@ void QueryServer::SweepDirty() {
   while (true) {
     std::vector<std::shared_ptr<Connection>> dirty;
     {
-      std::lock_guard<std::mutex> lock(dirty_mu_);
+      mx::MutexLock lock(dirty_mu_);
       dirty.swap(dirty_);
     }
     if (dirty.empty()) return;
@@ -562,7 +564,7 @@ void QueryServer::UpdateReadInterest(
 void QueryServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
   if (conns_.find(conn->id) == conns_.end()) return;  // already closed
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    mx::MutexLock lock(conn->out_mu);
     conn->closed = true;
   }
   if (conn->paused_queue_full) {
@@ -581,7 +583,7 @@ void QueryServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
 void QueryServer::SendError(const std::shared_ptr<Connection>& conn,
                             ErrorCode code, std::string_view message) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    mx::MutexLock lock(stats_mu_);
     ++stats_.protocol_errors;
   }
   EnqueueResponse(conn, BuildErrorResponse(code, message));
@@ -593,7 +595,7 @@ void QueryServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
                                   std::string line) {
   bool evicted_now = false;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    mx::MutexLock lock(conn->out_mu);
     if (conn->closed || conn->evict) return;  // response dropped
     size_t backlog = conn->outbox.size() - conn->out_off;
     if (backlog > options_.max_response_queue_bytes) {
@@ -602,20 +604,8 @@ void QueryServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
       // gets a turn. Before judging the consumer slow, push bytes into
       // the socket right here: only a socket that won't take them
       // (kernel buffer full because the client is not reading) evicts.
-      while (conn->out_off < conn->outbox.size()) {
-        auto chunk = util::SendSome(
-            conn->socket,
-            std::string_view(conn->outbox).substr(conn->out_off));
-        if (!chunk.ok()) {
-          conn->evict = true;  // peer reset: the reactor closes us
-          break;
-        }
-        if (chunk->would_block) break;
-        conn->out_off += chunk->bytes;
-      }
-      if (conn->out_off == conn->outbox.size()) {
-        conn->outbox.clear();
-        conn->out_off = 0;
+      if (!TrySendLocked(*conn)) {
+        conn->evict = true;  // peer reset: the reactor closes us
       }
       backlog = conn->outbox.size() - conn->out_off;
     }
@@ -638,7 +628,7 @@ void QueryServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
     }
   }
   if (evicted_now) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    mx::MutexLock lock(stats_mu_);
     ++stats_.slow_consumer_evictions;
     ++stats_.protocol_errors;
   }
@@ -647,7 +637,7 @@ void QueryServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
 
 void QueryServer::MarkDirty(const std::shared_ptr<Connection>& conn) {
   if (conn->dirty.exchange(true)) return;  // already on the list
-  std::lock_guard<std::mutex> lock(dirty_mu_);
+  mx::MutexLock lock(dirty_mu_);
   dirty_.push_back(conn);
 }
 
@@ -675,40 +665,43 @@ std::string QueryServer::BuildStatsResponse() {
 // ---- batcher thread -------------------------------------------------------
 
 void QueryServer::BatcherLoop() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  // One scoped lock per iteration (RAII, so the thread-safety analysis
+  // tracks it): hold queue_mu_ to wait and pop, release it to rank — the
+  // engine call must never run under the queue lock.
   while (true) {
-    queue_cv_.wait(lock,
-                   [&] { return draining_.load() || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (draining_.load()) return;  // drained: every accepted query ranked
-      continue;
-    }
-    // Micro-batching: once at least one query is pending, wait up to the
-    // window for the batch to fill. Responses never change with the
-    // window (the batched determinism contract) — only throughput does.
-    // A drain skips the wait: latency no longer matters, finishing does.
-    if (!draining_.load() && options_.window_micros > 0 &&
-        queue_.size() < options_.max_batch) {
-      const auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::microseconds(options_.window_micros);
-      queue_cv_.wait_until(lock, deadline, [&] {
-        return draining_.load() || queue_.size() >= options_.max_batch;
-      });
-    }
-    const size_t take = std::min(queue_.size(), options_.max_batch);
     std::vector<PendingQuery> batch;
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    {
+      mx::MutexLock lock(queue_mu_);
+      while (!draining_.load() && queue_.empty()) queue_cv_.Wait(lock);
+      if (queue_.empty()) return;  // drained: every accepted query ranked
+      // Micro-batching: once at least one query is pending, wait up to
+      // the window for the batch to fill. Responses never change with the
+      // window (the batched determinism contract) — only throughput does.
+      // A drain skips the wait: latency no longer matters, finishing
+      // does.
+      if (!draining_.load() && options_.window_micros > 0 &&
+          queue_.size() < options_.max_batch) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.window_micros);
+        while (!draining_.load() && queue_.size() < options_.max_batch) {
+          if (queue_cv_.WaitUntil(lock, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
     }
-    lock.unlock();
     // Connections paused on queue space can move again — tell the
     // reactor before the (possibly long) ranking call.
     if (queue_blocked_count_.load() > 0) loop_->Wake();
     RankAndRespond(std::move(batch));
-    lock.lock();
   }
 }
 
@@ -822,7 +815,7 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
                                   group.k, pool_.get(), &batch_scratch_);
       group.models[0]->CountServed(group.nodes.size());
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    mx::MutexLock lock(stats_mu_);
     ++stats_.batches;
     stats_.largest_batch =
         std::max<uint64_t>(stats_.largest_batch, group.nodes.size());
@@ -832,7 +825,7 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    mx::MutexLock lock(stats_mu_);
     ++stats_.windows;
     stats_.window_model_groups += window_models;
   }
@@ -840,7 +833,7 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
   // Count the batch as served BEFORE the responses go out: a client that
   // reads its last response and immediately asks for stats must see it.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    mx::MutexLock lock(stats_mu_);
     stats_.queries += batch.size() - n_expired;
     stats_.deadline_expired += n_expired;
     stats_.protocol_errors += n_expired;
@@ -867,21 +860,21 @@ void QueryServer::RankAndRespond(std::vector<PendingQuery> batch) {
 // ---- admin worker thread --------------------------------------------------
 
 void QueryServer::AdminLoop() {
-  std::unique_lock<std::mutex> lock(admin_mu_);
+  // Same RAII shape as BatcherLoop: hold admin_mu_ to wait and pop,
+  // release it for the (possibly disk-bound) verb itself.
   while (true) {
-    admin_cv_.wait(lock, [&] {
-      return draining_.load() || !admin_tasks_.empty();
-    });
-    if (admin_tasks_.empty()) {
+    AdminTask task;
+    {
+      mx::MutexLock lock(admin_mu_);
+      while (!draining_.load() && admin_tasks_.empty()) {
+        admin_cv_.Wait(lock);
+      }
       // Drained: every accepted admin verb got its reply.
-      if (draining_.load()) return;
-      continue;
+      if (admin_tasks_.empty()) return;
+      task = std::move(admin_tasks_.front());
+      admin_tasks_.pop_front();
     }
-    AdminTask task = std::move(admin_tasks_.front());
-    admin_tasks_.pop_front();
-    lock.unlock();
     RunAdminTask(task);
-    lock.lock();
   }
 }
 
@@ -893,7 +886,7 @@ void QueryServer::RunAdminTask(const AdminTask& task) {
   };
   auto fail = [&](ErrorCode code, std::string_view message) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      mx::MutexLock lock(stats_mu_);
       ++stats_.protocol_errors;
     }
     reply(BuildErrorResponse(code, message));
@@ -978,7 +971,7 @@ void QueryServer::RunAdminTask(const AdminTask& task) {
       if (request.kind == Request::Kind::kAppendNode) {
         const NodeId id = maintainer_->AppendNode(request.model);
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          mx::MutexLock lock(stats_mu_);
           ++stats_.append_nodes;
         }
         reply("OK APPEND N " + std::to_string(id) + '\n');
@@ -991,7 +984,7 @@ void QueryServer::RunAdminTask(const AdminTask& task) {
           return;
         }
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          mx::MutexLock lock(stats_mu_);
           ++stats_.append_edges;
         }
         reply("OK APPEND E " + std::to_string(request.node) + ' ' +
@@ -1013,7 +1006,7 @@ void QueryServer::RunAdminTask(const AdminTask& task) {
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        mx::MutexLock lock(stats_mu_);
         ++stats_.index_refreshes;
       }
       reply("OK REFRESH " + std::to_string((*refreshed)->generation()) +
@@ -1058,7 +1051,7 @@ void QueryServer::RunAdminTask(const AdminTask& task) {
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        mx::MutexLock lock(stats_mu_);
         ++stats_.index_swaps;
       }
       reply("OK SWAPINDEX " + std::to_string(indexes_->Info().generation) +

@@ -80,11 +80,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -98,6 +96,7 @@
 #include "server/wire.h"
 #include "util/socket.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace metaprox {
@@ -253,7 +252,7 @@ class QueryServer {
   /// The bound port (valid after Start()).
   uint16_t port() const { return port_; }
 
-  ServerStats stats() const;
+  ServerStats stats() const MX_EXCLUDES(stats_mu_);
 
  private:
   struct Connection {
@@ -272,11 +271,16 @@ class QueryServer {
     std::chrono::steady_clock::time_point tokens_refilled{};
 
     // ---- cross-thread state (producers append, reactor flushes) ----
-    std::mutex out_mu;
-    std::string outbox;    // response bytes, guarded by out_mu
-    size_t out_off = 0;    // sent prefix of outbox
-    bool evict = false;    // slow consumer: flush best-effort, then close
-    bool closed = false;   // torn down; late responses are dropped
+    mx::Mutex out_mu;
+    std::string outbox MX_GUARDED_BY(out_mu);  // response bytes
+    size_t out_off MX_GUARDED_BY(out_mu) = 0;  // sent prefix of outbox
+    // Slow consumer: flush best-effort, then close.
+    bool evict MX_GUARDED_BY(out_mu) = false;
+    // Torn down; late responses are dropped. Written under out_mu (so a
+    // producer holding out_mu sees a consistent (closed, outbox) pair);
+    // atomic so the reactor's hot early-exit check in FlushOutbox can
+    // read it without taking the lock.
+    std::atomic<bool> closed{false};
 
     std::atomic<size_t> in_flight{0};  // enqueued, not yet answered
     std::atomic<bool> dirty{false};    // on the reactor's flush list
@@ -318,7 +322,14 @@ class QueryServer {
                       const Request& request);
   /// Flushes as much of the outbox as the socket takes now; manages
   /// EPOLLOUT interest, backpressure pause/resume, and eviction close.
-  void FlushOutbox(const std::shared_ptr<Connection>& conn);
+  void FlushOutbox(const std::shared_ptr<Connection>& conn)
+      MX_EXCLUDES(conn->out_mu);
+  /// The one nonblocking send loop (shared by the reactor's FlushOutbox
+  /// and a producer's over-bound flush attempt in EnqueueResponse):
+  /// pushes outbox bytes from out_off until the socket won't take more,
+  /// compacting the sent prefix. Returns false when the socket errored
+  /// (the connection is dead). Caller holds conn->out_mu.
+  static bool TrySendLocked(Connection& conn) MX_REQUIRES(conn.out_mu);
   void ResumeQueueBlocked();
   void SweepDirty();
   void UpdateReadInterest(const std::shared_ptr<Connection>& conn);
@@ -333,9 +344,10 @@ class QueryServer {
   /// reactor's dirty list. The caller wakes the reactor (batched: one
   /// Wake may cover many enqueues).
   void EnqueueResponse(const std::shared_ptr<Connection>& conn,
-                       std::string line);
-  void MarkDirty(const std::shared_ptr<Connection>& conn);
-  std::string BuildStatsResponse();
+                       std::string line) MX_EXCLUDES(conn->out_mu);
+  void MarkDirty(const std::shared_ptr<Connection>& conn)
+      MX_EXCLUDES(dirty_mu_);
+  std::string BuildStatsResponse() MX_EXCLUDES(stats_mu_);
 
   // ---- batcher thread ----
   void BatcherLoop();
@@ -364,9 +376,9 @@ class QueryServer {
   std::thread batcher_thread_;
   std::thread admin_thread_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;  // batcher waits: work or drain
-  std::deque<PendingQuery> queue_;    // guarded by queue_mu_
+  mx::Mutex queue_mu_;
+  mx::CondVar queue_cv_;  // batcher waits: work or drain
+  std::deque<PendingQuery> queue_ MX_GUARDED_BY(queue_mu_);
   // Set under queue_mu_ (so the cv waits are race-free); atomic so other
   // threads may read it without the lock. draining_ starts the graceful
   // drain; producers_done_ tells the reactor no thread will enqueue
@@ -377,12 +389,12 @@ class QueryServer {
   // reactor after popping when this is nonzero.
   std::atomic<size_t> queue_blocked_count_{0};
 
-  std::mutex admin_mu_;
-  std::condition_variable admin_cv_;
-  std::deque<AdminTask> admin_tasks_;  // guarded by admin_mu_
+  mx::Mutex admin_mu_;
+  mx::CondVar admin_cv_;
+  std::deque<AdminTask> admin_tasks_ MX_GUARDED_BY(admin_mu_);
 
-  std::mutex dirty_mu_;
-  std::vector<std::shared_ptr<Connection>> dirty_;  // guarded by dirty_mu_
+  mx::Mutex dirty_mu_;
+  std::vector<std::shared_ptr<Connection>> dirty_ MX_GUARDED_BY(dirty_mu_);
 
   // Reactor-thread-only: tag -> connection (epoll tags are conn ids).
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
@@ -390,8 +402,8 @@ class QueryServer {
   std::vector<uint64_t> queue_blocked_;  // conn ids paused on queue space
   bool drain_started_ = false;  // the reactor has observed draining_
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;  // guarded by stats_mu_
+  mutable mx::Mutex stats_mu_;
+  ServerStats stats_ MX_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace metaprox::server

@@ -15,7 +15,14 @@
 // Threading: everything except Wake must be called from one thread — the
 // loop thread. Wake is the only cross-thread door, by design: confining
 // epoll_ctl to one thread makes "is this fd still registered?" a plain
-// single-threaded question instead of a race.
+// single-threaded question instead of a race. There is deliberately no
+// mutex in this class, so there is nothing for the thread-safety
+// annotations (util/thread_annotations.h) to guard: Wake's cross-thread
+// safety comes from eventfd writes being atomic at the kernel boundary,
+// and the one-thread rule for everything else is a caller contract the
+// annotation language cannot express (thread confinement, not mutual
+// exclusion) — it is enforced by QueryServer's structure: only
+// ReactorLoop calls Add/Mod/Del/Wait.
 //
 // Linux-only (epoll + eventfd), like the rest of the server layer.
 #ifndef METAPROX_SERVER_REACTOR_H_

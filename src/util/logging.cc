@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace metaprox::util {
 namespace {
@@ -10,8 +11,8 @@ std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 // Serializes Emit() so lines from concurrent worker threads never
 // interleave mid-line.
-std::mutex& EmitMutex() {
-  static std::mutex mu;
+mx::Mutex& EmitMutex() {
+  static mx::Mutex mu;
   return mu;
 }
 
@@ -38,7 +39,7 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 namespace internal {
 void Emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  mx::MutexLock lock(EmitMutex());
   std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
 }
 }  // namespace internal

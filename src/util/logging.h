@@ -1,7 +1,10 @@
 // Tiny leveled logger for harness/CLI output. Thread-safe: the offline
 // matching phase fans out over util::ThreadPool workers, so concurrent
-// MX_LOG emissions are serialized by a mutex (each statement's message is
-// built in a thread-local stream and emitted as one atomic line).
+// MX_LOG emissions are serialized by an mx::Mutex in logging.cc (each
+// statement's message is built in a statement-local stream and emitted
+// as one atomic line; the level filter is a relaxed atomic). The mutex
+// is function-local static state, not a member — there is no guarded
+// field to annotate, so the contract lives here and in the .cc.
 #ifndef METAPROX_UTIL_LOGGING_H_
 #define METAPROX_UTIL_LOGGING_H_
 

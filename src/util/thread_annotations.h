@@ -1,0 +1,145 @@
+// Clang Thread Safety Analysis wrappers: compile-time lock contracts.
+//
+// Every mutex-holding class in the project uses mx::Mutex + mx::MutexLock
+// instead of std::mutex + std::lock_guard, and annotates shared state
+// with the MX_* macros below. Under clang (the warnings-clang CI job,
+// which builds with -Wthread-safety -Werror), a read of a MX_GUARDED_BY
+// field without its lock — or a call to a MX_REQUIRES method without
+// holding the named capability — is a BUILD BREAK, not a TSan repro that
+// depends on a test schedule. Under GCC the attributes expand to nothing
+// and mx::Mutex compiles down to the std::mutex it wraps.
+//
+// Discipline (docs/STATIC_ANALYSIS.md has the full policy):
+//   - Patterns the analysis cannot express get refactored into RAII
+//     shapes it can, not suppressed. MX_NO_THREAD_SAFETY_ANALYSIS is
+//     budgeted at <= 3 sites repo-wide, each with a written
+//     justification comment at the site.
+//   - CondVar deliberately has NO predicate-taking Wait overload: the
+//     analysis checks a `cv.wait(lock, pred)` lambda without the lock's
+//     capability, so every wait site is an explicit
+//     `while (!cond) cv.Wait(lock);` loop, which it checks correctly.
+#ifndef METAPROX_UTIL_THREAD_ANNOTATIONS_H_
+#define METAPROX_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/macros.h"
+
+#if defined(__clang__)
+#define MX_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define MX_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define MX_CAPABILITY(x) MX_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define MX_SCOPED_CAPABILITY MX_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member is protected by the given capability: reads require it
+/// held (shared or exclusive), writes require it held exclusively.
+#define MX_GUARDED_BY(x) MX_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The data POINTED TO by this member is protected by the capability.
+#define MX_PT_GUARDED_BY(x) MX_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the caller to already hold the capability/ies.
+#define MX_REQUIRES(...) \
+  MX_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the capability/ies held (it acquires
+/// them itself — calling it while holding one would self-deadlock).
+#define MX_EXCLUDES(...) \
+  MX_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past the return.
+#define MX_ACQUIRE(...) \
+  MX_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held.
+#define MX_RELEASE(...) \
+  MX_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; holds it iff the return equals `b`.
+#define MX_TRY_ACQUIRE(...) \
+  MX_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define MX_RETURN_CAPABILITY(x) \
+  MX_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function's body is not analyzed. Budgeted at <= 3
+/// sites repo-wide; every use carries a justification comment.
+#define MX_NO_THREAD_SAFETY_ANALYSIS \
+  MX_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace metaprox::mx {
+
+/// std::mutex with the capability attribute, so MX_GUARDED_BY /
+/// MX_REQUIRES can name it. Same size and cost as the std::mutex it
+/// wraps; lock with MutexLock, not by hand.
+class MX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  MX_DISALLOW_COPY_AND_ASSIGN(Mutex);
+
+  void Lock() MX_ACQUIRE() { mu_.lock(); }
+  void Unlock() MX_RELEASE() { mu_.unlock(); }
+  bool TryLock() MX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for CondVar. Does not transfer the capability.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over mx::Mutex — the std::lock_guard / std::unique_lock of
+/// this codebase. Scoped: the analysis tracks the capability from
+/// construction to the end of the enclosing block.
+class MX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MX_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() MX_RELEASE() {}
+  MX_DISALLOW_COPY_AND_ASSIGN(MutexLock);
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable that waits on a MutexLock. No predicate overloads
+/// on purpose — see the file comment. Wait sites look like:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(lock);   // ready_ is MX_GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  MX_DISALLOW_COPY_AND_ASSIGN(CondVar);
+
+  /// Atomically releases the lock, sleeps, reacquires before returning.
+  /// The capability is held across the call as far as the analysis is
+  /// concerned, which matches what the caller may rely on.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace metaprox::mx
+
+#endif  // METAPROX_UTIL_THREAD_ANNOTATIONS_H_

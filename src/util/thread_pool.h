@@ -16,17 +16,16 @@
 #ifndef METAPROX_UTIL_THREAD_POOL_H_
 #define METAPROX_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace metaprox::util {
 
@@ -43,28 +42,28 @@ class ThreadPool {
 
   /// Enqueues `f` and returns a future of its result.
   template <typename F>
-  auto Submit(F f) -> std::future<std::invoke_result_t<F>> {
+  auto Submit(F f) -> std::future<std::invoke_result_t<F>> MX_EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     // packaged_task is move-only but std::function requires copyable
     // callables, so the task is held behind a shared_ptr.
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      mx::MutexLock lock(mu_);
       MX_CHECK_MSG(!stopping_, "Submit() on a stopping ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
     return future;
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MX_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool stopping_ = false;                    // guarded by mu_
+  mx::Mutex mu_;
+  mx::CondVar wake_;
+  std::deque<std::function<void()>> queue_ MX_GUARDED_BY(mu_);
+  bool stopping_ MX_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -211,7 +211,12 @@ TEST(BatchScratchDeathTest, ReadingAnUnmarkedRowDiesInDebugBuilds) {
 #ifdef NDEBUG
   GTEST_SKIP() << "MX_DCHECK is compiled out in NDEBUG builds";
 #else
+#ifdef GTEST_FLAG_SET
   GTEST_FLAG_SET(death_test_style, "threadsafe");
+#else
+  // Pre-1.12 GoogleTest (e.g. a system install) has no GTEST_FLAG_SET.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+#endif
   BatchScratch scratch;
   scratch.BeginBatch(8);
   scratch.MarkTouched(3);

@@ -117,7 +117,9 @@ TEST(GraphDelta, ApplyEqualsFromScratchBuild) {
   const NodeId zoe2 = scratch.AddNode(t2.user, "Zoe");
   for (NodeId v = 0; v < t.graph.num_nodes(); ++v) {
     for (NodeId w : t.graph.Neighbors(v)) {
-      if (v < w) ASSERT_TRUE(scratch.AddEdge(v, w).ok());
+      if (v < w) {
+        ASSERT_TRUE(scratch.AddEdge(v, w).ok());
+      }
     }
   }
   ASSERT_TRUE(scratch.AddEdge(zoe2, t2.alice).ok());
@@ -238,8 +240,11 @@ TEST(IndexMaintainer, RepeatedRefreshesStayByteIdentical) {
   const Base& base = SharedBase();
   IndexMaintainer maintainer(*base.engine);
   for (int round = 0; round < 3; ++round) {
-    const NodeId fresh =
-        maintainer.AppendNode("user", "r" + std::to_string(round));
+    // Built in two steps: `"r" + std::to_string(...)` trips GCC 12's
+    // bogus -Wrestrict on the rvalue operator+ overload.
+    std::string name = "r";
+    name += std::to_string(round);
+    const NodeId fresh = maintainer.AppendNode("user", name);
     ASSERT_TRUE(
         maintainer.AppendEdge(fresh, base.users[round * 3]).ok());
     auto refreshed = maintainer.Refresh();

@@ -1,0 +1,24 @@
+// Negative-compile snippet: calls an MX_REQUIRES(mu_) method without
+// holding mu_. Clang -Wthread-safety must REJECT this translation unit
+// ("calling function 'PushLocked' requires holding mutex 'mu_'") — the
+// same contract that protects QueryServer::TrySendLocked, this repo's
+// one real REQUIRES site. Valid C++ otherwise, so GCC accepts it.
+#include "util/thread_annotations.h"
+
+namespace metaprox {
+
+class Box {
+ public:
+  void PushLocked() MX_REQUIRES(mu_) { ++size_; }
+
+  // BAD: PushLocked requires mu_, and this caller never takes it.
+  void Push() { PushLocked(); }
+
+ private:
+  mx::Mutex mu_;
+  int size_ MX_GUARDED_BY(mu_) = 0;
+};
+
+void Use() { Box{}.Push(); }
+
+}  // namespace metaprox

@@ -1,0 +1,28 @@
+// Negative-compile snippet: reads an MX_GUARDED_BY field without holding
+// its mutex. Clang -Wthread-safety must REJECT this translation unit
+// ("reading variable 'value_' requires holding mutex 'mu_'") — that
+// rejection is what tests/negative/thread_safety_lint.sh asserts. The
+// code is deliberately valid C++ otherwise, so GCC (where the
+// annotations compile away) accepts it.
+#include "util/thread_annotations.h"
+
+namespace metaprox {
+
+class Counter {
+ public:
+  // BAD: value_ is guarded by mu_, and mu_ is not held here.
+  int Get() const { return value_; }
+
+  void Bump() {
+    mx::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  mutable mx::Mutex mu_;
+  int value_ MX_GUARDED_BY(mu_) = 0;
+};
+
+int Use() { return Counter{}.Get(); }
+
+}  // namespace metaprox

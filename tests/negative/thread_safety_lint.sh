@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# thread_safety_lint: negative-compile proof that the -Wthread-safety
+# gate actually fires. Compiles the snippets in this directory against
+# the real util/thread_annotations.h:
+#
+#   good_annotated_usage.cc       must compile CLEAN (positive control —
+#                                 catches a broken macro that would also
+#                                 silence the gate everywhere)
+#   bad_unguarded_read.cc         must be REJECTED, with a thread-safety
+#   bad_requires_without_lock.cc  diagnostic (not some unrelated error)
+#
+# The annotations only exist under clang. With any other compiler the
+# snippets are syntax-checked (they must stay valid C++ with the macros
+# compiled away) and the test reports SKIP via exit 77 — CMake registers
+# that as the ctest SKIP_RETURN_CODE, and CI's warnings-clang job runs
+# the real assertion.
+#
+# Usage: thread_safety_lint.sh <c++-compiler> <repo-root>
+set -u
+
+cxx="${1:?usage: thread_safety_lint.sh <c++-compiler> <repo-root>}"
+root="${2:?usage: thread_safety_lint.sh <c++-compiler> <repo-root>}"
+dir="$root/tests/negative"
+flags="-std=c++20 -I$root/src -fsyntax-only"
+snippets="good_annotated_usage bad_unguarded_read bad_requires_without_lock"
+
+for f in $snippets; do
+  if [ ! -f "$dir/$f.cc" ]; then
+    echo "thread_safety_lint: missing snippet $dir/$f.cc" >&2
+    exit 1
+  fi
+done
+
+if ! "$cxx" --version 2>/dev/null | grep -qi clang; then
+  for f in $snippets; do
+    if ! "$cxx" $flags "$dir/$f.cc"; then
+      echo "thread_safety_lint: $f.cc is not valid C++ even with the" \
+           "annotations compiled away" >&2
+      exit 1
+    fi
+  done
+  echo "thread_safety_lint: SKIP ($cxx is not clang — snippets" \
+       "syntax-checked only; the warnings-clang CI job runs the gate)"
+  exit 77
+fi
+
+tsa="-Wthread-safety -Werror"
+fail=0
+
+if ! err=$("$cxx" $flags $tsa "$dir/good_annotated_usage.cc" 2>&1); then
+  echo "thread_safety_lint: good_annotated_usage.cc must compile clean" \
+       "under $tsa but failed:" >&2
+  printf '%s\n' "$err" >&2
+  fail=1
+fi
+
+for bad in bad_unguarded_read bad_requires_without_lock; do
+  if err=$("$cxx" $flags $tsa "$dir/$bad.cc" 2>&1); then
+    echo "thread_safety_lint: $bad.cc compiled, but the annotations" \
+         "require clang to REJECT it — the gate is not firing" >&2
+    fail=1
+  elif ! printf '%s\n' "$err" | grep -q "thread-safety"; then
+    echo "thread_safety_lint: $bad.cc failed to compile, but for a" \
+         "reason other than a thread-safety diagnostic:" >&2
+    printf '%s\n' "$err" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "thread_safety_lint: OK (positive control clean, 2 bad snippets" \
+       "rejected with thread-safety diagnostics)"
+fi
+exit "$fail"

@@ -115,6 +115,10 @@ TEST(ServerRefresh, RefreshUnderConcurrentByteCheckedReaders) {
   struct ReaderLog {
     std::vector<std::pair<NodeId, std::string>> lines;
     std::string error;
+    // The main thread's pacing loops poll these atomics instead of
+    // touching `lines`/`error`, which stay reader-owned until join().
+    std::atomic<size_t> progress{0};
+    std::atomic<bool> failed{false};
   };
   std::vector<ReaderLog> logs(3);
   std::vector<std::thread> readers;
@@ -123,6 +127,7 @@ TEST(ServerRefresh, RefreshUnderConcurrentByteCheckedReaders) {
       auto sock = util::ConnectTcp("127.0.0.1", f.server->port());
       if (!sock.ok()) {
         logs[r].error = sock.status().ToString();
+        logs[r].failed.store(true, std::memory_order_release);
         return;
       }
       util::LineReader reader(*sock);
@@ -130,6 +135,7 @@ TEST(ServerRefresh, RefreshUnderConcurrentByteCheckedReaders) {
         for (NodeId u : probes) {
           if (!util::SendAll(*sock, server::BuildQueryRequest(u, kK)).ok()) {
             logs[r].error = "send failed";
+            logs[r].failed.store(true, std::memory_order_release);
             return;
           }
         }
@@ -137,16 +143,21 @@ TEST(ServerRefresh, RefreshUnderConcurrentByteCheckedReaders) {
           std::string line;
           if (!reader.ReadLine(&line)) {
             logs[r].error = "read failed";
+            logs[r].failed.store(true, std::memory_order_release);
             return;
           }
           logs[r].lines.emplace_back(u, line + "\n");
+          logs[r].progress.store(logs[r].lines.size(),
+                                 std::memory_order_release);
         }
       }
     });
   }
 
   // Let the readers get going, then append + refresh mid-traffic.
-  while (logs[0].lines.size() < probes.size()) std::this_thread::yield();
+  while (logs[0].progress.load(std::memory_order_acquire) < probes.size()) {
+    std::this_thread::yield();
+  }
   auto append =
       f.Admin("APPEND E " + std::to_string(f.users[0]) + ' ' +
               std::to_string(f.users[11]));
@@ -164,9 +175,10 @@ TEST(ServerRefresh, RefreshUnderConcurrentByteCheckedReaders) {
   EXPECT_EQ(refresh->fields[3], "1");  // appended edges
 
   // A couple more rounds on the refreshed index, then stop.
-  const size_t after_refresh = logs[0].lines.size();
-  while (logs[0].lines.size() < after_refresh + 2 * probes.size() &&
-         logs[0].error.empty()) {
+  const size_t after_refresh = logs[0].progress.load(std::memory_order_acquire);
+  while (logs[0].progress.load(std::memory_order_acquire) <
+             after_refresh + 2 * probes.size() &&
+         !logs[0].failed.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }
   stop.store(true);
